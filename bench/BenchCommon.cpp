@@ -1,0 +1,115 @@
+//===- BenchCommon.cpp - Shared experiment harness infrastructure -----------===//
+
+#include "BenchCommon.h"
+
+#include "graph/Generators.h"
+#include "support/Stats.h"
+#include "support/Str.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace granii;
+using namespace granii::bench;
+
+BenchContext &BenchContext::get() {
+  static BenchContext Instance;
+  return Instance;
+}
+
+BenchContext::BenchContext()
+    : Platforms(HardwareModel::paperPlatforms()),
+      Codes(evaluationGraphCodes()) {}
+
+HardwareModel BenchContext::platform(const std::string &Name) const {
+  return HardwareModel::byName(Name);
+}
+
+const CostModel &BenchContext::costFor(const std::string &Hw) {
+  auto It = CostModels.find(Hw);
+  if (It != CostModels.end())
+    return *It->second;
+  HardwareModel Model = platform(Hw);
+  std::string Cache = "granii_costmodel_" + Hw + ".cache";
+  if (Model.kind() == PlatformKind::Measured &&
+      !std::ifstream(Cache).good())
+    std::fprintf(stderr,
+                 "[bench] training %s cost models (cached in %s; the first "
+                 "run profiles kernels and takes a few minutes)...\n",
+                 Hw.c_str(), Cache.c_str());
+  auto Trained = std::make_unique<LearnedCostModel>(
+      loadOrTrainCostModel(Cache, Model, makeTrainingSuite()));
+  It = CostModels.emplace(Hw, std::move(Trained)).first;
+  return *It->second;
+}
+
+const std::vector<Graph> &BenchContext::evalGraphs() {
+  if (!GraphsBuilt) {
+    Graphs = makeEvaluationSuite();
+    GraphsBuilt = true;
+  }
+  return Graphs;
+}
+
+Optimizer &BenchContext::optimizer(ModelKind Kind, const std::string &Hw,
+                                   int Hops) {
+  std::string Key = modelName(Kind) + "/" + Hw + "/" + std::to_string(Hops);
+  auto It = Optimizers.find(Key);
+  if (It == Optimizers.end()) {
+    OptimizerOptions Opts;
+    Opts.Hw = platform(Hw);
+    Opts.Iterations = iterations();
+    auto Opt = std::make_unique<Optimizer>(makeModel(Kind, Hops), Opts,
+                                           &costFor(Hw));
+    It = Optimizers.emplace(Key, std::move(Opt)).first;
+  }
+  return *It->second;
+}
+
+std::vector<std::pair<int64_t, int64_t>>
+granii::bench::embeddingCombos(ModelKind Kind) {
+  if (Kind == ModelKind::GAT)
+    return {{32, 64}, {32, 128}, {64, 128}};
+  return {{32, 32}, {32, 128}, {128, 32}, {128, 128}};
+}
+
+CellResult granii::bench::runCell(BenchContext &Ctx, BaselineSystem Sys,
+                                  ModelKind Kind, const std::string &Hw,
+                                  const Graph &G, int64_t KIn, int64_t KOut,
+                                  bool Training) {
+  GnnModel Model = makeModel(Kind);
+  Executor Exec(Ctx.platform(Hw));
+  LayerParams Params = makeLayerParams(Model, G, KIn, KOut, /*Seed=*/5);
+  const int Iters = Ctx.iterations();
+
+  auto TotalOf = [&](const CompositionPlan &Plan) {
+    ExecResult R = Training
+                       ? Exec.runTraining(Plan, Params.inputs(), Params.Stats)
+                       : Exec.run(Plan, Params.inputs(), Params.Stats);
+    return R.totalSeconds(Iters, Training);
+  };
+
+  CellResult Cell;
+  CompositionPlan Base = baselinePlan(Sys, Model, KIn, KOut);
+  Cell.BaselineSeconds = TotalOf(Base);
+
+  Optimizer &Opt = Ctx.optimizer(Kind, Hw);
+  Cell.Sel = Opt.select(G, KIn, KOut);
+  Cell.PlanIndex = Cell.Sel.PlanIndex;
+  Cell.GraniiSeconds = TotalOf(Opt.promoted()[Cell.Sel.PlanIndex]) +
+                       Cell.Sel.FeaturizeSeconds + Cell.Sel.SelectSeconds;
+  Cell.Speedup = Cell.BaselineSeconds / Cell.GraniiSeconds;
+  return Cell;
+}
+
+double granii::bench::geomeanSpeedup(const std::vector<CellResult> &Cells) {
+  std::vector<double> Speedups;
+  Speedups.reserve(Cells.size());
+  for (const CellResult &Cell : Cells)
+    Speedups.push_back(Cell.Speedup);
+  return geomeanOf(Speedups);
+}
+
+std::string granii::bench::formatSpeedup(double Value) {
+  return formatDouble(Value, 2) + "x";
+}

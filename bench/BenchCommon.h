@@ -1,0 +1,89 @@
+//===- BenchCommon.h - Shared experiment harness infrastructure -*- C++ -*-===//
+///
+/// \file
+/// Common machinery for the paper-reproduction harnesses in bench/: the
+/// three platforms with their trained cost models (CPU models are trained
+/// on measured kernel times and cached on disk), the Table II evaluation
+/// suite, the embedding-size grid, and the (baseline, GRANII) cell runner
+/// that produces one speedup data point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_BENCH_BENCHCOMMON_H
+#define GRANII_BENCH_BENCHCOMMON_H
+
+#include "cost/Trainer.h"
+#include "granii/Granii.h"
+#include "models/Baselines.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace granii {
+namespace bench {
+
+/// Lazily-initialized shared state for all harnesses.
+class BenchContext {
+public:
+  static BenchContext &get();
+
+  /// Platforms in Table III order: h100, a100, cpu.
+  const std::vector<HardwareModel> &platforms() const { return Platforms; }
+  HardwareModel platform(const std::string &Name) const;
+
+  /// The trained per-primitive cost model for \p Hw (cached on disk under
+  /// ./granii_costmodel_<hw>.cache; the first CPU run profiles kernels).
+  const CostModel &costFor(const std::string &Hw);
+
+  /// The six Table II stand-ins (RD, CA, MC, BL, AU, OP).
+  const std::vector<Graph> &evalGraphs();
+  const std::vector<std::string> &evalCodes() const { return Codes; }
+
+  /// A GRANII optimizer for (model, hardware), constructed once.
+  Optimizer &optimizer(ModelKind Kind, const std::string &Hw, int Hops = 2);
+
+  /// Iteration count all experiments amortize over (paper: 100).
+  int iterations() const { return 100; }
+
+private:
+  BenchContext();
+
+  std::vector<HardwareModel> Platforms;
+  std::vector<std::string> Codes;
+  std::vector<Graph> Graphs;
+  bool GraphsBuilt = false;
+  std::map<std::string, std::unique_ptr<LearnedCostModel>> CostModels;
+  std::map<std::string, std::unique_ptr<Optimizer>> Optimizers;
+};
+
+/// Embedding (K_in, K_out) grid. GAT uses only increasing combinations
+/// (paper §VI-B: the only scenario where the decision is non-trivial).
+std::vector<std::pair<int64_t, int64_t>> embeddingCombos(ModelKind Kind);
+
+/// One experiment cell: one (system, model, hardware, graph, sizes, mode).
+struct CellResult {
+  double BaselineSeconds = 0.0; ///< framework default, Iterations iters
+  double GraniiSeconds = 0.0;   ///< GRANII choice incl. online overheads
+  double Speedup = 0.0;
+  size_t PlanIndex = 0;
+  Selection Sel;
+};
+
+/// Runs one cell end to end (executes both plans once; 100-iteration totals
+/// follow the setup/per-iteration accounting).
+CellResult runCell(BenchContext &Ctx, BaselineSystem Sys, ModelKind Kind,
+                   const std::string &Hw, const Graph &G, int64_t KIn,
+                   int64_t KOut, bool Training);
+
+/// Geomean over cell speedups.
+double geomeanSpeedup(const std::vector<CellResult> &Cells);
+
+/// "1.24x"-style formatting.
+std::string formatSpeedup(double Value);
+
+} // namespace bench
+} // namespace granii
+
+#endif // GRANII_BENCH_BENCHCOMMON_H

@@ -1,0 +1,76 @@
+//===- costmodel_accuracy.cpp - §VI-G: learned cost-model accuracy ----------===//
+//
+// The paper's §VI-G argues GRANII's cost models predict well enough to pick
+// near-optimal compositions. This harness quantifies that directly on the
+// *evaluation* graphs (disjoint from the training suite): per primitive
+// kind, the log-space RMSE between predicted and observed kernel times, and
+// the split-frequency feature importances showing which input features the
+// models actually use.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "cost/Trainer.h"
+#include "support/Stats.h"
+#include "support/Str.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace granii;
+using namespace granii::bench;
+
+int main() {
+  BenchContext &Ctx = BenchContext::get();
+
+  for (const char *Hw : {"h100", "cpu"}) {
+    const auto &Learned =
+        static_cast<const LearnedCostModel &>(Ctx.costFor(Hw));
+    // Held-out samples: profile the primitives on the *evaluation* graphs.
+    std::vector<ProfileSample> Holdout = collectProfileData(
+        HardwareModel::byName(Hw), Ctx.evalGraphs(), {16, 64});
+
+    std::map<PrimitiveKind, std::vector<double>> LogErrors;
+    for (const ProfileSample &S : Holdout) {
+      const GbtModel *Model = Learned.model(S.Kind);
+      if (!Model)
+        continue;
+      double Predicted = Model->predict(S.Features.data());
+      LogErrors[S.Kind].push_back(Predicted - std::log(S.Seconds));
+    }
+
+    std::vector<std::string> Header = {"Primitive", "holdout n",
+                                       "geo pred/actual", "log-RMSE"};
+    std::vector<std::vector<std::string>> Table;
+    for (const auto &[Kind, Errors] : LogErrors) {
+      double Bias = 0.0, Sq = 0.0;
+      for (double E : Errors) {
+        Bias += E;
+        Sq += E * E;
+      }
+      Bias /= static_cast<double>(Errors.size());
+      double Rmse = std::sqrt(Sq / static_cast<double>(Errors.size()));
+      Table.push_back({primitiveName(Kind), std::to_string(Errors.size()),
+                       formatDouble(std::exp(Bias), 2),
+                       formatDouble(Rmse, 2)});
+    }
+    std::printf("== %s cost models on held-out evaluation graphs ==\n%s\n",
+                Hw, renderTable(Header, Table).c_str());
+
+    // Which input features drive the weighted-SpMM model?
+    if (const GbtModel *Spmm = Learned.model(PrimitiveKind::SpMMWeighted)) {
+      std::vector<double> Importance = Spmm->featureImportance();
+      std::printf("spmm_w feature importances (split frequency):\n");
+      for (size_t F = 0; F < Importance.size(); ++F)
+        if (Importance[F] > 0.02)
+          std::printf("  %-16s %.2f\n", costFeatureNames()[F].c_str(),
+                      Importance[F]);
+      std::printf("\n");
+    }
+  }
+  std::printf("A geo pred/actual near 1.0 and log-RMSE well under log(2)="
+              "0.69 mean predictions are within ~2x on unseen graphs — "
+              "sufficient for relative composition ranking (paper §VI-G).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+//===- enumeration_stats.cpp - Paper §VI-B composition counts ---------------===//
+//
+// Reports the per-model enumeration and offline-pruning statistics (the
+// paper quotes "compositions through re-associations and offline pruning
+// pairs" of 12/8 for GCN, 2/0 for GAT and 8/4 for GIN).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "assoc/Enumerate.h"
+#include "assoc/Prune.h"
+#include "support/Str.h"
+
+#include <cstdio>
+
+using namespace granii;
+using namespace granii::bench;
+
+int main() {
+  std::vector<std::string> Header = {"Model",    "Enumerated", "Pruned",
+                                     "Promoted", "Viable(>=)", "Viable(<)"};
+  std::vector<std::vector<std::string>> Table;
+
+  for (ModelKind Kind : allModels()) {
+    GnnModel M = makeModel(Kind);
+    PruneStats Stats;
+    auto Promoted = pruneCompositions(enumerateCompositions(M.Root), &Stats);
+    size_t Ge = 0, Lt = 0;
+    for (const CompositionPlan &P : Promoted) {
+      Ge += P.ViableGe;
+      Lt += P.ViableLt;
+    }
+    Table.push_back({M.Name, std::to_string(Stats.Enumerated),
+                     std::to_string(Stats.Pruned),
+                     std::to_string(Stats.Promoted), std::to_string(Ge),
+                     std::to_string(Lt)});
+  }
+
+  std::printf("Offline enumeration and pruning statistics (paper §VI-B)\n\n");
+  std::printf("%s\n", renderTable(Header, Table).c_str());
+  std::printf("Paper reference: GCN 12 enumerated / 8 pruned, GAT 2 / 0, "
+              "GIN 8 / 4.\n");
+  std::printf("Candidates viable in only one embedding-size scenario are "
+              "dispatched by a pure size test at runtime; the rest go "
+              "through the learned cost models.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===- micro_kernels.cpp - Measured kernel micro-benchmarks -----------------===//
+//
+// google-benchmark timings of the primitive kernel library on the machine
+// running the reproduction (the "real measurement" counterpart of the
+// simulated platforms).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Generators.h"
+#include "kernels/Kernels.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace granii;
+
+namespace {
+
+DenseMatrix randomDense(int64_t Rows, int64_t Cols, uint64_t Seed) {
+  Rng R(Seed);
+  DenseMatrix M(Rows, Cols);
+  M.fillRandom(R);
+  return M;
+}
+
+const Graph &benchGraph() {
+  static Graph G = makeRmat(2000, 30000, 0.55, 0.2, 0.15, 77);
+  return G;
+}
+
+} // namespace
+
+static void BM_Gemm(benchmark::State &State) {
+  int64_t N = State.range(0), K = State.range(1);
+  DenseMatrix A = randomDense(N, K, 1), B = randomDense(K, K, 2);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernels::gemm(A, B));
+  State.SetItemsProcessed(State.iterations() * 2 * N * K * K);
+}
+BENCHMARK(BM_Gemm)->Args({1024, 32})->Args({1024, 64})->Args({2048, 64});
+
+static void BM_SpmmUnweighted(benchmark::State &State) {
+  const Graph &G = benchGraph();
+  DenseMatrix H = randomDense(G.numNodes(), State.range(0), 3);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        kernels::spmm(G.adjacency(), H, Semiring::plusCopy()));
+  State.SetItemsProcessed(State.iterations() * G.numEdges() * State.range(0));
+}
+BENCHMARK(BM_SpmmUnweighted)->Arg(32)->Arg(64)->Arg(128);
+
+static void BM_SpmmWeighted(benchmark::State &State) {
+  const Graph &G = benchGraph();
+  CsrMatrix A = G.adjacency();
+  std::vector<float> Vals(static_cast<size_t>(A.nnz()), 0.5f);
+  A.setValues(std::move(Vals));
+  DenseMatrix H = randomDense(G.numNodes(), State.range(0), 4);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernels::spmm(A, H));
+  State.SetItemsProcessed(State.iterations() * 2 * G.numEdges() *
+                          State.range(0));
+}
+BENCHMARK(BM_SpmmWeighted)->Arg(32)->Arg(64)->Arg(128);
+
+static void BM_SddmmDot(benchmark::State &State) {
+  const Graph &G = benchGraph();
+  DenseMatrix U = randomDense(G.numNodes(), State.range(0), 5);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernels::sddmm(G.adjacency(), U, U));
+}
+BENCHMARK(BM_SddmmDot)->Arg(32)->Arg(64);
+
+static void BM_ScaleSparseBoth(benchmark::State &State) {
+  const Graph &G = benchGraph();
+  std::vector<float> D(static_cast<size_t>(G.numNodes()), 0.7f);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernels::scaleSparseBoth(G.adjacency(), D, D));
+}
+BENCHMARK(BM_ScaleSparseBoth);
+
+static void BM_RowBroadcast(benchmark::State &State) {
+  DenseMatrix H = randomDense(4096, State.range(0), 6);
+  std::vector<float> D(4096, 1.1f);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernels::rowBroadcastMul(D, H));
+}
+BENCHMARK(BM_RowBroadcast)->Arg(32)->Arg(128);
+
+static void BM_DegreeOffsets(benchmark::State &State) {
+  const Graph &G = benchGraph();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernels::degreeFromOffsets(G.adjacency()));
+}
+BENCHMARK(BM_DegreeOffsets);
+
+static void BM_DegreeBinning(benchmark::State &State) {
+  const Graph &G = benchGraph();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernels::degreeByBinning(G.adjacency()));
+}
+BENCHMARK(BM_DegreeBinning);
+
+static void BM_EdgeSoftmax(benchmark::State &State) {
+  const Graph &G = benchGraph();
+  std::vector<float> Vals(static_cast<size_t>(G.numEdges()), 0.3f);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernels::edgeSoftmax(G.adjacency(), Vals));
+}
+BENCHMARK(BM_EdgeSoftmax);
+
+BENCHMARK_MAIN();

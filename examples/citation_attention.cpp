@@ -1,0 +1,81 @@
+//===- citation_attention.cpp - GAT on a citation-style graph ----------------===//
+//
+// Domain example: attention over a co-authorship/citation graph (the AU
+// class of the paper's Table II). Shows the one decision that separates
+// GAT implementations — reuse the updated embeddings in the aggregation or
+// recompute them (paper §III-B) — and how GRANII's choice tracks the
+// graph: on a sparse citation graph the reuse composition wins; on a dense
+// discussion graph the recomputation composition can win for increasing
+// embedding sizes.
+//
+//   $ ./examples/citation_attention
+//
+//===----------------------------------------------------------------------===//
+
+#include "granii/Granii.h"
+
+#include "graph/Generators.h"
+#include "models/Baselines.h"
+
+#include <cstdio>
+
+using namespace granii;
+
+namespace {
+
+void analyze(Optimizer &Granii, const Graph &G, int64_t KIn, int64_t KOut) {
+  Selection Sel = Granii.select(G, KIn, KOut);
+  const CompositionPlan &Chosen = Granii.promoted()[Sel.PlanIndex];
+  std::printf("  %-12s (deg %5.1f) at (%lld -> %lld): %s\n", G.name().c_str(),
+              G.stats().AvgDegree, static_cast<long long>(KIn),
+              static_cast<long long>(KOut),
+              planRecomputesTheta(Chosen)
+                  ? "recompute updated embeddings (extra GEMM, narrow "
+                    "aggregation)"
+                  : "reuse updated embeddings (wide aggregation, no extra "
+                    "GEMM)");
+
+  // Execute and report; the attention scores live on the graph's edges.
+  GnnModel Model = Granii.model();
+  LayerParams Params = makeLayerParams(Model, G, KIn, KOut, 11);
+  ExecResult R = Granii.execute(Sel, Params, /*Training=*/false);
+  std::printf("               forward %.3f ms, output %lld x %lld\n",
+              R.ForwardSeconds * 1e3,
+              static_cast<long long>(R.Output.rows()),
+              static_cast<long long>(R.Output.cols()));
+}
+
+} // namespace
+
+int main() {
+  GnnModel Gat = makeModel(ModelKind::GAT);
+
+  // Simulated H100 shows the paper's crossover crisply; swap for "cpu" to
+  // measure on this machine instead.
+  OptimizerOptions Options;
+  Options.Hw = HardwareModel::byName("h100");
+  AnalyticCostModel Cost(Options.Hw);
+  Optimizer Granii(Gat, Options, &Cost);
+
+  std::printf("GAT compositions discovered: %zu (reuse and recompute)\n\n",
+              Granii.promoted().size());
+
+  // A sparse citation/co-authorship graph vs a dense discussion graph.
+  Graph Citations = makeCommunityGraph(420, 7, 0.4, 1200, 404, "citations");
+  Graph Discussions = makeMycielskian(10);
+
+  std::printf("small increasing embeddings (the paper's non-trivial GAT "
+              "scenario):\n");
+  analyze(Granii, Citations, 32, 128);
+  analyze(Granii, Discussions, 32, 128);
+
+  std::printf("\nlarge increasing embeddings (extra GEMM gets relatively "
+              "cheaper on wide layers):\n");
+  analyze(Granii, Citations, 256, 1024);
+  analyze(Granii, Discussions, 256, 1024);
+
+  std::printf("\nWiseGraph would always recompute for increasing sizes and "
+              "DGL would always reuse (paper §VI-C1); GRANII picks per "
+              "input.\n");
+  return 0;
+}

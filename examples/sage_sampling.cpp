@@ -1,0 +1,74 @@
+//===- sage_sampling.cpp - GraphSAGE-style minibatch sampling ----------------===//
+//
+// Domain example from paper §VI-E: neighborhood-sampled training
+// (GraphSAGE with GCN aggregation). Each minibatch is an induced subgraph
+// from random seeds with a per-node neighbor fan-out; GRANII's decision is
+// made once on the first sample and reused for every subsequent minibatch
+// of that sampling size, amortizing the online overhead to zero.
+//
+//   $ ./examples/sage_sampling
+//
+//===----------------------------------------------------------------------===//
+
+#include "granii/Granii.h"
+
+#include "graph/Generators.h"
+#include "graph/Sampling.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace granii;
+
+int main() {
+  // A large power-law graph; minibatches never touch all of it.
+  Graph Full = makeRmat(20000, 200000, 0.55, 0.2, 0.15, /*Seed=*/3,
+                        "social");
+  std::printf("full graph: %lld nodes, %lld edges\n",
+              static_cast<long long>(Full.numNodes()),
+              static_cast<long long>(Full.numEdges()));
+
+  GnnModel Model = makeModel(ModelKind::GCN);
+  OptimizerOptions Options;
+  Options.Hw = HardwareModel::byName("cpu");
+  AnalyticCostModel Cost(Options.Hw);
+  Optimizer Granii(Model, Options, &Cost);
+
+  const int64_t FeatureDim = 32, HiddenDim = 32;
+  const int64_t Seeds = 512, FanOut = 10;
+  const int Hops = 2, Minibatches = 8;
+
+  // Decide once on the first minibatch (paper: sampled subgraphs of one
+  // sampling size are interchangeable for the decision).
+  SampledGraph First = sampleNeighborhood(Full, Seeds, FanOut, Hops, 0);
+  Selection Sel = Granii.select(First.Sampled, FeatureDim, HiddenDim);
+  std::printf("decision on first minibatch (%lld nodes): candidate #%zu; "
+              "featurize %.2f ms, select %.2f ms (paid once)\n",
+              static_cast<long long>(First.Sampled.numNodes()), Sel.PlanIndex,
+              Sel.FeaturizeSeconds * 1e3, Sel.SelectSeconds * 1e3);
+
+  Timer Wall;
+  double TotalForward = 0.0;
+  bool DecisionStable = true;
+  for (int Batch = 0; Batch < Minibatches; ++Batch) {
+    SampledGraph S = sampleNeighborhood(Full, Seeds, FanOut, Hops,
+                                        static_cast<uint64_t>(Batch));
+    LayerParams Params =
+        makeLayerParams(Model, S.Sampled, FeatureDim, HiddenDim, 5);
+    ExecResult R = Granii.execute(Sel, Params, /*Training=*/true);
+    TotalForward += R.ForwardSeconds + R.BackwardSeconds;
+    // Sanity: would a fresh decision have differed? (It should not.)
+    DecisionStable &=
+        Granii.select(S.Sampled, FeatureDim, HiddenDim).PlanIndex ==
+        Sel.PlanIndex;
+    std::printf("  minibatch %d: %5lld nodes, fwd+bwd %.2f ms\n", Batch,
+                static_cast<long long>(S.Sampled.numNodes()),
+                (R.ForwardSeconds + R.BackwardSeconds) * 1e3);
+  }
+
+  std::printf("%d minibatches in %.1f ms wall (%.1f ms in kernels); "
+              "decision %s across samples\n",
+              Minibatches, Wall.millis(), TotalForward * 1e3,
+              DecisionStable ? "stable" : "UNSTABLE");
+  return DecisionStable ? 0 : 1;
+}

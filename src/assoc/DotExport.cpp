@@ -1,0 +1,114 @@
+//===- DotExport.cpp - Graphviz export of IR and plans -----------------------===//
+
+#include "assoc/DotExport.h"
+
+#include "support/Error.h"
+
+#include <map>
+
+using namespace granii;
+
+namespace {
+
+std::string escapeLabel(const std::string &Text) {
+  std::string Out;
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+std::string irNodeLabel(const IRNodeRef &Node) {
+  std::string Op;
+  switch (Node->kind()) {
+  case IRKind::Leaf:
+    Op = cast<LeafNode>(Node).name();
+    break;
+  case IRKind::MatMul:
+    Op = "matmul";
+    break;
+  case IRKind::Add:
+    Op = "add";
+    break;
+  case IRKind::RowBroadcast:
+    Op = "rowbcast";
+    break;
+  case IRKind::ColBroadcast:
+    Op = "colbcast";
+    break;
+  case IRKind::Unary:
+    switch (cast<UnaryNode>(Node).op()) {
+    case UnaryOpKind::Relu:
+      Op = "relu";
+      break;
+    case UnaryOpKind::LeakyRelu:
+      Op = "lrelu";
+      break;
+    case UnaryOpKind::Scale:
+      Op = "scale";
+      break;
+    }
+    break;
+  case IRKind::Atten:
+    Op = "atten";
+    break;
+  }
+  // The "\n" below is Graphviz's literal line break; only the operation
+  // text itself needs escaping.
+  return escapeLabel(Op) + "\\n" + attrName(Node->attr()) + "\\n" +
+         Node->shape().toString();
+}
+
+void emitIRNode(const IRNodeRef &Node, std::map<const IRNode *, int> &Ids,
+                std::string &Out) {
+  if (Ids.count(Node.get()))
+    return;
+  int Id = static_cast<int>(Ids.size());
+  Ids.emplace(Node.get(), Id);
+  bool IsLeaf = Node->kind() == IRKind::Leaf;
+  Out += "  n" + std::to_string(Id) + " [label=\"" +
+         irNodeLabel(Node) + "\", shape=" +
+         (IsLeaf ? "box" : "ellipse") + "];\n";
+  for (const IRNodeRef &Child : Node->children()) {
+    emitIRNode(Child, Ids, Out);
+    Out += "  n" + std::to_string(Ids.at(Child.get())) + " -> n" +
+           std::to_string(Id) + ";\n";
+  }
+}
+
+} // namespace
+
+std::string granii::exportIRDot(const IRNodeRef &Root,
+                                const std::string &Name) {
+  std::string Out = "digraph \"" + escapeLabel(Name) + "\" {\n";
+  Out += "  rankdir=BT;\n";
+  std::map<const IRNode *, int> Ids;
+  emitIRNode(Root, Ids, Out);
+  Out += "}\n";
+  return Out;
+}
+
+std::string granii::exportPlanDot(const CompositionPlan &Plan,
+                                  const std::string &Name) {
+  std::string Out = "digraph \"" + escapeLabel(Name) + "\" {\n";
+  Out += "  rankdir=BT;\n";
+  // Input values as boxes; steps as ellipses labeled by their primitive.
+  for (size_t V = 0; V < Plan.Values.size(); ++V)
+    if (Plan.Values[V].InputRole)
+      Out += "  v" + std::to_string(V) + " [label=\"" +
+             escapeLabel(Plan.Values[V].DebugName) + "\", shape=box];\n";
+  for (const PlanStep &Step : Plan.Steps) {
+    Out += "  v" + std::to_string(Step.Result) + " [label=\"" +
+           escapeLabel(stepOpName(Step.Op)) + "\"" +
+           (Step.Setup ? ", style=dashed" : "") + "];\n";
+    for (int Operand : Step.Operands)
+      Out += "  v" + std::to_string(Operand) + " -> v" +
+             std::to_string(Step.Result) + ";\n";
+  }
+  Out += "  v" + std::to_string(Plan.OutputValue) +
+         " [peripheries=2];\n";
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,31 @@
+//===- DotExport.h - Graphviz export of IR and plans ------------*- C++ -*-===//
+///
+/// \file
+/// Graphviz (DOT) exporters for the matrix IR and for composition plans,
+/// used by the CLI driver's `--dot` mode and generally handy when
+/// debugging enumeration results. IR nodes are labeled with their
+/// operation, attribute, and symbolic shape; plan nodes are the primitive
+/// steps with setup steps drawn dashed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_ASSOC_DOTEXPORT_H
+#define GRANII_ASSOC_DOTEXPORT_H
+
+#include "assoc/Composition.h"
+#include "ir/MatrixIR.h"
+
+#include <string>
+
+namespace granii {
+
+/// Renders the IR DAG rooted at \p Root as a DOT digraph named \p Name.
+/// Shared sub-DAGs appear once (they are shared nodes, not copies).
+std::string exportIRDot(const IRNodeRef &Root, const std::string &Name);
+
+/// Renders a composition plan's dataflow as a DOT digraph.
+std::string exportPlanDot(const CompositionPlan &Plan, const std::string &Name);
+
+} // namespace granii
+
+#endif // GRANII_ASSOC_DOTEXPORT_H

@@ -1,0 +1,43 @@
+//===- PlanSerialize.h - Composition plan (de)serialization -----*- C++ -*-===//
+///
+/// \file
+/// Text serialization for CompositionPlans. The paper's offline stage runs
+/// once per model; persisting the promoted candidate set lets a deployment
+/// skip enumeration and pruning entirely on later runs (the Optimizer's
+/// save/load entry points build on this). The format is line-oriented:
+///
+///   plan <name> <viableGe> <viableLt>
+///   value <kind> <rows> <cols> <weighted> <graphonly> <role> <name>
+///   step <op> <result> <param-hex> <setup> <operand>*
+///   output <id>
+///   end
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_ASSOC_PLANSERIALIZE_H
+#define GRANII_ASSOC_PLANSERIALIZE_H
+
+#include "assoc/Composition.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace granii {
+
+/// Serializes one plan.
+std::string serializePlan(const CompositionPlan &Plan);
+
+/// Serializes a candidate set (concatenated plan records).
+std::string serializePlans(const std::vector<CompositionPlan> &Plans);
+
+/// Parses one or more plan records. Returns std::nullopt (with a message
+/// in \p ErrorMessage if non-null) on any malformed input; every parsed
+/// plan is verify()-checked.
+std::optional<std::vector<CompositionPlan>>
+deserializePlans(const std::string &Text,
+                 std::string *ErrorMessage = nullptr);
+
+} // namespace granii
+
+#endif // GRANII_ASSOC_PLANSERIALIZE_H

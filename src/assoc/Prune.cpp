@@ -1,0 +1,157 @@
+//===- Prune.cpp - Input-oblivious offline pruning --------------------------===//
+
+#include "assoc/Prune.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+using namespace granii;
+
+DimBinding granii::pruneScenarioGe() {
+  DimBinding B;
+  B.N = 4096;
+  B.E = 65536;
+  B.KIn = 128;
+  B.KOut = 64;
+  return B;
+}
+
+DimBinding granii::pruneScenarioLt() {
+  DimBinding B;
+  B.N = 4096;
+  B.E = 65536;
+  B.KIn = 64;
+  B.KOut = 128;
+  return B;
+}
+
+namespace {
+
+/// Size tuple of one primitive instance, comparable elementwise.
+struct SizedPrim {
+  PrimitiveKind Kind;
+  std::array<int64_t, 4> Sizes; // rows, cols, inner, nnz
+
+  bool operator<(const SizedPrim &Other) const {
+    if (Kind != Other.Kind)
+      return Kind < Other.Kind;
+    return Sizes < Other.Sizes;
+  }
+  bool operator==(const SizedPrim &Other) const {
+    return Kind == Other.Kind && Sizes == Other.Sizes;
+  }
+
+  /// Elementwise <= with at least the possibility of strictness tracked by
+  /// the caller.
+  bool allLeq(const SizedPrim &Other) const {
+    for (size_t I = 0; I < 4; ++I)
+      if (Sizes[I] > Other.Sizes[I])
+        return false;
+    return true;
+  }
+};
+
+std::vector<SizedPrim> sizedPrims(const CompositionPlan &Plan,
+                                  const DimBinding &Binding) {
+  std::vector<SizedPrim> Result;
+  for (const PrimitiveDesc &D : Plan.primitiveDescs(Binding)) {
+    // Pure bookkeeping steps (degree, rsqrt, diag products) are shared by
+    // every candidate shape and excluded from the comparison; including
+    // them only blurs the subset rule.
+    Result.push_back({D.Kind, {D.Rows, D.Cols, D.Inner, D.Nnz}});
+  }
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+/// Rule 1: Dominator's complete multiset is a (possibly improper) subset of
+/// Candidate's; proper subset always dominates, equality dominates only for
+/// deduplication (handled by the caller with an index tie-break).
+bool subsetDominates(const std::vector<SizedPrim> &Dominator,
+                     const std::vector<SizedPrim> &Candidate) {
+  if (Dominator.size() >= Candidate.size())
+    return false;
+  return std::includes(Candidate.begin(), Candidate.end(), Dominator.begin(),
+                       Dominator.end());
+}
+
+/// Rule 2: same primitive kinds and counts, everywhere-no-larger sizes with
+/// at least one strictly smaller.
+bool sizeDominates(const std::vector<SizedPrim> &Dominator,
+                   const std::vector<SizedPrim> &Candidate) {
+  if (Dominator.size() != Candidate.size())
+    return false;
+  bool AnyStrict = false;
+  for (size_t I = 0; I < Dominator.size(); ++I) {
+    if (Dominator[I].Kind != Candidate[I].Kind)
+      return false;
+    if (!Dominator[I].allLeq(Candidate[I]))
+      return false;
+    if (!(Dominator[I] == Candidate[I]))
+      AnyStrict = true;
+  }
+  return AnyStrict;
+}
+
+} // namespace
+
+bool granii::dominates(const CompositionPlan &Dominator,
+                       const CompositionPlan &Candidate,
+                       const DimBinding &Binding) {
+  std::vector<SizedPrim> D = sizedPrims(Dominator, Binding);
+  std::vector<SizedPrim> C = sizedPrims(Candidate, Binding);
+  return subsetDominates(D, C) || sizeDominates(D, C);
+}
+
+std::vector<CompositionPlan>
+granii::pruneCompositions(std::vector<CompositionPlan> Plans,
+                          PruneStats *Stats) {
+  const DimBinding Ge = pruneScenarioGe();
+  const DimBinding Lt = pruneScenarioLt();
+  const size_t Count = Plans.size();
+
+  // Precompute size multisets per scenario.
+  std::vector<std::vector<SizedPrim>> GePrims(Count), LtPrims(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    GePrims[I] = sizedPrims(Plans[I], Ge);
+    LtPrims[I] = sizedPrims(Plans[I], Lt);
+  }
+
+  auto DominatedIn = [&](size_t I,
+                         const std::vector<std::vector<SizedPrim>> &Prims) {
+    for (size_t J = 0; J < Count; ++J) {
+      if (J == I)
+        continue;
+      if (subsetDominates(Prims[J], Prims[I]) ||
+          sizeDominates(Prims[J], Prims[I]))
+        return true;
+      // Exact cost-duplicate: keep the lower-indexed plan.
+      if (Prims[J] == Prims[I] && J < I)
+        return true;
+    }
+    return false;
+  };
+
+  std::vector<CompositionPlan> Promoted;
+  size_t Pruned = 0;
+  for (size_t I = 0; I < Count; ++I) {
+    bool GeDominated = DominatedIn(I, GePrims);
+    bool LtDominated = DominatedIn(I, LtPrims);
+    if (GeDominated && LtDominated) {
+      ++Pruned;
+      continue;
+    }
+    CompositionPlan Plan = std::move(Plans[I]);
+    Plan.ViableGe = !GeDominated;
+    Plan.ViableLt = !LtDominated;
+    Promoted.push_back(std::move(Plan));
+  }
+
+  if (Stats) {
+    Stats->Enumerated = Count;
+    Stats->Pruned = Pruned;
+    Stats->Promoted = Promoted.size();
+  }
+  return Promoted;
+}

@@ -1,0 +1,42 @@
+//===- Featurizer.cpp - Input featurizer for cost models --------------------===//
+
+#include "cost/Featurizer.h"
+
+#include <cmath>
+
+using namespace granii;
+
+namespace {
+
+double log1pSafe(double X) { return std::log1p(X > 0.0 ? X : 0.0); }
+
+} // namespace
+
+const std::vector<std::string> &granii::costFeatureNames() {
+  static const std::vector<std::string> Names = {
+      "log_nodes",        "log_edges",    "density",      "avg_degree",
+      "log_max_degree",   "degree_cv",    "degree_gini",  "top_row_frac",
+      "log_rows",         "log_cols",     "log_inner",    "log_nnz",
+      "log_flops",        "log_bytes"};
+  return Names;
+}
+
+FeatureVector granii::featurize(const PrimitiveDesc &Desc,
+                                const GraphStats &Stats) {
+  FeatureVector F;
+  F[0] = log1pSafe(static_cast<double>(Stats.NumNodes));
+  F[1] = log1pSafe(static_cast<double>(Stats.NumEdges));
+  F[2] = Stats.Density;
+  F[3] = Stats.AvgDegree;
+  F[4] = log1pSafe(Stats.MaxDegree);
+  F[5] = Stats.DegreeCv;
+  F[6] = Stats.DegreeGini;
+  F[7] = Stats.TopRowFraction;
+  F[8] = log1pSafe(static_cast<double>(Desc.Rows));
+  F[9] = log1pSafe(static_cast<double>(Desc.Cols));
+  F[10] = log1pSafe(static_cast<double>(Desc.Inner));
+  F[11] = log1pSafe(static_cast<double>(Desc.Nnz));
+  F[12] = log1pSafe(Desc.flops());
+  F[13] = log1pSafe(Desc.bytes());
+  return F;
+}

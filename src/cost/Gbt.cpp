@@ -1,0 +1,255 @@
+//===- Gbt.cpp - Gradient-boosted regression trees ---------------------------===//
+
+#include "cost/Gbt.h"
+
+#include "support/Error.h"
+#include "support/Rng.h"
+#include "support/Str.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+using namespace granii;
+
+void GbtDataset::add(const double *Features, double Target) {
+  assert(NumFeatures > 0 && "dataset feature width not set");
+  X.insert(X.end(), Features, Features + NumFeatures);
+  Y.push_back(Target);
+}
+
+double GbtModel::Tree::predict(const double *Features) const {
+  int Index = 0;
+  while (Nodes[static_cast<size_t>(Index)].Feature >= 0) {
+    const Node &N = Nodes[static_cast<size_t>(Index)];
+    Index = Features[N.Feature] <= N.Threshold ? N.Left : N.Right;
+  }
+  return Nodes[static_cast<size_t>(Index)].Value;
+}
+
+namespace {
+
+/// Recursive exact-greedy tree builder over the residuals.
+class TreeBuilder {
+public:
+  TreeBuilder(const GbtDataset &Data, const std::vector<double> &Residuals,
+              const GbtParams &Params)
+      : Data(Data), Residuals(Residuals), Params(Params) {}
+
+  GbtModel::Tree build(std::vector<size_t> Rows) {
+    GbtModel::Tree Tree;
+    buildNode(std::move(Rows), 0, Tree);
+    return Tree;
+  }
+
+private:
+  /// Appends a node for \p Rows at \p Depth; returns its index.
+  int buildNode(std::vector<size_t> Rows, int Depth, GbtModel::Tree &Tree) {
+    int Index = static_cast<int>(Tree.Nodes.size());
+    Tree.Nodes.emplace_back();
+
+    double Sum = 0.0;
+    for (size_t R : Rows)
+      Sum += Residuals[R];
+    double LeafValue =
+        Sum / (static_cast<double>(Rows.size()) + Params.Lambda);
+
+    if (Depth >= Params.MaxDepth ||
+        Rows.size() < 2 * static_cast<size_t>(Params.MinSamplesLeaf)) {
+      Tree.Nodes[static_cast<size_t>(Index)].Value = LeafValue;
+      return Index;
+    }
+
+    // Exact greedy: best (feature, threshold) by squared-loss gain with L2.
+    double BestGain = 1e-12;
+    int BestFeature = -1;
+    double BestThreshold = 0.0;
+    double ParentScore =
+        Sum * Sum / (static_cast<double>(Rows.size()) + Params.Lambda);
+
+    std::vector<size_t> Sorted = Rows;
+    for (size_t F = 0; F < Data.NumFeatures; ++F) {
+      std::sort(Sorted.begin(), Sorted.end(), [&](size_t A, size_t B) {
+        return Data.row(A)[F] < Data.row(B)[F];
+      });
+      double LeftSum = 0.0;
+      for (size_t I = 0; I + 1 < Sorted.size(); ++I) {
+        LeftSum += Residuals[Sorted[I]];
+        double Lo = Data.row(Sorted[I])[F];
+        double Hi = Data.row(Sorted[I + 1])[F];
+        if (Lo == Hi)
+          continue; // No valid threshold between equal values.
+        size_t LeftCount = I + 1;
+        size_t RightCount = Sorted.size() - LeftCount;
+        if (LeftCount < static_cast<size_t>(Params.MinSamplesLeaf) ||
+            RightCount < static_cast<size_t>(Params.MinSamplesLeaf))
+          continue;
+        double RightSum = Sum - LeftSum;
+        double Score =
+            LeftSum * LeftSum /
+                (static_cast<double>(LeftCount) + Params.Lambda) +
+            RightSum * RightSum /
+                (static_cast<double>(RightCount) + Params.Lambda);
+        double Gain = Score - ParentScore;
+        if (Gain > BestGain) {
+          BestGain = Gain;
+          BestFeature = static_cast<int>(F);
+          BestThreshold = 0.5 * (Lo + Hi);
+        }
+      }
+    }
+
+    if (BestFeature < 0) {
+      Tree.Nodes[static_cast<size_t>(Index)].Value = LeafValue;
+      return Index;
+    }
+
+    std::vector<size_t> LeftRows, RightRows;
+    for (size_t R : Rows)
+      (Data.row(R)[BestFeature] <= BestThreshold ? LeftRows : RightRows)
+          .push_back(R);
+
+    int Left = buildNode(std::move(LeftRows), Depth + 1, Tree);
+    int Right = buildNode(std::move(RightRows), Depth + 1, Tree);
+    GbtModel::Node &N = Tree.Nodes[static_cast<size_t>(Index)];
+    N.Feature = BestFeature;
+    N.Threshold = BestThreshold;
+    N.Left = Left;
+    N.Right = Right;
+    return Index;
+  }
+
+  const GbtDataset &Data;
+  const std::vector<double> &Residuals;
+  const GbtParams &Params;
+};
+
+} // namespace
+
+GbtModel GbtModel::fit(const GbtDataset &Data, const GbtParams &Params) {
+  assert(Data.size() > 0 && "cannot fit an empty dataset");
+  GbtModel Model;
+  Model.NumFeatures = Data.NumFeatures;
+  Model.LearningRate = Params.LearningRate;
+  Model.BaseScore =
+      std::accumulate(Data.Y.begin(), Data.Y.end(), 0.0) /
+      static_cast<double>(Data.size());
+
+  std::vector<double> Predictions(Data.size(), Model.BaseScore);
+  std::vector<double> Residuals(Data.size(), 0.0);
+  Rng Generator(Params.Seed);
+
+  for (int T = 0; T < Params.NumTrees; ++T) {
+    for (size_t I = 0; I < Data.size(); ++I)
+      Residuals[I] = Data.Y[I] - Predictions[I];
+
+    std::vector<size_t> Rows;
+    Rows.reserve(Data.size());
+    for (size_t I = 0; I < Data.size(); ++I)
+      if (Params.Subsample >= 1.0 ||
+          Generator.nextDouble() < Params.Subsample)
+        Rows.push_back(I);
+    if (Rows.size() < 2 * static_cast<size_t>(Params.MinSamplesLeaf))
+      continue;
+
+    TreeBuilder Builder(Data, Residuals, Params);
+    Tree NewTree = Builder.build(std::move(Rows));
+    for (size_t I = 0; I < Data.size(); ++I)
+      Predictions[I] +=
+          Params.LearningRate * NewTree.predict(Data.row(I));
+    Model.Trees.push_back(std::move(NewTree));
+  }
+  return Model;
+}
+
+double GbtModel::predict(const double *Features) const {
+  double Sum = BaseScore;
+  for (const Tree &T : Trees)
+    Sum += LearningRate * T.predict(Features);
+  return Sum;
+}
+
+std::vector<double> GbtModel::featureImportance() const {
+  std::vector<double> Counts(NumFeatures, 0.0);
+  double Total = 0.0;
+  for (const Tree &T : Trees)
+    for (const Node &N : T.Nodes)
+      if (N.Feature >= 0) {
+        Counts[static_cast<size_t>(N.Feature)] += 1.0;
+        Total += 1.0;
+      }
+  if (Total > 0.0)
+    for (double &C : Counts)
+      C /= Total;
+  return Counts;
+}
+
+double GbtModel::mse(const GbtDataset &Data) const {
+  double Total = 0.0;
+  for (size_t I = 0; I < Data.size(); ++I) {
+    double Diff = predict(Data.row(I)) - Data.Y[I];
+    Total += Diff * Diff;
+  }
+  return Data.size() ? Total / static_cast<double>(Data.size()) : 0.0;
+}
+
+std::string GbtModel::serialize() const {
+  // Line format (hex doubles for exact round-trips):
+  //   gbt <num_features> <learning_rate> <base_score> <num_trees>
+  //   tree <num_nodes>
+  //   node <feature> <threshold> <left> <right> <value>
+  char Buffer[256];
+  std::string Out;
+  std::snprintf(Buffer, sizeof(Buffer), "gbt %zu %a %a %zu\n", NumFeatures,
+                LearningRate, BaseScore, Trees.size());
+  Out += Buffer;
+  for (const Tree &T : Trees) {
+    std::snprintf(Buffer, sizeof(Buffer), "tree %zu\n", T.Nodes.size());
+    Out += Buffer;
+    for (const Node &N : T.Nodes) {
+      std::snprintf(Buffer, sizeof(Buffer), "node %d %a %d %d %a\n",
+                    N.Feature, N.Threshold, N.Left, N.Right, N.Value);
+      Out += Buffer;
+    }
+  }
+  return Out;
+}
+
+std::optional<GbtModel> GbtModel::deserialize(const std::string &Text) {
+  std::vector<std::string> Lines = splitString(Text, '\n');
+  size_t Pos = 0;
+  auto NextLine = [&]() -> const char * {
+    while (Pos < Lines.size() && trimString(Lines[Pos]).empty())
+      ++Pos;
+    return Pos < Lines.size() ? Lines[Pos++].c_str() : nullptr;
+  };
+
+  const char *Header = NextLine();
+  if (!Header)
+    return std::nullopt;
+  GbtModel Model;
+  size_t NumTrees = 0;
+  if (std::sscanf(Header, "gbt %zu %la %la %zu", &Model.NumFeatures,
+                  &Model.LearningRate, &Model.BaseScore, &NumTrees) != 4)
+    return std::nullopt;
+  for (size_t T = 0; T < NumTrees; ++T) {
+    const char *TreeLine = NextLine();
+    size_t NumNodes = 0;
+    if (!TreeLine || std::sscanf(TreeLine, "tree %zu", &NumNodes) != 1)
+      return std::nullopt;
+    Tree NewTree;
+    NewTree.Nodes.resize(NumNodes);
+    for (size_t N = 0; N < NumNodes; ++N) {
+      const char *NodeLine = NextLine();
+      Node &Dst = NewTree.Nodes[N];
+      if (!NodeLine ||
+          std::sscanf(NodeLine, "node %d %la %d %d %la", &Dst.Feature,
+                      &Dst.Threshold, &Dst.Left, &Dst.Right, &Dst.Value) != 5)
+        return std::nullopt;
+    }
+    Model.Trees.push_back(std::move(NewTree));
+  }
+  return Model;
+}

@@ -1,0 +1,92 @@
+//===- Gbt.h - Gradient-boosted regression trees ----------------*- C++ -*-===//
+///
+/// \file
+/// A self-contained XGBoost-style gradient-boosted regression tree library
+/// (paper §IV-E2 uses XGBoost regressors as the per-primitive cost models).
+/// Squared loss, exact greedy splits with L2 leaf regularization, shrinkage
+/// and row subsampling; deterministic given the seed. Models serialize to a
+/// small line-oriented text format so trained cost models can be cached on
+/// disk between runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_COST_GBT_H
+#define GRANII_COST_GBT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace granii {
+
+/// Boosting hyperparameters.
+struct GbtParams {
+  int NumTrees = 120;
+  int MaxDepth = 4;
+  double LearningRate = 0.12;
+  double Subsample = 0.85;
+  int MinSamplesLeaf = 3;
+  double Lambda = 1.0; ///< L2 regularization on leaf values
+  uint64_t Seed = 7;
+};
+
+/// One training matrix: row-major samples with a target per row.
+struct GbtDataset {
+  size_t NumFeatures = 0;
+  std::vector<double> X; ///< NumSamples * NumFeatures
+  std::vector<double> Y;
+
+  size_t size() const { return Y.size(); }
+  void add(const double *Features, double Target);
+  const double *row(size_t I) const { return X.data() + I * NumFeatures; }
+};
+
+/// A fitted boosted ensemble.
+class GbtModel {
+public:
+  /// Internal tree node; leaves have Feature == -1.
+  struct Node {
+    int Feature = -1;
+    double Threshold = 0.0;
+    int Left = -1;
+    int Right = -1;
+    double Value = 0.0;
+  };
+  struct Tree {
+    std::vector<Node> Nodes;
+    double predict(const double *Features) const;
+  };
+
+  /// Fits to \p Data with squared loss.
+  static GbtModel fit(const GbtDataset &Data, const GbtParams &Params);
+
+  /// Prediction for one sample (\p Features must have the trained width).
+  double predict(const double *Features) const;
+
+  /// Mean squared error on a dataset.
+  double mse(const GbtDataset &Data) const;
+
+  size_t numTrees() const { return Trees.size(); }
+  size_t numFeatures() const { return NumFeatures; }
+
+  /// Split-frequency feature importance: for each feature, the fraction of
+  /// all split nodes in the ensemble that test it (sums to 1 when the
+  /// ensemble has any split). Used by the cost-model analysis harness to
+  /// show which graph features drive predictions.
+  std::vector<double> featureImportance() const;
+
+  /// Text serialization (round-trips exactly via hex doubles).
+  std::string serialize() const;
+  static std::optional<GbtModel> deserialize(const std::string &Text);
+
+private:
+  double BaseScore = 0.0;
+  double LearningRate = 0.1;
+  size_t NumFeatures = 0;
+  std::vector<Tree> Trees;
+};
+
+} // namespace granii
+
+#endif // GRANII_COST_GBT_H

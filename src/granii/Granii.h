@@ -1,0 +1,125 @@
+//===- Granii.h - GRANII public API ------------------------------*- C++ -*-===//
+///
+/// \file
+/// The umbrella API of the GRANII system (paper §IV, Figs. 4-5).
+///
+/// Offline, once per model:
+/// \code
+///   GnnModel Model = makeModel(ModelKind::GCN);
+///   Optimizer Opt(Model, Options, &CostModel);   // enumerate + prune
+/// \endcode
+///
+/// Online, once per (graph, embedding sizes):
+/// \code
+///   Selection Sel = Opt.select(G, KIn, KOut);    // featurize + cost models
+///   ExecResult R  = Opt.execute(Sel, Params, /*Training=*/false);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_GRANII_GRANII_H
+#define GRANII_GRANII_GRANII_H
+
+#include "assoc/Enumerate.h"
+#include "assoc/Prune.h"
+#include "cost/CostModel.h"
+#include "models/Models.h"
+#include "runtime/Executor.h"
+
+#include <optional>
+
+namespace granii {
+
+/// Configuration of an Optimizer instance.
+struct OptimizerOptions {
+  /// Target platform (drives both execution timing and overhead
+  /// accounting).
+  HardwareModel Hw = HardwareModel::byName("cpu");
+  /// Amortization horizon: how many iterations one selection will serve
+  /// (paper evaluates 100).
+  int Iterations = 100;
+  /// Offline enumeration knobs (ablations flip these).
+  EnumOptions Enum;
+};
+
+/// Result of the online selection stage.
+struct Selection {
+  size_t PlanIndex = 0;
+  double PredictedSeconds = 0.0;
+  /// False when the embedding-size conditions alone decided (cheaper path
+  /// in the generated dispatch code).
+  bool UsedCostModels = false;
+  /// Online overheads the paper reports (§VI-C1 "Overheads").
+  double FeaturizeSeconds = 0.0;
+  double SelectSeconds = 0.0;
+};
+
+/// Owning bundle of one layer's runtime tensors.
+struct LayerParams {
+  CsrMatrix AdjSelf; ///< self-loop-augmented adjacency
+  GraphStats Stats;  ///< statistics of AdjSelf
+  DenseMatrix Features;
+  std::map<std::string, DenseMatrix> Weights;
+  std::map<std::string, std::vector<float>> AttnVecs;
+
+  /// Non-owning view for the executor.
+  LayerInputs inputs() const;
+};
+
+/// Builds randomly initialized parameters for \p Model on \p G.
+LayerParams makeLayerParams(const GnnModel &Model, const Graph &G,
+                            int64_t KIn, int64_t KOut, uint64_t Seed = 1);
+
+/// GRANII: offline compilation at construction, online selection per input.
+class Optimizer {
+public:
+  /// Runs the offline stage: enumerate all compositions of \p Model, prune
+  /// input-obliviously, keep the promoted candidates. \p Cost must outlive
+  /// the optimizer (pass the platform's trained LearnedCostModel, or an
+  /// AnalyticCostModel for the ablation).
+  Optimizer(GnnModel Model, OptimizerOptions Opts, const CostModel *Cost);
+
+  const GnnModel &model() const { return Model; }
+  const OptimizerOptions &options() const { return Opts; }
+  const std::vector<CompositionPlan> &promoted() const { return Promoted; }
+  const PruneStats &pruneStats() const { return Stats; }
+
+  /// Online stage: pick the cheapest promoted candidate for this input.
+  Selection select(const Graph &G, int64_t KIn, int64_t KOut) const;
+
+  /// Same, from a prebuilt binding + stats (used when the adjacency has
+  /// already been augmented with self loops).
+  Selection selectWithStats(const DimBinding &Binding,
+                            const GraphStats &GraphStats) const;
+
+  /// Executes the selected plan once (forward, or forward+backward).
+  ExecResult execute(const Selection &Sel, const LayerParams &Params,
+                     bool Training) const;
+
+  /// Persists the offline stage's output (the promoted candidate set) so a
+  /// later process can skip enumeration and pruning entirely.
+  bool saveCompiled(const std::string &Path) const;
+
+  /// Constructs an optimizer from a saveCompiled() file; returns nullopt if
+  /// the file is missing or malformed.
+  static std::optional<Optimizer> loadCompiled(const std::string &Path,
+                                               GnnModel Model,
+                                               OptimizerOptions Opts,
+                                               const CostModel *Cost);
+
+private:
+  /// Used by loadCompiled to bypass enumeration.
+  Optimizer(GnnModel Model, OptimizerOptions Opts, const CostModel *Cost,
+            std::vector<CompositionPlan> Precompiled);
+
+  GnnModel Model;
+  OptimizerOptions Opts;
+  const CostModel *Cost;
+  std::vector<CompositionPlan> Promoted;
+  PruneStats Stats;
+  Executor Exec;
+};
+
+} // namespace granii
+
+#endif // GRANII_GRANII_GRANII_H

@@ -1,0 +1,237 @@
+//===- Generators.cpp - Synthetic graph generators -------------------------===//
+
+#include "graph/Generators.h"
+
+#include "support/Error.h"
+#include "support/Rng.h"
+#include "tensor/CooMatrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace granii;
+
+Graph granii::makeErdosRenyi(int64_t NumNodes, int64_t TargetEdges,
+                             uint64_t Seed) {
+  assert(NumNodes > 1 && "ER graph needs at least two nodes");
+  Rng Generator(Seed);
+  CooMatrix Coo(NumNodes, NumNodes);
+  for (int64_t E = 0; E < TargetEdges; ++E) {
+    int64_t U = static_cast<int64_t>(
+        Generator.nextBelow(static_cast<uint64_t>(NumNodes)));
+    int64_t V = static_cast<int64_t>(
+        Generator.nextBelow(static_cast<uint64_t>(NumNodes)));
+    if (U == V)
+      continue;
+    Coo.addSymmetric(U, V);
+  }
+  return Graph("erdos_renyi", Coo.toCsr());
+}
+
+Graph granii::makeRmat(int64_t NumNodes, int64_t TargetEdges, double A,
+                       double B, double C, uint64_t Seed,
+                       const std::string &Name) {
+  assert(A + B + C < 1.0 && "RMAT quadrant probabilities must sum below 1");
+  // Round node count up to a power of two for quadrant recursion, then
+  // map indices back down by rejection.
+  int Levels = 0;
+  int64_t Size = 1;
+  while (Size < NumNodes) {
+    Size <<= 1;
+    ++Levels;
+  }
+  Rng Generator(Seed);
+  CooMatrix Coo(NumNodes, NumNodes);
+  int64_t Accepted = 0;
+  while (Accepted < TargetEdges) {
+    int64_t Row = 0, Col = 0;
+    for (int L = 0; L < Levels; ++L) {
+      double P = Generator.nextDouble();
+      Row <<= 1;
+      Col <<= 1;
+      if (P < A) {
+        // top-left quadrant: nothing to add.
+      } else if (P < A + B) {
+        Col |= 1;
+      } else if (P < A + B + C) {
+        Row |= 1;
+      } else {
+        Row |= 1;
+        Col |= 1;
+      }
+    }
+    if (Row >= NumNodes || Col >= NumNodes || Row == Col)
+      continue;
+    Coo.addSymmetric(Row, Col);
+    ++Accepted;
+  }
+  return Graph(Name, Coo.toCsr());
+}
+
+Graph granii::makeRoadLattice(int64_t Width, int64_t Height,
+                              double ExtraFraction, uint64_t Seed) {
+  int64_t NumNodes = Width * Height;
+  Rng Generator(Seed);
+  CooMatrix Coo(NumNodes, NumNodes);
+  auto NodeAt = [&](int64_t X, int64_t Y) { return Y * Width + X; };
+  for (int64_t Y = 0; Y < Height; ++Y) {
+    for (int64_t X = 0; X < Width; ++X) {
+      if (X + 1 < Width)
+        Coo.addSymmetric(NodeAt(X, Y), NodeAt(X + 1, Y));
+      if (Y + 1 < Height)
+        Coo.addSymmetric(NodeAt(X, Y), NodeAt(X, Y + 1));
+    }
+  }
+  int64_t Shortcuts =
+      static_cast<int64_t>(ExtraFraction * static_cast<double>(NumNodes));
+  for (int64_t I = 0; I < Shortcuts; ++I) {
+    int64_t U = static_cast<int64_t>(
+        Generator.nextBelow(static_cast<uint64_t>(NumNodes)));
+    int64_t V = static_cast<int64_t>(
+        Generator.nextBelow(static_cast<uint64_t>(NumNodes)));
+    if (U != V)
+      Coo.addSymmetric(U, V);
+  }
+  return Graph("road_lattice", Coo.toCsr());
+}
+
+Graph granii::makeMycielskian(int Iterations) {
+  assert(Iterations >= 2 && Iterations <= 13 &&
+         "mycielskian iterations out of supported range");
+  // Start from K2: two nodes joined by an edge.
+  std::vector<std::pair<int64_t, int64_t>> Edges = {{0, 1}};
+  int64_t NumNodes = 2;
+  for (int Step = 2; Step < Iterations; ++Step) {
+    // M(G): originals 0..n-1, shadow copies n..2n-1, apex 2n.
+    std::vector<std::pair<int64_t, int64_t>> Next;
+    Next.reserve(Edges.size() * 3 + static_cast<size_t>(NumNodes));
+    for (auto [U, V] : Edges) {
+      Next.push_back({U, V});
+      Next.push_back({U + NumNodes, V});
+      Next.push_back({U, V + NumNodes});
+    }
+    int64_t Apex = 2 * NumNodes;
+    for (int64_t I = 0; I < NumNodes; ++I)
+      Next.push_back({I + NumNodes, Apex});
+    Edges = std::move(Next);
+    NumNodes = 2 * NumNodes + 1;
+  }
+  CooMatrix Coo(NumNodes, NumNodes);
+  for (auto [U, V] : Edges)
+    Coo.addSymmetric(U, V);
+  return Graph("mycielskian", Coo.toCsr());
+}
+
+Graph granii::makeCommunityGraph(int64_t NumCommunities, int64_t CommunitySize,
+                                 double IntraProbability, int64_t InterEdges,
+                                 uint64_t Seed, const std::string &Name) {
+  int64_t NumNodes = NumCommunities * CommunitySize;
+  Rng Generator(Seed);
+  CooMatrix Coo(NumNodes, NumNodes);
+  for (int64_t Comm = 0; Comm < NumCommunities; ++Comm) {
+    int64_t Base = Comm * CommunitySize;
+    for (int64_t I = 0; I < CommunitySize; ++I)
+      for (int64_t J = I + 1; J < CommunitySize; ++J)
+        if (Generator.nextDouble() < IntraProbability)
+          Coo.addSymmetric(Base + I, Base + J);
+  }
+  for (int64_t E = 0; E < InterEdges; ++E) {
+    int64_t U = static_cast<int64_t>(
+        Generator.nextBelow(static_cast<uint64_t>(NumNodes)));
+    int64_t V = static_cast<int64_t>(
+        Generator.nextBelow(static_cast<uint64_t>(NumNodes)));
+    if (U / CommunitySize == V / CommunitySize)
+      continue; // Keep these edges strictly inter-community.
+    Coo.addSymmetric(U, V);
+  }
+  return Graph(Name, Coo.toCsr());
+}
+
+Graph granii::makeStar(int64_t NumNodes) {
+  assert(NumNodes >= 2 && "star graph needs a hub and a leaf");
+  CooMatrix Coo(NumNodes, NumNodes);
+  for (int64_t I = 1; I < NumNodes; ++I)
+    Coo.addSymmetric(0, I);
+  return Graph("star", Coo.toCsr());
+}
+
+Graph granii::makeRing(int64_t NumNodes) {
+  assert(NumNodes >= 3 && "ring needs at least three nodes");
+  CooMatrix Coo(NumNodes, NumNodes);
+  for (int64_t I = 0; I < NumNodes; ++I)
+    Coo.addSymmetric(I, (I + 1) % NumNodes);
+  return Graph("ring", Coo.toCsr());
+}
+
+Graph granii::makeComplete(int64_t NumNodes) {
+  assert(NumNodes >= 2 && "complete graph needs at least two nodes");
+  CooMatrix Coo(NumNodes, NumNodes);
+  for (int64_t I = 0; I < NumNodes; ++I)
+    for (int64_t J = I + 1; J < NumNodes; ++J)
+      Coo.addSymmetric(I, J);
+  return Graph("complete", Coo.toCsr());
+}
+
+Graph granii::makeEvaluationGraph(const std::string &Name) {
+  // Scaled-down stand-ins for the paper's Table II, preserving the relative
+  // density / skew ordering: RD and OP are power-law and dense-ish, MC is a
+  // very dense Mycielskian, BL is a near-regular road network, CA and AU
+  // are sparse community graphs.
+  if (Name == "reddit") {
+    Graph G = makeRmat(2500, 60000, 0.55, 0.15, 0.15, /*Seed=*/101, "reddit");
+    return G;
+  }
+  if (Name == "com-amazon")
+    return makeCommunityGraph(400, 9, 0.75, 1800, /*Seed=*/202, "com-amazon");
+  if (Name == "mycielskian") {
+    Graph G = makeMycielskian(10);
+    return Graph("mycielskian", G.adjacency());
+  }
+  if (Name == "belgium-osm") {
+    Graph G = makeRoadLattice(64, 64, 0.02, /*Seed=*/303);
+    return Graph("belgium-osm", G.adjacency());
+  }
+  if (Name == "coauthors")
+    return makeCommunityGraph(250, 14, 0.5, 2500, /*Seed=*/404, "coauthors");
+  if (Name == "ogbn-products") {
+    Graph G =
+        makeRmat(5000, 80000, 0.5, 0.2, 0.2, /*Seed=*/505, "ogbn-products");
+    return G;
+  }
+  GRANII_FATAL("unknown evaluation graph name: " + Name);
+}
+
+std::vector<Graph> granii::makeEvaluationSuite() {
+  std::vector<Graph> Suite;
+  for (const char *Name : {"reddit", "com-amazon", "mycielskian",
+                           "belgium-osm", "coauthors", "ogbn-products"})
+    Suite.push_back(makeEvaluationGraph(Name));
+  return Suite;
+}
+
+std::vector<std::string> granii::evaluationGraphCodes() {
+  return {"RD", "CA", "MC", "BL", "AU", "OP"};
+}
+
+std::vector<Graph> granii::makeTrainingSuite(int SizeScale) {
+  assert(SizeScale >= 1 && "size scale must be positive");
+  int64_t S = SizeScale;
+  std::vector<Graph> Suite;
+  // Disjoint seeds and shapes from the evaluation suite.
+  Suite.push_back(makeErdosRenyi(1000 * S, 4000 * S, 11));
+  Suite.push_back(makeErdosRenyi(2000 * S, 40000 * S, 12));
+  Suite.push_back(makeErdosRenyi(500 * S, 30000 * S, 13));
+  Suite.push_back(makeRmat(1500 * S, 30000 * S, 0.6, 0.15, 0.15, 14));
+  Suite.push_back(makeRmat(3000 * S, 15000 * S, 0.45, 0.25, 0.15, 15));
+  Suite.push_back(makeRmat(2000 * S, 80000 * S, 0.55, 0.2, 0.1, 16));
+  Suite.push_back(makeRoadLattice(40 * S, 40 * S, 0.05, 17));
+  Suite.push_back(makeRoadLattice(24 * S, 80 * S, 0.0, 18));
+  Suite.push_back(makeCommunityGraph(120, 10 * S, 0.6, 900 * S, 19));
+  Suite.push_back(makeCommunityGraph(60, 25 * S, 0.35, 500 * S, 20));
+  Suite.push_back(makeMycielskian(9));
+  Suite.push_back(makeMycielskian(10));
+  Suite.push_back(makeStar(1200 * S));
+  Suite.push_back(makeRing(1500 * S));
+  Suite.push_back(makeComplete(160));
+  return Suite;
+}

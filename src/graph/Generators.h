@@ -1,0 +1,78 @@
+//===- Generators.h - Synthetic graph generators ----------------*- C++ -*-===//
+///
+/// \file
+/// Synthetic generators producing the structural classes of the paper's
+/// evaluation graphs (Table II): power-law (Reddit, ogbn-products),
+/// near-complete dense (mycielskian17), road networks (belgium_osm), and
+/// clustered community graphs (com-Amazon, coAuthorsCiteseer). Every
+/// generator is deterministic given its seed. All outputs are undirected
+/// (symmetric) and unweighted, matching the paper's evaluation setup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_GRAPH_GENERATORS_H
+#define GRANII_GRAPH_GENERATORS_H
+
+#include "graph/Graph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace granii {
+
+/// Erdős–Rényi G(n, m)-style graph with \p NumNodes nodes and roughly
+/// \p TargetEdges undirected edges, uniform degree distribution.
+Graph makeErdosRenyi(int64_t NumNodes, int64_t TargetEdges, uint64_t Seed);
+
+/// RMAT / Kronecker-style power-law graph. \p A + \p B + \p C must be < 1;
+/// larger \p A concentrates edges in a head of hub nodes (higher skew).
+Graph makeRmat(int64_t NumNodes, int64_t TargetEdges, double A, double B,
+               double C, uint64_t Seed, const std::string &Name = "rmat");
+
+/// 2-D road-like lattice: Width x Height grid with 4-neighborhood plus a
+/// small fraction \p ExtraFraction of random shortcut edges. Very sparse,
+/// near-constant degree — the belgium_osm class.
+Graph makeRoadLattice(int64_t Width, int64_t Height, double ExtraFraction,
+                      uint64_t Seed);
+
+/// Mycielskian construction applied \p Iterations times starting from a
+/// single edge. Produces the dense triangle-free graphs of the SuiteSparse
+/// mycielskian family: node count ~2^k, rapidly growing density.
+Graph makeMycielskian(int Iterations);
+
+/// Clustered community graph: \p NumCommunities dense random communities of
+/// size \p CommunitySize with sparse inter-community edges — the com-Amazon
+/// / coAuthorsCiteseer class.
+Graph makeCommunityGraph(int64_t NumCommunities, int64_t CommunitySize,
+                         double IntraProbability, int64_t InterEdges,
+                         uint64_t Seed, const std::string &Name = "community");
+
+/// A star graph (one hub connected to all others): extreme skew stressor.
+Graph makeStar(int64_t NumNodes);
+
+/// A simple cycle: extreme regular sparsity stressor.
+Graph makeRing(int64_t NumNodes);
+
+/// A complete graph K_n: maximum density stressor (small n only).
+Graph makeComplete(int64_t NumNodes);
+
+/// A named evaluation graph mirroring one row of the paper's Table II at
+/// reduced scale. Valid names: "reddit", "com-amazon", "mycielskian",
+/// "belgium-osm", "coauthors", "ogbn-products".
+Graph makeEvaluationGraph(const std::string &Name);
+
+/// The six evaluation stand-ins of Table II, in paper order
+/// (RD, CA, MC, BL, AU, OP).
+std::vector<Graph> makeEvaluationSuite();
+
+/// Short two-letter codes for the evaluation suite, paper order.
+std::vector<std::string> evaluationGraphCodes();
+
+/// A diverse set of training graphs for cost-model profiling, disjoint in
+/// seed/shape from the evaluation suite (the paper trains on SuiteSparse
+/// graphs disjoint from its test set).
+std::vector<Graph> makeTrainingSuite(int SizeScale = 1);
+
+} // namespace granii
+
+#endif // GRANII_GRAPH_GENERATORS_H

@@ -1,0 +1,73 @@
+//===- Graph.cpp - Graph wrapper over CSR adjacency ------------------------===//
+
+#include "graph/Graph.h"
+
+#include "support/Stats.h"
+#include "tensor/CooMatrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace granii;
+
+Graph::Graph(std::string Name, CsrMatrix Adjacency)
+    : GraphName(std::move(Name)), Adj(std::move(Adjacency)) {
+  Adj.verify();
+  Stats = computeGraphStats(Adj);
+}
+
+Graph Graph::withSelfLoops() const {
+  CooMatrix Coo(Adj.rows(), Adj.cols());
+  const auto &Offsets = Adj.rowOffsets();
+  const auto &Cols = Adj.colIndices();
+  for (int64_t R = 0; R < Adj.rows(); ++R) {
+    Coo.add(R, R);
+    for (int64_t K = Offsets[static_cast<size_t>(R)];
+         K < Offsets[static_cast<size_t>(R) + 1]; ++K) {
+      int32_t C = Cols[static_cast<size_t>(K)];
+      if (C != R)
+        Coo.add(R, C);
+    }
+  }
+  return Graph(GraphName + "+self", Coo.toCsr(/*Unweighted=*/true));
+}
+
+bool Graph::isSymmetric() const {
+  CsrMatrix T = Adj.transposed();
+  return T.rowOffsets() == Adj.rowOffsets() &&
+         T.colIndices() == Adj.colIndices();
+}
+
+GraphStats granii::computeGraphStats(const CsrMatrix &Adjacency) {
+  GraphStats S;
+  S.NumNodes = Adjacency.rows();
+  S.NumEdges = Adjacency.nnz();
+  if (S.NumNodes == 0)
+    return S;
+  S.Density = static_cast<double>(S.NumEdges) /
+              (static_cast<double>(S.NumNodes) * S.NumNodes);
+
+  std::vector<double> Degrees(static_cast<size_t>(S.NumNodes));
+  const auto &Offsets = Adjacency.rowOffsets();
+  for (int64_t R = 0; R < S.NumNodes; ++R)
+    Degrees[static_cast<size_t>(R)] = static_cast<double>(
+        Offsets[static_cast<size_t>(R) + 1] - Offsets[static_cast<size_t>(R)]);
+
+  S.AvgDegree = meanOf(Degrees);
+  S.MaxDegree = *std::max_element(Degrees.begin(), Degrees.end());
+  S.DegreeStddev = stddevOf(Degrees);
+  S.DegreeCv = S.AvgDegree > 0.0 ? S.DegreeStddev / S.AvgDegree : 0.0;
+  S.DegreeGini = giniOf(Degrees);
+
+  // Fraction of edges carried by the top 1% highest-degree rows.
+  std::vector<double> Sorted = Degrees;
+  std::sort(Sorted.begin(), Sorted.end(), std::greater<double>());
+  size_t TopCount = std::max<size_t>(1, Sorted.size() / 100);
+  double TopSum = 0.0;
+  for (size_t I = 0; I < TopCount; ++I)
+    TopSum += Sorted[I];
+  S.TopRowFraction = S.NumEdges > 0
+                         ? TopSum / static_cast<double>(S.NumEdges)
+                         : 0.0;
+  return S;
+}

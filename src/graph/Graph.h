@@ -1,0 +1,64 @@
+//===- Graph.h - Graph wrapper over CSR adjacency ---------------*- C++ -*-===//
+///
+/// \file
+/// The input-graph abstraction: a named CSR adjacency matrix plus cached
+/// structural statistics. GRANII's online stage inspects these statistics
+/// (via the input featurizer) to pick a primitive composition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_GRAPH_GRAPH_H
+#define GRANII_GRAPH_GRAPH_H
+
+#include "tensor/CsrMatrix.h"
+
+#include <string>
+
+namespace granii {
+
+/// Structural statistics of a graph, the raw material of the featurizer.
+struct GraphStats {
+  int64_t NumNodes = 0;
+  int64_t NumEdges = 0;     ///< stored directed edges (nnz of adjacency)
+  double Density = 0.0;     ///< nnz / n^2
+  double AvgDegree = 0.0;
+  double MaxDegree = 0.0;
+  double DegreeStddev = 0.0;
+  double DegreeCv = 0.0;    ///< stddev / mean (irregularity)
+  double DegreeGini = 0.0;  ///< inequality of the degree distribution
+  double TopRowFraction = 0.0; ///< fraction of edges in top 1% of rows
+};
+
+/// An undirected (symmetric adjacency) graph used as GNN input.
+class Graph {
+public:
+  Graph() = default;
+  Graph(std::string Name, CsrMatrix Adjacency);
+
+  const std::string &name() const { return GraphName; }
+  const CsrMatrix &adjacency() const { return Adj; }
+  int64_t numNodes() const { return Adj.rows(); }
+  int64_t numEdges() const { return Adj.nnz(); }
+
+  /// Cached structural statistics (computed on construction).
+  const GraphStats &stats() const { return Stats; }
+
+  /// \returns a copy of this graph with a self edge added to every node
+  /// (the paper's \tilde{A}); already-present self edges are kept once.
+  Graph withSelfLoops() const;
+
+  /// \returns true if the adjacency pattern is symmetric.
+  bool isSymmetric() const;
+
+private:
+  std::string GraphName;
+  CsrMatrix Adj;
+  GraphStats Stats;
+};
+
+/// Computes structural statistics of \p Adjacency.
+GraphStats computeGraphStats(const CsrMatrix &Adjacency);
+
+} // namespace granii
+
+#endif // GRANII_GRAPH_GRAPH_H

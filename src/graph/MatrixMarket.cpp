@@ -1,0 +1,140 @@
+//===- MatrixMarket.cpp - Matrix Market (.mtx) reader/writer ---------------===//
+
+#include "graph/MatrixMarket.h"
+
+#include "support/Str.h"
+#include "tensor/CooMatrix.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace granii;
+
+namespace {
+
+/// Sets \p ErrorMessage (if non-null) and returns std::nullopt.
+std::optional<Graph> fail(std::string *ErrorMessage, const std::string &Msg) {
+  if (ErrorMessage)
+    *ErrorMessage = Msg;
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<Graph> granii::parseMatrixMarket(const std::string &Text,
+                                               const std::string &Name,
+                                               std::string *ErrorMessage) {
+  std::istringstream Stream(Text);
+  std::string Line;
+  if (!std::getline(Stream, Line))
+    return fail(ErrorMessage, "empty matrix market input");
+
+  // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+  std::vector<std::string> Header;
+  for (const std::string &Part : splitString(Line, ' '))
+    if (!Part.empty())
+      Header.push_back(Part);
+  if (Header.size() < 5 || Header[0] != "%%MatrixMarket" ||
+      Header[1] != "matrix" || Header[2] != "coordinate")
+    return fail(ErrorMessage,
+                "unsupported matrix market header (need coordinate format)");
+  const std::string &Field = Header[3];
+  const std::string &Symmetry = Header[4];
+  if (Field != "pattern" && Field != "real" && Field != "integer")
+    return fail(ErrorMessage, "unsupported matrix market field: " + Field);
+  if (Symmetry != "general" && Symmetry != "symmetric")
+    return fail(ErrorMessage,
+                "unsupported matrix market symmetry: " + Symmetry);
+  bool HasValues = Field != "pattern";
+  bool Symmetric = Symmetry == "symmetric";
+
+  // Skip comment lines, read the size line.
+  int64_t Rows = 0, Cols = 0, Entries = 0;
+  while (std::getline(Stream, Line)) {
+    std::string_view Trimmed = trimString(Line);
+    if (Trimmed.empty() || Trimmed.front() == '%')
+      continue;
+    if (std::sscanf(std::string(Trimmed).c_str(), "%lld %lld %lld",
+                    reinterpret_cast<long long *>(&Rows),
+                    reinterpret_cast<long long *>(&Cols),
+                    reinterpret_cast<long long *>(&Entries)) != 3)
+      return fail(ErrorMessage, "malformed matrix market size line");
+    break;
+  }
+  if (Rows <= 0 || Cols <= 0 || Rows != Cols)
+    return fail(ErrorMessage, "graph adjacency must be square and non-empty");
+
+  CooMatrix Coo(Rows, Cols);
+  int64_t Seen = 0;
+  while (Seen < Entries && std::getline(Stream, Line)) {
+    std::string_view Trimmed = trimString(Line);
+    if (Trimmed.empty() || Trimmed.front() == '%')
+      continue;
+    long long R = 0, C = 0;
+    double V = 1.0;
+    std::string Entry(Trimmed);
+    int Fields = HasValues
+                     ? std::sscanf(Entry.c_str(), "%lld %lld %lf", &R, &C, &V)
+                     : std::sscanf(Entry.c_str(), "%lld %lld", &R, &C);
+    if (Fields < 2)
+      return fail(ErrorMessage, "malformed matrix market entry: " + Entry);
+    if (R < 1 || R > Rows || C < 1 || C > Cols)
+      return fail(ErrorMessage, "matrix market entry out of bounds: " + Entry);
+    // Matrix Market is 1-based.
+    if (Symmetric)
+      Coo.addSymmetric(R - 1, C - 1, static_cast<float>(V));
+    else
+      Coo.add(R - 1, C - 1, static_cast<float>(V));
+    ++Seen;
+  }
+  if (Seen != Entries)
+    return fail(ErrorMessage, "matrix market entry count mismatch");
+  return Graph(Name, Coo.toCsr(/*Unweighted=*/!HasValues));
+}
+
+std::optional<Graph> granii::readMatrixMarket(const std::string &Path,
+                                              std::string *ErrorMessage) {
+  std::ifstream In(Path);
+  if (!In)
+    return fail(ErrorMessage, "cannot open file: " + Path);
+  std::ostringstream Contents;
+  Contents << In.rdbuf();
+  // Derive the graph name from the file name without extension.
+  std::string Name = Path;
+  if (size_t Slash = Name.find_last_of('/'); Slash != std::string::npos)
+    Name = Name.substr(Slash + 1);
+  if (size_t Dot = Name.find_last_of('.'); Dot != std::string::npos)
+    Name = Name.substr(0, Dot);
+  return parseMatrixMarket(Contents.str(), Name, ErrorMessage);
+}
+
+bool granii::writeMatrixMarket(const Graph &G, const std::string &Path,
+                               std::string *ErrorMessage) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    if (ErrorMessage)
+      *ErrorMessage = "cannot open file for writing: " + Path;
+    return false;
+  }
+  const CsrMatrix &Adj = G.adjacency();
+  // Emit only the lower triangle; format is symmetric.
+  int64_t LowerCount = 0;
+  const auto &Offsets = Adj.rowOffsets();
+  const auto &Cols = Adj.colIndices();
+  for (int64_t R = 0; R < Adj.rows(); ++R)
+    for (int64_t K = Offsets[static_cast<size_t>(R)];
+         K < Offsets[static_cast<size_t>(R) + 1]; ++K)
+      if (Cols[static_cast<size_t>(K)] <= R)
+        ++LowerCount;
+
+  Out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
+  Out << "% graph: " << G.name() << "\n";
+  Out << Adj.rows() << " " << Adj.cols() << " " << LowerCount << "\n";
+  for (int64_t R = 0; R < Adj.rows(); ++R)
+    for (int64_t K = Offsets[static_cast<size_t>(R)];
+         K < Offsets[static_cast<size_t>(R) + 1]; ++K)
+      if (Cols[static_cast<size_t>(K)] <= R)
+        Out << (R + 1) << " " << (Cols[static_cast<size_t>(K)] + 1) << "\n";
+  return static_cast<bool>(Out);
+}

@@ -1,0 +1,38 @@
+//===- MatrixMarket.h - Matrix Market (.mtx) reader/writer ------*- C++ -*-===//
+///
+/// \file
+/// Reader and writer for the NIST Matrix Market coordinate format, the
+/// interchange format of the SuiteSparse collection the paper sources its
+/// graphs from. Supports `pattern` (unweighted) and `real` (weighted)
+/// matrices with `general` or `symmetric` storage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_GRAPH_MATRIXMARKET_H
+#define GRANII_GRAPH_MATRIXMARKET_H
+
+#include "graph/Graph.h"
+
+#include <optional>
+#include <string>
+
+namespace granii {
+
+/// Parses a Matrix Market file at \p Path into a graph. On failure returns
+/// std::nullopt and stores a message in \p ErrorMessage if non-null.
+std::optional<Graph> readMatrixMarket(const std::string &Path,
+                                      std::string *ErrorMessage = nullptr);
+
+/// Parses Matrix Market text directly (used by tests).
+std::optional<Graph> parseMatrixMarket(const std::string &Text,
+                                       const std::string &Name,
+                                       std::string *ErrorMessage = nullptr);
+
+/// Writes \p G to \p Path in symmetric pattern coordinate format.
+/// \returns false (with \p ErrorMessage set) if the file cannot be written.
+bool writeMatrixMarket(const Graph &G, const std::string &Path,
+                       std::string *ErrorMessage = nullptr);
+
+} // namespace granii
+
+#endif // GRANII_GRAPH_MATRIXMARKET_H

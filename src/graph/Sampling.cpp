@@ -1,0 +1,100 @@
+//===- Sampling.cpp - Neighborhood and node sampling -----------------------===//
+
+#include "graph/Sampling.h"
+
+#include "support/Rng.h"
+#include "tensor/CooMatrix.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace granii;
+
+std::vector<int64_t> granii::sampleSeedNodes(const Graph &G, int64_t NumSeeds,
+                                             uint64_t Seed) {
+  Rng Generator(Seed);
+  int64_t N = G.numNodes();
+  NumSeeds = std::min(NumSeeds, N);
+  std::unordered_set<int64_t> Chosen;
+  Chosen.reserve(static_cast<size_t>(NumSeeds) * 2);
+  while (static_cast<int64_t>(Chosen.size()) < NumSeeds)
+    Chosen.insert(
+        static_cast<int64_t>(Generator.nextBelow(static_cast<uint64_t>(N))));
+  std::vector<int64_t> Result(Chosen.begin(), Chosen.end());
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+SampledGraph granii::induceSubgraph(const Graph &G,
+                                    std::vector<int64_t> Nodes) {
+  std::sort(Nodes.begin(), Nodes.end());
+  Nodes.erase(std::unique(Nodes.begin(), Nodes.end()), Nodes.end());
+
+  std::unordered_map<int64_t, int64_t> Compact;
+  Compact.reserve(Nodes.size() * 2);
+  for (size_t I = 0; I < Nodes.size(); ++I)
+    Compact[Nodes[I]] = static_cast<int64_t>(I);
+
+  const CsrMatrix &Adj = G.adjacency();
+  const auto &Offsets = Adj.rowOffsets();
+  const auto &Cols = Adj.colIndices();
+  CooMatrix Coo(static_cast<int64_t>(Nodes.size()),
+                static_cast<int64_t>(Nodes.size()));
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    int64_t Orig = Nodes[I];
+    for (int64_t K = Offsets[static_cast<size_t>(Orig)];
+         K < Offsets[static_cast<size_t>(Orig) + 1]; ++K) {
+      auto It = Compact.find(Cols[static_cast<size_t>(K)]);
+      if (It != Compact.end())
+        Coo.add(static_cast<int64_t>(I), It->second);
+    }
+  }
+  SampledGraph Result;
+  Result.Sampled = Graph(G.name() + ".sample", Coo.toCsr());
+  Result.OriginalIds = std::move(Nodes);
+  return Result;
+}
+
+SampledGraph granii::sampleNeighborhood(const Graph &G, int64_t NumSeeds,
+                                        int64_t FanOut, int NumHops,
+                                        uint64_t Seed) {
+  Rng Generator(Seed ^ 0xabcdef1234567ULL);
+  std::vector<int64_t> Frontier = sampleSeedNodes(G, NumSeeds, Seed);
+  std::unordered_set<int64_t> Visited(Frontier.begin(), Frontier.end());
+
+  const CsrMatrix &Adj = G.adjacency();
+  const auto &Offsets = Adj.rowOffsets();
+  const auto &Cols = Adj.colIndices();
+  for (int Hop = 0; Hop < NumHops; ++Hop) {
+    std::vector<int64_t> Next;
+    for (int64_t Node : Frontier) {
+      int64_t Begin = Offsets[static_cast<size_t>(Node)];
+      int64_t Degree = Offsets[static_cast<size_t>(Node) + 1] - Begin;
+      if (Degree == 0)
+        continue;
+      if (Degree <= FanOut) {
+        for (int64_t K = Begin; K < Begin + Degree; ++K) {
+          int64_t Neighbor = Cols[static_cast<size_t>(K)];
+          if (Visited.insert(Neighbor).second)
+            Next.push_back(Neighbor);
+        }
+        continue;
+      }
+      // Reservoir-free: draw FanOut random neighbor slots with replacement;
+      // duplicates collapse via the visited set.
+      for (int64_t Draw = 0; Draw < FanOut; ++Draw) {
+        int64_t K = Begin + static_cast<int64_t>(Generator.nextBelow(
+                                static_cast<uint64_t>(Degree)));
+        int64_t Neighbor = Cols[static_cast<size_t>(K)];
+        if (Visited.insert(Neighbor).second)
+          Next.push_back(Neighbor);
+      }
+    }
+    Frontier = std::move(Next);
+    if (Frontier.empty())
+      break;
+  }
+  return induceSubgraph(G,
+                        std::vector<int64_t>(Visited.begin(), Visited.end()));
+}

@@ -1,0 +1,43 @@
+//===- Sampling.h - Neighborhood and node sampling --------------*- C++ -*-===//
+///
+/// \file
+/// Graph sampling used by the GraphSAGE-style evaluation (paper §VI-E):
+/// random seed-node selection with per-node neighbor fan-out limits,
+/// producing an induced subgraph relabeled to compact node ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_GRAPH_SAMPLING_H
+#define GRANII_GRAPH_SAMPLING_H
+
+#include "graph/Graph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace granii {
+
+/// Result of a sampling pass: the sampled graph plus the mapping from its
+/// compact node ids back to the original graph's node ids.
+struct SampledGraph {
+  Graph Sampled;
+  std::vector<int64_t> OriginalIds;
+};
+
+/// Uniformly samples \p NumSeeds distinct nodes.
+std::vector<int64_t> sampleSeedNodes(const Graph &G, int64_t NumSeeds,
+                                     uint64_t Seed);
+
+/// Induced subgraph on \p Nodes (deduplicated); edges are kept when both
+/// endpoints are selected.
+SampledGraph induceSubgraph(const Graph &G, std::vector<int64_t> Nodes);
+
+/// GraphSAGE-style neighborhood sampling: starting from \p NumSeeds random
+/// seeds, each node keeps at most \p FanOut random neighbors per hop for
+/// \p NumHops hops; the union of visited nodes forms the induced subgraph.
+SampledGraph sampleNeighborhood(const Graph &G, int64_t NumSeeds,
+                                int64_t FanOut, int NumHops, uint64_t Seed);
+
+} // namespace granii
+
+#endif // GRANII_GRAPH_SAMPLING_H

@@ -1,0 +1,43 @@
+//===- Dims.cpp - Symbolic matrix dimensions --------------------------------===//
+
+#include "ir/Dims.h"
+
+#include "support/Error.h"
+
+using namespace granii;
+
+std::string SymDim::toString() const {
+  switch (Kind) {
+  case DimKind::N:
+    return "N";
+  case DimKind::KIn:
+    return "Kin";
+  case DimKind::KOut:
+    return "Kout";
+  case DimKind::One:
+    return "1";
+  case DimKind::Const:
+    return std::to_string(Literal);
+  }
+  graniiUnreachable("unknown dim kind");
+}
+
+std::string SymShape::toString() const {
+  return Rows.toString() + "x" + Cols.toString();
+}
+
+int64_t DimBinding::eval(const SymDim &Dim) const {
+  switch (Dim.Kind) {
+  case DimKind::N:
+    return N;
+  case DimKind::KIn:
+    return KIn;
+  case DimKind::KOut:
+    return KOut;
+  case DimKind::One:
+    return 1;
+  case DimKind::Const:
+    return Dim.Literal;
+  }
+  graniiUnreachable("unknown dim kind");
+}

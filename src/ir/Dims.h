@@ -1,0 +1,74 @@
+//===- Dims.h - Symbolic matrix dimensions ----------------------*- C++ -*-===//
+///
+/// \file
+/// Symbolic dimensions for matrix IR shapes. GRANII's offline stage reasons
+/// about candidate compositions before the input is known, so shapes are
+/// expressed over the symbols N (graph nodes), K_in and K_out (embedding
+/// sizes); the online stage binds them to concrete values. E (edge count)
+/// appears in symbolic costs but never as a matrix dimension.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_IR_DIMS_H
+#define GRANII_IR_DIMS_H
+
+#include <cstdint>
+#include <string>
+
+namespace granii {
+
+/// The symbols a matrix dimension can take.
+enum class DimKind {
+  N,    ///< number of graph nodes
+  KIn,  ///< input embedding size
+  KOut, ///< output embedding size
+  One,  ///< vector / scalar dimension
+  Const ///< a fixed literal (e.g. number of classes)
+};
+
+/// One symbolic dimension.
+struct SymDim {
+  DimKind Kind = DimKind::One;
+  int64_t Literal = 1; ///< only meaningful for DimKind::Const
+
+  static SymDim n() { return {DimKind::N, 0}; }
+  static SymDim kIn() { return {DimKind::KIn, 0}; }
+  static SymDim kOut() { return {DimKind::KOut, 0}; }
+  static SymDim one() { return {DimKind::One, 1}; }
+  static SymDim constant(int64_t Value) { return {DimKind::Const, Value}; }
+
+  bool operator==(const SymDim &Other) const {
+    return Kind == Other.Kind &&
+           (Kind != DimKind::Const || Literal == Other.Literal);
+  }
+
+  std::string toString() const;
+};
+
+/// Rows x Cols symbolic shape.
+struct SymShape {
+  SymDim Rows;
+  SymDim Cols;
+
+  bool operator==(const SymShape &Other) const {
+    return Rows == Other.Rows && Cols == Other.Cols;
+  }
+
+  std::string toString() const;
+};
+
+/// Concrete values for the dimension symbols plus the edge count, provided
+/// by the online stage when the input is known.
+struct DimBinding {
+  int64_t N = 0;
+  int64_t KIn = 0;
+  int64_t KOut = 0;
+  int64_t E = 0; ///< adjacency nonzeros (with self loops where applicable)
+
+  /// Evaluates \p Dim under this binding.
+  int64_t eval(const SymDim &Dim) const;
+};
+
+} // namespace granii
+
+#endif // GRANII_IR_DIMS_H

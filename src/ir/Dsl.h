@@ -1,0 +1,79 @@
+//===- Dsl.h - Message-passing DSL front end --------------------*- C++ -*-===//
+///
+/// \file
+/// A small message-passing model language standing in for the paper's
+/// Python-AST front end (§IV-B "Code Translation"): GNN layers written in
+/// framework style (aggregate / row_scale / matmul / attention) are parsed
+/// and lowered one-to-one into the matrix IR, with leaf attributes filled
+/// in from the declaration section. Example:
+///
+/// \code
+///   model GCN {
+///     input graph A;
+///     input features H;
+///     param weight W;
+///     d = inv_sqrt_degree(A);
+///     h = row_scale(d, H);    # broadcast normalization
+///     h = aggregate(A, h);    # update_all -> multiplication
+///     h = matmul(h, W);
+///     h = row_scale(d, h);
+///     output relu(h);
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_IR_DSL_H
+#define GRANII_IR_DSL_H
+
+#include "ir/MatrixIR.h"
+
+#include <optional>
+#include <string>
+
+namespace granii {
+
+/// A parsed model: its name and the lowered matrix IR root.
+struct ParsedModel {
+  std::string Name;
+  IRNodeRef Root;
+};
+
+/// Parses and lowers \p Source. On failure returns std::nullopt and, if
+/// \p ErrorMessage is non-null, a diagnostic with line information.
+std::optional<ParsedModel> parseModelDsl(const std::string &Source,
+                                         std::string *ErrorMessage = nullptr);
+
+//===----------------------------------------------------------------------===//
+// Lexer (exposed for unit tests)
+//===----------------------------------------------------------------------===//
+
+enum class TokenKind {
+  Identifier,
+  Number,
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  Comma,
+  Semicolon,
+  Equals,
+  EndOfFile
+};
+
+/// A lexed token with source location for diagnostics.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;
+  double NumberValue = 0.0;
+  int Line = 0;
+};
+
+/// Tokenizes \p Source; `#` starts a comment to end of line. On a lexical
+/// error the last token is EndOfFile and \p ErrorMessage is set.
+std::vector<Token> lexModelDsl(const std::string &Source,
+                               std::string *ErrorMessage = nullptr);
+
+} // namespace granii
+
+#endif // GRANII_IR_DSL_H

@@ -1,0 +1,358 @@
+//===- MatrixIR.cpp - Matrix-based intermediate representation -------------===//
+
+#include "ir/MatrixIR.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+#include <set>
+#include <unordered_set>
+
+using namespace granii;
+
+IRNode::~IRNode() = default;
+
+bool granii::isSparseAttr(MatrixAttr Attr) {
+  return Attr == MatrixAttr::SparseWeighted ||
+         Attr == MatrixAttr::SparseUnweighted || Attr == MatrixAttr::Diagonal;
+}
+
+bool granii::isDenseAttr(MatrixAttr Attr) {
+  return Attr == MatrixAttr::DenseData || Attr == MatrixAttr::DenseWeight;
+}
+
+std::string granii::attrName(MatrixAttr Attr) {
+  switch (Attr) {
+  case MatrixAttr::DenseData:
+    return "dense.data";
+  case MatrixAttr::DenseWeight:
+    return "dense.weight";
+  case MatrixAttr::SparseWeighted:
+    return "sparse.weighted";
+  case MatrixAttr::SparseUnweighted:
+    return "sparse.unweighted";
+  case MatrixAttr::Diagonal:
+    return "sparse.diagonal";
+  }
+  graniiUnreachable("unknown matrix attribute");
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical keys
+//===----------------------------------------------------------------------===//
+
+static std::string keyOfList(const char *Op,
+                             const std::vector<IRNodeRef> &Operands) {
+  std::string Key = std::string(Op) + "(";
+  for (size_t I = 0; I < Operands.size(); ++I) {
+    if (I != 0)
+      Key += ",";
+    Key += Operands[I]->canonicalKey();
+  }
+  return Key + ")";
+}
+
+std::string MatMulNode::canonicalKey() const {
+  return keyOfList("matmul", Operands);
+}
+
+std::string AddNode::canonicalKey() const { return keyOfList("add", Operands); }
+
+std::string RowBroadcastNode::canonicalKey() const {
+  return keyOfList("rowbcast", {Diag, Mat});
+}
+
+std::string ColBroadcastNode::canonicalKey() const {
+  return keyOfList("colbcast", {Mat, Diag});
+}
+
+std::string UnaryNode::canonicalKey() const {
+  switch (Op) {
+  case UnaryOpKind::Relu:
+    return keyOfList("relu", {Operand});
+  case UnaryOpKind::LeakyRelu:
+    return keyOfList("lrelu", {Operand});
+  case UnaryOpKind::Scale:
+    return "scale[" + std::to_string(Param) + "](" + Operand->canonicalKey() +
+           ")";
+  }
+  graniiUnreachable("unknown unary op");
+}
+
+std::string AttenNode::canonicalKey() const {
+  return keyOfList("atten", {Adj, Theta, SrcVec, DstVec});
+}
+
+//===----------------------------------------------------------------------===//
+// Builder
+//===----------------------------------------------------------------------===//
+
+IRNodeRef ir::leaf(std::string Name, LeafRole Role, MatrixAttr Attr,
+                   SymShape Shape) {
+  return std::make_shared<LeafNode>(std::move(Name), Role, Attr, Shape);
+}
+
+IRNodeRef ir::adjacencyLeaf() {
+  return leaf("A", LeafRole::Adjacency, MatrixAttr::SparseUnweighted,
+              {SymDim::n(), SymDim::n()});
+}
+
+IRNodeRef ir::degreeNormLeaf() {
+  return leaf("D", LeafRole::DegreeNorm, MatrixAttr::Diagonal,
+              {SymDim::n(), SymDim::n()});
+}
+
+IRNodeRef ir::degreeInvLeaf() {
+  return leaf("Dinv", LeafRole::DegreeInv, MatrixAttr::Diagonal,
+              {SymDim::n(), SymDim::n()});
+}
+
+IRNodeRef ir::featuresLeaf() {
+  return leaf("H", LeafRole::Features, MatrixAttr::DenseData,
+              {SymDim::n(), SymDim::kIn()});
+}
+
+IRNodeRef ir::weightLeaf(const std::string &Name) {
+  return leaf(Name, LeafRole::Weight, MatrixAttr::DenseWeight,
+              {SymDim::kIn(), SymDim::kOut()});
+}
+
+IRNodeRef ir::weightLeafWithShape(const std::string &Name, SymShape Shape) {
+  return leaf(Name, LeafRole::Weight, MatrixAttr::DenseWeight, Shape);
+}
+
+IRNodeRef ir::attnSrcVecLeaf() {
+  return leaf("a_src", LeafRole::AttnSrcVec, MatrixAttr::DenseWeight,
+              {SymDim::kOut(), SymDim::one()});
+}
+
+IRNodeRef ir::attnDstVecLeaf() {
+  return leaf("a_dst", LeafRole::AttnDstVec, MatrixAttr::DenseWeight,
+              {SymDim::kOut(), SymDim::one()});
+}
+
+/// Result attribute of multiplying a chain: dense if any dense operand
+/// participates; otherwise sparse weighted unless all operands are diagonal.
+static MatrixAttr chainResultAttr(const std::vector<IRNodeRef> &Operands) {
+  bool AnyDense = false;
+  bool AllDiagonal = true;
+  for (const IRNodeRef &Op : Operands) {
+    AnyDense |= isDenseAttr(Op->attr());
+    AllDiagonal &= Op->attr() == MatrixAttr::Diagonal;
+  }
+  if (AnyDense)
+    return MatrixAttr::DenseData;
+  if (AllDiagonal)
+    return MatrixAttr::Diagonal;
+  return MatrixAttr::SparseWeighted;
+}
+
+IRNodeRef ir::matMul(std::vector<IRNodeRef> Operands) {
+  assert(Operands.size() >= 2 && "matmul chain needs at least two operands");
+  // Keep associative chains flat: splice nested MatMul operands in place.
+  std::vector<IRNodeRef> Flat;
+  for (IRNodeRef &Op : Operands) {
+    if (const auto *Inner = dynCast<MatMulNode>(Op)) {
+      for (const IRNodeRef &InnerOp : Inner->operands())
+        Flat.push_back(InnerOp);
+      continue;
+    }
+    Flat.push_back(std::move(Op));
+  }
+  SymShape Shape = {Flat.front()->shape().Rows, Flat.back()->shape().Cols};
+  MatrixAttr Attr = chainResultAttr(Flat);
+  return std::make_shared<MatMulNode>(std::move(Flat), Shape, Attr);
+}
+
+IRNodeRef ir::add(std::vector<IRNodeRef> Operands) {
+  assert(Operands.size() >= 2 && "add needs at least two operands");
+  SymShape Shape = Operands.front()->shape();
+  for (const IRNodeRef &Op : Operands)
+    assert(Op->shape() == Shape && "add operands must share a shape");
+  return std::make_shared<AddNode>(std::move(Operands), Shape,
+                                   MatrixAttr::DenseData);
+}
+
+IRNodeRef ir::rowBroadcast(IRNodeRef Diag, IRNodeRef Mat) {
+  assert(Diag->attr() == MatrixAttr::Diagonal &&
+         "row broadcast scales by a diagonal");
+  SymShape Shape = Mat->shape();
+  MatrixAttr Attr = isDenseAttr(Mat->attr()) ? MatrixAttr::DenseData
+                                             : MatrixAttr::SparseWeighted;
+  return std::make_shared<RowBroadcastNode>(std::move(Diag), std::move(Mat),
+                                            Shape, Attr);
+}
+
+IRNodeRef ir::colBroadcast(IRNodeRef Mat, IRNodeRef Diag) {
+  assert(Diag->attr() == MatrixAttr::Diagonal &&
+         "column broadcast scales by a diagonal");
+  SymShape Shape = Mat->shape();
+  MatrixAttr Attr = isDenseAttr(Mat->attr()) ? MatrixAttr::DenseData
+                                             : MatrixAttr::SparseWeighted;
+  return std::make_shared<ColBroadcastNode>(std::move(Mat), std::move(Diag),
+                                            Shape, Attr);
+}
+
+IRNodeRef ir::relu(IRNodeRef Operand) {
+  SymShape Shape = Operand->shape();
+  MatrixAttr Attr = Operand->attr();
+  return std::make_shared<UnaryNode>(UnaryOpKind::Relu, 0.0,
+                                     std::move(Operand), Shape, Attr);
+}
+
+IRNodeRef ir::scale(double Factor, IRNodeRef Operand) {
+  SymShape Shape = Operand->shape();
+  MatrixAttr Attr = Operand->attr();
+  return std::make_shared<UnaryNode>(UnaryOpKind::Scale, Factor,
+                                     std::move(Operand), Shape, Attr);
+}
+
+IRNodeRef ir::atten(IRNodeRef Adj, IRNodeRef Theta, IRNodeRef SrcVec,
+                    IRNodeRef DstVec) {
+  assert(Adj->attr() == MatrixAttr::SparseUnweighted &&
+         "attention mask must be the unweighted adjacency");
+  SymShape Shape = Adj->shape();
+  return std::make_shared<AttenNode>(std::move(Adj), std::move(Theta),
+                                     std::move(SrcVec), std::move(DstVec),
+                                     Shape);
+}
+
+//===----------------------------------------------------------------------===//
+// Printer / verifier / traversal
+//===----------------------------------------------------------------------===//
+
+static void printNode(const IRNodeRef &Node, int Indent, std::string &Out) {
+  Out.append(static_cast<size_t>(Indent) * 2, ' ');
+  switch (Node->kind()) {
+  case IRKind::Leaf: {
+    const auto &Leaf = cast<LeafNode>(Node);
+    Out += Leaf.name() + " : " + attrName(Node->attr()) + " " +
+           Node->shape().toString() + "\n";
+    return;
+  }
+  case IRKind::MatMul:
+    Out += "matmul";
+    break;
+  case IRKind::Add:
+    Out += "add";
+    break;
+  case IRKind::RowBroadcast:
+    Out += "rowbcast";
+    break;
+  case IRKind::ColBroadcast:
+    Out += "colbcast";
+    break;
+  case IRKind::Unary: {
+    const auto &Unary = cast<UnaryNode>(Node);
+    switch (Unary.op()) {
+    case UnaryOpKind::Relu:
+      Out += "relu";
+      break;
+    case UnaryOpKind::LeakyRelu:
+      Out += "lrelu";
+      break;
+    case UnaryOpKind::Scale:
+      Out += "scale[" + std::to_string(Unary.param()) + "]";
+      break;
+    }
+    break;
+  }
+  case IRKind::Atten:
+    Out += "atten";
+    break;
+  }
+  Out += " : " + attrName(Node->attr()) + " " + Node->shape().toString() +
+         "\n";
+  for (const IRNodeRef &Child : Node->children())
+    printNode(Child, Indent + 1, Out);
+}
+
+std::string granii::printIR(const IRNodeRef &Root) {
+  std::string Out;
+  printNode(Root, 0, Out);
+  return Out;
+}
+
+static void verifyNode(const IRNodeRef &Node) {
+  switch (Node->kind()) {
+  case IRKind::Leaf:
+    break;
+  case IRKind::MatMul: {
+    const auto &Mul = cast<MatMulNode>(Node);
+    const auto &Ops = Mul.operands();
+    if (Ops.size() < 2)
+      GRANII_FATAL("matmul chain with fewer than two operands");
+    for (size_t I = 0; I + 1 < Ops.size(); ++I)
+      if (!(Ops[I]->shape().Cols == Ops[I + 1]->shape().Rows))
+        GRANII_FATAL("matmul chain dimension mismatch at operand " +
+                     std::to_string(I));
+    for (const IRNodeRef &Op : Ops)
+      if (const auto *Nested = dynCast<MatMulNode>(Op)) {
+        (void)Nested;
+        GRANII_FATAL("nested matmul: associative chains must stay flat");
+      }
+    break;
+  }
+  case IRKind::Add: {
+    const auto &Add = cast<AddNode>(Node);
+    for (const IRNodeRef &Op : Add.operands())
+      if (!(Op->shape() == Node->shape()))
+        GRANII_FATAL("add operand shape mismatch");
+    break;
+  }
+  case IRKind::RowBroadcast: {
+    const auto &Bcast = cast<RowBroadcastNode>(Node);
+    if (Bcast.diag()->attr() != MatrixAttr::Diagonal)
+      GRANII_FATAL("row broadcast requires a diagonal left operand");
+    if (!(Bcast.diag()->shape().Rows == Bcast.matrix()->shape().Rows))
+      GRANII_FATAL("row broadcast row-count mismatch");
+    break;
+  }
+  case IRKind::ColBroadcast: {
+    const auto &Bcast = cast<ColBroadcastNode>(Node);
+    if (Bcast.diag()->attr() != MatrixAttr::Diagonal)
+      GRANII_FATAL("column broadcast requires a diagonal right operand");
+    if (!(Bcast.matrix()->shape().Cols == Bcast.diag()->shape().Rows))
+      GRANII_FATAL("column broadcast column-count mismatch");
+    break;
+  }
+  case IRKind::Unary:
+    break;
+  case IRKind::Atten: {
+    const auto &Att = cast<AttenNode>(Node);
+    if (Att.adj()->attr() != MatrixAttr::SparseUnweighted)
+      GRANII_FATAL("attention mask must be sparse unweighted");
+    if (!isDenseAttr(Att.theta()->attr()))
+      GRANII_FATAL("attention theta must be dense");
+    break;
+  }
+  }
+  for (const IRNodeRef &Child : Node->children())
+    verifyNode(Child);
+}
+
+void granii::verifyIR(const IRNodeRef &Root) {
+  if (!Root)
+    GRANII_FATAL("null IR root");
+  verifyNode(Root);
+}
+
+static void collectLeavesImpl(const IRNodeRef &Node,
+                              std::set<std::string> &Seen,
+                              std::vector<const LeafNode *> &Out) {
+  if (const auto *Leaf = dynCast<LeafNode>(Node)) {
+    if (Seen.insert(Leaf->name()).second)
+      Out.push_back(Leaf);
+    return;
+  }
+  for (const IRNodeRef &Child : Node->children())
+    collectLeavesImpl(Child, Seen, Out);
+}
+
+std::vector<const LeafNode *> granii::collectLeaves(const IRNodeRef &Root) {
+  std::set<std::string> Seen;
+  std::vector<const LeafNode *> Out;
+  collectLeavesImpl(Root, Seen, Out);
+  return Out;
+}

@@ -1,0 +1,339 @@
+//===- MatrixIR.h - Matrix-based intermediate representation ----*- C++ -*-===//
+///
+/// \file
+/// The matrix IR of GRANII's offline stage (paper §IV-B). It is a DAG whose
+/// leaves are matrices carrying the attributes of Table I (dense{data,
+/// weight}, sparse{weighted, unweighted, diagonal}) and whose interior
+/// nodes are matrix operations. Unlike a tensor-framework computation
+/// graph, associative multiplication chains are kept *flat* (one n-ary
+/// MatMul node), which is what lets the enumerator iterate re-association
+/// choices exhaustively. Non-linear operations are explicit barrier nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_IR_MATRIXIR_H
+#define GRANII_IR_MATRIXIR_H
+
+#include "ir/Dims.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace granii {
+
+//===----------------------------------------------------------------------===//
+// Attributes (paper Table I)
+//===----------------------------------------------------------------------===//
+
+/// Attribute + sub-attribute of a matrix, merged into one enum.
+enum class MatrixAttr {
+  DenseData,       ///< dense, holds data (features / intermediate results)
+  DenseWeight,     ///< dense, holds learnable weights
+  SparseWeighted,  ///< sparse with explicit edge values
+  SparseUnweighted,///< sparse, only nonzero positions (implicit 1s)
+  Diagonal         ///< diagonal matrix, stored as a length-N vector
+};
+
+/// \returns true for the sparse attributes (including Diagonal).
+bool isSparseAttr(MatrixAttr Attr);
+/// \returns true for the dense attributes.
+bool isDenseAttr(MatrixAttr Attr);
+/// Short printable name, e.g. "dense.data".
+std::string attrName(MatrixAttr Attr);
+
+//===----------------------------------------------------------------------===//
+// Node hierarchy
+//===----------------------------------------------------------------------===//
+
+/// Discriminator for the LLVM-style isa/cast support.
+enum class IRKind {
+  Leaf,
+  MatMul,
+  Add,
+  RowBroadcast,
+  ColBroadcast,
+  Unary,
+  Atten
+};
+
+/// What a leaf matrix means at runtime; the executor binds each role to a
+/// concrete tensor.
+enum class LeafRole {
+  Adjacency,  ///< the (self-loop-augmented) graph adjacency
+  DegreeNorm, ///< \tilde{D}^{-1/2}, derived from the adjacency at runtime
+  DegreeInv,  ///< \tilde{D}^{-1} (mean aggregation), also derived
+  Features,   ///< node embeddings H (N x K_in)
+  Weight,     ///< learned weight matrix (K_in x K_out or per-hop)
+  AttnSrcVec, ///< GAT source attention vector (K_out x 1)
+  AttnDstVec  ///< GAT destination attention vector (K_out x 1)
+};
+
+class IRNode;
+using IRNodeRef = std::shared_ptr<const IRNode>;
+
+/// Base class of all matrix IR nodes. Nodes are immutable and shared
+/// (sub-DAGs are reused, which is how common subexpressions like GAT's
+/// updated embeddings appear once).
+class IRNode {
+public:
+  virtual ~IRNode();
+
+  IRKind kind() const { return Kind; }
+  const SymShape &shape() const { return Shape; }
+  MatrixAttr attr() const { return Attr; }
+
+  /// Children in evaluation order (empty for leaves).
+  virtual std::vector<IRNodeRef> children() const = 0;
+
+  /// Structural identity key used for CSE and printing.
+  virtual std::string canonicalKey() const = 0;
+
+protected:
+  IRNode(IRKind Kind, SymShape Shape, MatrixAttr Attr)
+      : Kind(Kind), Shape(Shape), Attr(Attr) {}
+
+private:
+  IRKind Kind;
+  SymShape Shape;
+  MatrixAttr Attr;
+};
+
+/// A leaf matrix with a name, role, attribute and symbolic shape.
+class LeafNode : public IRNode {
+public:
+  LeafNode(std::string Name, LeafRole Role, MatrixAttr Attr, SymShape Shape)
+      : IRNode(IRKind::Leaf, Shape, Attr), Name(std::move(Name)), Role(Role) {}
+
+  const std::string &name() const { return Name; }
+  LeafRole role() const { return Role; }
+
+  std::vector<IRNodeRef> children() const override { return {}; }
+  std::string canonicalKey() const override { return Name; }
+
+  static bool classof(const IRNode *Node) {
+    return Node->kind() == IRKind::Leaf;
+  }
+
+private:
+  std::string Name;
+  LeafRole Role;
+};
+
+/// Flat n-ary associative matrix multiplication chain.
+class MatMulNode : public IRNode {
+public:
+  MatMulNode(std::vector<IRNodeRef> Operands, SymShape Shape, MatrixAttr Attr)
+      : IRNode(IRKind::MatMul, Shape, Attr), Operands(std::move(Operands)) {}
+
+  const std::vector<IRNodeRef> &operands() const { return Operands; }
+
+  std::vector<IRNodeRef> children() const override { return Operands; }
+  std::string canonicalKey() const override;
+
+  static bool classof(const IRNode *Node) {
+    return Node->kind() == IRKind::MatMul;
+  }
+
+private:
+  std::vector<IRNodeRef> Operands;
+};
+
+/// n-ary elementwise addition.
+class AddNode : public IRNode {
+public:
+  AddNode(std::vector<IRNodeRef> Operands, SymShape Shape, MatrixAttr Attr)
+      : IRNode(IRKind::Add, Shape, Attr), Operands(std::move(Operands)) {}
+
+  const std::vector<IRNodeRef> &operands() const { return Operands; }
+
+  std::vector<IRNodeRef> children() const override { return Operands; }
+  std::string canonicalKey() const override;
+
+  static bool classof(const IRNode *Node) {
+    return Node->kind() == IRKind::Add;
+  }
+
+private:
+  std::vector<IRNodeRef> Operands;
+};
+
+/// Row broadcast: out_ij = d_i * m_ij. A barrier for re-association until
+/// the broadcast-to-diagonal rewrite turns it into a MatMul (paper Fig. 6c).
+class RowBroadcastNode : public IRNode {
+public:
+  RowBroadcastNode(IRNodeRef Diag, IRNodeRef Mat, SymShape Shape,
+                   MatrixAttr Attr)
+      : IRNode(IRKind::RowBroadcast, Shape, Attr), Diag(std::move(Diag)),
+        Mat(std::move(Mat)) {}
+
+  const IRNodeRef &diag() const { return Diag; }
+  const IRNodeRef &matrix() const { return Mat; }
+
+  std::vector<IRNodeRef> children() const override { return {Diag, Mat}; }
+  std::string canonicalKey() const override;
+
+  static bool classof(const IRNode *Node) {
+    return Node->kind() == IRKind::RowBroadcast;
+  }
+
+private:
+  IRNodeRef Diag;
+  IRNodeRef Mat;
+};
+
+/// Column broadcast: out_ij = m_ij * d_j.
+class ColBroadcastNode : public IRNode {
+public:
+  ColBroadcastNode(IRNodeRef Mat, IRNodeRef Diag, SymShape Shape,
+                   MatrixAttr Attr)
+      : IRNode(IRKind::ColBroadcast, Shape, Attr), Mat(std::move(Mat)),
+        Diag(std::move(Diag)) {}
+
+  const IRNodeRef &matrix() const { return Mat; }
+  const IRNodeRef &diag() const { return Diag; }
+
+  std::vector<IRNodeRef> children() const override { return {Mat, Diag}; }
+  std::string canonicalKey() const override;
+
+  static bool classof(const IRNode *Node) {
+    return Node->kind() == IRKind::ColBroadcast;
+  }
+
+private:
+  IRNodeRef Mat;
+  IRNodeRef Diag;
+};
+
+/// Elementwise unary operations; non-linear ones are re-association
+/// barriers (paper §IV-B: only semantically equivalent re-associations).
+enum class UnaryOpKind {
+  Relu,      ///< non-linear barrier
+  LeakyRelu, ///< non-linear barrier
+  Scale      ///< multiply by a scalar (linear; e.g. GIN's (1 + eps))
+};
+
+/// A unary elementwise node.
+class UnaryNode : public IRNode {
+public:
+  UnaryNode(UnaryOpKind Op, double Param, IRNodeRef Operand, SymShape Shape,
+            MatrixAttr Attr)
+      : IRNode(IRKind::Unary, Shape, Attr), Op(Op), Param(Param),
+        Operand(std::move(Operand)) {}
+
+  UnaryOpKind op() const { return Op; }
+  double param() const { return Param; }
+  const IRNodeRef &operand() const { return Operand; }
+
+  std::vector<IRNodeRef> children() const override { return {Operand}; }
+  std::string canonicalKey() const override;
+
+  static bool classof(const IRNode *Node) {
+    return Node->kind() == IRKind::Unary;
+  }
+
+private:
+  UnaryOpKind Op;
+  double Param;
+  IRNodeRef Operand;
+};
+
+/// GAT attention: Atten(A, Theta, a_src, a_dst) -> sparse alpha (paper
+/// Eq. (4)). A barrier node (contains LeakyReLU + softmax); its Theta child
+/// is the shared updated-embedding subexpression whose reuse-vs-recompute
+/// decision differentiates the two GAT compositions.
+class AttenNode : public IRNode {
+public:
+  AttenNode(IRNodeRef Adj, IRNodeRef Theta, IRNodeRef SrcVec, IRNodeRef DstVec,
+            SymShape Shape)
+      : IRNode(IRKind::Atten, Shape, MatrixAttr::SparseWeighted),
+        Adj(std::move(Adj)), Theta(std::move(Theta)), SrcVec(std::move(SrcVec)),
+        DstVec(std::move(DstVec)) {}
+
+  const IRNodeRef &adj() const { return Adj; }
+  const IRNodeRef &theta() const { return Theta; }
+  const IRNodeRef &srcVec() const { return SrcVec; }
+  const IRNodeRef &dstVec() const { return DstVec; }
+
+  std::vector<IRNodeRef> children() const override {
+    return {Adj, Theta, SrcVec, DstVec};
+  }
+  std::string canonicalKey() const override;
+
+  static bool classof(const IRNode *Node) {
+    return Node->kind() == IRKind::Atten;
+  }
+
+private:
+  IRNodeRef Adj;
+  IRNodeRef Theta;
+  IRNodeRef SrcVec;
+  IRNodeRef DstVec;
+};
+
+/// LLVM-style dyn_cast helper for IRNodeRef.
+template <typename T> const T *dynCast(const IRNodeRef &Node) {
+  if (Node && T::classof(Node.get()))
+    return static_cast<const T *>(Node.get());
+  return nullptr;
+}
+
+/// LLVM-style checked cast.
+template <typename T> const T &cast(const IRNodeRef &Node) {
+  const T *Ptr = dynCast<T>(Node);
+  if (!Ptr)
+    __builtin_trap();
+  return *Ptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Builder
+//===----------------------------------------------------------------------===//
+
+/// Factory functions that infer shapes/attributes and enforce invariants.
+/// makeMatMul flattens nested MatMul operands so associative chains stay at
+/// a single level, as required by the enumerator.
+namespace ir {
+
+IRNodeRef leaf(std::string Name, LeafRole Role, MatrixAttr Attr,
+               SymShape Shape);
+
+/// Standard leaves for a GNN layer.
+IRNodeRef adjacencyLeaf();                      ///< A: sparse unweighted N x N
+IRNodeRef degreeNormLeaf();                     ///< D^{-1/2}: diagonal N x N
+IRNodeRef degreeInvLeaf();                      ///< D^{-1}: diagonal N x N
+IRNodeRef featuresLeaf();                       ///< H: dense data N x K_in
+IRNodeRef weightLeaf(const std::string &Name = "W"); ///< W: K_in x K_out
+/// Weight with explicit symbolic dims (e.g. K_out x K_out hop weights).
+IRNodeRef weightLeafWithShape(const std::string &Name, SymShape Shape);
+IRNodeRef attnSrcVecLeaf();                     ///< a_src: K_out x 1
+IRNodeRef attnDstVecLeaf();                     ///< a_dst: K_out x 1
+
+IRNodeRef matMul(std::vector<IRNodeRef> Operands);
+IRNodeRef add(std::vector<IRNodeRef> Operands);
+IRNodeRef rowBroadcast(IRNodeRef Diag, IRNodeRef Mat);
+IRNodeRef colBroadcast(IRNodeRef Mat, IRNodeRef Diag);
+IRNodeRef relu(IRNodeRef Operand);
+IRNodeRef scale(double Factor, IRNodeRef Operand);
+IRNodeRef atten(IRNodeRef Adj, IRNodeRef Theta, IRNodeRef SrcVec,
+                IRNodeRef DstVec);
+
+} // namespace ir
+
+//===----------------------------------------------------------------------===//
+// Utilities
+//===----------------------------------------------------------------------===//
+
+/// Pretty multi-line printer for debugging and the DSL round-trip test.
+std::string printIR(const IRNodeRef &Root);
+
+/// Verifies shape compatibility and attribute sanity of the whole DAG;
+/// aborts with a diagnostic on violation.
+void verifyIR(const IRNodeRef &Root);
+
+/// \returns every distinct leaf in \p Root in first-visit order.
+std::vector<const LeafNode *> collectLeaves(const IRNodeRef &Root);
+
+} // namespace granii
+
+#endif // GRANII_IR_MATRIXIR_H

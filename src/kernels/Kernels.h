@@ -1,0 +1,134 @@
+//===- Kernels.h - Sparse and dense matrix primitives -----------*- C++ -*-===//
+///
+/// \file
+/// The primitive kernel layer: GEMM, g-SpMM, g-SDDMM, row/column broadcasts,
+/// diagonal scaling of sparse matrices, elementwise ops, edge softmax, and
+/// the two degree-computation variants (offset-difference vs edge-binning)
+/// whose cost difference drives the paper's WiseGraph-on-dense-graphs
+/// results. All kernels are deterministic, single-threaded CPU code; the
+/// hardware models in src/hw derive per-device latencies for them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_KERNELS_KERNELS_H
+#define GRANII_KERNELS_KERNELS_H
+
+#include "tensor/CsrMatrix.h"
+#include "tensor/DenseMatrix.h"
+#include "tensor/Semiring.h"
+
+#include <vector>
+
+namespace granii {
+namespace kernels {
+
+//===----------------------------------------------------------------------===//
+// Dense primitives
+//===----------------------------------------------------------------------===//
+
+/// C = A * B (row-major GEMM). Shapes must agree.
+DenseMatrix gemm(const DenseMatrix &A, const DenseMatrix &B);
+
+/// C += A * B into an existing output; \p C must be A.rows() x B.cols().
+void gemmAccumulate(const DenseMatrix &A, const DenseMatrix &B,
+                    DenseMatrix &C);
+
+/// C = A^T * B.
+DenseMatrix gemmTransposedLhs(const DenseMatrix &A, const DenseMatrix &B);
+
+/// C = A * B^T.
+DenseMatrix gemmTransposedRhs(const DenseMatrix &A, const DenseMatrix &B);
+
+/// y = A * x for a dense matrix and vector (x.size() == A.cols()).
+std::vector<float> gemv(const DenseMatrix &A, const std::vector<float> &X);
+
+/// out_ij = D[i] * H_ij (the paper's row-broadcast primitive, Eq. (1)).
+DenseMatrix rowBroadcastMul(const std::vector<float> &D, const DenseMatrix &H);
+
+/// out_ij = H_ij * D[j] (column variant used after update ops).
+DenseMatrix colBroadcastMul(const DenseMatrix &H, const std::vector<float> &D);
+
+/// Elementwise sum; shapes must match.
+DenseMatrix addMatrices(const DenseMatrix &A, const DenseMatrix &B);
+
+/// B += Alpha * A in place.
+void axpyInto(float Alpha, const DenseMatrix &A, DenseMatrix &B);
+
+/// Elementwise scale by a scalar.
+DenseMatrix scaleMatrix(const DenseMatrix &A, float Alpha);
+
+/// Elementwise ReLU.
+DenseMatrix relu(const DenseMatrix &A);
+
+/// Elementwise leaky ReLU with slope \p NegativeSlope for negative inputs.
+DenseMatrix leakyRelu(const DenseMatrix &A, float NegativeSlope = 0.2f);
+
+/// Derivative mask of ReLU at \p Pre applied to \p Grad (backward helper).
+DenseMatrix reluBackward(const DenseMatrix &Pre, const DenseMatrix &Grad);
+
+//===----------------------------------------------------------------------===//
+// Sparse primitives (generalized per paper §II-B)
+//===----------------------------------------------------------------------===//
+
+/// Generalized SpMM: Out[i,:] = reduce_{j in N(i)} combine(a_ij, B[j,:]).
+/// With Semiring::plusTimes() this is the standard weighted SpMM; with
+/// Semiring::plusCopy() it is the cheaper unweighted aggregation.
+DenseMatrix spmm(const CsrMatrix &A, const DenseMatrix &B,
+                 const Semiring &S = Semiring::plusTimes());
+
+/// Generalized SDDMM producing per-edge values at the mask's nonzeros:
+/// out_ij = combine over k of U[i,k] and V[j,k], reduced by \p S.Reduce
+/// (dot product for plus-times). \p V has the same number of columns as
+/// \p U; the mask's existing values are ignored.
+std::vector<float> sddmm(const CsrMatrix &Mask, const DenseMatrix &U,
+                         const DenseMatrix &V,
+                         const Semiring &S = Semiring::plusTimes());
+
+/// Per-edge sum of two node scalars: out_ij = SrcScore[i] + DstScore[j]
+/// (the SDDMM(+, +) used by GAT's attention logits).
+std::vector<float> sddmmAddScalars(const CsrMatrix &Mask,
+                                   const std::vector<float> &SrcScore,
+                                   const std::vector<float> &DstScore);
+
+/// Sparse diagonal scalings (special SDDMMs over diagonal operands):
+/// returns A with values v_ij = D[i] * a_ij.
+CsrMatrix scaleSparseRows(const CsrMatrix &A, const std::vector<float> &D);
+/// returns A with values v_ij = a_ij * D[j].
+CsrMatrix scaleSparseCols(const CsrMatrix &A, const std::vector<float> &D);
+/// returns A with values v_ij = L[i] * a_ij * R[j] (the fused ternary
+/// normalization SDDMM of GCN's precompute composition, Eq. (3)).
+CsrMatrix scaleSparseBoth(const CsrMatrix &A, const std::vector<float> &L,
+                          const std::vector<float> &R);
+
+/// Row-wise softmax over a sparse matrix's edge values (GAT attention).
+/// \p EdgeValues must have A.nnz() entries; returns normalized values.
+std::vector<float> edgeSoftmax(const CsrMatrix &A,
+                               const std::vector<float> &EdgeValues);
+
+/// Elementwise leaky ReLU over edge values.
+std::vector<float> leakyReluEdges(const std::vector<float> &EdgeValues,
+                                  float NegativeSlope = 0.2f);
+
+//===----------------------------------------------------------------------===//
+// Degree / normalization helpers
+//===----------------------------------------------------------------------===//
+
+/// Out-degree of every row read directly from CSR offsets: O(N) work.
+std::vector<float> degreeFromOffsets(const CsrMatrix &A);
+
+/// Out-degree computed by binning every edge onto its endpoint (the
+/// PyTorch-binning style the paper observed in WiseGraph): O(E) scattered
+/// increments. Functionally identical to degreeFromOffsets for row degrees,
+/// but algorithmically the expensive path on dense graphs.
+std::vector<float> degreeByBinning(const CsrMatrix &A);
+
+/// Elementwise x -> 1/sqrt(max(x, 1)) used for symmetric normalization.
+std::vector<float> invSqrt(const std::vector<float> &Degrees);
+
+/// Elementwise x -> 1/max(x, 1) used for mean aggregation (GraphSAGE).
+std::vector<float> invDegree(const std::vector<float> &Degrees);
+
+} // namespace kernels
+} // namespace granii
+
+#endif // GRANII_KERNELS_KERNELS_H

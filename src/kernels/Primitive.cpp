@@ -1,0 +1,174 @@
+//===- Primitive.cpp - Primitive vocabulary shared across layers -----------===//
+
+#include "kernels/Primitive.h"
+
+#include "support/Error.h"
+
+#include <cstdio>
+
+using namespace granii;
+
+std::string granii::primitiveName(PrimitiveKind Kind) {
+  switch (Kind) {
+  case PrimitiveKind::Gemm:
+    return "gemm";
+  case PrimitiveKind::Gemv:
+    return "gemv";
+  case PrimitiveKind::SpMMWeighted:
+    return "spmm_w";
+  case PrimitiveKind::SpMMUnweighted:
+    return "spmm_u";
+  case PrimitiveKind::SddmmDot:
+    return "sddmm_dot";
+  case PrimitiveKind::SddmmScale:
+    return "sddmm_scale";
+  case PrimitiveKind::RowBroadcast:
+    return "row_bcast";
+  case PrimitiveKind::ColBroadcast:
+    return "col_bcast";
+  case PrimitiveKind::DiagMul:
+    return "diag_mul";
+  case PrimitiveKind::AddDense:
+    return "add_dense";
+  case PrimitiveKind::EdgeSoftmax:
+    return "edge_softmax";
+  case PrimitiveKind::EdgeElementwise:
+    return "edge_map";
+  case PrimitiveKind::DegreeOffsets:
+    return "degree_off";
+  case PrimitiveKind::DegreeBinning:
+    return "degree_bin";
+  case PrimitiveKind::VectorMap:
+    return "vec_map";
+  case PrimitiveKind::DenseMap:
+    return "dense_map";
+  }
+  graniiUnreachable("unknown primitive kind");
+}
+
+bool granii::isSparsePrimitive(PrimitiveKind Kind) {
+  switch (Kind) {
+  case PrimitiveKind::SpMMWeighted:
+  case PrimitiveKind::SpMMUnweighted:
+  case PrimitiveKind::SddmmDot:
+  case PrimitiveKind::SddmmScale:
+  case PrimitiveKind::EdgeSoftmax:
+  case PrimitiveKind::EdgeElementwise:
+  case PrimitiveKind::DegreeBinning:
+    return true;
+  case PrimitiveKind::Gemm:
+  case PrimitiveKind::Gemv:
+  case PrimitiveKind::RowBroadcast:
+  case PrimitiveKind::ColBroadcast:
+  case PrimitiveKind::DiagMul:
+  case PrimitiveKind::AddDense:
+  case PrimitiveKind::DegreeOffsets:
+  case PrimitiveKind::VectorMap:
+  case PrimitiveKind::DenseMap:
+    return false;
+  }
+  graniiUnreachable("unknown primitive kind");
+}
+
+double PrimitiveDesc::flops() const {
+  switch (Kind) {
+  case PrimitiveKind::Gemm:
+    return 2.0 * static_cast<double>(Rows) * Cols * Inner;
+  case PrimitiveKind::Gemv:
+    return 2.0 * static_cast<double>(Rows) * Inner;
+  case PrimitiveKind::SpMMWeighted:
+    return 2.0 * static_cast<double>(Nnz) * Cols;
+  case PrimitiveKind::SpMMUnweighted:
+    return 1.0 * static_cast<double>(Nnz) * Cols;
+  case PrimitiveKind::SddmmDot:
+    return 2.0 * static_cast<double>(Nnz) * Inner;
+  case PrimitiveKind::SddmmScale:
+    return static_cast<double>(Nnz) * std::max<int64_t>(Inner, 1);
+  case PrimitiveKind::RowBroadcast:
+  case PrimitiveKind::ColBroadcast:
+  case PrimitiveKind::AddDense:
+  case PrimitiveKind::DenseMap:
+    return static_cast<double>(Rows) * Cols;
+  case PrimitiveKind::DiagMul:
+  case PrimitiveKind::VectorMap:
+  case PrimitiveKind::DegreeOffsets:
+    return static_cast<double>(Rows);
+  case PrimitiveKind::EdgeSoftmax:
+    return 3.0 * static_cast<double>(Nnz);
+  case PrimitiveKind::EdgeElementwise:
+  case PrimitiveKind::DegreeBinning:
+    return static_cast<double>(Nnz);
+  }
+  graniiUnreachable("unknown primitive kind");
+}
+
+double PrimitiveDesc::bytes() const {
+  constexpr double ElemBytes = 4.0;
+  constexpr double IndexBytes = 4.0;
+  switch (Kind) {
+  case PrimitiveKind::Gemm:
+    return ElemBytes * (static_cast<double>(Rows) * Inner +
+                        static_cast<double>(Inner) * Cols +
+                        static_cast<double>(Rows) * Cols);
+  case PrimitiveKind::Gemv:
+    return ElemBytes * (static_cast<double>(Rows) * Inner + Inner + Rows);
+  case PrimitiveKind::SpMMWeighted:
+    // Offsets + columns + values + gathered dense rows + output.
+    return IndexBytes * static_cast<double>(Nnz) +
+           ElemBytes * (static_cast<double>(Nnz) +
+                        static_cast<double>(Nnz) * Cols +
+                        static_cast<double>(Rows) * Cols);
+  case PrimitiveKind::SpMMUnweighted:
+    return IndexBytes * static_cast<double>(Nnz) +
+           ElemBytes * (static_cast<double>(Nnz) * Cols +
+                        static_cast<double>(Rows) * Cols);
+  case PrimitiveKind::SddmmDot:
+    return IndexBytes * static_cast<double>(Nnz) +
+           ElemBytes * (2.0 * static_cast<double>(Nnz) * Inner + Nnz);
+  case PrimitiveKind::SddmmScale:
+    return IndexBytes * static_cast<double>(Nnz) +
+           ElemBytes * (2.0 * static_cast<double>(Nnz) + Rows);
+  case PrimitiveKind::RowBroadcast:
+  case PrimitiveKind::ColBroadcast:
+    return ElemBytes * (2.0 * static_cast<double>(Rows) * Cols + Rows);
+  case PrimitiveKind::AddDense:
+    return ElemBytes * 3.0 * static_cast<double>(Rows) * Cols;
+  case PrimitiveKind::DenseMap:
+    return ElemBytes * 2.0 * static_cast<double>(Rows) * Cols;
+  case PrimitiveKind::DiagMul:
+  case PrimitiveKind::VectorMap:
+    return ElemBytes * 2.0 * static_cast<double>(Rows);
+  case PrimitiveKind::DegreeOffsets:
+    return (IndexBytes + ElemBytes) * static_cast<double>(Rows);
+  case PrimitiveKind::DegreeBinning:
+    return IndexBytes * static_cast<double>(Nnz) +
+           ElemBytes * static_cast<double>(Rows);
+  case PrimitiveKind::EdgeSoftmax:
+    return ElemBytes * 3.0 * static_cast<double>(Nnz);
+  case PrimitiveKind::EdgeElementwise:
+    return ElemBytes * 2.0 * static_cast<double>(Nnz);
+  }
+  graniiUnreachable("unknown primitive kind");
+}
+
+std::string PrimitiveDesc::toString() const {
+  char Buffer[128];
+  std::snprintf(Buffer, sizeof(Buffer), "%s[r=%lld c=%lld k=%lld nnz=%lld]",
+                primitiveName(Kind).c_str(), static_cast<long long>(Rows),
+                static_cast<long long>(Cols), static_cast<long long>(Inner),
+                static_cast<long long>(Nnz));
+  return Buffer;
+}
+
+const std::vector<PrimitiveKind> &granii::allPrimitiveKinds() {
+  static const std::vector<PrimitiveKind> Kinds = {
+      PrimitiveKind::Gemm,           PrimitiveKind::Gemv,
+      PrimitiveKind::SpMMWeighted,   PrimitiveKind::SpMMUnweighted,
+      PrimitiveKind::SddmmDot,       PrimitiveKind::SddmmScale,
+      PrimitiveKind::RowBroadcast,   PrimitiveKind::ColBroadcast,
+      PrimitiveKind::DiagMul,        PrimitiveKind::AddDense,
+      PrimitiveKind::EdgeSoftmax,    PrimitiveKind::EdgeElementwise,
+      PrimitiveKind::DegreeOffsets,  PrimitiveKind::DegreeBinning,
+      PrimitiveKind::VectorMap,      PrimitiveKind::DenseMap};
+  return Kinds;
+}

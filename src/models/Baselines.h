@@ -1,0 +1,62 @@
+//===- Baselines.h - WiseGraph / DGL default compositions -------*- C++ -*-===//
+///
+/// \file
+/// The baseline systems GRANII is evaluated against (paper §VI-B). Each
+/// baseline is the fixed primitive composition a framework's default model
+/// implementation uses, reconstructed from the paper's description:
+///
+///  * WiseGraph: dynamic normalization computed with the *binning* degree
+///    kernel every call; configuration-based GEMM/SpMM reordering ([17]);
+///    GAT recomputes updated embeddings for increasing embedding sizes.
+///  * DGL: dynamic normalization with the offset degree kernel;
+///    configuration-based reordering for GCN but *no* update reordering for
+///    GIN/SGC/TAGCN; GAT always reuses the updated embeddings.
+///
+/// Baselines run straight-line framework code, so none of their steps are
+/// hoisted out of the iteration loop (no Setup amortization).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_MODELS_BASELINES_H
+#define GRANII_MODELS_BASELINES_H
+
+#include "assoc/Composition.h"
+#include "models/Models.h"
+
+namespace granii {
+
+/// The two baseline frameworks.
+enum class BaselineSystem { WiseGraph, DGL };
+
+/// "wisegraph" / "dgl".
+std::string systemName(BaselineSystem System);
+
+/// Both systems, paper order.
+std::vector<BaselineSystem> allSystems();
+
+/// \returns the fixed composition \p System's default implementation of
+/// \p Model executes for embedding sizes (\p KIn, \p KOut). Deterministic;
+/// independent of the input graph (that is the point of the baselines).
+CompositionPlan baselinePlan(BaselineSystem System, const GnnModel &Model,
+                             int64_t KIn, int64_t KOut);
+
+//===----------------------------------------------------------------------===//
+// Structural plan classifiers (shared with tests and the oracle study)
+//===----------------------------------------------------------------------===//
+
+/// True if the plan materializes a normalized adjacency via sparse scaling
+/// (the precomputation-based composition of paper Eq. (3)).
+bool planUsesPrecompute(const CompositionPlan &Plan);
+
+/// True if some SpMM consumes a value that depends on a Weight input, i.e.
+/// the update (GEMM) happens before the aggregation.
+bool planIsUpdateFirst(const CompositionPlan &Plan);
+
+/// GAT: true if the aggregation multiplies attention scores with the *raw*
+/// features (recomputation composition, Eq. (6)); false when it reuses the
+/// updated embeddings.
+bool planRecomputesTheta(const CompositionPlan &Plan);
+
+} // namespace granii
+
+#endif // GRANII_MODELS_BASELINES_H

@@ -1,0 +1,175 @@
+//===- Models.cpp - The five evaluated GNN models ---------------------------===//
+
+#include "models/Models.h"
+
+#include "ir/Dsl.h"
+#include "support/Error.h"
+
+using namespace granii;
+
+std::string granii::modelName(ModelKind Kind) {
+  switch (Kind) {
+  case ModelKind::GCN:
+    return "gcn";
+  case ModelKind::GIN:
+    return "gin";
+  case ModelKind::SGC:
+    return "sgc";
+  case ModelKind::TAGCN:
+    return "tagcn";
+  case ModelKind::GAT:
+    return "gat";
+  case ModelKind::SAGE:
+    return "sage";
+  case ModelKind::GATMultiHead:
+    return "gat2h";
+  }
+  graniiUnreachable("unknown model kind");
+}
+
+std::vector<ModelKind> granii::allModels() {
+  return {ModelKind::GCN, ModelKind::GIN, ModelKind::SGC, ModelKind::TAGCN,
+          ModelKind::GAT};
+}
+
+std::vector<ModelKind> granii::extendedModels() {
+  std::vector<ModelKind> Models = allModels();
+  Models.push_back(ModelKind::SAGE);
+  Models.push_back(ModelKind::GATMultiHead);
+  return Models;
+}
+
+std::string granii::modelDslSource(ModelKind Kind, int Hops) {
+  switch (Kind) {
+  case ModelKind::GCN:
+    // H' = relu(D^-1/2 A D^-1/2 H W), Eq. (2) form with broadcasts.
+    return R"(model GCN {
+  input graph A;
+  input features H;
+  param weight W;
+  d = inv_sqrt_degree(A);
+  h = row_scale(d, H);
+  h = aggregate(A, h);
+  h = matmul(h, W);
+  h = row_scale(d, h);
+  output relu(h);
+})";
+  case ModelKind::GIN:
+    // H' = relu(((1 + eps) H + A H) W), eps = 0.1.
+    return R"(model GIN {
+  input graph A;
+  input features H;
+  param weight W;
+  h = add(scale(1.1, H), aggregate(A, H));
+  output relu(matmul(h, W));
+})";
+  case ModelKind::SGC: {
+    // H' = S^k H W with S = D^-1/2 A D^-1/2; no nonlinearity.
+    std::string Body = R"(model SGC {
+  input graph A;
+  input features H;
+  param weight W;
+  d = inv_sqrt_degree(A);
+  h = H;
+)";
+    for (int Hop = 0; Hop < Hops; ++Hop)
+      Body += "  h = row_scale(d, h);\n"
+              "  h = aggregate(A, h);\n"
+              "  h = row_scale(d, h);\n";
+    Body += "  output matmul(h, W);\n}";
+    return Body;
+  }
+  case ModelKind::TAGCN: {
+    // H' = relu(sum_j S^j H W_j), j = 0..Hops.
+    std::string Body = R"(model TAGCN {
+  input graph A;
+  input features H;
+)";
+    for (int J = 0; J <= Hops; ++J)
+      Body += "  param weight W" + std::to_string(J) + ";\n";
+    Body += "  d = inv_sqrt_degree(A);\n  s0 = H;\n";
+    for (int J = 1; J <= Hops; ++J) {
+      std::string Prev = "s" + std::to_string(J - 1);
+      std::string Cur = "s" + std::to_string(J);
+      Body += "  " + Cur + " = row_scale(d, " + Prev + ");\n";
+      Body += "  " + Cur + " = aggregate(A, " + Cur + ");\n";
+      Body += "  " + Cur + " = row_scale(d, " + Cur + ");\n";
+    }
+    Body += "  output relu(add(";
+    for (int J = 0; J <= Hops; ++J) {
+      if (J != 0)
+        Body += ", ";
+      Body += "matmul(s" + std::to_string(J) + ", W" + std::to_string(J) + ")";
+    }
+    Body += "));\n}";
+    return Body;
+  }
+  case ModelKind::SAGE:
+    // GraphSAGE-mean: H' = relu(H Wself + mean_N(H) Wneigh); the mean is
+    // D^-1 A H, expressible as a diagonal scaling of the aggregation.
+    return R"(model SAGE {
+  input graph A;
+  input features H;
+  param weight Wself;
+  param weight Wneigh;
+  dinv = inv_degree(A);
+  m = row_scale(dinv, aggregate(A, H));
+  output relu(add(matmul(H, Wself), matmul(m, Wneigh)));
+})";
+  case ModelKind::GATMultiHead:
+    // Two additive attention heads, each with its own update weights and
+    // attention vectors; every head makes its own reuse/recompute choice.
+    return R"(model GAT2H {
+  input graph A;
+  input features H;
+  param weight W0;
+  param weight W1;
+  param attn_src as0;
+  param attn_dst ad0;
+  param attn_src as1;
+  param attn_dst ad1;
+  t0 = matmul(H, W0);
+  a0 = attention(A, t0, as0, ad0);
+  t1 = matmul(H, W1);
+  a1 = attention(A, t1, as1, ad1);
+  output relu(add(aggregate(a0, t0), aggregate(a1, t1)));
+})";
+  case ModelKind::GAT:
+    // alpha = Atten(A, H W, a); H' = relu(alpha (H W)), Eqs. (4)-(5).
+    return R"(model GAT {
+  input graph A;
+  input features H;
+  param weight W;
+  param attn_src asrc;
+  param attn_dst adst;
+  theta = matmul(H, W);
+  alpha = attention(A, theta, asrc, adst);
+  h = aggregate(alpha, theta);
+  output relu(h);
+})";
+  }
+  graniiUnreachable("unknown model kind");
+}
+
+GnnModel granii::makeModel(ModelKind Kind, int Hops) {
+  std::string Error;
+  std::optional<ParsedModel> Parsed =
+      parseModelDsl(modelDslSource(Kind, Hops), &Error);
+  if (!Parsed)
+    GRANII_FATAL("internal model DSL failed to parse: " + Error);
+
+  GnnModel Model;
+  Model.Kind = Kind;
+  Model.Name = Parsed->Name;
+  Model.Root = Parsed->Root;
+  Model.UsesAttention =
+      Kind == ModelKind::GAT || Kind == ModelKind::GATMultiHead;
+  if (Kind == ModelKind::SGC || Kind == ModelKind::TAGCN)
+    Model.Hops = Hops;
+  Model.WeightCount = Kind == ModelKind::TAGCN ? Hops + 1
+                      : Kind == ModelKind::SAGE ||
+                              Kind == ModelKind::GATMultiHead
+                          ? 2
+                          : 1;
+  return Model;
+}

@@ -1,0 +1,55 @@
+//===- Models.h - The five evaluated GNN models -----------------*- C++ -*-===//
+///
+/// \file
+/// Definitions of the paper's five GNN models (GCN, GIN, SGC, TAGCN, GAT)
+/// written in the message-passing DSL and lowered through the front end,
+/// exactly the path a user's framework code takes (paper §VI-B). Multi-hop
+/// models (SGC, TAGCN) default to two hops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_MODELS_MODELS_H
+#define GRANII_MODELS_MODELS_H
+
+#include "ir/MatrixIR.h"
+
+#include <string>
+#include <vector>
+
+namespace granii {
+
+/// The evaluated model family.
+enum class ModelKind { GCN, GIN, SGC, TAGCN, GAT, SAGE, GATMultiHead };
+
+/// Canonical lowercase name ("gcn", ...).
+std::string modelName(ModelKind Kind);
+
+/// The five models of the paper's main evaluation, in the paper's order.
+std::vector<ModelKind> allModels();
+
+/// The main five plus the extensions: GraphSAGE-mean (paper §VI-E
+/// evaluates SAGE through sampling) and a two-head additive GAT (the GAT
+/// paper's multi-head attention; heads enumerate their reuse/recompute
+/// decisions independently).
+std::vector<ModelKind> extendedModels();
+
+/// The DSL source of one layer of \p Kind (\p Hops applies to SGC/TAGCN).
+std::string modelDslSource(ModelKind Kind, int Hops = 2);
+
+/// A GNN layer: name plus lowered matrix IR.
+struct GnnModel {
+  ModelKind Kind = ModelKind::GCN;
+  std::string Name;
+  IRNodeRef Root;
+  int Hops = 0;          ///< 0 when not applicable
+  int WeightCount = 1;   ///< number of weight matrices (TAGCN: Hops + 1)
+  bool UsesAttention = false;
+};
+
+/// Builds \p Kind by parsing its DSL source; aborts on frontend errors
+/// (the sources are fixed and tested).
+GnnModel makeModel(ModelKind Kind, int Hops = 2);
+
+} // namespace granii
+
+#endif // GRANII_MODELS_MODELS_H

@@ -1,0 +1,192 @@
+//===- CodeGen.cpp - Conditional dispatch code generation --------------------===//
+
+#include "runtime/CodeGen.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace granii;
+
+namespace {
+
+/// C++ expression for one step's kernel call.
+std::string callExprOf(const CompositionPlan &Plan, const PlanStep &Step) {
+  auto Ref = [&](int Id) {
+    const PlanValue &Val = Plan.Values[static_cast<size_t>(Id)];
+    return Val.InputRole ? Val.DebugName : "v" + std::to_string(Id);
+  };
+  auto Arg = [&](int I) { return Ref(Step.Operands[I]); };
+
+  switch (Step.Op) {
+  case StepOp::Gemm:
+    return "kernels::gemm(" + Arg(0) + ", " + Arg(1) + ")";
+  case StepOp::SpmmWeighted:
+    return "kernels::spmm(" + Arg(0) + ", " + Arg(1) +
+           ", Semiring::plusTimes())";
+  case StepOp::SpmmUnweighted:
+    return "kernels::spmm(" + Arg(0) + ", " + Arg(1) +
+           ", Semiring::plusCopy())";
+  case StepOp::SddmmScaleRow:
+    return "kernels::scaleSparseRows(" + Arg(1) + ", " + Arg(0) + ")";
+  case StepOp::SddmmScaleCol:
+    return "kernels::scaleSparseCols(" + Arg(0) + ", " + Arg(1) + ")";
+  case StepOp::SddmmScaleBoth:
+    return "kernels::scaleSparseBoth(" + Arg(1) + ", " + Arg(0) + ", " +
+           Arg(2) + ")";
+  case StepOp::RowBcast:
+    return "kernels::rowBroadcastMul(" + Arg(0) + ", " + Arg(1) + ")";
+  case StepOp::ColBcast:
+    return "kernels::colBroadcastMul(" + Arg(0) + ", " + Arg(1) + ")";
+  case StepOp::DiagDiag:
+    return "diagMul(" + Arg(0) + ", " + Arg(1) + ")";
+  case StepOp::AddDense:
+    return "kernels::addMatrices(" + Arg(0) + ", " + Arg(1) + ")";
+  case StepOp::ScaleDense:
+    return "kernels::scaleMatrix(" + Arg(0) + ", " +
+           std::to_string(Step.Param) + "f)";
+  case StepOp::Relu:
+    return "kernels::relu(" + Arg(0) + ")";
+  case StepOp::DegreeOffsets:
+    return "kernels::degreeFromOffsets(" + Arg(0) + ")";
+  case StepOp::DegreeBinning:
+    return "kernels::degreeByBinning(" + Arg(0) + ")";
+  case StepOp::InvSqrtVec:
+    return "kernels::invSqrt(" + Arg(0) + ")";
+  case StepOp::InvVec:
+    return "kernels::invDegree(" + Arg(0) + ")";
+  case StepOp::AttnGemv:
+    return "kernels::gemv(" + Arg(0) + ", " + Arg(1) + ")";
+  case StepOp::EdgeLogits:
+    return "withValues(" + Arg(0) + ", kernels::sddmmAddScalars(" + Arg(0) +
+           ", " + Arg(1) + ", " + Arg(2) + "))";
+  case StepOp::EdgeLeakyRelu:
+    return "withValues(" + Arg(0) + ", kernels::leakyReluEdges(" + Arg(0) +
+           ".values(), " + std::to_string(Step.Param) + "f))";
+  case StepOp::EdgeSoftmax:
+    return "withValues(" + Arg(0) + ", kernels::edgeSoftmax(" + Arg(0) +
+           ", " + Arg(0) + ".values()))";
+  }
+  graniiUnreachable("unknown step op");
+}
+
+/// Declared C++ type of a plan value.
+const char *typeOf(const PlanValue &Val) {
+  switch (Val.Kind) {
+  case PlanValueKind::Dense:
+    return "DenseMatrix";
+  case PlanValueKind::Sparse:
+    return "CsrMatrix";
+  case PlanValueKind::Diag:
+  case PlanValueKind::NodeVec:
+    return "std::vector<float>";
+  }
+  return "auto";
+}
+
+} // namespace
+
+std::string granii::generatePlanCode(const CompositionPlan &Plan,
+                                     const std::string &FunctionName) {
+  std::string Setup, Iter;
+  bool AnySetup = false;
+  for (const PlanStep &Step : Plan.Steps) {
+    const PlanValue &Result = Plan.Values[static_cast<size_t>(Step.Result)];
+    std::string Line = std::string("  ") + typeOf(Result) + " v" +
+                       std::to_string(Step.Result) + " = " +
+                       callExprOf(Plan, Step) + ";\n";
+    if (Step.Setup) {
+      Setup += Line;
+      AnySetup = true;
+    } else {
+      Iter += Line;
+    }
+  }
+
+  std::string Out;
+  if (AnySetup) {
+    Out += "// Graph-only computation, hoisted out of the iteration loop.\n";
+    Out += "SetupState " + FunctionName + "_setup(const Inputs &In) {\n";
+    Out += Setup;
+    Out += "  return captureSetup();\n}\n\n";
+  }
+  Out += "DenseMatrix " + FunctionName + "(const Inputs &In";
+  if (AnySetup)
+    Out += ", const SetupState &S";
+  Out += ") {\n";
+  Out += Iter;
+  Out += "  return v" + std::to_string(Plan.OutputValue) + ";\n}\n";
+  return Out;
+}
+
+std::string
+granii::generateDispatchCode(const std::string &ModelName,
+                             const std::vector<CompositionPlan> &Promoted) {
+  assert(!Promoted.empty() && "nothing to dispatch over");
+
+  // Partition candidates per embedding-size scenario.
+  std::vector<size_t> GeOnly, LtOnly, Both;
+  for (size_t I = 0; I < Promoted.size(); ++I) {
+    if (Promoted[I].ViableGe && Promoted[I].ViableLt)
+      Both.push_back(I);
+    else if (Promoted[I].ViableGe)
+      GeOnly.push_back(I);
+    else
+      LtOnly.push_back(I);
+  }
+
+  auto FnName = [&](size_t I) {
+    return ModelName + "_candidate" + std::to_string(I);
+  };
+
+  auto EmitBranch = [&](const std::vector<size_t> &Candidates,
+                        const std::string &Indent) {
+    std::string Out;
+    if (Candidates.size() == 1) {
+      // Pure embedding-size condition: no cost models needed (Fig. 7's
+      // cheap path).
+      Out += Indent + "return " + FnName(Candidates[0]) + "(In);\n";
+      return Out;
+    }
+    Out += Indent + "// Cost-model comparison over the remaining "
+                    "candidates.\n";
+    Out += Indent + "GraphFeatures F = featurize(In.Graph);\n";
+    for (size_t I : Candidates)
+      Out += Indent + "double c" + std::to_string(I) + " = " + "planCost_" +
+             FnName(I) + "(F, In.KIn, In.KOut, Iterations);\n";
+    std::string Min = "std::min({";
+    for (size_t J = 0; J < Candidates.size(); ++J) {
+      if (J)
+        Min += ", ";
+      Min += "c" + std::to_string(Candidates[J]);
+    }
+    Min += "})";
+    for (size_t I : Candidates)
+      Out += Indent + "if (c" + std::to_string(I) + " == " + Min +
+             ") return " + FnName(I) + "(In);\n";
+    return Out;
+  };
+
+  std::string Out;
+  Out += "// Generated by GRANII for model '" + ModelName + "' (paper "
+         "Fig. 7):\n";
+  Out += "// " + std::to_string(Promoted.size()) +
+         " promoted candidates; size-only conditions where possible.\n\n";
+  Out += "DenseMatrix " + ModelName + "_forward(const Inputs &In) {\n";
+
+  std::vector<size_t> GeBranch = GeOnly, LtBranch = LtOnly;
+  GeBranch.insert(GeBranch.end(), Both.begin(), Both.end());
+  LtBranch.insert(LtBranch.end(), Both.begin(), Both.end());
+
+  Out += "  if (In.KIn >= In.KOut) {\n";
+  Out += EmitBranch(GeBranch, "    ");
+  Out += "  } else {\n";
+  Out += EmitBranch(LtBranch, "    ");
+  Out += "  }\n";
+  Out += "  __builtin_unreachable();\n";
+  Out += "}\n\n";
+
+  for (size_t I = 0; I < Promoted.size(); ++I)
+    Out += generatePlanCode(Promoted[I], FnName(I)) + "\n";
+  return Out;
+}

@@ -1,0 +1,38 @@
+//===- CodeGen.h - Conditional dispatch code generation ---------*- C++ -*-===//
+///
+/// \file
+/// GRANII's final offline stage (paper §IV-D, Fig. 7): emit the promoted
+/// candidates as conditionally executed code. Candidates viable in only
+/// one embedding-size scenario dispatch on a pure `K_in >= K_out` test;
+/// the rest compare learned cost-model sums at runtime. The emitted text
+/// is compilable C++-styled pseudocode against this library's kernel API —
+/// it documents exactly what the runtime's interpreter executes, and is
+/// what a standalone deployment would paste into its build.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_RUNTIME_CODEGEN_H
+#define GRANII_RUNTIME_CODEGEN_H
+
+#include "assoc/Composition.h"
+
+#include <string>
+#include <vector>
+
+namespace granii {
+
+/// Emits the kernel-call sequence of one plan as a function body.
+/// Setup steps are separated into a `<name>_setup` function that the
+/// iteration loop does not re-execute.
+std::string generatePlanCode(const CompositionPlan &Plan,
+                             const std::string &FunctionName);
+
+/// Emits the full conditional dispatcher over \p Promoted (paper Fig. 7):
+/// embedding-size conditions first, cost-model comparisons for the rest,
+/// then one emitted function per candidate.
+std::string generateDispatchCode(const std::string &ModelName,
+                                 const std::vector<CompositionPlan> &Promoted);
+
+} // namespace granii
+
+#endif // GRANII_RUNTIME_CODEGEN_H

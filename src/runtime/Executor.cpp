@@ -1,0 +1,616 @@
+//===- Executor.cpp - Composition plan execution -----------------------------===//
+
+#include "runtime/Executor.h"
+
+#include "kernels/Kernels.h"
+#include "support/Error.h"
+#include "support/Timer.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace granii;
+
+DimBinding LayerInputs::binding() const {
+  assert(Adjacency && Features && !Weights.empty() &&
+         "layer inputs incomplete");
+  DimBinding B;
+  B.N = Adjacency->rows();
+  B.E = Adjacency->nnz();
+  B.KIn = Features->cols();
+  B.KOut = Weights.begin()->second->cols();
+  return B;
+}
+
+double Executor::timeKernel(const PrimitiveDesc &Desc, const GraphStats &Stats,
+                            const std::function<void()> &Body,
+                            bool Idempotent) const {
+  if (Hw.kind() == PlatformKind::Measured) {
+    if (Idempotent)
+      Body(); // Warm-up: caches and page faults are not per-iteration costs.
+    Timer T;
+    Body();
+    return T.seconds();
+  }
+  Body(); // Execute for correctness; charge analytic time.
+  return Hw.estimateSeconds(Desc, &Stats);
+}
+
+namespace {
+
+/// Runtime storage for one plan value. Inputs alias caller tensors; all
+/// produced values are owned.
+struct RtValue {
+  PlanValueKind Kind = PlanValueKind::Dense;
+  DenseMatrix Dense;
+  CsrMatrix Sparse;
+  std::vector<float> Vec; // diagonal or node vector
+  const DenseMatrix *DenseRef = nullptr;
+  const CsrMatrix *SparseRef = nullptr;
+
+  const DenseMatrix &dense() const { return DenseRef ? *DenseRef : Dense; }
+  const CsrMatrix &sparse() const { return SparseRef ? *SparseRef : Sparse; }
+};
+
+/// Gradient accumulators per value.
+struct RtGrad {
+  DenseMatrix Dense;        ///< for Dense values
+  std::vector<float> Vec;   ///< for Diag / NodeVec values
+  std::vector<float> Edge;  ///< for Sparse values (per-edge grads)
+  bool Present = false;
+};
+
+/// Values that transitively depend on learned parameters or features, i.e.
+/// the ones the backward pass must reach.
+std::vector<bool> gradPath(const CompositionPlan &Plan) {
+  std::vector<bool> Need(Plan.Values.size(), false);
+  for (size_t V = 0; V < Plan.Values.size(); ++V) {
+    const PlanValue &Val = Plan.Values[V];
+    if (Val.InputRole && *Val.InputRole != LeafRole::Adjacency &&
+        *Val.InputRole != LeafRole::DegreeNorm &&
+        *Val.InputRole != LeafRole::DegreeInv)
+      Need[V] = true;
+  }
+  for (const PlanStep &Step : Plan.Steps) {
+    bool Any = false;
+    for (int Id : Step.Operands)
+      Any |= Need[static_cast<size_t>(Id)];
+    Need[static_cast<size_t>(Step.Result)] = Any;
+  }
+  return Need;
+}
+
+/// Forward interpreter shared by run() and runTraining().
+class PlanInterpreter {
+public:
+  PlanInterpreter(const Executor &Exec, const CompositionPlan &Plan,
+                  const LayerInputs &Inputs, const GraphStats &Stats)
+      : Exec(Exec), Plan(Plan), Inputs(Inputs), Stats(Stats),
+        Descs(Plan.primitiveDescs(Inputs.binding())),
+        Values(Plan.Values.size()) {}
+
+  ExecResult forward();
+  void backward(ExecResult &Result);
+
+private:
+  void bindInput(size_t Id, const PlanValue &Def);
+  void execStep(size_t StepIdx, ExecResult &Result);
+
+  RtValue &val(int Id) { return Values[static_cast<size_t>(Id)]; }
+
+  double charge(size_t StepIdx, const std::function<void()> &Body) {
+    // Forward steps assign their result from scratch: safe to warm up.
+    return Exec.timeKernel(Descs[StepIdx], Stats, Body, /*Idempotent=*/true);
+  }
+
+  /// Charges an ad-hoc backward primitive.
+  double chargeDesc(const PrimitiveDesc &Desc,
+                    const std::function<void()> &Body) {
+    return Exec.timeKernel(Desc, Stats, Body);
+  }
+
+  const Executor &Exec;
+  const CompositionPlan &Plan;
+  const LayerInputs &Inputs;
+  const GraphStats &Stats;
+  std::vector<PrimitiveDesc> Descs;
+  std::vector<RtValue> Values;
+};
+
+void PlanInterpreter::bindInput(size_t Id, const PlanValue &Def) {
+  RtValue &V = Values[Id];
+  V.Kind = Def.Kind;
+  switch (*Def.InputRole) {
+  case LeafRole::Adjacency:
+    V.SparseRef = Inputs.Adjacency;
+    return;
+  case LeafRole::Features:
+    V.DenseRef = Inputs.Features;
+    return;
+  case LeafRole::Weight: {
+    auto It = Inputs.Weights.find(Def.DebugName);
+    if (It == Inputs.Weights.end())
+      GRANII_FATAL("no weight bound for leaf '" + Def.DebugName + "'");
+    V.DenseRef = It->second;
+    return;
+  }
+  case LeafRole::AttnSrcVec:
+  case LeafRole::AttnDstVec: {
+    auto It = Inputs.AttnVecs.find(Def.DebugName);
+    if (It == Inputs.AttnVecs.end())
+      GRANII_FATAL("no attention vector bound for leaf '" + Def.DebugName +
+                   "'");
+    V.Vec = *It->second;
+    V.Kind = PlanValueKind::NodeVec;
+    return;
+  }
+  case LeafRole::DegreeNorm:
+  case LeafRole::DegreeInv:
+    GRANII_FATAL("degree normalizations are derived, never direct inputs");
+  }
+}
+
+void PlanInterpreter::execStep(size_t StepIdx, ExecResult &Result) {
+  const PlanStep &Step = Plan.Steps[StepIdx];
+  RtValue &Out = val(Step.Result);
+  Out.Kind = Plan.Values[static_cast<size_t>(Step.Result)].Kind;
+  auto Op = [&](int I) -> RtValue & { return val(Step.Operands[I]); };
+
+  double Seconds = 0.0;
+  switch (Step.Op) {
+  case StepOp::Gemm:
+    Seconds = charge(StepIdx, [&] {
+      Out.Dense = kernels::gemm(Op(0).dense(), Op(1).dense());
+    });
+    break;
+  case StepOp::SpmmWeighted:
+    Seconds = charge(StepIdx, [&] {
+      Out.Dense = kernels::spmm(Op(0).sparse(), Op(1).dense(),
+                                Semiring::plusTimes());
+    });
+    break;
+  case StepOp::SpmmUnweighted:
+    Seconds = charge(StepIdx, [&] {
+      Out.Dense = kernels::spmm(Op(0).sparse(), Op(1).dense(),
+                                Semiring::plusCopy());
+    });
+    break;
+  case StepOp::SddmmScaleRow:
+    Seconds = charge(StepIdx, [&] {
+      Out.Sparse = kernels::scaleSparseRows(Op(1).sparse(), Op(0).Vec);
+    });
+    break;
+  case StepOp::SddmmScaleCol:
+    Seconds = charge(StepIdx, [&] {
+      Out.Sparse = kernels::scaleSparseCols(Op(0).sparse(), Op(1).Vec);
+    });
+    break;
+  case StepOp::SddmmScaleBoth:
+    Seconds = charge(StepIdx, [&] {
+      Out.Sparse =
+          kernels::scaleSparseBoth(Op(1).sparse(), Op(0).Vec, Op(2).Vec);
+    });
+    break;
+  case StepOp::RowBcast:
+    Seconds = charge(StepIdx, [&] {
+      Out.Dense = kernels::rowBroadcastMul(Op(0).Vec, Op(1).dense());
+    });
+    break;
+  case StepOp::ColBcast:
+    Seconds = charge(StepIdx, [&] {
+      Out.Dense = kernels::colBroadcastMul(Op(0).dense(), Op(1).Vec);
+    });
+    break;
+  case StepOp::DiagDiag:
+    Seconds = charge(StepIdx, [&] {
+      const std::vector<float> &L = Op(0).Vec;
+      const std::vector<float> &R = Op(1).Vec;
+      Out.Vec.resize(L.size());
+      for (size_t I = 0; I < L.size(); ++I)
+        Out.Vec[I] = L[I] * R[I];
+    });
+    break;
+  case StepOp::AddDense:
+    Seconds = charge(StepIdx, [&] {
+      Out.Dense = kernels::addMatrices(Op(0).dense(), Op(1).dense());
+    });
+    break;
+  case StepOp::ScaleDense:
+    Seconds = charge(StepIdx, [&] {
+      Out.Dense = kernels::scaleMatrix(Op(0).dense(),
+                                       static_cast<float>(Step.Param));
+    });
+    break;
+  case StepOp::Relu:
+    Seconds = charge(StepIdx, [&] { Out.Dense = kernels::relu(Op(0).dense()); });
+    break;
+  case StepOp::DegreeOffsets:
+    Seconds = charge(StepIdx, [&] {
+      Out.Vec = kernels::degreeFromOffsets(Op(0).sparse());
+    });
+    break;
+  case StepOp::DegreeBinning:
+    Seconds = charge(StepIdx, [&] {
+      Out.Vec = kernels::degreeByBinning(Op(0).sparse());
+    });
+    break;
+  case StepOp::InvSqrtVec:
+    Seconds = charge(StepIdx, [&] { Out.Vec = kernels::invSqrt(Op(0).Vec); });
+    break;
+  case StepOp::InvVec:
+    Seconds =
+        charge(StepIdx, [&] { Out.Vec = kernels::invDegree(Op(0).Vec); });
+    break;
+  case StepOp::AttnGemv:
+    Seconds = charge(StepIdx, [&] {
+      Out.Vec = kernels::gemv(Op(0).dense(), Op(1).Vec);
+    });
+    break;
+  case StepOp::EdgeLogits:
+    Seconds = charge(StepIdx, [&] {
+      const CsrMatrix &Mask = Op(0).sparse();
+      std::vector<float> Vals =
+          kernels::sddmmAddScalars(Mask, Op(1).Vec, Op(2).Vec);
+      Out.Sparse = CsrMatrix(Mask.rows(), Mask.cols(), Mask.rowOffsets(),
+                             Mask.colIndices(), std::move(Vals));
+    });
+    break;
+  case StepOp::EdgeLeakyRelu:
+    Seconds = charge(StepIdx, [&] {
+      const CsrMatrix &In = Op(0).sparse();
+      std::vector<float> Vals = kernels::leakyReluEdges(
+          In.values(), static_cast<float>(Step.Param));
+      Out.Sparse = CsrMatrix(In.rows(), In.cols(), In.rowOffsets(),
+                             In.colIndices(), std::move(Vals));
+    });
+    break;
+  case StepOp::EdgeSoftmax:
+    Seconds = charge(StepIdx, [&] {
+      const CsrMatrix &In = Op(0).sparse();
+      std::vector<float> Vals = kernels::edgeSoftmax(In, In.values());
+      Out.Sparse = CsrMatrix(In.rows(), In.cols(), In.rowOffsets(),
+                             In.colIndices(), std::move(Vals));
+    });
+    break;
+  }
+
+  Result.StepSeconds[StepIdx] = Seconds;
+  if (Step.Setup)
+    Result.SetupSeconds += Seconds;
+  else
+    Result.ForwardSeconds += Seconds;
+}
+
+ExecResult PlanInterpreter::forward() {
+  ExecResult Result;
+  Result.StepSeconds.assign(Plan.Steps.size(), 0.0);
+  for (size_t V = 0; V < Plan.Values.size(); ++V)
+    if (Plan.Values[V].InputRole)
+      bindInput(V, Plan.Values[V]);
+  for (size_t S = 0; S < Plan.Steps.size(); ++S)
+    execStep(S, Result);
+  const RtValue &Out = val(Plan.OutputValue);
+  assert(Out.Kind == PlanValueKind::Dense && "layer output must be dense");
+  Result.Output = Out.dense();
+  return Result;
+}
+
+void PlanInterpreter::backward(ExecResult &Result) {
+  std::vector<bool> Need = gradPath(Plan);
+  std::vector<RtGrad> Grads(Plan.Values.size());
+  const DimBinding Binding = Inputs.binding();
+
+  auto EnsureDense = [&](int Id) -> DenseMatrix & {
+    RtGrad &G = Grads[static_cast<size_t>(Id)];
+    if (!G.Present) {
+      const RtValue &V = Values[static_cast<size_t>(Id)];
+      G.Dense = DenseMatrix(V.dense().rows(), V.dense().cols());
+      G.Present = true;
+    }
+    return G.Dense;
+  };
+  auto EnsureVec = [&](int Id) -> std::vector<float> & {
+    RtGrad &G = Grads[static_cast<size_t>(Id)];
+    if (!G.Present) {
+      G.Vec.assign(Values[static_cast<size_t>(Id)].Vec.size(), 0.0f);
+      G.Present = true;
+    }
+    return G.Vec;
+  };
+  auto EnsureEdge = [&](int Id) -> std::vector<float> & {
+    RtGrad &G = Grads[static_cast<size_t>(Id)];
+    if (!G.Present) {
+      G.Edge.assign(
+          static_cast<size_t>(Values[static_cast<size_t>(Id)].sparse().nnz()),
+          0.0f);
+      G.Present = true;
+    }
+    return G.Edge;
+  };
+
+  // Seed dL/dOut = 1.
+  {
+    DenseMatrix &Seed = EnsureDense(Plan.OutputValue);
+    Seed.fill(1.0f);
+  }
+
+  double Backward = 0.0;
+  for (size_t SI = Plan.Steps.size(); SI-- > 0;) {
+    const PlanStep &Step = Plan.Steps[SI];
+    RtGrad &OutG = Grads[static_cast<size_t>(Step.Result)];
+    if (!OutG.Present)
+      continue;
+    auto OpId = [&](int I) { return Step.Operands[I]; };
+    auto NeedOp = [&](int I) {
+      return Need[static_cast<size_t>(Step.Operands[I])];
+    };
+    auto OpVal = [&](int I) -> const RtValue & {
+      return Values[static_cast<size_t>(Step.Operands[I])];
+    };
+
+    switch (Step.Op) {
+    case StepOp::Gemm: {
+      const DenseMatrix &A = OpVal(0).dense();
+      const DenseMatrix &B = OpVal(1).dense();
+      if (NeedOp(0)) {
+        PrimitiveDesc D{PrimitiveKind::Gemm, A.rows(), A.cols(), B.cols(), 0};
+        Backward += chargeDesc(D, [&] {
+          DenseMatrix DA = kernels::gemmTransposedRhs(OutG.Dense, B);
+          kernels::axpyInto(1.0f, DA, EnsureDense(OpId(0)));
+        });
+      }
+      if (NeedOp(1)) {
+        PrimitiveDesc D{PrimitiveKind::Gemm, A.cols(), B.cols(), A.rows(), 0};
+        Backward += chargeDesc(D, [&] {
+          DenseMatrix DB = kernels::gemmTransposedLhs(A, OutG.Dense);
+          kernels::axpyInto(1.0f, DB, EnsureDense(OpId(1)));
+        });
+      }
+      break;
+    }
+    case StepOp::SpmmWeighted:
+    case StepOp::SpmmUnweighted: {
+      const CsrMatrix &S = OpVal(0).sparse();
+      const DenseMatrix &X = OpVal(1).dense();
+      if (NeedOp(1)) {
+        // dX += S^T dY. The transpose pass is charged as an edge-map.
+        PrimitiveDesc TD{PrimitiveKind::EdgeElementwise, S.rows(), 0, 0,
+                         S.nnz()};
+        CsrMatrix ST;
+        Backward += chargeDesc(TD, [&] { ST = S.transposed(); });
+        PrimitiveDesc D{Step.Op == StepOp::SpmmWeighted
+                            ? PrimitiveKind::SpMMWeighted
+                            : PrimitiveKind::SpMMUnweighted,
+                        S.cols(), X.cols(), 0, S.nnz()};
+        Backward += chargeDesc(D, [&] {
+          DenseMatrix DX =
+              kernels::spmm(ST, OutG.Dense,
+                            Step.Op == StepOp::SpmmWeighted
+                                ? Semiring::plusTimes()
+                                : Semiring::plusCopy());
+          kernels::axpyInto(1.0f, DX, EnsureDense(OpId(1)));
+        });
+      }
+      if (NeedOp(0)) {
+        // dS_ij += dY_i . X_j (SDDMM at the sparse pattern).
+        PrimitiveDesc D{PrimitiveKind::SddmmDot, S.rows(), 0, X.cols(),
+                        S.nnz()};
+        Backward += chargeDesc(D, [&] {
+          std::vector<float> DS = kernels::sddmm(S, OutG.Dense, X);
+          std::vector<float> &Acc = EnsureEdge(OpId(0));
+          for (size_t I = 0; I < DS.size(); ++I)
+            Acc[I] += DS[I];
+        });
+      }
+      break;
+    }
+    case StepOp::SddmmScaleRow:
+    case StepOp::SddmmScaleCol:
+    case StepOp::SddmmScaleBoth:
+      // Scale operands are graph-only (normalization); no parameters can
+      // sit behind them in the evaluated models.
+      break;
+    case StepOp::RowBcast: {
+      if (NeedOp(1)) {
+        const std::vector<float> &Dv = OpVal(0).Vec;
+        PrimitiveDesc D{PrimitiveKind::RowBroadcast, OutG.Dense.rows(),
+                        OutG.Dense.cols(), 0, 0};
+        Backward += chargeDesc(D, [&] {
+          DenseMatrix DH = kernels::rowBroadcastMul(Dv, OutG.Dense);
+          kernels::axpyInto(1.0f, DH, EnsureDense(OpId(1)));
+        });
+      }
+      break;
+    }
+    case StepOp::ColBcast: {
+      if (NeedOp(0)) {
+        const std::vector<float> &Dv = OpVal(1).Vec;
+        PrimitiveDesc D{PrimitiveKind::ColBroadcast, OutG.Dense.rows(),
+                        OutG.Dense.cols(), 0, 0};
+        Backward += chargeDesc(D, [&] {
+          DenseMatrix DH = kernels::colBroadcastMul(OutG.Dense, Dv);
+          kernels::axpyInto(1.0f, DH, EnsureDense(OpId(0)));
+        });
+      }
+      break;
+    }
+    case StepOp::DiagDiag:
+    case StepOp::DegreeOffsets:
+    case StepOp::DegreeBinning:
+    case StepOp::InvSqrtVec:
+    case StepOp::InvVec:
+      break; // Graph-only.
+    case StepOp::AddDense: {
+      PrimitiveDesc D{PrimitiveKind::AddDense, OutG.Dense.rows(),
+                      OutG.Dense.cols(), 0, 0};
+      for (int I = 0; I < 2; ++I)
+        if (NeedOp(I))
+          Backward += chargeDesc(D, [&] {
+            kernels::axpyInto(1.0f, OutG.Dense, EnsureDense(OpId(I)));
+          });
+      break;
+    }
+    case StepOp::ScaleDense: {
+      if (NeedOp(0)) {
+        PrimitiveDesc D{PrimitiveKind::DenseMap, OutG.Dense.rows(),
+                        OutG.Dense.cols(), 0, 0};
+        Backward += chargeDesc(D, [&] {
+          kernels::axpyInto(static_cast<float>(Step.Param), OutG.Dense,
+                            EnsureDense(OpId(0)));
+        });
+      }
+      break;
+    }
+    case StepOp::Relu: {
+      if (NeedOp(0)) {
+        PrimitiveDesc D{PrimitiveKind::DenseMap, OutG.Dense.rows(),
+                        OutG.Dense.cols(), 0, 0};
+        Backward += chargeDesc(D, [&] {
+          DenseMatrix DI = kernels::reluBackward(OpVal(0).dense(), OutG.Dense);
+          kernels::axpyInto(1.0f, DI, EnsureDense(OpId(0)));
+        });
+      }
+      break;
+    }
+    case StepOp::AttnGemv: {
+      const DenseMatrix &Theta = OpVal(0).dense();
+      const std::vector<float> &AVec = OpVal(1).Vec;
+      if (NeedOp(0)) {
+        PrimitiveDesc D{PrimitiveKind::Gemm, Theta.rows(), Theta.cols(), 1, 0};
+        Backward += chargeDesc(D, [&] {
+          DenseMatrix &DTheta = EnsureDense(OpId(0));
+          for (int64_t R = 0; R < Theta.rows(); ++R) {
+            float G = OutG.Vec[static_cast<size_t>(R)];
+            if (G == 0.0f)
+              continue;
+            float *Row = DTheta.rowPtr(R);
+            for (int64_t C = 0; C < Theta.cols(); ++C)
+              Row[C] += G * AVec[static_cast<size_t>(C)];
+          }
+        });
+      }
+      if (NeedOp(1)) {
+        PrimitiveDesc D{PrimitiveKind::Gemv, Theta.rows(), 0, Theta.cols(), 0};
+        Backward += chargeDesc(D, [&] {
+          std::vector<float> &DA = EnsureVec(OpId(1));
+          for (int64_t R = 0; R < Theta.rows(); ++R) {
+            float G = OutG.Vec[static_cast<size_t>(R)];
+            const float *Row = Theta.rowPtr(R);
+            for (int64_t C = 0; C < Theta.cols(); ++C)
+              DA[static_cast<size_t>(C)] += G * Row[C];
+          }
+        });
+      }
+      break;
+    }
+    case StepOp::EdgeLogits: {
+      const CsrMatrix &Mask = OpVal(0).sparse();
+      const auto &Offsets = Mask.rowOffsets();
+      const auto &Cols = Mask.colIndices();
+      PrimitiveDesc D{PrimitiveKind::EdgeElementwise, Mask.rows(), 0, 0,
+                      Mask.nnz()};
+      if (NeedOp(1)) {
+        Backward += chargeDesc(D, [&] {
+          std::vector<float> &DSrc = EnsureVec(OpId(1));
+          for (int64_t R = 0; R < Mask.rows(); ++R)
+            for (int64_t K = Offsets[static_cast<size_t>(R)];
+                 K < Offsets[static_cast<size_t>(R) + 1]; ++K)
+              DSrc[static_cast<size_t>(R)] += OutG.Edge[static_cast<size_t>(K)];
+        });
+      }
+      if (NeedOp(2)) {
+        Backward += chargeDesc(D, [&] {
+          std::vector<float> &DDst = EnsureVec(OpId(2));
+          for (int64_t K = 0; K < Mask.nnz(); ++K)
+            DDst[static_cast<size_t>(Cols[static_cast<size_t>(K)])] +=
+                OutG.Edge[static_cast<size_t>(K)];
+        });
+      }
+      break;
+    }
+    case StepOp::EdgeLeakyRelu: {
+      if (NeedOp(0)) {
+        const CsrMatrix &In = OpVal(0).sparse();
+        PrimitiveDesc D{PrimitiveKind::EdgeElementwise, In.rows(), 0, 0,
+                        In.nnz()};
+        Backward += chargeDesc(D, [&] {
+          std::vector<float> &DIn = EnsureEdge(OpId(0));
+          const std::vector<float> &Pre = In.values();
+          float Slope = static_cast<float>(Step.Param);
+          for (size_t I = 0; I < Pre.size(); ++I)
+            DIn[I] += OutG.Edge[I] * (Pre[I] > 0.0f ? 1.0f : Slope);
+        });
+      }
+      break;
+    }
+    case StepOp::EdgeSoftmax: {
+      if (NeedOp(0)) {
+        const CsrMatrix &Alpha = Values[static_cast<size_t>(Step.Result)]
+                                     .sparse();
+        PrimitiveDesc D{PrimitiveKind::EdgeSoftmax, Alpha.rows(), 0, 0,
+                        Alpha.nnz()};
+        Backward += chargeDesc(D, [&] {
+          std::vector<float> &DIn = EnsureEdge(OpId(0));
+          const auto &Offsets = Alpha.rowOffsets();
+          const auto &AVals = Alpha.values();
+          for (int64_t R = 0; R < Alpha.rows(); ++R) {
+            int64_t Begin = Offsets[static_cast<size_t>(R)];
+            int64_t End = Offsets[static_cast<size_t>(R) + 1];
+            float Dot = 0.0f;
+            for (int64_t K = Begin; K < End; ++K)
+              Dot += AVals[static_cast<size_t>(K)] *
+                     OutG.Edge[static_cast<size_t>(K)];
+            for (int64_t K = Begin; K < End; ++K)
+              DIn[static_cast<size_t>(K)] +=
+                  AVals[static_cast<size_t>(K)] *
+                  (OutG.Edge[static_cast<size_t>(K)] - Dot);
+          }
+        });
+      }
+      break;
+    }
+    }
+  }
+  (void)Binding;
+  Result.BackwardSeconds = Backward;
+
+  // Export parameter gradients for callers (optimizer steps, grad checks).
+  for (size_t V = 0; V < Plan.Values.size(); ++V) {
+    const PlanValue &Val = Plan.Values[V];
+    if (!Val.InputRole || !Grads[V].Present)
+      continue;
+    switch (*Val.InputRole) {
+    case LeafRole::Weight:
+      Result.WeightGrads[Val.DebugName] = std::move(Grads[V].Dense);
+      break;
+    case LeafRole::Features:
+      Result.FeatureGrad = std::move(Grads[V].Dense);
+      break;
+    case LeafRole::AttnSrcVec:
+    case LeafRole::AttnDstVec:
+      Result.AttnGrads[Val.DebugName] = std::move(Grads[V].Vec);
+      break;
+    case LeafRole::Adjacency:
+    case LeafRole::DegreeNorm:
+    case LeafRole::DegreeInv:
+      break;
+    }
+  }
+}
+
+} // namespace
+
+ExecResult Executor::run(const CompositionPlan &Plan, const LayerInputs &Inputs,
+                         const GraphStats &Stats) const {
+  PlanInterpreter Interp(*this, Plan, Inputs, Stats);
+  return Interp.forward();
+}
+
+ExecResult Executor::runTraining(const CompositionPlan &Plan,
+                                 const LayerInputs &Inputs,
+                                 const GraphStats &Stats) const {
+  PlanInterpreter Interp(*this, Plan, Inputs, Stats);
+  ExecResult Result = Interp.forward();
+  Interp.backward(Result);
+  return Result;
+}

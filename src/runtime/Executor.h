@@ -1,0 +1,103 @@
+//===- Executor.h - Composition plan execution ------------------*- C++ -*-===//
+///
+/// \file
+/// Interprets CompositionPlans over concrete tensors through the kernel
+/// library, charging time per primitive according to the target platform:
+/// wall-clock on measured platforms (CPU), analytic latency on simulated
+/// ones (A100/H100). Training mode appends a reverse-mode backward pass
+/// derived per step op (the paper's GRANII optimizes only the forward pass;
+/// the backward pass always runs the step-local VJPs, which is why training
+/// speedups trail inference speedups).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_RUNTIME_EXECUTOR_H
+#define GRANII_RUNTIME_EXECUTOR_H
+
+#include "assoc/Composition.h"
+#include "graph/Graph.h"
+#include "hw/HardwareModel.h"
+#include "tensor/DenseMatrix.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace granii {
+
+/// Tensors bound to a plan's input roles. Weight matrices are looked up by
+/// leaf name ("W", or "W0".."Wk" for TAGCN).
+struct LayerInputs {
+  const CsrMatrix *Adjacency = nullptr; ///< self-loop-augmented adjacency
+  const DenseMatrix *Features = nullptr;
+  std::map<std::string, const DenseMatrix *> Weights;
+  /// Attention vectors keyed by leaf name ("asrc", "as0", ...); multi-head
+  /// GAT binds one source/destination pair per head.
+  std::map<std::string, const std::vector<float> *> AttnVecs;
+
+  /// Embedding sizes + graph sizes as a binding for cost evaluation.
+  DimBinding binding() const;
+};
+
+/// Outcome of executing a plan once.
+struct ExecResult {
+  DenseMatrix Output;
+  /// Seconds charged to steps marked Setup (hoisted; paid once).
+  double SetupSeconds = 0.0;
+  /// Seconds charged to per-iteration steps (one forward pass).
+  double ForwardSeconds = 0.0;
+  /// Seconds charged to the backward pass (0 in inference mode).
+  double BackwardSeconds = 0.0;
+  /// Per-forward-step seconds, parallel to the plan's Steps (setup steps
+  /// included); used by the runtime-breakdown experiment (Fig. 2).
+  std::vector<double> StepSeconds;
+
+  /// Gradients produced by runTraining (empty after run()): one entry per
+  /// weight leaf, keyed by its name ("W", "W0", ...), plus the feature
+  /// gradient needed by upstream layers.
+  std::map<std::string, DenseMatrix> WeightGrads;
+  DenseMatrix FeatureGrad;
+  std::map<std::string, std::vector<float>> AttnGrads;
+
+  /// Total for \p Iterations iterations with setup amortized.
+  double totalSeconds(int Iterations, bool Training) const {
+    double PerIter = ForwardSeconds + (Training ? BackwardSeconds : 0.0);
+    return SetupSeconds + PerIter * Iterations;
+  }
+};
+
+/// Executes plans on one target platform.
+class Executor {
+public:
+  explicit Executor(HardwareModel Hw) : Hw(std::move(Hw)) {}
+
+  const HardwareModel &hardware() const { return Hw; }
+
+  /// Runs the forward pass of \p Plan once.
+  ExecResult run(const CompositionPlan &Plan, const LayerInputs &Inputs,
+                 const GraphStats &Stats) const;
+
+  /// Runs forward + backward once. Gradients are computed with respect to
+  /// every weight input (and features), seeded with dL/dOut = 1.
+  ExecResult runTraining(const CompositionPlan &Plan,
+                         const LayerInputs &Inputs,
+                         const GraphStats &Stats) const;
+
+  /// Measures/estimates one primitive invocation: executes \p Body and
+  /// returns the seconds to charge for it on this platform. On measured
+  /// platforms, an \p Idempotent body is executed once as a warm-up and
+  /// timed on the second run: plan timings stand for one iteration of an
+  /// amortized loop (paper: 100 iterations), which runs warm. Bodies that
+  /// accumulate (the backward pass) must pass Idempotent = false.
+  double timeKernel(const PrimitiveDesc &Desc, const GraphStats &Stats,
+                    const std::function<void()> &Body,
+                    bool Idempotent = false) const;
+
+private:
+  HardwareModel Hw;
+};
+
+} // namespace granii
+
+#endif // GRANII_RUNTIME_EXECUTOR_H

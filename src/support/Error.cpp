@@ -1,0 +1,22 @@
+//===- Error.cpp - Fatal error and status reporting helpers --------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace granii;
+
+void granii::reportFatalError(const std::string &Msg, const char *File,
+                              int Line) {
+  std::fprintf(stderr, "granii fatal error: %s (at %s:%d)\n", Msg.c_str(),
+               File, Line);
+  std::abort();
+}
+
+void granii::graniiUnreachableImpl(const char *Msg, const char *File,
+                                   int Line) {
+  std::fprintf(stderr, "granii unreachable executed: %s (at %s:%d)\n", Msg,
+               File, Line);
+  std::abort();
+}

@@ -1,0 +1,36 @@
+//===- Error.h - Fatal error and status reporting helpers ------*- C++ -*-===//
+//
+// Part of the GRANII reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal error-handling utilities. Programmatic errors use assert() and
+/// graniiUnreachable(); recoverable errors (e.g. file IO) are reported
+/// through StatusOr-style std::optional returns with a textual reason.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_SUPPORT_ERROR_H
+#define GRANII_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace granii {
+
+/// Prints \p Msg (with source location) to stderr and aborts. Used for
+/// invariant violations that must be diagnosed even in release builds.
+[[noreturn]] void reportFatalError(const std::string &Msg, const char *File,
+                                   int Line);
+
+/// Marks a point in control flow that must never be reached.
+[[noreturn]] void graniiUnreachableImpl(const char *Msg, const char *File,
+                                        int Line);
+
+} // namespace granii
+
+#define GRANII_FATAL(Msg) ::granii::reportFatalError((Msg), __FILE__, __LINE__)
+#define graniiUnreachable(Msg)                                                 \
+  ::granii::graniiUnreachableImpl((Msg), __FILE__, __LINE__)
+
+#endif // GRANII_SUPPORT_ERROR_H

@@ -1,0 +1,16 @@
+//===- Rng.cpp - Deterministic pseudo-random number generation -----------===//
+
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace granii;
+
+double Rng::nextGaussian() {
+  // Box-Muller transform; draws until U1 is safely away from zero.
+  double U1 = nextDouble();
+  while (U1 <= 1e-300)
+    U1 = nextDouble();
+  double U2 = nextDouble();
+  return std::sqrt(-2.0 * std::log(U1)) * std::cos(6.283185307179586 * U2);
+}

@@ -1,0 +1,88 @@
+//===- Rng.h - Deterministic pseudo-random number generation ---*- C++ -*-===//
+///
+/// \file
+/// A small, fast, reproducible RNG (xoshiro256**) used by graph generators,
+/// the cost-model trainer, and the tests. std::mt19937 is avoided so that
+/// streams are identical across standard-library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_SUPPORT_RNG_H
+#define GRANII_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace granii {
+
+/// Deterministic xoshiro256** generator seeded via splitmix64.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed.
+  void reseed(uint64_t Seed) {
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      // splitmix64 step.
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// \returns the next 64 uniformly random bits.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// \returns a uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow() requires a positive bound");
+    // Lemire's multiply-shift rejection method.
+    uint64_t X = next();
+    __uint128_t M = static_cast<__uint128_t>(X) * Bound;
+    uint64_t Low = static_cast<uint64_t>(M);
+    if (Low < Bound) {
+      uint64_t Threshold = -Bound % Bound;
+      while (Low < Threshold) {
+        X = next();
+        M = static_cast<__uint128_t>(X) * Bound;
+        Low = static_cast<uint64_t>(M);
+      }
+    }
+    return static_cast<uint64_t>(M >> 64);
+  }
+
+  /// \returns a uniform double in [0, 1).
+  double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
+
+  /// \returns a uniform float in [Lo, Hi).
+  float nextFloat(float Lo, float Hi) {
+    return Lo + static_cast<float>(nextDouble()) * (Hi - Lo);
+  }
+
+  /// \returns a standard-normal sample (Box-Muller, one value per call).
+  double nextGaussian();
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace granii
+
+#endif // GRANII_SUPPORT_RNG_H

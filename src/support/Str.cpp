@@ -1,0 +1,85 @@
+//===- Str.cpp - Small string utilities -----------------------------------===//
+
+#include "support/Str.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace granii;
+
+std::vector<std::string> granii::splitString(std::string_view Text, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Begin = 0;
+  while (true) {
+    size_t End = Text.find(Sep, Begin);
+    if (End == std::string_view::npos) {
+      Parts.emplace_back(Text.substr(Begin));
+      return Parts;
+    }
+    Parts.emplace_back(Text.substr(Begin, End - Begin));
+    Begin = End + 1;
+  }
+}
+
+std::string_view granii::trimString(std::string_view Text) {
+  auto IsSpace = [](char C) {
+    return C == ' ' || C == '\t' || C == '\r' || C == '\n';
+  };
+  while (!Text.empty() && IsSpace(Text.front()))
+    Text.remove_prefix(1);
+  while (!Text.empty() && IsSpace(Text.back()))
+    Text.remove_suffix(1);
+  return Text;
+}
+
+bool granii::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string granii::joinStrings(const std::vector<std::string> &Parts,
+                                std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::string granii::formatDouble(double Value, int Digits) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Digits, Value);
+  return Buffer;
+}
+
+std::string granii::renderTable(
+    const std::vector<std::string> &Header,
+    const std::vector<std::vector<std::string>> &Rows) {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size() && C < Widths.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line = "|";
+    for (size_t C = 0; C < Widths.size(); ++C) {
+      std::string Cell = C < Row.size() ? Row[C] : "";
+      Cell.resize(Widths[C], ' ');
+      Line += " " + Cell + " |";
+    }
+    return Line + "\n";
+  };
+
+  std::string Result = RenderRow(Header);
+  std::string Rule = "|";
+  for (size_t Width : Widths)
+    Rule += std::string(Width + 2, '-') + "|";
+  Result += Rule + "\n";
+  for (const auto &Row : Rows)
+    Result += RenderRow(Row);
+  return Result;
+}

@@ -1,0 +1,41 @@
+//===- Str.h - Small string utilities --------------------------*- C++ -*-===//
+///
+/// \file
+/// String helpers shared by the DSL front end, Matrix-Market IO, and the
+/// experiment harness output code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_SUPPORT_STR_H
+#define GRANII_SUPPORT_STR_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace granii {
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trimString(std::string_view Text);
+
+/// \returns true if \p Text starts with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+/// Formats \p Value with \p Digits digits after the decimal point.
+std::string formatDouble(double Value, int Digits);
+
+/// Renders a table: a header row plus data rows, columns padded to align.
+/// Used by the experiment harnesses to print paper-style tables.
+std::string renderTable(const std::vector<std::string> &Header,
+                        const std::vector<std::vector<std::string>> &Rows);
+
+} // namespace granii
+
+#endif // GRANII_SUPPORT_STR_H

@@ -1,0 +1,39 @@
+//===- Timer.h - Wall-clock timing helpers ---------------------*- C++ -*-===//
+///
+/// \file
+/// Simple monotonic wall-clock timer used by the measured CPU hardware model
+/// and by the experiment harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_SUPPORT_TIMER_H
+#define GRANII_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace granii {
+
+/// A monotonic stopwatch. Construction starts the clock.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the clock.
+  void reset() { Start = Clock::now(); }
+
+  /// \returns elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// \returns elapsed milliseconds since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace granii
+
+#endif // GRANII_SUPPORT_TIMER_H

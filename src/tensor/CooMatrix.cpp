@@ -1,0 +1,66 @@
+//===- CooMatrix.cpp - Coordinate-format sparse builder -------------------===//
+
+#include "tensor/CooMatrix.h"
+
+#include "tensor/CsrMatrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace granii;
+
+void CooMatrix::add(int64_t Row, int64_t Col, float Value) {
+  assert(Row >= 0 && Row < NumRows && Col >= 0 && Col < NumCols &&
+         "COO entry out of range");
+  RowIdx.push_back(Row);
+  ColIdx.push_back(static_cast<int32_t>(Col));
+  Vals.push_back(Value);
+}
+
+void CooMatrix::addSymmetric(int64_t Row, int64_t Col, float Value) {
+  add(Row, Col, Value);
+  if (Row != Col)
+    add(Col, Row, Value);
+}
+
+CsrMatrix CooMatrix::toCsr(bool Unweighted) const {
+  // Sort triplet indices lexicographically by (row, col).
+  std::vector<int64_t> Order(RowIdx.size());
+  std::iota(Order.begin(), Order.end(), 0);
+  std::sort(Order.begin(), Order.end(), [&](int64_t A, int64_t B) {
+    if (RowIdx[static_cast<size_t>(A)] != RowIdx[static_cast<size_t>(B)])
+      return RowIdx[static_cast<size_t>(A)] < RowIdx[static_cast<size_t>(B)];
+    return ColIdx[static_cast<size_t>(A)] < ColIdx[static_cast<size_t>(B)];
+  });
+
+  std::vector<int64_t> Offsets(static_cast<size_t>(NumRows) + 1, 0);
+  std::vector<int32_t> Cols;
+  std::vector<float> Values;
+  Cols.reserve(RowIdx.size());
+  Values.reserve(RowIdx.size());
+
+  int64_t PrevRow = -1;
+  int32_t PrevCol = -1;
+  for (int64_t Idx : Order) {
+    int64_t R = RowIdx[static_cast<size_t>(Idx)];
+    int32_t C = ColIdx[static_cast<size_t>(Idx)];
+    float V = Vals[static_cast<size_t>(Idx)];
+    if (R == PrevRow && C == PrevCol) {
+      Values.back() += V; // Merge duplicate coordinate.
+      continue;
+    }
+    Cols.push_back(C);
+    Values.push_back(V);
+    ++Offsets[static_cast<size_t>(R) + 1];
+    PrevRow = R;
+    PrevCol = C;
+  }
+  for (int64_t R = 0; R < NumRows; ++R)
+    Offsets[static_cast<size_t>(R) + 1] += Offsets[static_cast<size_t>(R)];
+
+  if (Unweighted)
+    Values.clear();
+  return CsrMatrix(NumRows, NumCols, std::move(Offsets), std::move(Cols),
+                   std::move(Values));
+}

@@ -1,0 +1,79 @@
+//===- CsrMatrix.cpp - Compressed sparse row matrix -----------------------===//
+
+#include "tensor/CsrMatrix.h"
+
+#include "support/Error.h"
+#include "tensor/DenseMatrix.h"
+
+#include <algorithm>
+
+using namespace granii;
+
+CsrMatrix::CsrMatrix(int64_t Rows, int64_t Columns,
+                     std::vector<int64_t> Offsets, std::vector<int32_t> Cols,
+                     std::vector<float> Vals)
+    : NumRows(Rows), NumCols(Columns), RowOffsets(std::move(Offsets)),
+      ColIndices(std::move(Cols)), Values(std::move(Vals)) {
+  assert(RowOffsets.size() == static_cast<size_t>(Rows) + 1 &&
+         "row offset array must have rows()+1 entries");
+  assert((Values.empty() || Values.size() == ColIndices.size()) &&
+         "value array must be empty or match nnz");
+}
+
+void CsrMatrix::setValues(std::vector<float> Vals) {
+  assert(Vals.size() == ColIndices.size() &&
+         "value count must match structural nnz");
+  Values = std::move(Vals);
+}
+
+DenseMatrix CsrMatrix::toDense() const {
+  DenseMatrix Result(NumRows, NumCols);
+  for (int64_t R = 0; R < NumRows; ++R)
+    for (int64_t K = RowOffsets[R]; K < RowOffsets[R + 1]; ++K)
+      Result.at(R, ColIndices[static_cast<size_t>(K)]) += valueAt(K);
+  return Result;
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  std::vector<int64_t> OutOffsets(static_cast<size_t>(NumCols) + 1, 0);
+  for (int32_t Col : ColIndices)
+    ++OutOffsets[static_cast<size_t>(Col) + 1];
+  for (int64_t C = 0; C < NumCols; ++C)
+    OutOffsets[static_cast<size_t>(C) + 1] += OutOffsets[static_cast<size_t>(C)];
+
+  std::vector<int32_t> OutCols(ColIndices.size());
+  std::vector<float> OutVals(Values.empty() ? 0 : ColIndices.size());
+  std::vector<int64_t> Cursor(OutOffsets.begin(), OutOffsets.end() - 1);
+  for (int64_t R = 0; R < NumRows; ++R) {
+    for (int64_t K = RowOffsets[R]; K < RowOffsets[R + 1]; ++K) {
+      int32_t Col = ColIndices[static_cast<size_t>(K)];
+      int64_t Slot = Cursor[static_cast<size_t>(Col)]++;
+      OutCols[static_cast<size_t>(Slot)] = static_cast<int32_t>(R);
+      if (!Values.empty())
+        OutVals[static_cast<size_t>(Slot)] = Values[static_cast<size_t>(K)];
+    }
+  }
+  return CsrMatrix(NumCols, NumRows, std::move(OutOffsets), std::move(OutCols),
+                   std::move(OutVals));
+}
+
+void CsrMatrix::verify() const {
+  if (RowOffsets.size() != static_cast<size_t>(NumRows) + 1)
+    GRANII_FATAL("CSR offsets size mismatch");
+  if (RowOffsets.front() != 0 ||
+      RowOffsets.back() != static_cast<int64_t>(ColIndices.size()))
+    GRANII_FATAL("CSR offsets must start at 0 and end at nnz");
+  for (int64_t R = 0; R < NumRows; ++R) {
+    if (RowOffsets[R] > RowOffsets[R + 1])
+      GRANII_FATAL("CSR offsets not monotone");
+    for (int64_t K = RowOffsets[R]; K < RowOffsets[R + 1]; ++K) {
+      int32_t Col = ColIndices[static_cast<size_t>(K)];
+      if (Col < 0 || Col >= NumCols)
+        GRANII_FATAL("CSR column index out of range");
+      if (K > RowOffsets[R] && ColIndices[static_cast<size_t>(K - 1)] >= Col)
+        GRANII_FATAL("CSR columns not strictly increasing within a row");
+    }
+  }
+  if (!Values.empty() && Values.size() != ColIndices.size())
+    GRANII_FATAL("CSR value array size mismatch");
+}

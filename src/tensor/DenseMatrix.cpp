@@ -1,0 +1,64 @@
+//===- DenseMatrix.cpp - Row-major dense matrix ----------------------------===//
+
+#include "tensor/DenseMatrix.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace granii;
+
+void DenseMatrix::fill(float Value) {
+  std::fill(Data.begin(), Data.end(), Value);
+}
+
+void DenseMatrix::fillRandom(Rng &Generator, float Lo, float Hi) {
+  for (float &V : Data)
+    V = Generator.nextFloat(Lo, Hi);
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix Result(NumCols, NumRows);
+  for (int64_t R = 0; R < NumRows; ++R) {
+    const float *Row = rowPtr(R);
+    for (int64_t C = 0; C < NumCols; ++C)
+      Result.at(C, R) = Row[C];
+  }
+  return Result;
+}
+
+bool DenseMatrix::approxEquals(const DenseMatrix &Other, float AbsTol,
+                               float RelTol) const {
+  if (NumRows != Other.NumRows || NumCols != Other.NumCols)
+    return false;
+  for (size_t I = 0; I < Data.size(); ++I) {
+    float Tol = AbsTol + RelTol * std::fabs(Other.Data[I]);
+    if (std::fabs(Data[I] - Other.Data[I]) > Tol)
+      return false;
+  }
+  return true;
+}
+
+float DenseMatrix::maxAbsDiff(const DenseMatrix &Other) const {
+  assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
+         "shape mismatch in maxAbsDiff");
+  float Max = 0.0f;
+  for (size_t I = 0; I < Data.size(); ++I)
+    Max = std::max(Max, std::fabs(Data[I] - Other.Data[I]));
+  return Max;
+}
+
+double DenseMatrix::sum() const {
+  double Total = 0.0;
+  for (float V : Data)
+    Total += V;
+  return Total;
+}
+
+double DenseMatrix::frobeniusNorm() const {
+  double Total = 0.0;
+  for (float V : Data)
+    Total += static_cast<double>(V) * V;
+  return std::sqrt(Total);
+}

@@ -1,0 +1,79 @@
+//===- Semiring.cpp - Generalized (+, *) operator pairs --------------------===//
+
+#include "tensor/Semiring.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace granii;
+
+float Semiring::reduceIdentity() const {
+  switch (Reduce) {
+  case ReduceOpKind::Sum:
+  case ReduceOpKind::Mean:
+    return 0.0f;
+  case ReduceOpKind::Max:
+    return -std::numeric_limits<float>::infinity();
+  case ReduceOpKind::Min:
+    return std::numeric_limits<float>::infinity();
+  }
+  graniiUnreachable("unknown reduce op");
+}
+
+float Semiring::reduce(float Acc, float Value) const {
+  switch (Reduce) {
+  case ReduceOpKind::Sum:
+  case ReduceOpKind::Mean:
+    return Acc + Value;
+  case ReduceOpKind::Max:
+    return std::max(Acc, Value);
+  case ReduceOpKind::Min:
+    return std::min(Acc, Value);
+  }
+  graniiUnreachable("unknown reduce op");
+}
+
+float Semiring::combine(float EdgeValue, float Feature) const {
+  switch (Combine) {
+  case CombineOpKind::Mul:
+    return EdgeValue * Feature;
+  case CombineOpKind::Add:
+    return EdgeValue + Feature;
+  case CombineOpKind::CopyRhs:
+    return Feature;
+  }
+  graniiUnreachable("unknown combine op");
+}
+
+std::string granii::semiringName(const Semiring &S) {
+  std::string Name;
+  switch (S.Reduce) {
+  case ReduceOpKind::Sum:
+    Name = "sum";
+    break;
+  case ReduceOpKind::Max:
+    Name = "max";
+    break;
+  case ReduceOpKind::Min:
+    Name = "min";
+    break;
+  case ReduceOpKind::Mean:
+    Name = "mean";
+    break;
+  }
+  Name += ".";
+  switch (S.Combine) {
+  case CombineOpKind::Mul:
+    Name += "mul";
+    break;
+  case CombineOpKind::Add:
+    Name += "add";
+    break;
+  case CombineOpKind::CopyRhs:
+    Name += "copy";
+    break;
+  }
+  return Name;
+}

@@ -1,0 +1,65 @@
+//===- Semiring.h - Generalized (+, *) operator pairs -----------*- C++ -*-===//
+///
+/// \file
+/// Semiring definitions for the generalized sparse primitives g-SpMM and
+/// g-SDDMM (paper §II-B): the addition and multiplication operators may come
+/// from any semiring, e.g. (+, *), (max, +), (min, *), or copy-reductions
+/// used by message passing (sum/max/min/mean aggregate).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_TENSOR_SEMIRING_H
+#define GRANII_TENSOR_SEMIRING_H
+
+#include <string>
+
+namespace granii {
+
+/// Reduction operator (generalized addition) of a semiring.
+enum class ReduceOpKind { Sum, Max, Min, Mean };
+
+/// Combine operator (generalized multiplication) of a semiring.
+/// CopyRhs ignores the sparse edge value and forwards the dense operand,
+/// which is the cheap unweighted-aggregation path the paper highlights for
+/// unweighted graphs.
+enum class CombineOpKind { Mul, Add, CopyRhs };
+
+/// A (reduce, combine) pair defining a generalized matrix product.
+struct Semiring {
+  ReduceOpKind Reduce = ReduceOpKind::Sum;
+  CombineOpKind Combine = CombineOpKind::Mul;
+
+  /// Identity element of the reduction.
+  float reduceIdentity() const;
+
+  /// Applies the reduction to an accumulator.
+  float reduce(float Acc, float Value) const;
+
+  /// Applies the combine operator to an edge value and a feature value.
+  float combine(float EdgeValue, float Feature) const;
+
+  /// Canonical plus-times semiring.
+  static Semiring plusTimes() { return {ReduceOpKind::Sum, CombineOpKind::Mul}; }
+
+  /// Sum-reduction that ignores edge weights (unweighted aggregation).
+  static Semiring plusCopy() {
+    return {ReduceOpKind::Sum, CombineOpKind::CopyRhs};
+  }
+
+  /// Max-reduction that ignores edge weights (max-pool aggregation).
+  static Semiring maxCopy() {
+    return {ReduceOpKind::Max, CombineOpKind::CopyRhs};
+  }
+
+  /// Mean aggregation over neighbors, ignoring edge weights.
+  static Semiring meanCopy() {
+    return {ReduceOpKind::Mean, CombineOpKind::CopyRhs};
+  }
+};
+
+/// Human-readable name, e.g. "sum.mul".
+std::string semiringName(const Semiring &S);
+
+} // namespace granii
+
+#endif // GRANII_TENSOR_SEMIRING_H

@@ -1,0 +1,131 @@
+//===- BaselinesTests.cpp - Tests for the framework baseline compositions ---===//
+
+#include "models/Baselines.h"
+#include "assoc/Enumerate.h"
+#include "graph/Generators.h"
+#include "runtime/Executor.h"
+#include "granii/Granii.h"
+
+#include <gtest/gtest.h>
+
+using namespace granii;
+
+TEST(Baselines, SystemNames) {
+  EXPECT_EQ(systemName(BaselineSystem::WiseGraph), "wisegraph");
+  EXPECT_EQ(systemName(BaselineSystem::DGL), "dgl");
+  EXPECT_EQ(allSystems().size(), 2u);
+}
+
+TEST(Baselines, NoStepIsHoisted) {
+  // Framework code is straight-line: everything runs every iteration.
+  for (BaselineSystem Sys : allSystems())
+    for (ModelKind Kind : allModels()) {
+      GnnModel M = makeModel(Kind);
+      CompositionPlan Plan = baselinePlan(Sys, M, 32, 64);
+      for (const PlanStep &Step : Plan.Steps)
+        EXPECT_FALSE(Step.Setup) << systemName(Sys) << "/" << M.Name;
+    }
+}
+
+TEST(Baselines, WiseGraphBinsDegreesDglUsesOffsets) {
+  GnnModel Gcn = makeModel(ModelKind::GCN);
+  CompositionPlan Wise = baselinePlan(BaselineSystem::WiseGraph, Gcn, 32, 32);
+  CompositionPlan Dgl = baselinePlan(BaselineSystem::DGL, Gcn, 32, 32);
+  auto Has = [](const CompositionPlan &P, StepOp Op) {
+    for (const PlanStep &S : P.Steps)
+      if (S.Op == Op)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(Has(Wise, StepOp::DegreeBinning));
+  EXPECT_FALSE(Has(Wise, StepOp::DegreeOffsets));
+  EXPECT_TRUE(Has(Dgl, StepOp::DegreeOffsets));
+  EXPECT_FALSE(Has(Dgl, StepOp::DegreeBinning));
+}
+
+TEST(Baselines, BothDefaultToDynamicNormalization) {
+  GnnModel Gcn = makeModel(ModelKind::GCN);
+  for (BaselineSystem Sys : allSystems()) {
+    CompositionPlan Plan = baselinePlan(Sys, Gcn, 64, 64);
+    EXPECT_FALSE(planUsesPrecompute(Plan)) << systemName(Sys);
+  }
+}
+
+TEST(Baselines, ConfigReorderFlipsWithEmbeddingSizes) {
+  GnnModel Gcn = makeModel(ModelKind::GCN);
+  // K_in > K_out: update (GEMM) first; K_in < K_out: aggregate first ([17]).
+  for (BaselineSystem Sys : allSystems()) {
+    EXPECT_TRUE(planIsUpdateFirst(baselinePlan(Sys, Gcn, 256, 32)))
+        << systemName(Sys);
+    EXPECT_FALSE(planIsUpdateFirst(baselinePlan(Sys, Gcn, 32, 256)))
+        << systemName(Sys);
+  }
+}
+
+TEST(Baselines, DglNeverReordersGinSgcTagcn) {
+  for (ModelKind Kind : {ModelKind::GIN, ModelKind::SGC, ModelKind::TAGCN}) {
+    GnnModel M = makeModel(Kind);
+    // Even when K_in >> K_out would favor update-first, DGL stays
+    // aggregate-first (paper §VI-C1).
+    CompositionPlan Plan = baselinePlan(BaselineSystem::DGL, M, 512, 16);
+    EXPECT_FALSE(planIsUpdateFirst(Plan)) << M.Name;
+  }
+}
+
+TEST(Baselines, WiseGraphReordersSgc) {
+  GnnModel Sgc = makeModel(ModelKind::SGC);
+  EXPECT_TRUE(
+      planIsUpdateFirst(baselinePlan(BaselineSystem::WiseGraph, Sgc, 512, 16)));
+}
+
+TEST(Baselines, GatPolicies) {
+  GnnModel Gat = makeModel(ModelKind::GAT);
+  // WiseGraph: recompute for increasing sizes, reuse otherwise.
+  EXPECT_TRUE(planRecomputesTheta(
+      baselinePlan(BaselineSystem::WiseGraph, Gat, 32, 256)));
+  EXPECT_FALSE(planRecomputesTheta(
+      baselinePlan(BaselineSystem::WiseGraph, Gat, 256, 32)));
+  // DGL: always reuse.
+  EXPECT_FALSE(
+      planRecomputesTheta(baselinePlan(BaselineSystem::DGL, Gat, 32, 256)));
+  EXPECT_FALSE(
+      planRecomputesTheta(baselinePlan(BaselineSystem::DGL, Gat, 256, 32)));
+}
+
+TEST(Baselines, PlansAreDeterministic) {
+  GnnModel M = makeModel(ModelKind::TAGCN);
+  CompositionPlan A = baselinePlan(BaselineSystem::DGL, M, 64, 128);
+  CompositionPlan B = baselinePlan(BaselineSystem::DGL, M, 64, 128);
+  EXPECT_EQ(A.canonicalKey(), B.canonicalKey());
+}
+
+TEST(Baselines, BaselineOutputsMatchGraniiPlans) {
+  Graph G = makeErdosRenyi(150, 900, 21);
+  Executor Exec(HardwareModel::byName("cpu"));
+  for (ModelKind Kind : allModels()) {
+    GnnModel M = makeModel(Kind);
+    LayerParams Params = makeLayerParams(M, G, 10, 14, 6);
+    auto Plans = enumerateCompositions(M.Root);
+    DenseMatrix Ref = Exec.run(Plans[0], Params.inputs(), Params.Stats).Output;
+    for (BaselineSystem Sys : allSystems()) {
+      CompositionPlan Plan = baselinePlan(Sys, M, 10, 14);
+      DenseMatrix Out = Exec.run(Plan, Params.inputs(), Params.Stats).Output;
+      EXPECT_TRUE(Out.approxEquals(Ref, 2e-3f, 2e-3f))
+          << systemName(Sys) << "/" << M.Name;
+    }
+  }
+}
+
+TEST(Baselines, ClassifiersOnKnownPlans) {
+  GnnModel Gcn = makeModel(ModelKind::GCN);
+  auto Plans = enumerateCompositions(Gcn.Root);
+  size_t Precompute = 0, UpdateFirst = 0;
+  for (const CompositionPlan &P : Plans) {
+    Precompute += planUsesPrecompute(P);
+    UpdateFirst += planIsUpdateFirst(P);
+  }
+  EXPECT_GT(Precompute, 0u);
+  EXPECT_LT(Precompute, Plans.size());
+  EXPECT_GT(UpdateFirst, 0u);
+  EXPECT_LT(UpdateFirst, Plans.size());
+}

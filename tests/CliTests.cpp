@@ -1,0 +1,163 @@
+//===- CliTests.cpp - Tests for the granii-cli driver ------------------------===//
+
+#include "CliDriver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+using namespace granii::cli;
+
+namespace {
+
+/// Writes a GCN DSL model file into the test temp dir and returns its path.
+std::string writeModelFile(const std::string &Name,
+                           const std::string &Contents) {
+  std::string Path = ::testing::TempDir() + "/" + Name;
+  std::ofstream Out(Path);
+  Out << Contents;
+  return Path;
+}
+
+const char *GcnSource = R"(model GCN {
+  input graph A;
+  input features H;
+  param weight W;
+  d = inv_sqrt_degree(A);
+  h = row_scale(d, H);
+  h = aggregate(A, h);
+  h = matmul(h, W);
+  h = row_scale(d, h);
+  output relu(h);
+})";
+
+} // namespace
+
+TEST(Cli, NoArgsPrintsUsage) {
+  std::string Out, Err;
+  EXPECT_EQ(runCli({}, Out, Err), 2);
+  EXPECT_NE(Err.find("usage"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandRejected) {
+  std::string Out, Err;
+  EXPECT_EQ(runCli({"frobnicate"}, Out, Err), 2);
+  EXPECT_NE(Err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, CompileReportsOfflineStage) {
+  std::string Path = writeModelFile("cli_gcn.gnn", GcnSource);
+  std::string Out, Err;
+  ASSERT_EQ(runCli({"compile", Path}, Out, Err), 0) << Err;
+  EXPECT_NE(Out.find("model 'GCN'"), std::string::npos);
+  EXPECT_NE(Out.find("16 compositions enumerated"), std::string::npos);
+  EXPECT_NE(Out.find("4 promoted"), std::string::npos);
+  EXPECT_NE(Out.find("scale_both"), std::string::npos);
+}
+
+TEST(Cli, CompileWithCodegenEmitsDispatcher) {
+  std::string Path = writeModelFile("cli_gcn2.gnn", GcnSource);
+  std::string Out, Err;
+  ASSERT_EQ(runCli({"compile", Path, "--codegen"}, Out, Err), 0) << Err;
+  EXPECT_NE(Out.find("GCN_forward"), std::string::npos);
+  EXPECT_NE(Out.find("if (In.KIn >= In.KOut)"), std::string::npos);
+}
+
+TEST(Cli, CompileWithDotEmitsDigraphs) {
+  std::string Path = writeModelFile("cli_gcn3.gnn", GcnSource);
+  std::string Out, Err;
+  ASSERT_EQ(runCli({"compile", Path, "--dot"}, Out, Err), 0) << Err;
+  EXPECT_NE(Out.find("digraph \"GCN_ir\""), std::string::npos);
+  EXPECT_NE(Out.find("digraph \"GCN_plan0\""), std::string::npos);
+}
+
+TEST(Cli, CompileMissingFileFails) {
+  std::string Out, Err;
+  EXPECT_EQ(runCli({"compile", "/nonexistent/m.gnn"}, Out, Err), 1);
+  EXPECT_NE(Err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, CompileParseErrorSurfacesDiagnostic) {
+  std::string Path = writeModelFile("cli_bad.gnn", "model X { output y; }");
+  std::string Out, Err;
+  EXPECT_EQ(runCli({"compile", Path}, Out, Err), 1);
+  EXPECT_NE(Err.find("undefined name 'y'"), std::string::npos);
+}
+
+TEST(Cli, RunOnSyntheticGraph) {
+  std::string Path = writeModelFile("cli_gcn4.gnn", GcnSource);
+  std::string Out, Err;
+  ASSERT_EQ(runCli({"run", Path, "--graph", "synth:belgium-osm", "--kin",
+                    "16", "--kout", "32", "--hw", "h100", "--iters", "50"},
+                   Out, Err),
+            0)
+      << Err;
+  EXPECT_NE(Out.find("graph 'belgium-osm'"), std::string::npos);
+  EXPECT_NE(Out.find("candidate #"), std::string::npos);
+  EXPECT_NE(Out.find("output: 4096 x 32"), std::string::npos);
+}
+
+TEST(Cli, RunTrainingMode) {
+  std::string Path = writeModelFile("cli_gcn5.gnn", GcnSource);
+  std::string Out, Err;
+  ASSERT_EQ(runCli({"run", Path, "--graph", "synth:coauthors", "--kin", "8",
+                    "--kout", "8", "--train"},
+                   Out, Err),
+            0)
+      << Err;
+  EXPECT_NE(Out.find("fwd+bwd"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsUnknownHardware) {
+  std::string Path = writeModelFile("cli_gcn6.gnn", GcnSource);
+  std::string Out, Err;
+  EXPECT_EQ(runCli({"run", Path, "--graph", "synth:coauthors", "--hw",
+                    "tpu"},
+                   Out, Err),
+            2);
+  EXPECT_NE(Err.find("unknown hardware"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsUnknownSyntheticGraph) {
+  std::string Path = writeModelFile("cli_gcn7.gnn", GcnSource);
+  std::string Out, Err;
+  EXPECT_EQ(
+      runCli({"run", Path, "--graph", "synth:nosuch"}, Out, Err), 1);
+  EXPECT_NE(Err.find("unknown synthetic graph"), std::string::npos);
+}
+
+TEST(Cli, GraphGenRoundTripsThroughRun) {
+  std::string MtxPath = ::testing::TempDir() + "/cli_graph.mtx";
+  std::string Out, Err;
+  ASSERT_EQ(runCli({"graphgen", "coauthors", MtxPath}, Out, Err), 0) << Err;
+  EXPECT_NE(Out.find("wrote coauthors"), std::string::npos);
+
+  std::string ModelPath = writeModelFile("cli_gcn8.gnn", GcnSource);
+  std::string Out2, Err2;
+  ASSERT_EQ(runCli({"run", ModelPath, "--graph", MtxPath, "--kin", "8",
+                    "--kout", "8"},
+                   Out2, Err2),
+            0)
+      << Err2;
+  EXPECT_NE(Out2.find("candidate #"), std::string::npos);
+  std::remove(MtxPath.c_str());
+}
+
+TEST(Cli, CustomAttentionModelCompiles) {
+  const char *GatSource = R"(model MiniGAT {
+    input graph A;
+    input features H;
+    param weight W;
+    param attn_src asrc;
+    param attn_dst adst;
+    theta = matmul(H, W);
+    alpha = attention(A, theta, asrc, adst);
+    output relu(aggregate(alpha, theta));
+  })";
+  std::string Path = writeModelFile("cli_gat.gnn", GatSource);
+  std::string Out, Err;
+  ASSERT_EQ(runCli({"compile", Path}, Out, Err), 0) << Err;
+  EXPECT_NE(Out.find("2 compositions enumerated"), std::string::npos);
+  EXPECT_NE(Out.find("edge_softmax"), std::string::npos);
+}

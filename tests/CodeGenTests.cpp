@@ -1,0 +1,155 @@
+//===- CodeGenTests.cpp - Tests for dispatch codegen and DOT export ---------===//
+
+#include "assoc/DotExport.h"
+#include "assoc/Enumerate.h"
+#include "assoc/Prune.h"
+#include "models/Models.h"
+#include "runtime/CodeGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace granii;
+
+namespace {
+
+std::vector<CompositionPlan> gcnPromoted() {
+  GnnModel M = makeModel(ModelKind::GCN);
+  return pruneCompositions(enumerateCompositions(M.Root));
+}
+
+size_t countOccurrences(const std::string &Haystack,
+                        const std::string &Needle) {
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Haystack.find(Needle, Pos)) != std::string::npos) {
+    ++Count;
+    Pos += Needle.size();
+  }
+  return Count;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Plan code generation
+//===----------------------------------------------------------------------===//
+
+TEST(CodeGen, PlanCodeSeparatesSetup) {
+  auto Plans = gcnPromoted();
+  std::string Code = generatePlanCode(Plans[0], "gcn_c0");
+  // Degree + rsqrt are graph-only: they belong to the _setup function.
+  EXPECT_NE(Code.find("gcn_c0_setup(const Inputs &In)"), std::string::npos);
+  size_t SetupPos = Code.find("_setup");
+  size_t DegreePos = Code.find("degreeFromOffsets");
+  size_t MainPos = Code.find("DenseMatrix gcn_c0(const Inputs &In");
+  ASSERT_NE(DegreePos, std::string::npos);
+  ASSERT_NE(MainPos, std::string::npos);
+  EXPECT_LT(SetupPos, DegreePos);
+  EXPECT_LT(DegreePos, MainPos); // Setup body precedes the main function.
+}
+
+TEST(CodeGen, PlanCodeReturnsOutputValue) {
+  auto Plans = gcnPromoted();
+  for (const CompositionPlan &Plan : Plans) {
+    std::string Code = generatePlanCode(Plan, "f");
+    EXPECT_NE(
+        Code.find("return v" + std::to_string(Plan.OutputValue) + ";"),
+        std::string::npos);
+  }
+}
+
+TEST(CodeGen, PlanCodeUsesKernelApiNames) {
+  auto Plans = gcnPromoted();
+  bool SawSpmm = false, SawScaleBoth = false;
+  for (const CompositionPlan &Plan : Plans) {
+    std::string Code = generatePlanCode(Plan, "f");
+    SawSpmm |= Code.find("kernels::spmm(") != std::string::npos;
+    SawScaleBoth |= Code.find("kernels::scaleSparseBoth(") != std::string::npos;
+  }
+  EXPECT_TRUE(SawSpmm);
+  EXPECT_TRUE(SawScaleBoth);
+}
+
+TEST(CodeGen, GatAttentionStepsEmitted) {
+  GnnModel M = makeModel(ModelKind::GAT);
+  auto Plans = pruneCompositions(enumerateCompositions(M.Root));
+  std::string Code = generatePlanCode(Plans[0], "gat0");
+  EXPECT_NE(Code.find("sddmmAddScalars"), std::string::npos);
+  EXPECT_NE(Code.find("edgeSoftmax"), std::string::npos);
+  EXPECT_NE(Code.find("leakyReluEdges"), std::string::npos);
+}
+
+TEST(CodeGen, DispatchSplitsOnEmbeddingSizes) {
+  std::string Code = generateDispatchCode("gcn", gcnPromoted());
+  EXPECT_NE(Code.find("if (In.KIn >= In.KOut)"), std::string::npos);
+  EXPECT_NE(Code.find("gcn_forward"), std::string::npos);
+  // GCN has two candidates per scenario: both branches use cost models.
+  EXPECT_EQ(countOccurrences(Code, "featurize(In.Graph)"), 2u);
+}
+
+TEST(CodeGen, DispatchEmitsEveryCandidateOnce) {
+  auto Promoted = gcnPromoted();
+  std::string Code = generateDispatchCode("gcn", Promoted);
+  for (size_t I = 0; I < Promoted.size(); ++I) {
+    std::string Fn = "gcn_candidate" + std::to_string(I) + "(const Inputs";
+    EXPECT_EQ(countOccurrences(Code, Fn), 1u) << Fn;
+  }
+}
+
+TEST(CodeGen, SingleCandidateScenarioSkipsCostModels) {
+  // GAT's two candidates are both dual-scenario, so build a synthetic case:
+  // keep only one Ge-viable plan plus one Lt-viable plan.
+  auto Promoted = gcnPromoted();
+  std::vector<CompositionPlan> Two;
+  for (const CompositionPlan &P : Promoted) {
+    if (P.ViableGe && !P.ViableLt && Two.empty())
+      Two.push_back(P);
+    if (P.ViableLt && !P.ViableGe && Two.size() == 1)
+      Two.push_back(P);
+  }
+  ASSERT_EQ(Two.size(), 2u);
+  std::string Code = generateDispatchCode("m", Two);
+  // One candidate per scenario: pure size conditions, no featurization.
+  EXPECT_EQ(Code.find("featurize(In.Graph)"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// DOT export
+//===----------------------------------------------------------------------===//
+
+TEST(DotExport, IRDigraphWellFormed) {
+  GnnModel M = makeModel(ModelKind::GCN);
+  std::string Dot = exportIRDot(M.Root, "gcn_ir");
+  EXPECT_NE(Dot.find("digraph \"gcn_ir\""), std::string::npos);
+  EXPECT_NE(Dot.find("shape=box"), std::string::npos);     // leaves
+  EXPECT_NE(Dot.find("shape=ellipse"), std::string::npos); // operations
+  EXPECT_NE(Dot.find("->"), std::string::npos);
+  EXPECT_EQ(Dot.back(), '\n');
+}
+
+TEST(DotExport, SharedSubDagEmittedOnce) {
+  // GAT's Theta (matmul(H, W)) is shared between attention and
+  // aggregation; the DOT must contain exactly one matmul(H,W) node pair of
+  // H/W leaf boxes.
+  GnnModel M = makeModel(ModelKind::GAT);
+  std::string Dot = exportIRDot(M.Root, "gat_ir");
+  EXPECT_EQ(countOccurrences(Dot, "label=\"H\\n"), 1u);
+  EXPECT_EQ(countOccurrences(Dot, "label=\"W\\n"), 1u);
+}
+
+TEST(DotExport, PlanDigraphMarksSetupDashed) {
+  auto Plans = gcnPromoted();
+  std::string Dot = exportPlanDot(Plans[0], "p0");
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(Dot.find("peripheries=2"), std::string::npos); // output node
+}
+
+TEST(DotExport, PlanEdgesFollowOperands) {
+  auto Plans = gcnPromoted();
+  const CompositionPlan &Plan = Plans[0];
+  std::string Dot = exportPlanDot(Plan, "p0");
+  for (const PlanStep &Step : Plan.Steps)
+    for (int Operand : Step.Operands)
+      EXPECT_NE(Dot.find("v" + std::to_string(Operand) + " -> v" +
+                         std::to_string(Step.Result)),
+                std::string::npos);
+}

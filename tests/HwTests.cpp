@@ -1,0 +1,132 @@
+//===- HwTests.cpp - Tests for the hardware latency models ------------------===//
+
+#include "graph/Generators.h"
+#include "hw/HardwareModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace granii;
+
+namespace {
+
+GraphStats denseStats() { return makeMycielskian(9).stats(); }
+GraphStats sparseStats() { return makeRoadLattice(24, 24, 0.0, 1).stats(); }
+
+PrimitiveDesc gemmDesc(int64_t N, int64_t K1, int64_t K2) {
+  return {PrimitiveKind::Gemm, N, K2, K1, 0};
+}
+
+} // namespace
+
+TEST(HardwareModel, ByNameRoundTrip) {
+  EXPECT_EQ(HardwareModel::byName("cpu").name(), "cpu");
+  EXPECT_EQ(HardwareModel::byName("a100").name(), "a100");
+  EXPECT_EQ(HardwareModel::byName("h100").name(), "h100");
+  EXPECT_DEATH(HardwareModel::byName("tpu"), "unknown hardware");
+}
+
+TEST(HardwareModel, PaperPlatformsOrderAndKinds) {
+  std::vector<HardwareModel> Platforms = HardwareModel::paperPlatforms();
+  ASSERT_EQ(Platforms.size(), 3u);
+  EXPECT_EQ(Platforms[0].name(), "h100");
+  EXPECT_TRUE(Platforms[0].isSimulated());
+  EXPECT_TRUE(Platforms[1].isSimulated());
+  EXPECT_EQ(Platforms[2].name(), "cpu");
+  EXPECT_FALSE(Platforms[2].isSimulated());
+}
+
+TEST(HardwareModel, EstimatesArePositiveAndFinite) {
+  GraphStats Stats = denseStats();
+  for (const HardwareModel &Hw : HardwareModel::paperPlatforms())
+    for (PrimitiveKind Kind : allPrimitiveKinds()) {
+      PrimitiveDesc D{Kind, 1000, 64, 64, 8000};
+      double T = Hw.estimateSeconds(D, &Stats);
+      EXPECT_GT(T, 0.0) << primitiveName(Kind);
+      EXPECT_LT(T, 10.0) << primitiveName(Kind);
+    }
+}
+
+TEST(HardwareModel, MonotoneInProblemSize) {
+  HardwareModel Hw = HardwareModel::byName("h100");
+  GraphStats Stats = denseStats();
+  EXPECT_LT(Hw.estimateSeconds(gemmDesc(1000, 64, 64), &Stats),
+            Hw.estimateSeconds(gemmDesc(4000, 256, 256), &Stats));
+}
+
+TEST(HardwareModel, GpusFasterThanCpuOnLargeDenseWork) {
+  GraphStats Stats = denseStats();
+  PrimitiveDesc Big = gemmDesc(100000, 512, 512);
+  double Cpu = HardwareModel::byName("cpu").estimateSeconds(Big, &Stats);
+  double A100 = HardwareModel::byName("a100").estimateSeconds(Big, &Stats);
+  double H100 = HardwareModel::byName("h100").estimateSeconds(Big, &Stats);
+  EXPECT_GT(Cpu, A100);
+  EXPECT_GT(A100, H100);
+}
+
+TEST(HardwareModel, DenseToSparseRatioImprovesAcrossGenerations) {
+  // Paper §VI-C1: dense ops become relatively better from CPU to A100 to
+  // H100, shifting optimal compositions.
+  GraphStats Stats = denseStats();
+  PrimitiveDesc Dense = gemmDesc(50000, 256, 256);
+  PrimitiveDesc Sparse{PrimitiveKind::SpMMWeighted, 50000, 256, 0, 5000000};
+  auto Ratio = [&](const char *Name) {
+    HardwareModel Hw = HardwareModel::byName(Name);
+    return Hw.estimateSeconds(Dense, &Stats) /
+           Hw.estimateSeconds(Sparse, &Stats);
+  };
+  EXPECT_GT(Ratio("cpu"), Ratio("a100"));
+  EXPECT_GT(Ratio("a100"), Ratio("h100"));
+}
+
+TEST(HardwareModel, BinningPenaltyDependsOnDensity) {
+  // Atomic contention grows with average degree; A100 suffers most. Uses
+  // paper-scale synthetic statistics so kernel time dominates launch cost.
+  HardwareModel A100 = HardwareModel::byName("a100");
+  GraphStats Dense;
+  Dense.NumNodes = 100000;
+  Dense.NumEdges = 10000000;
+  Dense.AvgDegree = 100.0;
+  GraphStats Sparse;
+  Sparse.NumNodes = 1000000;
+  Sparse.NumEdges = 3000000;
+  Sparse.AvgDegree = 3.0;
+  PrimitiveDesc BinDense{PrimitiveKind::DegreeBinning, Dense.NumNodes, 0, 0,
+                         Dense.NumEdges};
+  PrimitiveDesc BinSparse{PrimitiveKind::DegreeBinning, Sparse.NumNodes, 0, 0,
+                          Sparse.NumEdges};
+  double PerEdgeDense =
+      A100.estimateSeconds(BinDense, &Dense) / Dense.NumEdges;
+  double PerEdgeSparse =
+      A100.estimateSeconds(BinSparse, &Sparse) / Sparse.NumEdges;
+  EXPECT_GT(PerEdgeDense, 2.0 * PerEdgeSparse);
+}
+
+TEST(HardwareModel, BinningPenaltyA100WorstH100Mild) {
+  GraphStats Dense = denseStats();
+  PrimitiveDesc Bin{PrimitiveKind::DegreeBinning, Dense.NumNodes, 0, 0,
+                    Dense.NumEdges};
+  PrimitiveDesc Off{PrimitiveKind::DegreeOffsets, Dense.NumNodes, 0, 0,
+                    Dense.NumEdges};
+  auto Penalty = [&](const char *Name) {
+    HardwareModel Hw = HardwareModel::byName(Name);
+    return Hw.estimateSeconds(Bin, &Dense) / Hw.estimateSeconds(Off, &Dense);
+  };
+  EXPECT_GT(Penalty("a100"), Penalty("h100"));
+  EXPECT_GT(Penalty("a100"), Penalty("cpu"));
+}
+
+TEST(HardwareModel, IrregularGraphsSlowSparsePrimitives) {
+  HardwareModel Hw = HardwareModel::byName("h100");
+  GraphStats Skewed = makeStar(5000).stats();
+  GraphStats Regular = makeRing(5000).stats();
+  PrimitiveDesc Spmm{PrimitiveKind::SpMMWeighted, 5000, 64, 0, 10000};
+  EXPECT_GT(Hw.estimateSeconds(Spmm, &Skewed),
+            Hw.estimateSeconds(Spmm, &Regular));
+}
+
+TEST(HardwareModel, LaunchOverheadFloorsTinyKernels) {
+  HardwareModel Hw = HardwareModel::byName("h100");
+  GraphStats Stats = sparseStats();
+  PrimitiveDesc Tiny = gemmDesc(4, 4, 4);
+  EXPECT_GE(Hw.estimateSeconds(Tiny, &Stats), 3e-7);
+}

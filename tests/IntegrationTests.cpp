@@ -1,0 +1,204 @@
+//===- IntegrationTests.cpp - Cross-module end-to-end properties ------------===//
+
+#include "granii/Granii.h"
+#include "ir/Dsl.h"
+#include "graph/Generators.h"
+#include "graph/Sampling.h"
+#include "models/Baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace granii;
+
+namespace {
+
+const CostModel &analyticH100() {
+  static AnalyticCostModel Model{HardwareModel::byName("h100")};
+  return Model;
+}
+
+/// Total 100-iteration time of a plan on the simulated H100.
+double simulatedTotal(const CompositionPlan &Plan, const LayerParams &Params,
+                      bool Training, int Iterations = 100) {
+  Executor Exec(HardwareModel::byName("h100"));
+  ExecResult R = Training
+                     ? Exec.runTraining(Plan, Params.inputs(), Params.Stats)
+                     : Exec.run(Plan, Params.inputs(), Params.Stats);
+  return R.totalSeconds(Iterations, Training);
+}
+
+} // namespace
+
+TEST(Integration, GraniiNeverMuchWorseThanBaselineUnderAnalyticCosts) {
+  // With the analytic cost model driving both the simulator and the
+  // selection, GRANII's pick can never lose badly to a framework default:
+  // the default is (modulo hoisting) in the candidate set.
+  std::vector<Graph> Graphs = {makeMycielskian(8),
+                               makeRoadLattice(20, 20, 0.0, 1),
+                               makeRmat(800, 12000, 0.55, 0.2, 0.15, 9)};
+  OptimizerOptions Opts;
+  Opts.Hw = HardwareModel::byName("h100");
+  for (ModelKind Kind : allModels()) {
+    GnnModel M = makeModel(Kind);
+    Optimizer Opt(M, Opts, &analyticH100());
+    for (const Graph &G : Graphs) {
+      for (auto [KIn, KOut] : {std::pair<int, int>{16, 64}, {64, 16}}) {
+        if (Kind == ModelKind::GAT && KIn >= KOut)
+          continue; // Paper evaluates GAT only on increasing sizes.
+        LayerParams Params = makeLayerParams(M, G, KIn, KOut, 11);
+        Selection Sel = Opt.select(G, KIn, KOut);
+        double GraniiTime = simulatedTotal(Opt.promoted()[Sel.PlanIndex],
+                                           Params, /*Training=*/false);
+        for (BaselineSystem Sys : allSystems()) {
+          CompositionPlan Base = baselinePlan(Sys, M, KIn, KOut);
+          double BaseTime = simulatedTotal(Base, Params, false);
+          EXPECT_LT(GraniiTime, BaseTime * 1.15)
+              << M.Name << " on " << G.name() << " vs " << systemName(Sys);
+        }
+      }
+    }
+  }
+}
+
+TEST(Integration, WiseGraphGcnOnDenseGraphLosesBadlyOnA100) {
+  // The paper's headline A100 result: WiseGraph's binned normalization
+  // collapses on dense graphs; GRANII sidesteps it.
+  GnnModel M = makeModel(ModelKind::GCN);
+  Graph Dense = makeMycielskian(10);
+  LayerParams Params = makeLayerParams(M, Dense, 32, 32, 13);
+  Executor Sim(HardwareModel::byName("a100"));
+
+  CompositionPlan Wise = baselinePlan(BaselineSystem::WiseGraph, M, 32, 32);
+  OptimizerOptions Opts;
+  Opts.Hw = HardwareModel::byName("a100");
+  AnalyticCostModel Cost{HardwareModel::byName("a100")};
+  Optimizer Opt(M, Opts, &Cost);
+  Selection Sel = Opt.select(Dense, 32, 32);
+
+  double WiseTime = Sim.run(Wise, Params.inputs(), Params.Stats)
+                        .totalSeconds(100, false);
+  double GraniiTime =
+      Sim.run(Opt.promoted()[Sel.PlanIndex], Params.inputs(), Params.Stats)
+          .totalSeconds(100, false);
+  EXPECT_GT(WiseTime / GraniiTime, 3.0);
+}
+
+TEST(Integration, TrainingSpeedupTrailsInference) {
+  // The unoptimized backward pass dilutes training speedups (paper VI-C).
+  GnnModel M = makeModel(ModelKind::GCN);
+  Graph Dense = makeMycielskian(9);
+  LayerParams Params = makeLayerParams(M, Dense, 32, 32, 17);
+  CompositionPlan Wise = baselinePlan(BaselineSystem::WiseGraph, M, 32, 32);
+  OptimizerOptions Opts;
+  Opts.Hw = HardwareModel::byName("a100");
+  AnalyticCostModel Cost{HardwareModel::byName("a100")};
+  Optimizer Opt(M, Opts, &Cost);
+  Selection Sel = Opt.select(Dense, 32, 32);
+  const CompositionPlan &Chosen = Opt.promoted()[Sel.PlanIndex];
+
+  Executor Sim(HardwareModel::byName("a100"));
+  auto Time = [&](const CompositionPlan &P, bool Training) {
+    ExecResult R = Training
+                       ? Sim.runTraining(P, Params.inputs(), Params.Stats)
+                       : Sim.run(P, Params.inputs(), Params.Stats);
+    return R.totalSeconds(100, Training);
+  };
+  double InferSpeedup = Time(Wise, false) / Time(Chosen, false);
+  double TrainSpeedup = Time(Wise, true) / Time(Chosen, true);
+  EXPECT_GT(InferSpeedup, 1.0);
+  EXPECT_GT(TrainSpeedup, 1.0);
+  EXPECT_LT(TrainSpeedup, InferSpeedup);
+}
+
+TEST(Integration, MultiLayerChainingKeepsShapes) {
+  // Two stacked GCN layers: layer 1 output feeds layer 2 features; GRANII
+  // decides per layer (paper §VI-F).
+  GnnModel M = makeModel(ModelKind::GCN);
+  Graph G = makeErdosRenyi(150, 900, 19);
+  OptimizerOptions Opts;
+  Opts.Hw = HardwareModel::byName("cpu");
+  AnalyticCostModel Cost{HardwareModel::byName("cpu")};
+  Optimizer Opt(M, Opts, &Cost);
+
+  LayerParams L1 = makeLayerParams(M, G, 24, 16, 23);
+  Selection Sel1 = Opt.select(G, 24, 16);
+  ExecResult R1 = Opt.execute(Sel1, L1, false);
+
+  LayerParams L2 = makeLayerParams(M, G, 16, 8, 24);
+  L2.Features = R1.Output;
+  Selection Sel2 = Opt.select(G, 16, 8);
+  ExecResult R2 = Opt.execute(Sel2, L2, false);
+  EXPECT_EQ(R2.Output.rows(), 150);
+  EXPECT_EQ(R2.Output.cols(), 8);
+}
+
+TEST(Integration, SampledSubgraphExecutionMatchesDirectExecution) {
+  // Running a model on an induced subgraph equals running it on that
+  // subgraph built as a standalone graph.
+  Graph G = makeRmat(500, 6000, 0.5, 0.2, 0.2, 29);
+  SampledGraph S = sampleNeighborhood(G, 60, 8, 2, 7);
+  GnnModel M = makeModel(ModelKind::GCN);
+  LayerParams Params = makeLayerParams(M, S.Sampled, 12, 12, 31);
+  Executor Exec(HardwareModel::byName("cpu"));
+  auto Plans = enumerateCompositions(M.Root);
+  DenseMatrix Ref = Exec.run(Plans[0], Params.inputs(), Params.Stats).Output;
+  for (size_t I = 1; I < Plans.size(); ++I)
+    EXPECT_TRUE(Exec.run(Plans[I], Params.inputs(), Params.Stats)
+                    .Output.approxEquals(Ref, 2e-3f, 2e-3f));
+}
+
+TEST(Integration, HardwareChangesOptimalChoice) {
+  // Paper §VI-C1 "Difference Across Hardware": as dense throughput grows
+  // (CPU -> A100 -> H100), selections for the same input can differ.
+  GnnModel M = makeModel(ModelKind::GCN);
+  Graph G = makeRmat(5000, 15000, 0.5, 0.2, 0.2, 37); // Low degree.
+  bool AnyFlip = false;
+  for (auto [KIn, KOut] :
+       {std::pair<int, int>{32, 32}, {256, 256}, {32, 256}, {256, 32}}) {
+    std::set<size_t> PerSetting;
+    for (const char *Hw : {"cpu", "a100", "h100"}) {
+      OptimizerOptions Opts;
+      Opts.Hw = HardwareModel::byName(Hw);
+      AnalyticCostModel Cost{Opts.Hw};
+      Optimizer Opt(M, Opts, &Cost);
+      PerSetting.insert(Opt.select(G, KIn, KOut).PlanIndex);
+    }
+    AnyFlip |= PerSetting.size() > 1;
+  }
+  EXPECT_TRUE(AnyFlip);
+}
+
+TEST(Integration, EndToEndDslToExecution) {
+  // A custom user model written directly in the DSL goes through the whole
+  // pipeline: parse -> enumerate -> prune -> select -> execute.
+  const char *Source = R"(model Custom {
+    input graph A;
+    input features H;
+    param weight W;
+    d = inv_sqrt_degree(A);
+    h = aggregate(A, row_scale(d, H));
+    output relu(matmul(h, W));
+  })";
+  std::string Error;
+  auto Parsed = parseModelDsl(Source, &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+
+  GnnModel M;
+  M.Kind = ModelKind::GCN; // Closest family; only metadata.
+  M.Name = Parsed->Name;
+  M.Root = Parsed->Root;
+  M.WeightCount = 1;
+
+  Graph G = makeCommunityGraph(20, 10, 0.6, 100, 41);
+  OptimizerOptions Opts;
+  Opts.Hw = HardwareModel::byName("cpu");
+  AnalyticCostModel Cost{Opts.Hw};
+  Optimizer Opt(M, Opts, &Cost);
+  EXPECT_GE(Opt.promoted().size(), 1u);
+  LayerParams Params = makeLayerParams(M, G, 8, 4, 43);
+  Selection Sel = Opt.select(G, 8, 4);
+  ExecResult R = Opt.execute(Sel, Params, false);
+  EXPECT_EQ(R.Output.cols(), 4);
+}

@@ -1,0 +1,133 @@
+//===- MultiHeadGatTests.cpp - Tests for the two-head GAT extension ---------===//
+
+#include "assoc/Enumerate.h"
+#include "assoc/Prune.h"
+#include "granii/Granii.h"
+#include "graph/Generators.h"
+#include "models/Baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace granii;
+
+namespace {
+
+size_t countSteps(const CompositionPlan &Plan, StepOp Op) {
+  size_t Count = 0;
+  for (const PlanStep &Step : Plan.Steps)
+    Count += Step.Op == Op;
+  return Count;
+}
+
+} // namespace
+
+TEST(MultiHeadGat, ModelMetadata) {
+  GnnModel M = makeModel(ModelKind::GATMultiHead);
+  EXPECT_EQ(M.Name, "GAT2H");
+  EXPECT_EQ(M.WeightCount, 2);
+  EXPECT_TRUE(M.UsesAttention);
+}
+
+TEST(MultiHeadGat, HeadsEnumerateIndependently) {
+  // One reuse/recompute decision per head: 2 x 2 = 4 compositions.
+  GnnModel M = makeModel(ModelKind::GATMultiHead);
+  auto Plans = enumerateCompositions(M.Root);
+  EXPECT_EQ(Plans.size(), 4u);
+  // Per-head GEMM counts distinguish the four: reuse heads share their
+  // Theta GEMM; recompute heads add one.
+  std::set<size_t> GemmCounts;
+  for (const CompositionPlan &P : Plans)
+    GemmCounts.insert(countSteps(P, StepOp::Gemm));
+  // {2 (both reuse), 3 (one recompute), 4 (both recompute)}.
+  EXPECT_EQ(GemmCounts, (std::set<size_t>{2, 3, 4}));
+}
+
+TEST(MultiHeadGat, EachHeadHasItsOwnAttentionPipeline) {
+  GnnModel M = makeModel(ModelKind::GATMultiHead);
+  auto Plans = enumerateCompositions(M.Root);
+  for (const CompositionPlan &P : Plans) {
+    EXPECT_EQ(countSteps(P, StepOp::EdgeSoftmax), 2u);
+    EXPECT_EQ(countSteps(P, StepOp::EdgeLogits), 2u);
+    EXPECT_EQ(countSteps(P, StepOp::AttnGemv), 4u); // src+dst per head
+    EXPECT_EQ(countSteps(P, StepOp::AddDense), 1u); // additive heads
+  }
+}
+
+TEST(MultiHeadGat, ParamsBindPerHeadVectors) {
+  GnnModel M = makeModel(ModelKind::GATMultiHead);
+  Graph G = makeErdosRenyi(60, 300, 3);
+  LayerParams P = makeLayerParams(M, G, 8, 12, 1);
+  ASSERT_EQ(P.AttnVecs.size(), 4u);
+  for (const char *Name : {"as0", "ad0", "as1", "ad1"}) {
+    ASSERT_TRUE(P.AttnVecs.count(Name)) << Name;
+    EXPECT_EQ(P.AttnVecs.at(Name).size(), 12u);
+  }
+  EXPECT_EQ(P.Weights.size(), 2u);
+}
+
+TEST(MultiHeadGat, AllPlansEquivalent) {
+  GnnModel M = makeModel(ModelKind::GATMultiHead);
+  Graph G = makeRmat(100, 800, 0.5, 0.2, 0.2, 7);
+  LayerParams Params = makeLayerParams(M, G, 6, 10, 2);
+  Executor Exec(HardwareModel::byName("cpu"));
+  auto Plans = enumerateCompositions(M.Root);
+  DenseMatrix Ref = Exec.run(Plans[0], Params.inputs(), Params.Stats).Output;
+  for (size_t I = 1; I < Plans.size(); ++I)
+    EXPECT_TRUE(Exec.run(Plans[I], Params.inputs(), Params.Stats)
+                    .Output.approxEquals(Ref, 2e-3f, 2e-3f))
+        << "plan " << I;
+}
+
+TEST(MultiHeadGat, GradientsReachAllHeads) {
+  GnnModel M = makeModel(ModelKind::GATMultiHead);
+  Graph G = makeErdosRenyi(40, 200, 5);
+  LayerParams Params = makeLayerParams(M, G, 5, 6, 3);
+  Executor Exec(HardwareModel::byName("cpu"));
+  auto Plans = enumerateCompositions(M.Root);
+  ExecResult R = Exec.runTraining(Plans[0], Params.inputs(), Params.Stats);
+  ASSERT_TRUE(R.WeightGrads.count("W0"));
+  ASSERT_TRUE(R.WeightGrads.count("W1"));
+  EXPECT_EQ(R.AttnGrads.size(), 4u);
+  for (const auto &[Name, Grad] : R.AttnGrads) {
+    double Norm = 0.0;
+    for (float V : Grad)
+      Norm += static_cast<double>(V) * V;
+    EXPECT_GT(Norm, 0.0) << Name;
+  }
+}
+
+TEST(MultiHeadGat, OptimizerSelectsPerInput) {
+  GnnModel M = makeModel(ModelKind::GATMultiHead);
+  OptimizerOptions Opts;
+  Opts.Hw = HardwareModel::byName("h100");
+  AnalyticCostModel Cost(Opts.Hw);
+  Optimizer Opt(M, Opts, &Cost);
+  EXPECT_GE(Opt.promoted().size(), 2u);
+
+  // Dense graph at small increasing sizes favors recomputing both heads;
+  // sparse graph at large sizes favors reusing both (same crossover as the
+  // single-head case, applied per head).
+  Graph Dense = makeMycielskian(10);
+  Graph Sparse = makeRoadLattice(30, 30, 0.0, 1);
+  Selection DenseSel = Opt.select(Dense, 32, 128);
+  Selection SparseSel = Opt.select(Sparse, 256, 1024);
+  size_t DenseGemms =
+      countSteps(Opt.promoted()[DenseSel.PlanIndex], StepOp::Gemm);
+  size_t SparseGemms =
+      countSteps(Opt.promoted()[SparseSel.PlanIndex], StepOp::Gemm);
+  EXPECT_GT(DenseGemms, SparseGemms);
+}
+
+TEST(MultiHeadGat, MissingAttentionVectorAborts) {
+  GnnModel M = makeModel(ModelKind::GATMultiHead);
+  Graph G = makeErdosRenyi(30, 120, 9);
+  LayerParams Params = makeLayerParams(M, G, 4, 4, 4);
+  Params.AttnVecs.erase("as1");
+  Executor Exec(HardwareModel::byName("cpu"));
+  auto Plans = enumerateCompositions(M.Root);
+  EXPECT_DEATH(
+      { (void)Exec.run(Plans[0], Params.inputs(), Params.Stats); },
+      "no attention vector bound");
+}

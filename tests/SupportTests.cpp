@@ -1,0 +1,154 @@
+//===- SupportTests.cpp - Tests for the support library ---------------------===//
+
+#include "support/Rng.h"
+#include "support/Stats.h"
+#include "support/Str.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+using namespace granii;
+
+TEST(Rng, DeterministicStream) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng A(7);
+  uint64_t First = A.next();
+  A.next();
+  A.reseed(7);
+  EXPECT_EQ(A.next(), First);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng R(5);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.nextBelow(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng R(11);
+  for (int I = 0; I < 1000; ++I) {
+    double X = R.nextDouble();
+    EXPECT_GE(X, 0.0);
+    EXPECT_LT(X, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng R(13);
+  double Sum = 0.0, SumSq = 0.0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double X = R.nextGaussian();
+    Sum += X;
+    SumSq += X * X;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.05);
+  EXPECT_NEAR(SumSq / N, 1.0, 0.05);
+}
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> V = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(meanOf(V), 2.5);
+  EXPECT_NEAR(stddevOf(V), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_EQ(meanOf({}), 0.0); }
+
+TEST(Stats, GeomeanKnownValue) {
+  EXPECT_NEAR(geomeanOf({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomeanOf({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, GeomeanOfEmptyIsOne) { EXPECT_EQ(geomeanOf({}), 1.0); }
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> V = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantileOf(V, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantileOf(V, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(medianOf(V), 25.0);
+}
+
+TEST(Stats, GiniOfEqualValuesIsZero) {
+  EXPECT_NEAR(giniOf({3, 3, 3, 3}), 0.0, 1e-12);
+}
+
+TEST(Stats, GiniOfConcentratedIsHigh) {
+  double G = giniOf({0, 0, 0, 0, 0, 0, 0, 0, 0, 100});
+  EXPECT_GT(G, 0.85);
+}
+
+TEST(Stats, GiniOrdering) {
+  EXPECT_LT(giniOf({5, 5, 5, 5}), giniOf({1, 2, 3, 14}));
+}
+
+TEST(Str, SplitKeepsEmptyFields) {
+  auto Parts = splitString("a,,b", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[1], "");
+}
+
+TEST(Str, SplitSingleField) {
+  auto Parts = splitString("abc", ',');
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0], "abc");
+}
+
+TEST(Str, Trim) {
+  EXPECT_EQ(trimString("  hi\t\n"), "hi");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString("   "), "");
+}
+
+TEST(Str, StartsWith) {
+  EXPECT_TRUE(startsWith("model GCN", "model"));
+  EXPECT_FALSE(startsWith("mod", "model"));
+}
+
+TEST(Str, Join) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ","), "");
+}
+
+TEST(Str, FormatDouble) { EXPECT_EQ(formatDouble(1.23456, 2), "1.23"); }
+
+TEST(Str, RenderTableAligns) {
+  std::string T = renderTable({"name", "x"}, {{"long-name", "1"}, {"b", "22"}});
+  EXPECT_NE(T.find("| name      | x  |"), std::string::npos);
+  EXPECT_NE(T.find("| long-name | 1  |"), std::string::npos);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer T;
+  volatile double Sink = 0.0;
+  for (int I = 0; I < 100000; ++I)
+    Sink = Sink + I * 0.5;
+  EXPECT_GT(T.seconds(), 0.0);
+  double First = T.seconds();
+  T.reset();
+  EXPECT_LE(T.seconds(), First + 1.0);
+}

@@ -1,0 +1,252 @@
+//===- CliDriver.cpp - granii-cli command implementation ----------------------===//
+
+#include "CliDriver.h"
+
+#include "assoc/DotExport.h"
+#include "assoc/Enumerate.h"
+#include "assoc/Prune.h"
+#include "graph/Generators.h"
+#include "graph/MatrixMarket.h"
+#include "granii/Granii.h"
+#include "ir/Dsl.h"
+#include "runtime/CodeGen.h"
+#include "support/Str.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+using namespace granii;
+using namespace granii::cli;
+
+namespace {
+
+/// Simple flag/value argument scanner. Positional arguments keep order.
+class ArgParser {
+public:
+  explicit ArgParser(const std::vector<std::string> &Args) {
+    for (size_t I = 0; I < Args.size(); ++I) {
+      if (startsWith(Args[I], "--")) {
+        std::string Key = Args[I].substr(2);
+        if (I + 1 < Args.size() && !startsWith(Args[I + 1], "--"))
+          Values[Key] = Args[++I];
+        else
+          Values[Key] = "";
+        continue;
+      }
+      Positional.push_back(Args[I]);
+    }
+  }
+
+  bool hasFlag(const std::string &Key) const { return Values.count(Key); }
+
+  std::string value(const std::string &Key,
+                    const std::string &Default = "") const {
+    auto It = Values.find(Key);
+    return It == Values.end() ? Default : It->second;
+  }
+
+  int64_t intValue(const std::string &Key, int64_t Default) const {
+    auto It = Values.find(Key);
+    return It == Values.end() ? Default : std::stoll(It->second);
+  }
+
+  std::vector<std::string> Positional;
+
+private:
+  std::map<std::string, std::string> Values;
+};
+
+std::optional<ParsedModel> loadModel(const std::string &Path,
+                                     std::string &Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    Err += "error: cannot open model file '" + Path + "'\n";
+    return std::nullopt;
+  }
+  std::ostringstream Contents;
+  Contents << In.rdbuf();
+  std::string ParseError;
+  std::optional<ParsedModel> Parsed =
+      parseModelDsl(Contents.str(), &ParseError);
+  if (!Parsed)
+    Err += "error: " + Path + ": " + ParseError + "\n";
+  return Parsed;
+}
+
+/// Wraps a parsed DSL model into a GnnModel (weight count and attention
+/// flag derived from the IR's leaves).
+GnnModel wrapModel(const ParsedModel &Parsed) {
+  GnnModel Model;
+  Model.Name = Parsed.Name;
+  Model.Root = Parsed.Root;
+  Model.WeightCount = 0;
+  for (const LeafNode *Leaf : collectLeaves(Parsed.Root)) {
+    if (Leaf->role() == LeafRole::Weight)
+      ++Model.WeightCount;
+    if (Leaf->role() == LeafRole::AttnSrcVec)
+      Model.UsesAttention = true;
+  }
+  if (Model.WeightCount == 0)
+    Model.WeightCount = 1;
+  return Model;
+}
+
+std::optional<Graph> loadGraph(const std::string &Spec, std::string &Err) {
+  if (startsWith(Spec, "synth:")) {
+    std::string Name = Spec.substr(6);
+    for (const char *Known : {"reddit", "com-amazon", "mycielskian",
+                              "belgium-osm", "coauthors", "ogbn-products"})
+      if (Name == Known)
+        return makeEvaluationGraph(Name);
+    Err += "error: unknown synthetic graph '" + Name +
+           "' (try reddit, com-amazon, mycielskian, belgium-osm, "
+           "coauthors, ogbn-products)\n";
+    return std::nullopt;
+  }
+  std::string ReadError;
+  std::optional<Graph> G = readMatrixMarket(Spec, &ReadError);
+  if (!G)
+    Err += "error: " + ReadError + "\n";
+  return G;
+}
+
+int cmdCompile(const ArgParser &Args, std::string &Out, std::string &Err) {
+  if (Args.Positional.size() < 2) {
+    Err += "usage: granii-cli compile <model.gnn> [--dot] [--codegen]\n";
+    return 2;
+  }
+  std::optional<ParsedModel> Parsed = loadModel(Args.Positional[1], Err);
+  if (!Parsed)
+    return 1;
+
+  Out += "model '" + Parsed->Name + "'\n\nmatrix IR:\n" +
+         printIR(Parsed->Root) + "\n";
+
+  PruneStats Stats;
+  std::vector<CompositionPlan> Promoted =
+      pruneCompositions(enumerateCompositions(Parsed->Root), &Stats);
+  Out += "offline stage: " + std::to_string(Stats.Enumerated) +
+         " compositions enumerated, " + std::to_string(Stats.Pruned) +
+         " pruned, " + std::to_string(Stats.Promoted) + " promoted\n\n";
+  for (const CompositionPlan &Plan : Promoted) {
+    Out += Plan.toString();
+    Out += "  viable: ";
+    if (Plan.ViableGe)
+      Out += "[Kin>=Kout] ";
+    if (Plan.ViableLt)
+      Out += "[Kin<Kout]";
+    Out += "\n\n";
+  }
+
+  if (Args.hasFlag("dot")) {
+    Out += exportIRDot(Parsed->Root, Parsed->Name + "_ir");
+    for (size_t I = 0; I < Promoted.size(); ++I)
+      Out += exportPlanDot(Promoted[I],
+                           Parsed->Name + "_plan" + std::to_string(I));
+  }
+  if (Args.hasFlag("codegen"))
+    Out += generateDispatchCode(Parsed->Name, Promoted);
+  return 0;
+}
+
+int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
+  if (Args.Positional.size() < 2 || !Args.hasFlag("graph")) {
+    Err += "usage: granii-cli run <model.gnn> --graph <mtx|synth:name> "
+           "--kin N --kout N [--hw cpu|a100|h100] [--iters N] [--train]\n";
+    return 2;
+  }
+  std::optional<ParsedModel> Parsed = loadModel(Args.Positional[1], Err);
+  if (!Parsed)
+    return 1;
+  std::optional<Graph> G = loadGraph(Args.value("graph"), Err);
+  if (!G)
+    return 1;
+
+  GnnModel Model = wrapModel(*Parsed);
+  int64_t KIn = Args.intValue("kin", 32);
+  int64_t KOut = Args.intValue("kout", 32);
+  std::string Hw = Args.value("hw", "cpu");
+  if (Hw != "cpu" && Hw != "a100" && Hw != "h100") {
+    Err += "error: unknown hardware '" + Hw + "'\n";
+    return 2;
+  }
+  bool Training = Args.hasFlag("train");
+
+  OptimizerOptions Options;
+  Options.Hw = HardwareModel::byName(Hw);
+  Options.Iterations = static_cast<int>(Args.intValue("iters", 100));
+  AnalyticCostModel Cost(Options.Hw);
+  Optimizer Granii(Model, Options, &Cost);
+
+  Out += "graph '" + G->name() + "': " + std::to_string(G->numNodes()) +
+         " nodes, " + std::to_string(G->numEdges()) + " edges (density " +
+         formatDouble(G->stats().Density, 5) + ", avg degree " +
+         formatDouble(G->stats().AvgDegree, 1) + ")\n";
+  Out += "offline: " + std::to_string(Granii.pruneStats().Enumerated) +
+         " enumerated -> " + std::to_string(Granii.promoted().size()) +
+         " promoted\n";
+
+  Selection Sel = Granii.select(*G, KIn, KOut);
+  Out += "online: candidate #" + std::to_string(Sel.PlanIndex) + " (" +
+         (Sel.UsedCostModels ? "cost models" : "embedding-size condition") +
+         "), predicted " + formatDouble(Sel.PredictedSeconds * 1e3, 3) +
+         " ms for " + std::to_string(Options.Iterations) + " iterations\n";
+  Out += "selected composition:\n" +
+         Granii.promoted()[Sel.PlanIndex].toString();
+
+  LayerParams Params = makeLayerParams(Model, *G, KIn, KOut);
+  ExecResult R = Granii.execute(Sel, Params, Training);
+  Out += std::string(Training ? "fwd+bwd" : "forward") + ": " +
+         formatDouble((R.ForwardSeconds + R.BackwardSeconds) * 1e3, 3) +
+         " ms/iteration (+ " + formatDouble(R.SetupSeconds * 1e3, 3) +
+         " ms one-time setup); " + std::to_string(Options.Iterations) +
+         "-iteration total " +
+         formatDouble(R.totalSeconds(Options.Iterations, Training) * 1e3, 2) +
+         " ms\n";
+  Out += "output: " + std::to_string(R.Output.rows()) + " x " +
+         std::to_string(R.Output.cols()) + "\n";
+  return 0;
+}
+
+int cmdGraphGen(const ArgParser &Args, std::string &Out, std::string &Err) {
+  if (Args.Positional.size() < 3) {
+    Err += "usage: granii-cli graphgen <name> <out.mtx>\n";
+    return 2;
+  }
+  std::optional<Graph> G = loadGraph("synth:" + Args.Positional[1], Err);
+  if (!G)
+    return 1;
+  std::string WriteError;
+  if (!writeMatrixMarket(*G, Args.Positional[2], &WriteError)) {
+    Err += "error: " + WriteError + "\n";
+    return 1;
+  }
+  Out += "wrote " + G->name() + " (" + std::to_string(G->numNodes()) +
+         " nodes, " + std::to_string(G->numEdges()) + " edges) to " +
+         Args.Positional[2] + "\n";
+  return 0;
+}
+
+} // namespace
+
+int granii::cli::runCli(const std::vector<std::string> &Args, std::string &Out,
+                        std::string &Err) {
+  if (Args.empty()) {
+    Err += "usage: granii-cli <compile|run|graphgen> ...\n";
+    return 2;
+  }
+  ArgParser Parsed(Args);
+  const std::string &Command = Parsed.Positional.empty()
+                                   ? Args[0]
+                                   : Parsed.Positional[0];
+  if (Command == "compile")
+    return cmdCompile(Parsed, Out, Err);
+  if (Command == "run")
+    return cmdRun(Parsed, Out, Err);
+  if (Command == "graphgen")
+    return cmdGraphGen(Parsed, Out, Err);
+  Err += "error: unknown command '" + Command + "'\n";
+  return 2;
+}

@@ -1,0 +1,41 @@
+//===- CliDriver.h - granii-cli command implementation ----------*- C++ -*-===//
+///
+/// \file
+/// The granii-cli compiler driver, factored as a library so the command
+/// logic is unit-testable. Subcommands:
+///
+///   granii-cli compile <model.gnn> [--hops N] [--dot] [--codegen]
+///       Parse a DSL model, run the offline stage, print the IR, the
+///       enumeration/pruning statistics and the promoted candidates;
+///       optionally emit Graphviz DOT and the generated dispatch code.
+///
+///   granii-cli run <model.gnn> --graph <spec> --kin N --kout N
+///              [--hw cpu|a100|h100] [--iters N] [--train]
+///       Full pipeline: offline compile, online selection for the given
+///       input, execution, and a timing report. <spec> is a Matrix Market
+///       path or "synth:<name>" for a built-in evaluation graph.
+///
+///   granii-cli graphgen <name> <out.mtx>
+///       Write one of the built-in synthetic evaluation graphs to disk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_TOOLS_CLIDRIVER_H
+#define GRANII_TOOLS_CLIDRIVER_H
+
+#include <string>
+#include <vector>
+
+namespace granii {
+namespace cli {
+
+/// Executes the driver on \p Args (excluding argv[0]); human-readable
+/// output and diagnostics are appended to \p Out and \p Err.
+/// \returns the process exit code.
+int runCli(const std::vector<std::string> &Args, std::string &Out,
+           std::string &Err);
+
+} // namespace cli
+} // namespace granii
+
+#endif // GRANII_TOOLS_CLIDRIVER_H
