@@ -5,6 +5,7 @@
 #include "graph/Generators.h"
 #include "support/Stats.h"
 #include "support/Str.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <fstream>
@@ -25,12 +26,21 @@ HardwareModel BenchContext::platform(const std::string &Name) const {
   return HardwareModel::byName(Name);
 }
 
+void BenchContext::setThreads(int NumThreads) {
+  ThreadPool::get().setNumThreads(NumThreads);
+}
+
 const CostModel &BenchContext::costFor(const std::string &Hw) {
-  auto It = CostModels.find(Hw);
-  if (It != CostModels.end())
-    return *It->second;
   HardwareModel Model = platform(Hw);
   std::string Cache = "granii_costmodel_" + Hw + ".cache";
+  // Measured profiles change with the thread count; keep one cache (and one
+  // in-memory model) per count so stale profiles are never reused.
+  if (Model.kind() == PlatformKind::Measured)
+    Cache = "granii_costmodel_" + Hw + "_t" +
+            std::to_string(ThreadPool::get().numThreads()) + ".cache";
+  auto It = CostModels.find(Cache);
+  if (It != CostModels.end())
+    return *It->second;
   if (Model.kind() == PlatformKind::Measured &&
       !std::ifstream(Cache).good())
     std::fprintf(stderr,
@@ -39,7 +49,7 @@ const CostModel &BenchContext::costFor(const std::string &Hw) {
                  Hw.c_str(), Cache.c_str());
   auto Trained = std::make_unique<LearnedCostModel>(
       loadOrTrainCostModel(Cache, Model, makeTrainingSuite()));
-  It = CostModels.emplace(Hw, std::move(Trained)).first;
+  It = CostModels.emplace(Cache, std::move(Trained)).first;
   return *It->second;
 }
 

@@ -33,8 +33,16 @@ public:
   const std::vector<HardwareModel> &platforms() const { return Platforms; }
   HardwareModel platform(const std::string &Name) const;
 
-  /// The trained per-primitive cost model for \p Hw (cached on disk under
-  /// ./granii_costmodel_<hw>.cache; the first CPU run profiles kernels).
+  /// Pins the kernel thread pool to \p NumThreads (<= 0 restores the
+  /// GRANII_NUM_THREADS / hardware default). Harness mains call this before
+  /// any measurement; measured cost-model caches are stamped with the
+  /// thread count, so profiles taken at different counts never mix.
+  void setThreads(int NumThreads);
+
+  /// The trained per-primitive cost model for \p Hw. Cached on disk under
+  /// ./granii_costmodel_<hw>.cache for simulated platforms and
+  /// ./granii_costmodel_<hw>_t<threads>.cache for measured ones (the first
+  /// CPU run profiles kernels).
   const CostModel &costFor(const std::string &Hw);
 
   /// The six Table II stand-ins (RD, CA, MC, BL, AU, OP).

@@ -9,8 +9,13 @@
 #include "graph/Generators.h"
 #include "kernels/Kernels.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace granii;
 
@@ -108,4 +113,30 @@ static void BM_EdgeSoftmax(benchmark::State &State) {
 }
 BENCHMARK(BM_EdgeSoftmax);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): consume --threads=N (or
+// "--threads N") before google-benchmark sees the argument list, so the
+// kernel pool size can be swept, e.g. for the 1-vs-8-thread speedup runs.
+int main(int argc, char **argv) {
+  int Kept = 1;
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strncmp(Arg, "--threads=", 10) == 0) {
+      ThreadPool::get().setNumThreads(std::atoi(Arg + 10));
+      continue;
+    }
+    if (std::strcmp(Arg, "--threads") == 0 && I + 1 < argc) {
+      ThreadPool::get().setNumThreads(std::atoi(argv[++I]));
+      continue;
+    }
+    argv[Kept++] = argv[I];
+  }
+  argc = Kept;
+  std::fprintf(stderr, "[micro_kernels] threads: %d\n",
+               ThreadPool::get().numThreads());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -64,8 +64,8 @@ enum class StepOp {
   Relu,           ///< dense = relu(dense)
   DegreeOffsets,  ///< diag = degree(sparse) via CSR offsets
   DegreeBinning,  ///< diag = degree(sparse) via per-edge binning
-  InvSqrtVec,     ///< diag = rsqrt(max(diag, 1))
-  InvVec,         ///< diag = 1/max(diag, 1) (mean aggregation)
+  InvSqrtVec,     ///< diag = d > 0 ? rsqrt(d) : 0
+  InvVec,         ///< diag = d > 0 ? 1/d : 0 (mean aggregation)
   AttnGemv,       ///< nodevec = dense * attn vector
   EdgeLogits,     ///< sparse_w = src[i] + dst[j] on mask
   EdgeLeakyRelu,  ///< sparse_w = leaky_relu(edge values)

@@ -3,6 +3,7 @@
 #include "hw/HardwareModel.h"
 
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cmath>
@@ -12,14 +13,16 @@ using namespace granii;
 DeviceParams DeviceParams::cpu() {
   DeviceParams P;
   P.Name = "cpu";
-  // Single Xeon-class core running our scalar kernels.
+  // One Xeon-class core running our scalar kernels; the kernel library
+  // row-partitions across NumCores of them.
   P.DenseGflops = 4.0;
   P.SparseGflops = 1.0;
   P.BandwidthGBs = 12.0;
   P.LaunchMicros = 0.05;
   P.SaturationMflops = 0.01;
-  P.AtomicCoef = 0.0; // Sequential increments do not contend.
+  P.AtomicCoef = 0.0; // Row-exclusive increments do not contend.
   P.IrregularityCoef = 0.15;
+  P.NumCores = ThreadPool::get().numThreads();
   return P;
 }
 
@@ -70,6 +73,12 @@ double HardwareModel::estimateSeconds(const PrimitiveDesc &Desc,
   double EffectiveGflops = std::max(PeakGflops * Utilization, 1e-3);
 
   double ComputeSec = Flops / (EffectiveGflops * 1e9);
+  // Multi-core platforms split the compute side across cores at less than
+  // ideal efficiency; the memory side stays whole-device (shared bus).
+  if (Params.NumCores > 1)
+    ComputeSec /=
+        1.0 + (Params.NumCores - 1) * std::clamp(Params.ParallelEfficiency,
+                                                 0.0, 1.0);
   double MemorySec = Bytes / (Params.BandwidthGBs * 1e9);
   double Time = std::max(ComputeSec, MemorySec);
 

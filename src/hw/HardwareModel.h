@@ -35,6 +35,15 @@ struct DeviceParams {
   double SaturationMflops = 1.0;///< work needed to reach ~50% of peak
   double AtomicCoef = 0.0;      ///< binning contention ~ coef * avg degree
   double IrregularityCoef = 0.0;///< sparse penalty ~ coef * degree CV
+  /// Cores the compute side scales over. The GPU presets keep 1 because
+  /// their Gflops figures already describe the whole device; cpu() reads
+  /// the thread-pool size so estimates track --threads/GRANII_NUM_THREADS.
+  int NumCores = 1;
+  /// Fraction of ideal speedup each extra core contributes (Amdahl-style
+  /// serial residue + memory contention). Compute time is divided by
+  /// 1 + (NumCores-1)*ParallelEfficiency; bandwidth is not scaled — the
+  /// memory-bound side is shared across cores.
+  double ParallelEfficiency = 0.85;
 
   /// Parameter presets for the paper's three testbeds.
   static DeviceParams cpu();

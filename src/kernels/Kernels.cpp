@@ -1,13 +1,36 @@
 //===- Kernels.cpp - Sparse and dense matrix primitives --------------------===//
+//
+// Parallelization contract: every kernel partitions work so each thread
+// owns a disjoint set of output rows (or output elements), and each output
+// element's serial computation is independent of the partition. Results are
+// therefore bitwise-identical at every thread count. Sparse row loops use
+// the nnz-balanced partitioner (parallelForCsrRows) so skewed-degree graphs
+// do not serialize on their hub rows.
+//
+//===----------------------------------------------------------------------===//
 
 #include "kernels/Kernels.h"
 
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cmath>
 
 using namespace granii;
+
+namespace {
+
+/// Minimum scalar operations per chunk before a dense loop is dispatched to
+/// the thread pool; below this the fork/join overhead dominates.
+constexpr int64_t DenseGrainOps = int64_t{1} << 14;
+
+/// Grain (rows per chunk) for a row loop doing \p WorkPerRow operations.
+int64_t rowGrain(int64_t WorkPerRow) {
+  return std::max<int64_t>(1, DenseGrainOps / std::max<int64_t>(WorkPerRow, 1));
+}
+
+} // namespace
 
 DenseMatrix kernels::gemm(const DenseMatrix &A, const DenseMatrix &B) {
   DenseMatrix C(A.rows(), B.cols());
@@ -17,134 +40,163 @@ DenseMatrix kernels::gemm(const DenseMatrix &A, const DenseMatrix &B) {
 
 void kernels::gemmAccumulate(const DenseMatrix &A, const DenseMatrix &B,
                              DenseMatrix &C) {
-  assert(A.cols() == B.rows() && "GEMM inner dimension mismatch");
-  assert(C.rows() == A.rows() && C.cols() == B.cols() &&
-         "GEMM output shape mismatch");
+  GRANII_CHECK(A.cols() == B.rows(), "gemm inner dimension mismatch");
+  GRANII_CHECK(C.rows() == A.rows() && C.cols() == B.cols(),
+               "gemm output shape mismatch");
   const int64_t M = A.rows(), K = A.cols(), N = B.cols();
   // i-k-j loop order: streams B and C rows, good cache behavior row-major.
-  for (int64_t I = 0; I < M; ++I) {
-    const float *ARow = A.rowPtr(I);
-    float *CRow = C.rowPtr(I);
-    for (int64_t KK = 0; KK < K; ++KK) {
-      float AVal = ARow[KK];
-      if (AVal == 0.0f)
-        continue;
-      const float *BRow = B.rowPtr(KK);
-      for (int64_t J = 0; J < N; ++J)
-        CRow[J] += AVal * BRow[J];
+  // Output rows are partitioned across threads; each C row is written by
+  // exactly one thread.
+  parallelFor(0, M, rowGrain(K * N), [&](int64_t RowBegin, int64_t RowEnd) {
+    for (int64_t I = RowBegin; I < RowEnd; ++I) {
+      const float *ARow = A.rowPtr(I);
+      float *CRow = C.rowPtr(I);
+      for (int64_t KK = 0; KK < K; ++KK) {
+        float AVal = ARow[KK];
+        if (AVal == 0.0f)
+          continue;
+        const float *BRow = B.rowPtr(KK);
+        for (int64_t J = 0; J < N; ++J)
+          CRow[J] += AVal * BRow[J];
+      }
     }
-  }
+  });
 }
 
 DenseMatrix kernels::gemmTransposedLhs(const DenseMatrix &A,
                                        const DenseMatrix &B) {
-  assert(A.rows() == B.rows() && "A^T*B dimension mismatch");
+  GRANII_CHECK(A.rows() == B.rows(), "A^T*B dimension mismatch");
   DenseMatrix C(A.cols(), B.cols());
-  const int64_t M = A.rows();
-  for (int64_t I = 0; I < M; ++I) {
-    const float *ARow = A.rowPtr(I);
-    const float *BRow = B.rowPtr(I);
-    for (int64_t R = 0; R < A.cols(); ++R) {
-      float AVal = ARow[R];
-      if (AVal == 0.0f)
-        continue;
-      float *CRow = C.rowPtr(R);
-      for (int64_t J = 0; J < B.cols(); ++J)
-        CRow[J] += AVal * BRow[J];
-    }
-  }
+  const int64_t M = A.rows(), N = B.cols();
+  // Parallel over *output* rows (columns of A): the scatter formulation
+  // (outer loop over A's rows) would race on C. The per-output-row update
+  // order over I is identical to the serial kernel, so results match
+  // bitwise at every thread count.
+  parallelFor(0, A.cols(), rowGrain(M * N),
+              [&](int64_t RowBegin, int64_t RowEnd) {
+                for (int64_t R = RowBegin; R < RowEnd; ++R) {
+                  float *CRow = C.rowPtr(R);
+                  for (int64_t I = 0; I < M; ++I) {
+                    float AVal = A.rowPtr(I)[R];
+                    if (AVal == 0.0f)
+                      continue;
+                    const float *BRow = B.rowPtr(I);
+                    for (int64_t J = 0; J < N; ++J)
+                      CRow[J] += AVal * BRow[J];
+                  }
+                }
+              });
   return C;
 }
 
 DenseMatrix kernels::gemmTransposedRhs(const DenseMatrix &A,
                                        const DenseMatrix &B) {
-  assert(A.cols() == B.cols() && "A*B^T dimension mismatch");
+  GRANII_CHECK(A.cols() == B.cols(), "A*B^T dimension mismatch");
   DenseMatrix C(A.rows(), B.rows());
-  for (int64_t I = 0; I < A.rows(); ++I) {
-    const float *ARow = A.rowPtr(I);
-    float *CRow = C.rowPtr(I);
-    for (int64_t J = 0; J < B.rows(); ++J) {
-      const float *BRow = B.rowPtr(J);
-      float Acc = 0.0f;
-      for (int64_t KK = 0; KK < A.cols(); ++KK)
-        Acc += ARow[KK] * BRow[KK];
-      CRow[J] = Acc;
-    }
-  }
+  const int64_t K = A.cols(), N = B.rows();
+  parallelFor(0, A.rows(), rowGrain(K * N),
+              [&](int64_t RowBegin, int64_t RowEnd) {
+                for (int64_t I = RowBegin; I < RowEnd; ++I) {
+                  const float *ARow = A.rowPtr(I);
+                  float *CRow = C.rowPtr(I);
+                  for (int64_t J = 0; J < N; ++J) {
+                    const float *BRow = B.rowPtr(J);
+                    float Acc = 0.0f;
+                    for (int64_t KK = 0; KK < K; ++KK)
+                      Acc += ARow[KK] * BRow[KK];
+                    CRow[J] = Acc;
+                  }
+                }
+              });
   return C;
 }
 
 std::vector<float> kernels::gemv(const DenseMatrix &A,
                                  const std::vector<float> &X) {
-  assert(static_cast<int64_t>(X.size()) == A.cols() &&
-         "GEMV dimension mismatch");
+  GRANII_CHECK(static_cast<int64_t>(X.size()) == A.cols(),
+               "gemv dimension mismatch");
   std::vector<float> Y(static_cast<size_t>(A.rows()), 0.0f);
-  for (int64_t I = 0; I < A.rows(); ++I) {
-    const float *Row = A.rowPtr(I);
-    float Acc = 0.0f;
-    for (int64_t J = 0; J < A.cols(); ++J)
-      Acc += Row[J] * X[static_cast<size_t>(J)];
-    Y[static_cast<size_t>(I)] = Acc;
-  }
+  parallelFor(0, A.rows(), rowGrain(A.cols()),
+              [&](int64_t RowBegin, int64_t RowEnd) {
+                for (int64_t I = RowBegin; I < RowEnd; ++I) {
+                  const float *Row = A.rowPtr(I);
+                  float Acc = 0.0f;
+                  for (int64_t J = 0; J < A.cols(); ++J)
+                    Acc += Row[J] * X[static_cast<size_t>(J)];
+                  Y[static_cast<size_t>(I)] = Acc;
+                }
+              });
   return Y;
 }
 
 DenseMatrix kernels::rowBroadcastMul(const std::vector<float> &D,
                                      const DenseMatrix &H) {
-  assert(static_cast<int64_t>(D.size()) == H.rows() &&
-         "row broadcast length mismatch");
+  GRANII_CHECK(static_cast<int64_t>(D.size()) == H.rows(),
+               "row broadcast length mismatch");
   DenseMatrix Out(H.rows(), H.cols());
-  for (int64_t I = 0; I < H.rows(); ++I) {
-    float Scale = D[static_cast<size_t>(I)];
-    const float *In = H.rowPtr(I);
-    float *Dst = Out.rowPtr(I);
-    for (int64_t J = 0; J < H.cols(); ++J)
-      Dst[J] = Scale * In[J];
-  }
+  parallelFor(0, H.rows(), rowGrain(H.cols()),
+              [&](int64_t RowBegin, int64_t RowEnd) {
+                for (int64_t I = RowBegin; I < RowEnd; ++I) {
+                  float Scale = D[static_cast<size_t>(I)];
+                  const float *In = H.rowPtr(I);
+                  float *Dst = Out.rowPtr(I);
+                  for (int64_t J = 0; J < H.cols(); ++J)
+                    Dst[J] = Scale * In[J];
+                }
+              });
   return Out;
 }
 
 DenseMatrix kernels::colBroadcastMul(const DenseMatrix &H,
                                      const std::vector<float> &D) {
-  assert(static_cast<int64_t>(D.size()) == H.cols() &&
-         "column broadcast length mismatch");
+  GRANII_CHECK(static_cast<int64_t>(D.size()) == H.cols(),
+               "column broadcast length mismatch");
   DenseMatrix Out(H.rows(), H.cols());
-  for (int64_t I = 0; I < H.rows(); ++I) {
-    const float *In = H.rowPtr(I);
-    float *Dst = Out.rowPtr(I);
-    for (int64_t J = 0; J < H.cols(); ++J)
-      Dst[J] = In[J] * D[static_cast<size_t>(J)];
-  }
+  parallelFor(0, H.rows(), rowGrain(H.cols()),
+              [&](int64_t RowBegin, int64_t RowEnd) {
+                for (int64_t I = RowBegin; I < RowEnd; ++I) {
+                  const float *In = H.rowPtr(I);
+                  float *Dst = Out.rowPtr(I);
+                  for (int64_t J = 0; J < H.cols(); ++J)
+                    Dst[J] = In[J] * D[static_cast<size_t>(J)];
+                }
+              });
   return Out;
 }
 
 DenseMatrix kernels::addMatrices(const DenseMatrix &A, const DenseMatrix &B) {
-  assert(A.rows() == B.rows() && A.cols() == B.cols() &&
-         "elementwise add shape mismatch");
+  GRANII_CHECK(A.rows() == B.rows() && A.cols() == B.cols(),
+               "elementwise add shape mismatch");
   DenseMatrix Out(A.rows(), A.cols());
   const float *PA = A.data();
   const float *PB = B.data();
   float *PO = Out.data();
-  for (int64_t I = 0, E = A.size(); I < E; ++I)
-    PO[I] = PA[I] + PB[I];
+  parallelFor(0, A.size(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I)
+      PO[I] = PA[I] + PB[I];
+  });
   return Out;
 }
 
 void kernels::axpyInto(float Alpha, const DenseMatrix &A, DenseMatrix &B) {
-  assert(A.rows() == B.rows() && A.cols() == B.cols() &&
-         "axpy shape mismatch");
+  GRANII_CHECK(A.rows() == B.rows() && A.cols() == B.cols(),
+               "axpy shape mismatch");
   const float *PA = A.data();
   float *PB = B.data();
-  for (int64_t I = 0, E = A.size(); I < E; ++I)
-    PB[I] += Alpha * PA[I];
+  parallelFor(0, A.size(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I)
+      PB[I] += Alpha * PA[I];
+  });
 }
 
 DenseMatrix kernels::scaleMatrix(const DenseMatrix &A, float Alpha) {
   DenseMatrix Out(A.rows(), A.cols());
   const float *PA = A.data();
   float *PO = Out.data();
-  for (int64_t I = 0, E = A.size(); I < E; ++I)
-    PO[I] = Alpha * PA[I];
+  parallelFor(0, A.size(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I)
+      PO[I] = Alpha * PA[I];
+  });
   return Out;
 }
 
@@ -152,8 +204,10 @@ DenseMatrix kernels::relu(const DenseMatrix &A) {
   DenseMatrix Out(A.rows(), A.cols());
   const float *PA = A.data();
   float *PO = Out.data();
-  for (int64_t I = 0, E = A.size(); I < E; ++I)
-    PO[I] = PA[I] > 0.0f ? PA[I] : 0.0f;
+  parallelFor(0, A.size(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I)
+      PO[I] = PA[I] > 0.0f ? PA[I] : 0.0f;
+  });
   return Out;
 }
 
@@ -161,27 +215,31 @@ DenseMatrix kernels::leakyRelu(const DenseMatrix &A, float NegativeSlope) {
   DenseMatrix Out(A.rows(), A.cols());
   const float *PA = A.data();
   float *PO = Out.data();
-  for (int64_t I = 0, E = A.size(); I < E; ++I)
-    PO[I] = PA[I] > 0.0f ? PA[I] : NegativeSlope * PA[I];
+  parallelFor(0, A.size(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I)
+      PO[I] = PA[I] > 0.0f ? PA[I] : NegativeSlope * PA[I];
+  });
   return Out;
 }
 
 DenseMatrix kernels::reluBackward(const DenseMatrix &Pre,
                                   const DenseMatrix &Grad) {
-  assert(Pre.rows() == Grad.rows() && Pre.cols() == Grad.cols() &&
-         "relu backward shape mismatch");
+  GRANII_CHECK(Pre.rows() == Grad.rows() && Pre.cols() == Grad.cols(),
+               "relu backward shape mismatch");
   DenseMatrix Out(Pre.rows(), Pre.cols());
   const float *PP = Pre.data();
   const float *PG = Grad.data();
   float *PO = Out.data();
-  for (int64_t I = 0, E = Pre.size(); I < E; ++I)
-    PO[I] = PP[I] > 0.0f ? PG[I] : 0.0f;
+  parallelFor(0, Pre.size(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I)
+      PO[I] = PP[I] > 0.0f ? PG[I] : 0.0f;
+  });
   return Out;
 }
 
 DenseMatrix kernels::spmm(const CsrMatrix &A, const DenseMatrix &B,
                           const Semiring &S) {
-  assert(A.cols() == B.rows() && "SpMM dimension mismatch");
+  GRANII_CHECK(A.cols() == B.rows(), "spmm dimension mismatch");
   DenseMatrix Out(A.rows(), B.cols());
   const auto &Offsets = A.rowOffsets();
   const auto &Cols = A.colIndices();
@@ -192,119 +250,130 @@ DenseMatrix kernels::spmm(const CsrMatrix &A, const DenseMatrix &B,
   // Fast path: plus-times / plus-copy sum reductions fused over rows.
   const bool SumLike =
       S.Reduce == ReduceOpKind::Sum || S.Reduce == ReduceOpKind::Mean;
-  for (int64_t R = 0; R < A.rows(); ++R) {
-    float *Dst = Out.rowPtr(R);
-    int64_t Begin = Offsets[static_cast<size_t>(R)];
-    int64_t End = Offsets[static_cast<size_t>(R) + 1];
-    if (SumLike) {
-      for (int64_t K = Begin; K < End; ++K) {
-        int32_t Col = Cols[static_cast<size_t>(K)];
-        const float *Src = B.rowPtr(Col);
-        if (S.Combine == CombineOpKind::CopyRhs) {
-          for (int64_t J = 0; J < NCols; ++J)
-            Dst[J] += Src[J];
-        } else {
-          float EdgeVal = Weighted ? Vals[static_cast<size_t>(K)] : 1.0f;
-          if (S.Combine == CombineOpKind::Mul) {
+  parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
+    for (int64_t R = RowBegin; R < RowEnd; ++R) {
+      float *Dst = Out.rowPtr(R);
+      int64_t Begin = Offsets[static_cast<size_t>(R)];
+      int64_t End = Offsets[static_cast<size_t>(R) + 1];
+      if (SumLike) {
+        for (int64_t K = Begin; K < End; ++K) {
+          int32_t Col = Cols[static_cast<size_t>(K)];
+          const float *Src = B.rowPtr(Col);
+          if (S.Combine == CombineOpKind::CopyRhs) {
             for (int64_t J = 0; J < NCols; ++J)
-              Dst[J] += EdgeVal * Src[J];
-          } else { // Add combine.
-            for (int64_t J = 0; J < NCols; ++J)
-              Dst[J] += EdgeVal + Src[J];
+              Dst[J] += Src[J];
+          } else {
+            float EdgeVal = Weighted ? Vals[static_cast<size_t>(K)] : 1.0f;
+            if (S.Combine == CombineOpKind::Mul) {
+              for (int64_t J = 0; J < NCols; ++J)
+                Dst[J] += EdgeVal * Src[J];
+            } else { // Add combine.
+              for (int64_t J = 0; J < NCols; ++J)
+                Dst[J] += EdgeVal + Src[J];
+            }
           }
         }
+        if (S.Reduce == ReduceOpKind::Mean && End > Begin) {
+          float Inv = 1.0f / static_cast<float>(End - Begin);
+          for (int64_t J = 0; J < NCols; ++J)
+            Dst[J] *= Inv;
+        }
+        continue;
       }
-      if (S.Reduce == ReduceOpKind::Mean && End > Begin) {
-        float Inv = 1.0f / static_cast<float>(End - Begin);
-        for (int64_t J = 0; J < NCols; ++J)
-          Dst[J] *= Inv;
-      }
-      continue;
-    }
-    // General (max/min) reduction path.
-    bool Any = End > Begin;
-    float Identity = S.reduceIdentity();
-    for (int64_t J = 0; J < NCols; ++J)
-      Dst[J] = Any ? Identity : 0.0f;
-    for (int64_t K = Begin; K < End; ++K) {
-      int32_t Col = Cols[static_cast<size_t>(K)];
-      float EdgeVal = A.valueAt(K);
-      const float *Src = B.rowPtr(Col);
+      // General (max/min) reduction path.
+      bool Any = End > Begin;
+      float Identity = S.reduceIdentity();
       for (int64_t J = 0; J < NCols; ++J)
-        Dst[J] = S.reduce(Dst[J], S.combine(EdgeVal, Src[J]));
+        Dst[J] = Any ? Identity : 0.0f;
+      for (int64_t K = Begin; K < End; ++K) {
+        int32_t Col = Cols[static_cast<size_t>(K)];
+        float EdgeVal = A.valueAt(K);
+        const float *Src = B.rowPtr(Col);
+        for (int64_t J = 0; J < NCols; ++J)
+          Dst[J] = S.reduce(Dst[J], S.combine(EdgeVal, Src[J]));
+      }
     }
-  }
+  });
   return Out;
 }
 
 std::vector<float> kernels::sddmm(const CsrMatrix &Mask, const DenseMatrix &U,
                                   const DenseMatrix &V, const Semiring &S) {
-  assert(Mask.rows() == U.rows() && "SDDMM left operand row mismatch");
-  assert(Mask.cols() == V.rows() && "SDDMM right operand row mismatch");
-  assert(U.cols() == V.cols() && "SDDMM feature width mismatch");
+  GRANII_CHECK(Mask.rows() == U.rows(), "sddmm left operand row mismatch");
+  GRANII_CHECK(Mask.cols() == V.rows(), "sddmm right operand row mismatch");
+  GRANII_CHECK(U.cols() == V.cols(), "sddmm feature width mismatch");
   std::vector<float> Out(static_cast<size_t>(Mask.nnz()), 0.0f);
   const auto &Offsets = Mask.rowOffsets();
   const auto &Cols = Mask.colIndices();
   const int64_t Width = U.cols();
-  for (int64_t R = 0; R < Mask.rows(); ++R) {
-    const float *URow = U.rowPtr(R);
-    for (int64_t K = Offsets[static_cast<size_t>(R)];
-         K < Offsets[static_cast<size_t>(R) + 1]; ++K) {
-      const float *VRow = V.rowPtr(Cols[static_cast<size_t>(K)]);
-      float Acc = S.reduceIdentity();
-      for (int64_t J = 0; J < Width; ++J)
-        Acc = S.reduce(Acc, S.combine(URow[J], VRow[J]));
-      Out[static_cast<size_t>(K)] = Acc;
+  parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
+    for (int64_t R = RowBegin; R < RowEnd; ++R) {
+      const float *URow = U.rowPtr(R);
+      for (int64_t K = Offsets[static_cast<size_t>(R)];
+           K < Offsets[static_cast<size_t>(R) + 1]; ++K) {
+        const float *VRow = V.rowPtr(Cols[static_cast<size_t>(K)]);
+        float Acc = S.reduceIdentity();
+        for (int64_t J = 0; J < Width; ++J)
+          Acc = S.reduce(Acc, S.combine(URow[J], VRow[J]));
+        Out[static_cast<size_t>(K)] = Acc;
+      }
     }
-  }
+  });
   return Out;
 }
 
 std::vector<float> kernels::sddmmAddScalars(const CsrMatrix &Mask,
                                             const std::vector<float> &SrcScore,
                                             const std::vector<float> &DstScore) {
-  assert(static_cast<int64_t>(SrcScore.size()) == Mask.rows() &&
-         "source score length mismatch");
-  assert(static_cast<int64_t>(DstScore.size()) == Mask.cols() &&
-         "destination score length mismatch");
+  GRANII_CHECK(static_cast<int64_t>(SrcScore.size()) == Mask.rows(),
+               "source score length mismatch");
+  GRANII_CHECK(static_cast<int64_t>(DstScore.size()) == Mask.cols(),
+               "destination score length mismatch");
   std::vector<float> Out(static_cast<size_t>(Mask.nnz()), 0.0f);
   const auto &Offsets = Mask.rowOffsets();
   const auto &Cols = Mask.colIndices();
-  for (int64_t R = 0; R < Mask.rows(); ++R) {
-    float SVal = SrcScore[static_cast<size_t>(R)];
-    for (int64_t K = Offsets[static_cast<size_t>(R)];
-         K < Offsets[static_cast<size_t>(R) + 1]; ++K)
-      Out[static_cast<size_t>(K)] =
-          SVal + DstScore[static_cast<size_t>(Cols[static_cast<size_t>(K)])];
-  }
+  parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
+    for (int64_t R = RowBegin; R < RowEnd; ++R) {
+      float SVal = SrcScore[static_cast<size_t>(R)];
+      for (int64_t K = Offsets[static_cast<size_t>(R)];
+           K < Offsets[static_cast<size_t>(R) + 1]; ++K)
+        Out[static_cast<size_t>(K)] =
+            SVal + DstScore[static_cast<size_t>(Cols[static_cast<size_t>(K)])];
+    }
+  });
   return Out;
 }
 
 CsrMatrix kernels::scaleSparseRows(const CsrMatrix &A,
                                    const std::vector<float> &D) {
-  assert(static_cast<int64_t>(D.size()) == A.rows() &&
-         "row scale length mismatch");
+  GRANII_CHECK(static_cast<int64_t>(D.size()) == A.rows(),
+               "row scale length mismatch");
   std::vector<float> Vals(static_cast<size_t>(A.nnz()));
   const auto &Offsets = A.rowOffsets();
-  for (int64_t R = 0; R < A.rows(); ++R) {
-    float Scale = D[static_cast<size_t>(R)];
-    for (int64_t K = Offsets[static_cast<size_t>(R)];
-         K < Offsets[static_cast<size_t>(R) + 1]; ++K)
-      Vals[static_cast<size_t>(K)] = Scale * A.valueAt(K);
-  }
+  parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
+    for (int64_t R = RowBegin; R < RowEnd; ++R) {
+      float Scale = D[static_cast<size_t>(R)];
+      for (int64_t K = Offsets[static_cast<size_t>(R)];
+           K < Offsets[static_cast<size_t>(R) + 1]; ++K)
+        Vals[static_cast<size_t>(K)] = Scale * A.valueAt(K);
+    }
+  });
   return CsrMatrix(A.rows(), A.cols(), A.rowOffsets(), A.colIndices(),
                    std::move(Vals));
 }
 
 CsrMatrix kernels::scaleSparseCols(const CsrMatrix &A,
                                    const std::vector<float> &D) {
-  assert(static_cast<int64_t>(D.size()) == A.cols() &&
-         "column scale length mismatch");
+  GRANII_CHECK(static_cast<int64_t>(D.size()) == A.cols(),
+               "column scale length mismatch");
   std::vector<float> Vals(static_cast<size_t>(A.nnz()));
   const auto &Cols = A.colIndices();
-  for (int64_t K = 0, E = A.nnz(); K < E; ++K)
-    Vals[static_cast<size_t>(K)] =
-        A.valueAt(K) * D[static_cast<size_t>(Cols[static_cast<size_t>(K)])];
+  // Row structure is irrelevant here; partition the flat edge array.
+  parallelFor(0, A.nnz(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
+    for (int64_t K = Begin; K < End; ++K)
+      Vals[static_cast<size_t>(K)] =
+          A.valueAt(K) * D[static_cast<size_t>(Cols[static_cast<size_t>(K)])];
+  });
   return CsrMatrix(A.rows(), A.cols(), A.rowOffsets(), A.colIndices(),
                    std::move(Vals));
 }
@@ -312,66 +381,78 @@ CsrMatrix kernels::scaleSparseCols(const CsrMatrix &A,
 CsrMatrix kernels::scaleSparseBoth(const CsrMatrix &A,
                                    const std::vector<float> &L,
                                    const std::vector<float> &R) {
-  assert(static_cast<int64_t>(L.size()) == A.rows() &&
-         static_cast<int64_t>(R.size()) == A.cols() &&
-         "diagonal scale length mismatch");
+  GRANII_CHECK(static_cast<int64_t>(L.size()) == A.rows() &&
+                   static_cast<int64_t>(R.size()) == A.cols(),
+               "diagonal scale length mismatch");
   std::vector<float> Vals(static_cast<size_t>(A.nnz()));
   const auto &Offsets = A.rowOffsets();
   const auto &Cols = A.colIndices();
-  for (int64_t Row = 0; Row < A.rows(); ++Row) {
-    float Left = L[static_cast<size_t>(Row)];
-    for (int64_t K = Offsets[static_cast<size_t>(Row)];
-         K < Offsets[static_cast<size_t>(Row) + 1]; ++K)
-      Vals[static_cast<size_t>(K)] =
-          Left * A.valueAt(K) *
-          R[static_cast<size_t>(Cols[static_cast<size_t>(K)])];
-  }
+  parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
+    for (int64_t Row = RowBegin; Row < RowEnd; ++Row) {
+      float Left = L[static_cast<size_t>(Row)];
+      for (int64_t K = Offsets[static_cast<size_t>(Row)];
+           K < Offsets[static_cast<size_t>(Row) + 1]; ++K)
+        Vals[static_cast<size_t>(K)] =
+            Left * A.valueAt(K) *
+            R[static_cast<size_t>(Cols[static_cast<size_t>(K)])];
+    }
+  });
   return CsrMatrix(A.rows(), A.cols(), A.rowOffsets(), A.colIndices(),
                    std::move(Vals));
 }
 
 std::vector<float> kernels::edgeSoftmax(const CsrMatrix &A,
                                         const std::vector<float> &EdgeValues) {
-  assert(static_cast<int64_t>(EdgeValues.size()) == A.nnz() &&
-         "edge value count mismatch");
+  GRANII_CHECK(static_cast<int64_t>(EdgeValues.size()) == A.nnz(),
+               "edge value count mismatch");
   std::vector<float> Out(EdgeValues.size(), 0.0f);
   const auto &Offsets = A.rowOffsets();
-  for (int64_t R = 0; R < A.rows(); ++R) {
-    int64_t Begin = Offsets[static_cast<size_t>(R)];
-    int64_t End = Offsets[static_cast<size_t>(R) + 1];
-    if (Begin == End)
-      continue;
-    float Max = EdgeValues[static_cast<size_t>(Begin)];
-    for (int64_t K = Begin + 1; K < End; ++K)
-      Max = std::max(Max, EdgeValues[static_cast<size_t>(K)]);
-    float Sum = 0.0f;
-    for (int64_t K = Begin; K < End; ++K) {
-      float E = std::exp(EdgeValues[static_cast<size_t>(K)] - Max);
-      Out[static_cast<size_t>(K)] = E;
-      Sum += E;
+  parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
+    for (int64_t R = RowBegin; R < RowEnd; ++R) {
+      int64_t Begin = Offsets[static_cast<size_t>(R)];
+      int64_t End = Offsets[static_cast<size_t>(R) + 1];
+      if (Begin == End)
+        continue;
+      float Max = EdgeValues[static_cast<size_t>(Begin)];
+      for (int64_t K = Begin + 1; K < End; ++K)
+        Max = std::max(Max, EdgeValues[static_cast<size_t>(K)]);
+      float Sum = 0.0f;
+      for (int64_t K = Begin; K < End; ++K) {
+        float E = std::exp(EdgeValues[static_cast<size_t>(K)] - Max);
+        Out[static_cast<size_t>(K)] = E;
+        Sum += E;
+      }
+      float Inv = 1.0f / Sum;
+      for (int64_t K = Begin; K < End; ++K)
+        Out[static_cast<size_t>(K)] *= Inv;
     }
-    float Inv = 1.0f / Sum;
-    for (int64_t K = Begin; K < End; ++K)
-      Out[static_cast<size_t>(K)] *= Inv;
-  }
+  });
   return Out;
 }
 
 std::vector<float> kernels::leakyReluEdges(const std::vector<float> &EdgeValues,
                                            float NegativeSlope) {
   std::vector<float> Out(EdgeValues.size());
-  for (size_t I = 0; I < EdgeValues.size(); ++I)
-    Out[I] = EdgeValues[I] > 0.0f ? EdgeValues[I]
-                                  : NegativeSlope * EdgeValues[I];
+  parallelFor(0, static_cast<int64_t>(EdgeValues.size()), DenseGrainOps,
+              [&](int64_t Begin, int64_t End) {
+                for (int64_t I = Begin; I < End; ++I)
+                  Out[static_cast<size_t>(I)] =
+                      EdgeValues[static_cast<size_t>(I)] > 0.0f
+                          ? EdgeValues[static_cast<size_t>(I)]
+                          : NegativeSlope * EdgeValues[static_cast<size_t>(I)];
+              });
   return Out;
 }
 
 std::vector<float> kernels::degreeFromOffsets(const CsrMatrix &A) {
   std::vector<float> Degrees(static_cast<size_t>(A.rows()), 0.0f);
   const auto &Offsets = A.rowOffsets();
-  for (int64_t R = 0; R < A.rows(); ++R)
-    Degrees[static_cast<size_t>(R)] = static_cast<float>(
-        Offsets[static_cast<size_t>(R) + 1] - Offsets[static_cast<size_t>(R)]);
+  parallelFor(0, A.rows(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
+    for (int64_t R = Begin; R < End; ++R)
+      Degrees[static_cast<size_t>(R)] =
+          static_cast<float>(Offsets[static_cast<size_t>(R) + 1] -
+                             Offsets[static_cast<size_t>(R)]);
+  });
   return Degrees;
 }
 
@@ -380,26 +461,29 @@ std::vector<float> kernels::degreeByBinning(const CsrMatrix &A) {
   // way a scatter-add (torch.bincount-style) kernel would. On a GPU these
   // increments contend atomically when few bins receive many edges; the
   // hardware models charge that contention. On CPU it is still O(E) versus
-  // the O(N) offset-difference variant.
+  // the O(N) offset-difference variant. Each row's bin is owned by the
+  // thread covering that row, so no increments contend here.
   std::vector<float> Degrees(static_cast<size_t>(A.rows()), 0.0f);
   const auto &Offsets = A.rowOffsets();
-  for (int64_t R = 0; R < A.rows(); ++R)
-    for (int64_t K = Offsets[static_cast<size_t>(R)];
-         K < Offsets[static_cast<size_t>(R) + 1]; ++K)
-      Degrees[static_cast<size_t>(R)] += 1.0f;
+  parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
+    for (int64_t R = RowBegin; R < RowEnd; ++R)
+      for (int64_t K = Offsets[static_cast<size_t>(R)];
+           K < Offsets[static_cast<size_t>(R) + 1]; ++K)
+        Degrees[static_cast<size_t>(R)] += 1.0f;
+  });
   return Degrees;
 }
 
 std::vector<float> kernels::invDegree(const std::vector<float> &Degrees) {
   std::vector<float> Out(Degrees.size());
   for (size_t I = 0; I < Degrees.size(); ++I)
-    Out[I] = 1.0f / std::max(Degrees[I], 1.0f);
+    Out[I] = Degrees[I] > 0.0f ? 1.0f / Degrees[I] : 0.0f;
   return Out;
 }
 
 std::vector<float> kernels::invSqrt(const std::vector<float> &Degrees) {
   std::vector<float> Out(Degrees.size());
   for (size_t I = 0; I < Degrees.size(); ++I)
-    Out[I] = 1.0f / std::sqrt(std::max(Degrees[I], 1.0f));
+    Out[I] = Degrees[I] > 0.0f ? 1.0f / std::sqrt(Degrees[I]) : 0.0f;
   return Out;
 }

@@ -5,8 +5,11 @@
 /// diagonal scaling of sparse matrices, elementwise ops, edge softmax, and
 /// the two degree-computation variants (offset-difference vs edge-binning)
 /// whose cost difference drives the paper's WiseGraph-on-dense-graphs
-/// results. All kernels are deterministic, single-threaded CPU code; the
-/// hardware models in src/hw derive per-device latencies for them.
+/// results. All kernels are deterministic CPU code, parallelized over the
+/// shared thread pool (support/ThreadPool.h): threads own disjoint output
+/// rows/elements and each output's serial computation is partition-
+/// independent, so results are bitwise-identical at every thread count.
+/// The hardware models in src/hw derive per-device latencies for them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -122,10 +125,13 @@ std::vector<float> degreeFromOffsets(const CsrMatrix &A);
 /// but algorithmically the expensive path on dense graphs.
 std::vector<float> degreeByBinning(const CsrMatrix &A);
 
-/// Elementwise x -> 1/sqrt(max(x, 1)) used for symmetric normalization.
+/// Elementwise x -> x > 0 ? 1/sqrt(x) : 0 used for symmetric normalization.
+/// Zero-degree (isolated) nodes get coefficient 0, matching the dense
+/// D^-1/2 A D^-1/2 reference where their rows/columns are all zero.
 std::vector<float> invSqrt(const std::vector<float> &Degrees);
 
-/// Elementwise x -> 1/max(x, 1) used for mean aggregation (GraphSAGE).
+/// Elementwise x -> x > 0 ? 1/x : 0 used for mean aggregation (GraphSAGE).
+/// Zero-degree nodes aggregate nothing, so their coefficient is 0.
 std::vector<float> invDegree(const std::vector<float> &Degrees);
 
 } // namespace kernels

@@ -4,6 +4,7 @@
 
 #include "kernels/Kernels.h"
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <cassert>
@@ -11,15 +12,52 @@
 
 using namespace granii;
 
-DimBinding LayerInputs::binding() const {
-  assert(Adjacency && Features && !Weights.empty() &&
-         "layer inputs incomplete");
+DimBinding LayerInputs::binding(const CompositionPlan *Plan) const {
+  GRANII_CHECK(Adjacency && Features && !Weights.empty(),
+               "layer inputs incomplete");
   DimBinding B;
   B.N = Adjacency->rows();
   B.E = Adjacency->nnz();
   B.KIn = Features->cols();
+  // K_out must come from the tensor bound to a leaf whose symbolic shape
+  // carries KOut. Scanning Weights.begin() instead would pick the
+  // alphabetically-first weight, whose width is unrelated to the output in
+  // multi-weight plans (e.g. chained projections), and a wrong K_out flips
+  // the K_in >= K_out scenario dispatch in the optimizer.
+  if (Plan) {
+    for (const PlanValue &Def : Plan->Values) {
+      if (!Def.InputRole)
+        continue;
+      if (*Def.InputRole == LeafRole::Weight) {
+        auto It = Weights.find(Def.DebugName);
+        if (It == Weights.end())
+          continue;
+        if (Def.Shape.Cols.Kind == DimKind::KOut) {
+          B.KOut = It->second->cols();
+          return B;
+        }
+        if (Def.Shape.Rows.Kind == DimKind::KOut)
+          B.KOut = It->second->rows();
+      } else if (*Def.InputRole == LeafRole::AttnSrcVec ||
+                 *Def.InputRole == LeafRole::AttnDstVec) {
+        // Attention vectors are K_out x 1; use them when no weight column
+        // carries KOut (e.g. precomputed-projection plans).
+        auto It = AttnVecs.find(Def.DebugName);
+        if (It != AttnVecs.end() && Def.Shape.Rows.Kind == DimKind::KOut &&
+            B.KOut == 0)
+          B.KOut = static_cast<int64_t>(It->second->size());
+      }
+    }
+    if (B.KOut > 0)
+      return B;
+  }
   B.KOut = Weights.begin()->second->cols();
   return B;
+}
+
+Executor::Executor(HardwareModel Hw, int NumThreads) : Hw(std::move(Hw)) {
+  if (NumThreads > 0)
+    ThreadPool::get().setNumThreads(NumThreads);
 }
 
 double Executor::timeKernel(const PrimitiveDesc &Desc, const GraphStats &Stats,
@@ -86,7 +124,7 @@ public:
   PlanInterpreter(const Executor &Exec, const CompositionPlan &Plan,
                   const LayerInputs &Inputs, const GraphStats &Stats)
       : Exec(Exec), Plan(Plan), Inputs(Inputs), Stats(Stats),
-        Descs(Plan.primitiveDescs(Inputs.binding())),
+        Descs(Plan.primitiveDescs(Inputs.binding(&Plan))),
         Values(Plan.Values.size()) {}
 
   ExecResult forward();
@@ -298,7 +336,7 @@ ExecResult PlanInterpreter::forward() {
 void PlanInterpreter::backward(ExecResult &Result) {
   std::vector<bool> Need = gradPath(Plan);
   std::vector<RtGrad> Grads(Plan.Values.size());
-  const DimBinding Binding = Inputs.binding();
+  const DimBinding Binding = Inputs.binding(&Plan);
 
   auto EnsureDense = [&](int Id) -> DenseMatrix & {
     RtGrad &G = Grads[static_cast<size_t>(Id)];

@@ -37,7 +37,16 @@ struct LayerInputs {
   std::map<std::string, const std::vector<float> *> AttnVecs;
 
   /// Embedding sizes + graph sizes as a binding for cost evaluation.
-  DimBinding binding() const;
+  ///
+  /// K_out is derived from \p Plan when given: the weight (or attention
+  /// vector) leaf whose symbolic shape carries DimKind::KOut determines the
+  /// output width. Without a plan the first weight's column count is used —
+  /// correct only for single-weight layers, since std::map iterates in name
+  /// order, which need not put the output-producing weight first (TAGCN-
+  /// style multi-weight layers would mis-bind, skewing the K_in >= K_out
+  /// scenario dispatch).
+  DimBinding binding(const CompositionPlan *Plan) const;
+  DimBinding binding() const { return binding(nullptr); }
 };
 
 /// Outcome of executing a plan once.
@@ -70,7 +79,11 @@ struct ExecResult {
 /// Executes plans on one target platform.
 class Executor {
 public:
-  explicit Executor(HardwareModel Hw) : Hw(std::move(Hw)) {}
+  /// \p NumThreads > 0 reconfigures the shared kernel thread pool before
+  /// any kernel runs; 0 keeps the current configuration (GRANII_NUM_THREADS
+  /// or the hardware concurrency). Measured timings and the CPU hardware
+  /// model's NumCores both follow the pool size.
+  explicit Executor(HardwareModel Hw, int NumThreads = 0);
 
   const HardwareModel &hardware() const { return Hw; }
 

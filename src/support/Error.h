@@ -33,4 +33,14 @@ namespace granii {
 #define graniiUnreachable(Msg)                                                 \
   ::granii::graniiUnreachableImpl((Msg), __FILE__, __LINE__)
 
+/// Always-on precondition check: unlike assert(), it survives NDEBUG, so
+/// kernel entry points diagnose shape mismatches instead of writing out of
+/// bounds in Release builds.
+#define GRANII_CHECK(Cond, Msg)                                                \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::granii::reportFatalError(std::string("check failed: ") + (Msg),        \
+                                 __FILE__, __LINE__);                          \
+  } while (false)
+
 #endif // GRANII_SUPPORT_ERROR_H

@@ -1,0 +1,278 @@
+//===- ThreadPool.cpp - Shared worker pool for parallel kernels -------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace granii;
+
+namespace {
+
+/// Set while a thread (worker or submitter) is executing chunk bodies;
+/// nested parallel loops observe it and run inline instead of re-entering
+/// the pool.
+thread_local bool InParallelRegion = false;
+
+int defaultThreadCount() {
+  if (const char *Env = std::getenv("GRANII_NUM_THREADS")) {
+    int Parsed = std::atoi(Env);
+    if (Parsed > 0)
+      return Parsed;
+  }
+  unsigned Hw = std::thread::hardware_concurrency();
+  return Hw == 0 ? 1 : static_cast<int>(Hw);
+}
+
+} // namespace
+
+ThreadPool &ThreadPool::get() {
+  static ThreadPool Instance;
+  return Instance;
+}
+
+ThreadPool::~ThreadPool() { stopWorkers(); }
+
+int ThreadPool::numThreads() {
+  // Lock-free fast path: loop bodies (which run while the submitter holds
+  // SubmitMutex) must be able to query the count without deadlocking.
+  int Current = ConfiguredThreads.load(std::memory_order_acquire);
+  if (Current > 0)
+    return Current;
+  std::lock_guard<std::mutex> Submit(SubmitMutex);
+  if (ConfiguredThreads.load(std::memory_order_relaxed) == 0)
+    ConfiguredThreads.store(defaultThreadCount(), std::memory_order_release);
+  return ConfiguredThreads.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::setNumThreads(int NumThreads) {
+  std::lock_guard<std::mutex> Submit(SubmitMutex);
+  int Want = NumThreads > 0 ? NumThreads : defaultThreadCount();
+  if (Want == ConfiguredThreads)
+    return;
+  stopWorkers();
+  ConfiguredThreads = Want;
+}
+
+void ThreadPool::ensureWorkers() {
+  if (ConfiguredThreads == 0)
+    ConfiguredThreads = defaultThreadCount();
+  // The submitting thread works too: N threads means N-1 pool workers.
+  int Want = ConfiguredThreads - 1;
+  if (static_cast<int>(Workers.size()) == Want)
+    return;
+  stopWorkers();
+  Workers.reserve(static_cast<size_t>(Want));
+  for (int I = 0; I < Want; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+void ThreadPool::stopWorkers() {
+  if (Workers.empty())
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+  Workers.clear();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Stopping = false;
+}
+
+void ThreadPool::recordError() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!JobError)
+    JobError = std::current_exception();
+}
+
+void ThreadPool::runChunks(const std::function<void(int64_t)> *ChunkBody) {
+  while (true) {
+    int64_t Chunk = NextChunk.fetch_add(1, std::memory_order_relaxed);
+    if (Chunk >= JobNumChunks)
+      return;
+    try {
+      (*ChunkBody)(Chunk);
+    } catch (...) {
+      recordError();
+    }
+    finishChunk();
+  }
+}
+
+void ThreadPool::finishChunk() {
+  if (ChunksDone.fetch_add(1, std::memory_order_acq_rel) + 1 != JobNumChunks)
+    return;
+  // Take (and drop) the mutex before notifying so the submitter cannot
+  // miss the wakeup between its predicate check and going to sleep.
+  { std::lock_guard<std::mutex> Lock(Mutex); }
+  DoneCv.notify_all();
+}
+
+void ThreadPool::workerLoop() {
+  InParallelRegion = true;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  // Start one generation behind so a job published before this thread got
+  // scheduled is still picked up. If that generation is already drained
+  // (or none ever ran), runChunks finds no chunk to claim and returns
+  // without touching the (possibly dangling) body pointer.
+  uint64_t SeenGeneration = JobGeneration - 1;
+  while (true) {
+    WorkCv.wait(Lock, [&] {
+      return Stopping || JobGeneration != SeenGeneration;
+    });
+    if (Stopping)
+      return;
+    SeenGeneration = JobGeneration;
+    const std::function<void(int64_t)> *Body = JobBody;
+    ++ActiveParticipants;
+    Lock.unlock();
+    runChunks(Body);
+    Lock.lock();
+    if (--ActiveParticipants == 0)
+      DoneCv.notify_all();
+  }
+}
+
+void ThreadPool::parallelForChunks(
+    int64_t NumChunks, const std::function<void(int64_t)> &ChunkBody) {
+  if (NumChunks <= 0)
+    return;
+  if (InParallelRegion || NumChunks == 1) {
+    for (int64_t Chunk = 0; Chunk < NumChunks; ++Chunk)
+      ChunkBody(Chunk);
+    return;
+  }
+
+  std::unique_lock<std::mutex> Submit(SubmitMutex);
+  ensureWorkers();
+  if (Workers.empty()) {
+    // Single-thread configuration: run inline, same chunk order.
+    Submit.unlock();
+    for (int64_t Chunk = 0; Chunk < NumChunks; ++Chunk)
+      ChunkBody(Chunk);
+    return;
+  }
+
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    // Stragglers from the previous job may still hold its body pointer;
+    // resetting the chunk counters out from under them would let a claim
+    // succeed against a dead body. Wait until they are back in WorkCv.
+    DoneCv.wait(Lock, [&] { return ActiveParticipants == 0; });
+    JobBody = &ChunkBody;
+    JobNumChunks = NumChunks;
+    NextChunk.store(0, std::memory_order_relaxed);
+    ChunksDone.store(0, std::memory_order_relaxed);
+    JobError = nullptr;
+    ++JobGeneration;
+  }
+  WorkCv.notify_all();
+
+  InParallelRegion = true;
+  runChunks(&ChunkBody);
+  InParallelRegion = false;
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  DoneCv.wait(Lock, [&] {
+    return ChunksDone.load(std::memory_order_acquire) == JobNumChunks;
+  });
+  std::exception_ptr Error = JobError;
+  JobError = nullptr;
+  Lock.unlock();
+  Submit.unlock();
+  if (Error)
+    std::rethrow_exception(Error);
+}
+
+void ThreadPool::parallelFor(
+    int64_t Begin, int64_t End, int64_t GrainSize,
+    const std::function<void(int64_t, int64_t)> &Body) {
+  int64_t Range = End - Begin;
+  if (Range <= 0)
+    return;
+  // Nested calls run inline before touching any pool state: the submitter
+  // of the enclosing loop holds SubmitMutex for the job's duration.
+  if (InParallelRegion) {
+    Body(Begin, End);
+    return;
+  }
+  GrainSize = std::max<int64_t>(GrainSize, 1);
+  // Cap chunks at a small multiple of the thread count: enough slack for
+  // dynamic load balancing without flooding the queue.
+  int64_t MaxChunks = static_cast<int64_t>(numThreads()) * 4;
+  int64_t NumChunks =
+      std::min(MaxChunks, (Range + GrainSize - 1) / GrainSize);
+  if (NumChunks <= 1) {
+    Body(Begin, End);
+    return;
+  }
+  int64_t ChunkSize = (Range + NumChunks - 1) / NumChunks;
+  parallelForChunks(NumChunks, [&](int64_t Chunk) {
+    int64_t ChunkBegin = Begin + Chunk * ChunkSize;
+    int64_t ChunkEnd = std::min(End, ChunkBegin + ChunkSize);
+    if (ChunkBegin < ChunkEnd)
+      Body(ChunkBegin, ChunkEnd);
+  });
+}
+
+void granii::parallelFor(int64_t Begin, int64_t End, int64_t GrainSize,
+                         const std::function<void(int64_t, int64_t)> &Body) {
+  ThreadPool::get().parallelFor(Begin, End, GrainSize, Body);
+}
+
+void granii::parallelForCsrRows(
+    const std::vector<int64_t> &RowOffsets,
+    const std::function<void(int64_t, int64_t)> &Body) {
+  int64_t NumRows = static_cast<int64_t>(RowOffsets.size()) - 1;
+  if (NumRows <= 0)
+    return;
+  if (InParallelRegion) {
+    Body(0, NumRows);
+    return;
+  }
+  ThreadPool &Pool = ThreadPool::get();
+  int64_t Nnz = RowOffsets.back();
+  // Per-row cost model: stored entries plus a constant row overhead. Small
+  // matrices are not worth a pool round trip.
+  constexpr int64_t MinParallelCost = 1 << 12;
+  constexpr int64_t RowConstCost = 4;
+  int64_t TotalCost = Nnz + NumRows * RowConstCost;
+  int64_t MaxChunks = static_cast<int64_t>(Pool.numThreads()) * 4;
+  int64_t NumChunks = std::min(MaxChunks, NumRows);
+  if (NumChunks <= 1 || TotalCost < MinParallelCost) {
+    Body(0, NumRows);
+    return;
+  }
+
+  // Chunk boundaries at equal cumulative-cost targets: binary search for
+  // the first row whose prefix cost reaches each target. Hub-heavy rows
+  // therefore get chunks with few rows, and long empty-row tails split by
+  // the constant term instead of collapsing into one chunk.
+  auto PrefixCost = [&](int64_t Row) {
+    return RowOffsets[static_cast<size_t>(Row)] + Row * RowConstCost;
+  };
+  std::vector<int64_t> Bounds(static_cast<size_t>(NumChunks) + 1);
+  Bounds.front() = 0;
+  Bounds.back() = NumRows;
+  for (int64_t Chunk = 1; Chunk < NumChunks; ++Chunk) {
+    int64_t Target = TotalCost * Chunk / NumChunks;
+    int64_t Lo = Bounds[static_cast<size_t>(Chunk) - 1], Hi = NumRows;
+    while (Lo < Hi) {
+      int64_t Mid = Lo + (Hi - Lo) / 2;
+      if (PrefixCost(Mid) < Target)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    Bounds[static_cast<size_t>(Chunk)] = Lo;
+  }
+  Pool.parallelForChunks(NumChunks, [&](int64_t Chunk) {
+    int64_t RowBegin = Bounds[static_cast<size_t>(Chunk)];
+    int64_t RowEnd = Bounds[static_cast<size_t>(Chunk) + 1];
+    if (RowBegin < RowEnd)
+      Body(RowBegin, RowEnd);
+  });
+}

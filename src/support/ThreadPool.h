@@ -1,0 +1,120 @@
+//===- ThreadPool.h - Shared worker pool for parallel kernels ---*- C++ -*-===//
+///
+/// \file
+/// The process-wide worker pool behind the kernel library's parallel loops.
+/// The pool is lazily initialized on first use; its size comes from the
+/// GRANII_NUM_THREADS environment variable (falling back to the hardware
+/// concurrency) unless overridden programmatically via setNumThreads(),
+/// which is what `granii-cli --threads` and the bench harnesses call.
+///
+/// Determinism contract: parallelFor() partitions [Begin, End) into
+/// contiguous, disjoint chunks with exclusive ownership — no index is
+/// visited twice and chunks never overlap. Kernels that write only through
+/// their assigned indices and keep each index's computation self-contained
+/// therefore produce bitwise-identical results at every thread count
+/// (including 1). Nested parallel calls from inside a worker run inline
+/// (serial) instead of deadlocking the pool. Exceptions thrown by loop
+/// bodies are captured and the first one is rethrown on the calling thread
+/// once the loop has drained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_SUPPORT_THREADPOOL_H
+#define GRANII_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace granii {
+
+/// Lazily-started shared thread pool. One job runs at a time; concurrent
+/// submitters serialize. The calling thread always participates in the
+/// work, so a pool configured for N threads runs N-1 workers.
+class ThreadPool {
+public:
+  /// The process-wide pool instance.
+  static ThreadPool &get();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Threads the pool will use (>= 1). Resolves GRANII_NUM_THREADS /
+  /// hardware concurrency on first call. Lock-free once resolved, so loop
+  /// bodies may call it while a job is in flight.
+  int numThreads();
+
+  /// Reconfigures the pool to \p NumThreads (<= 0 re-reads the default).
+  /// Existing workers are joined; new ones start lazily on the next loop.
+  void setNumThreads(int NumThreads);
+
+  /// Runs \p Body over contiguous disjoint subranges covering
+  /// [Begin, End). \p GrainSize is the minimum indices per chunk; ranges
+  /// at or below one grain (or nested calls) run inline on the caller.
+  void parallelFor(int64_t Begin, int64_t End, int64_t GrainSize,
+                   const std::function<void(int64_t, int64_t)> &Body);
+
+  /// Lower-level form: runs \p ChunkBody exactly once for every chunk
+  /// index in [0, NumChunks). Used by partitioners that precompute their
+  /// own chunk boundaries (e.g. the nnz-balanced CSR row split).
+  void parallelForChunks(int64_t NumChunks,
+                         const std::function<void(int64_t)> &ChunkBody);
+
+private:
+  ThreadPool() = default;
+
+  /// Requires SubmitMutex. Resolves the thread count and (re)starts the
+  /// worker threads if the configuration changed.
+  void ensureWorkers();
+  void stopWorkers();
+  void workerLoop();
+  void runChunks(const std::function<void(int64_t)> *ChunkBody);
+  void finishChunk();
+  void recordError();
+
+  /// Serializes submitters and configuration changes.
+  std::mutex SubmitMutex;
+  /// Guards job hand-off state below.
+  std::mutex Mutex;
+  std::condition_variable WorkCv; ///< workers wait for a new generation
+  std::condition_variable DoneCv; ///< submitter waits for workers to drain
+  std::vector<std::thread> Workers;
+  std::atomic<int> ConfiguredThreads{0}; ///< 0 = not yet resolved
+  bool Stopping = false;
+
+  // In-flight job; valid between submission and DoneCv signal. Completion
+  // is tracked per chunk, not per worker: the submitter always claims
+  // chunks itself, so the job finishes even if workers start too late to
+  // observe the generation bump (they simply find no chunks left).
+  uint64_t JobGeneration = 0;
+  const std::function<void(int64_t)> *JobBody = nullptr;
+  int64_t JobNumChunks = 0;
+  std::atomic<int64_t> NextChunk{0};
+  std::atomic<int64_t> ChunksDone{0};
+  /// Workers currently between waking for a job and returning to wait
+  /// (guarded by Mutex). Publishing a new job waits for this to reach 0 so
+  /// a straggler can never claim fresh chunks against a stale body.
+  int ActiveParticipants = 0;
+  std::exception_ptr JobError;
+};
+
+/// Convenience wrapper over ThreadPool::get().parallelFor().
+void parallelFor(int64_t Begin, int64_t End, int64_t GrainSize,
+                 const std::function<void(int64_t, int64_t)> &Body);
+
+/// Load-balanced parallel loop over the rows of a CSR matrix described by
+/// \p RowOffsets (size rows+1, last entry = nnz). Rows are split at equal
+/// shares of *cumulative nonzeros* (plus a constant per-row term), not at
+/// equal row counts, so skewed-degree graphs do not leave one thread with
+/// all the hub rows. \p Body receives exclusive [RowBegin, RowEnd) ranges.
+void parallelForCsrRows(const std::vector<int64_t> &RowOffsets,
+                        const std::function<void(int64_t, int64_t)> &Body);
+
+} // namespace granii
+
+#endif // GRANII_SUPPORT_THREADPOOL_H

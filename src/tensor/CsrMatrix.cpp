@@ -3,6 +3,7 @@
 #include "tensor/CsrMatrix.h"
 
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 #include "tensor/DenseMatrix.h"
 
 #include <algorithm>
@@ -36,8 +37,35 @@ DenseMatrix CsrMatrix::toDense() const {
 
 CsrMatrix CsrMatrix::transposed() const {
   std::vector<int64_t> OutOffsets(static_cast<size_t>(NumCols) + 1, 0);
-  for (int32_t Col : ColIndices)
-    ++OutOffsets[static_cast<size_t>(Col) + 1];
+  const int64_t Nnz = nnz();
+  // Column-count histogram. Parallel path: each chunk of the edge array
+  // builds a private histogram, then the histograms merge serially in chunk
+  // order — deterministic counts (integer sums commute anyway) with no
+  // shared increments. Only worth the per-chunk NumCols+1 allocations when
+  // the edge array dominates the column count.
+  ThreadPool &Pool = ThreadPool::get();
+  int64_t NumChunks = std::min<int64_t>(Pool.numThreads(),
+                                        Nnz / std::max<int64_t>(NumCols, 1));
+  if (NumChunks > 1 && Nnz >= (int64_t{1} << 14)) {
+    int64_t ChunkSize = (Nnz + NumChunks - 1) / NumChunks;
+    std::vector<std::vector<int64_t>> Histograms(
+        static_cast<size_t>(NumChunks));
+    Pool.parallelForChunks(NumChunks, [&](int64_t Chunk) {
+      std::vector<int64_t> &Hist = Histograms[static_cast<size_t>(Chunk)];
+      Hist.assign(static_cast<size_t>(NumCols) + 1, 0);
+      int64_t Begin = Chunk * ChunkSize;
+      int64_t End = std::min(Nnz, Begin + ChunkSize);
+      for (int64_t K = Begin; K < End; ++K)
+        ++Hist[static_cast<size_t>(ColIndices[static_cast<size_t>(K)]) + 1];
+    });
+    for (const std::vector<int64_t> &Hist : Histograms)
+      for (int64_t C = 0; C < NumCols; ++C)
+        OutOffsets[static_cast<size_t>(C) + 1] +=
+            Hist[static_cast<size_t>(C) + 1];
+  } else {
+    for (int32_t Col : ColIndices)
+      ++OutOffsets[static_cast<size_t>(Col) + 1];
+  }
   for (int64_t C = 0; C < NumCols; ++C)
     OutOffsets[static_cast<size_t>(C) + 1] += OutOffsets[static_cast<size_t>(C)];
 

@@ -273,3 +273,49 @@ TEST(Executor, BindingReportsGraphAndEmbeddingSizes) {
   EXPECT_EQ(B.KOut, 20);
   EXPECT_GT(B.E, 256); // Self loops added.
 }
+
+// Regression: with several weights of different widths, K_out must come
+// from the weight whose symbolic shape carries KOut, not from whichever
+// weight sorts first in the (name-ordered) Weights map. Here the
+// alphabetically-first weight "Wa" is a 12x16 input projection and the
+// output-producing weight "Wb" is 16x8: the old Weights.begin() logic
+// reported K_out = 16 and flipped the K_in >= K_out scenario (12 >= 16 is
+// false, but 12 >= 8 is true).
+TEST(Executor, BindingDerivesKOutFromPlanOutputWeight) {
+  CompositionPlan Plan;
+  Plan.Values.resize(5);
+  Plan.Values[0].Kind = PlanValueKind::Dense; // H: n x kIn
+  Plan.Values[0].Shape = {SymDim::n(), SymDim::kIn()};
+  Plan.Values[0].DebugName = "H";
+  Plan.Values[0].InputRole = LeafRole::Features;
+  Plan.Values[1].Kind = PlanValueKind::Dense; // Wa: kIn x 16 (hidden)
+  Plan.Values[1].Shape = {SymDim::kIn(), SymDim::constant(16)};
+  Plan.Values[1].DebugName = "Wa";
+  Plan.Values[1].InputRole = LeafRole::Weight;
+  Plan.Values[2].Kind = PlanValueKind::Dense; // Wb: 16 x kOut (output)
+  Plan.Values[2].Shape = {SymDim::constant(16), SymDim::kOut()};
+  Plan.Values[2].DebugName = "Wb";
+  Plan.Values[2].InputRole = LeafRole::Weight;
+  Plan.Values[3].Kind = PlanValueKind::Dense; // H * Wa
+  Plan.Values[3].Shape = {SymDim::n(), SymDim::constant(16)};
+  Plan.Values[4].Kind = PlanValueKind::Dense; // (H * Wa) * Wb
+  Plan.Values[4].Shape = {SymDim::n(), SymDim::kOut()};
+  Plan.Steps.push_back({StepOp::Gemm, {0, 1}, 3, 0.0, false});
+  Plan.Steps.push_back({StepOp::Gemm, {3, 2}, 4, 0.0, false});
+  Plan.OutputValue = 4;
+
+  Graph G = makeErdosRenyi(64, 256, 3);
+  DenseMatrix H(64, 12), Wa(12, 16), Wb(16, 8);
+  LayerInputs Inputs;
+  Inputs.Adjacency = &G.adjacency();
+  Inputs.Features = &H;
+  Inputs.Weights = {{"Wa", &Wa}, {"Wb", &Wb}};
+
+  DimBinding B = Inputs.binding(&Plan);
+  EXPECT_EQ(B.KIn, 12);
+  EXPECT_EQ(B.KOut, 8); // Weights.begin() ("Wa") would report 16.
+
+  // The plan-less overload keeps its first-weight behavior for
+  // single-weight layers; this is exactly the case it mis-binds.
+  EXPECT_EQ(Inputs.binding().KOut, 16);
+}

@@ -5,8 +5,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "graph/Generators.h"
 #include "kernels/Kernels.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 #include "tensor/CooMatrix.h"
 
 #include <gtest/gtest.h>
@@ -382,8 +384,177 @@ TEST(Degree, SumsToNnz) {
   EXPECT_DOUBLE_EQ(Sum, static_cast<double>(A.nnz()));
 }
 
-TEST(Degree, InvSqrtClampsZeroDegrees) {
+TEST(Degree, InvSqrtZeroesIsolatedNodes) {
   std::vector<float> Out = kernels::invSqrt({0.0f, 4.0f});
-  EXPECT_FLOAT_EQ(Out[0], 1.0f); // max(deg, 1) guard
+  EXPECT_FLOAT_EQ(Out[0], 0.0f); // isolated node: no normalization mass
   EXPECT_FLOAT_EQ(Out[1], 0.5f);
+}
+
+TEST(Degree, InvDegreeZeroesIsolatedNodes) {
+  std::vector<float> Out = kernels::invDegree({0.0f, 4.0f});
+  EXPECT_FLOAT_EQ(Out[0], 0.0f);
+  EXPECT_FLOAT_EQ(Out[1], 0.25f);
+}
+
+// Symmetric normalization on a graph with isolated vertices must match the
+// dense D^-1/2 A D^-1/2 reference, whose isolated rows/columns are all
+// zero. The old max(deg, 1) clamp instead injected coefficient 1 for
+// isolated nodes, which is invisible on row terms (deg 0 => no edges) but
+// wrong as soon as an isolated node's coefficient multiplies an incoming
+// column term.
+TEST(Degree, NormalizationMatchesDenseReferenceWithIsolatedVertices) {
+  // 4 nodes; node 2 is isolated. Edges: 0<->1, 0->3.
+  CooMatrix Coo(4, 4);
+  Coo.add(0, 1, 1.0f);
+  Coo.add(1, 0, 1.0f);
+  Coo.add(0, 3, 1.0f);
+  CsrMatrix A = Coo.toCsr(/*Structural=*/false);
+
+  std::vector<float> Deg = kernels::degreeFromOffsets(A);
+  std::vector<float> Norm = kernels::invSqrt(Deg);
+  CsrMatrix Scaled = kernels::scaleSparseBoth(A, Norm, Norm);
+
+  // Dense reference built from the true degrees, 0 coefficient when deg 0.
+  DenseMatrix Dense = A.toDense();
+  DenseMatrix Expected(4, 4);
+  for (int64_t I = 0; I < 4; ++I)
+    for (int64_t J = 0; J < 4; ++J) {
+      float Di = Deg[static_cast<size_t>(I)];
+      float Dj = Deg[static_cast<size_t>(J)];
+      float Ci = Di > 0.0f ? 1.0f / std::sqrt(Di) : 0.0f;
+      float Cj = Dj > 0.0f ? 1.0f / std::sqrt(Dj) : 0.0f;
+      Expected.at(I, J) = Ci * Dense.at(I, J) * Cj;
+    }
+  EXPECT_TRUE(Scaled.toDense().approxEquals(Expected, 1e-6f, 1e-6f));
+
+  // Node 3 has out-degree 0 but in-degree 1: with the old clamp the edge
+  // 0->3 would keep weight 1/sqrt(2) * 1 instead of being zeroed by node
+  // 3's column coefficient... the column direction is where the clamp bit.
+  EXPECT_FLOAT_EQ(Scaled.toDense().at(0, 3), 0.0f);
+}
+
+//===----------------------------------------------------------------------===//
+// Shape precondition checks (always-on, not assert-gated)
+//===----------------------------------------------------------------------===//
+
+TEST(KernelChecks, GemmInnerDimMismatchDies) {
+  DenseMatrix A = randomDense(4, 5, 70);
+  DenseMatrix B = randomDense(6, 3, 71); // inner dim 5 != 6
+  EXPECT_DEATH(kernels::gemm(A, B), "gemm inner dimension mismatch");
+}
+
+TEST(KernelChecks, SpmmDimMismatchDies) {
+  CsrMatrix A = randomSparse(8, 8, 20, 72, true);
+  DenseMatrix B = randomDense(9, 4, 73); // 8 cols vs 9 rows
+  EXPECT_DEATH(kernels::spmm(A, B), "spmm dimension mismatch");
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism across thread counts
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs \p Fn with the pool pinned to \p Threads, then restores the
+/// default configuration.
+template <typename Fn> auto withThreads(int Threads, Fn &&F) {
+  ThreadPool::get().setNumThreads(Threads);
+  auto Result = F();
+  ThreadPool::get().setNumThreads(0);
+  return Result;
+}
+
+/// Skewed power-law graph: R-MAT concentrates edges on hub rows, so the
+/// nnz-balanced partition differs strongly from an equal-row split.
+const Graph &skewedGraph() {
+  static Graph G = makeRmat(1500, 20000, 0.57, 0.19, 0.19, 9);
+  return G;
+}
+
+void expectBitwiseEqual(const DenseMatrix &A, const DenseMatrix &B) {
+  ASSERT_EQ(A.rows(), B.rows());
+  ASSERT_EQ(A.cols(), B.cols());
+  const float *PA = A.data();
+  const float *PB = B.data();
+  for (int64_t I = 0, E = A.size(); I < E; ++I)
+    ASSERT_EQ(PA[I], PB[I]) << "element " << I;
+}
+
+void expectBitwiseEqual(const std::vector<float> &A,
+                        const std::vector<float> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_EQ(A[I], B[I]) << "element " << I;
+}
+
+} // namespace
+
+TEST(Determinism, SpmmUnweightedBitwiseIdenticalAcrossThreadCounts) {
+  const Graph &G = skewedGraph();
+  DenseMatrix H = randomDense(G.numNodes(), 48, 81);
+  DenseMatrix One = withThreads(
+      1, [&] { return kernels::spmm(G.adjacency(), H, Semiring::plusCopy()); });
+  for (int Threads : {2, 3, 8}) {
+    DenseMatrix Many = withThreads(Threads, [&] {
+      return kernels::spmm(G.adjacency(), H, Semiring::plusCopy());
+    });
+    expectBitwiseEqual(One, Many);
+  }
+}
+
+TEST(Determinism, SpmmWeightedBitwiseIdenticalAcrossThreadCounts) {
+  const Graph &G = skewedGraph();
+  CsrMatrix A = G.adjacency();
+  Rng R(82);
+  std::vector<float> Vals(static_cast<size_t>(A.nnz()));
+  for (float &V : Vals)
+    V = R.nextFloat(0.1f, 1.0f);
+  A.setValues(std::move(Vals));
+  DenseMatrix H = randomDense(G.numNodes(), 48, 83);
+  DenseMatrix One = withThreads(1, [&] { return kernels::spmm(A, H); });
+  DenseMatrix Eight = withThreads(8, [&] { return kernels::spmm(A, H); });
+  expectBitwiseEqual(One, Eight);
+}
+
+TEST(Determinism, GemmFamilyBitwiseIdenticalAcrossThreadCounts) {
+  DenseMatrix A = randomDense(300, 64, 84);
+  DenseMatrix B = randomDense(64, 96, 85);
+  expectBitwiseEqual(withThreads(1, [&] { return kernels::gemm(A, B); }),
+                     withThreads(8, [&] { return kernels::gemm(A, B); }));
+  DenseMatrix At = randomDense(300, 64, 86); // A^T*B over shared dim 300
+  expectBitwiseEqual(
+      withThreads(1, [&] { return kernels::gemmTransposedLhs(At, A); }),
+      withThreads(8, [&] { return kernels::gemmTransposedLhs(At, A); }));
+  expectBitwiseEqual(
+      withThreads(1, [&] { return kernels::gemmTransposedRhs(A, At); }),
+      withThreads(8, [&] { return kernels::gemmTransposedRhs(A, At); }));
+}
+
+TEST(Determinism, SddmmBitwiseIdenticalAcrossThreadCounts) {
+  const Graph &G = skewedGraph();
+  DenseMatrix U = randomDense(G.numNodes(), 32, 87);
+  DenseMatrix V = randomDense(G.numNodes(), 32, 88);
+  expectBitwiseEqual(
+      withThreads(1, [&] { return kernels::sddmm(G.adjacency(), U, V); }),
+      withThreads(8, [&] { return kernels::sddmm(G.adjacency(), U, V); }));
+}
+
+TEST(Determinism, EdgeSoftmaxBitwiseIdenticalAcrossThreadCounts) {
+  const Graph &G = skewedGraph();
+  Rng R(89);
+  std::vector<float> Logits(static_cast<size_t>(G.numEdges()));
+  for (float &V : Logits)
+    V = R.nextFloat(-2.0f, 2.0f);
+  expectBitwiseEqual(
+      withThreads(1, [&] { return kernels::edgeSoftmax(G.adjacency(), Logits); }),
+      withThreads(8, [&] { return kernels::edgeSoftmax(G.adjacency(), Logits); }));
+}
+
+TEST(Determinism, TransposeBitwiseIdenticalAcrossThreadCounts) {
+  const Graph &G = skewedGraph();
+  CsrMatrix One = withThreads(1, [&] { return G.adjacency().transposed(); });
+  CsrMatrix Eight = withThreads(8, [&] { return G.adjacency().transposed(); });
+  ASSERT_EQ(One.rowOffsets(), Eight.rowOffsets());
+  ASSERT_EQ(One.colIndices(), Eight.colIndices());
+  expectBitwiseEqual(One.values(), Eight.values());
 }

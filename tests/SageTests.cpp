@@ -117,6 +117,6 @@ TEST(Sage, MeanSemiringKernelAgreesWithDiagFormulation) {
   DenseMatrix Diag = kernels::rowBroadcastMul(
       kernels::invDegree(kernels::degreeFromOffsets(A)),
       kernels::spmm(A, H, Semiring::plusCopy()));
-  // Rows with degree zero: meanCopy leaves 0, invDegree clamps to 1 * 0 = 0.
+  // Rows with degree zero: meanCopy leaves 0, invDegree yields 0 * 0 = 0.
   EXPECT_TRUE(Mean.approxEquals(Diag, 1e-4f, 1e-4f));
 }

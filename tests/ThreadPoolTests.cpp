@@ -1,0 +1,137 @@
+//===- ThreadPoolTests.cpp - Tests for the shared kernel thread pool --------===//
+//
+// Covers the pool's contracts: exclusive full-range coverage, exception
+// propagation to the submitting thread, inline nested execution, runtime
+// reconfiguration, and the nnz-balanced CSR row partitioner.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+using namespace granii;
+
+namespace {
+
+/// Pins the pool for one test and restores the default on destruction so
+/// tests cannot leak configuration into each other.
+class ScopedThreads {
+public:
+  explicit ScopedThreads(int Threads) {
+    ThreadPool::get().setNumThreads(Threads);
+  }
+  ~ScopedThreads() { ThreadPool::get().setNumThreads(0); }
+};
+
+} // namespace
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ScopedThreads Scope(4);
+  constexpr int64_t N = 10000;
+  std::vector<int> Visits(N, 0);
+  parallelFor(0, N, /*GrainSize=*/16, [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I)
+      ++Visits[static_cast<size_t>(I)];
+  });
+  for (int64_t I = 0; I < N; ++I)
+    ASSERT_EQ(Visits[static_cast<size_t>(I)], 1) << "index " << I;
+}
+
+TEST(ThreadPool, EmptyRangeNeverCallsBody) {
+  ScopedThreads Scope(4);
+  bool Called = false;
+  parallelFor(5, 5, 1, [&](int64_t, int64_t) { Called = true; });
+  parallelFor(7, 3, 1, [&](int64_t, int64_t) { Called = true; });
+  EXPECT_FALSE(Called);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToSubmitter) {
+  ScopedThreads Scope(4);
+  auto Run = [] {
+    parallelFor(0, 1 << 16, 1, [](int64_t Begin, int64_t) {
+      if (Begin == 0)
+        throw std::runtime_error("boom");
+    });
+  };
+  EXPECT_THROW(Run(), std::runtime_error);
+  // The pool must stay usable after a failed loop.
+  std::vector<int> Visits(100, 0);
+  parallelFor(0, 100, 1, [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I)
+      ++Visits[static_cast<size_t>(I)];
+  });
+  EXPECT_EQ(std::accumulate(Visits.begin(), Visits.end(), 0), 100);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineAndCompletes) {
+  ScopedThreads Scope(4);
+  constexpr int64_t Outer = 64, Inner = 64;
+  std::vector<int> Visits(Outer * Inner, 0);
+  parallelFor(0, Outer, 1, [&](int64_t OBegin, int64_t OEnd) {
+    for (int64_t O = OBegin; O < OEnd; ++O)
+      parallelFor(0, Inner, 1, [&](int64_t IBegin, int64_t IEnd) {
+        for (int64_t I = IBegin; I < IEnd; ++I)
+          ++Visits[static_cast<size_t>(O * Inner + I)];
+      });
+  });
+  for (size_t I = 0; I < Visits.size(); ++I)
+    ASSERT_EQ(Visits[I], 1) << "cell " << I;
+}
+
+TEST(ThreadPool, SetNumThreadsReconfigures) {
+  ThreadPool &Pool = ThreadPool::get();
+  Pool.setNumThreads(3);
+  EXPECT_EQ(Pool.numThreads(), 3);
+  Pool.setNumThreads(1);
+  EXPECT_EQ(Pool.numThreads(), 1);
+  // Work still runs correctly in the single-thread configuration.
+  int64_t Sum = 0;
+  parallelFor(0, 10, 1, [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I)
+      Sum += I;
+  });
+  EXPECT_EQ(Sum, 45);
+  Pool.setNumThreads(0);
+  EXPECT_GE(Pool.numThreads(), 1);
+}
+
+TEST(ThreadPool, CsrRowPartitionCoversSkewedOffsets) {
+  ScopedThreads Scope(4);
+  // One hub row holding most of the nonzeros, then a long sparse tail —
+  // the shape the nnz-balanced split exists for.
+  constexpr int64_t Rows = 4000;
+  std::vector<int64_t> Offsets(Rows + 1, 0);
+  Offsets[1] = 6000; // hub row 0
+  for (int64_t R = 1; R < Rows; ++R)
+    Offsets[static_cast<size_t>(R) + 1] =
+        Offsets[static_cast<size_t>(R)] + (R % 2); // alternating 1/0 tail
+  std::vector<int> Visits(Rows, 0);
+  parallelForCsrRows(Offsets, [&](int64_t Begin, int64_t End) {
+    ASSERT_LT(Begin, End);
+    for (int64_t R = Begin; R < End; ++R)
+      ++Visits[static_cast<size_t>(R)];
+  });
+  for (int64_t R = 0; R < Rows; ++R)
+    ASSERT_EQ(Visits[static_cast<size_t>(R)], 1) << "row " << R;
+}
+
+TEST(ThreadPool, CsrRowPartitionHandlesDegenerateShapes) {
+  ScopedThreads Scope(4);
+  // No rows at all.
+  bool Called = false;
+  parallelForCsrRows({0}, [&](int64_t, int64_t) { Called = true; });
+  EXPECT_FALSE(Called);
+  // All-empty rows: covered once via the constant per-row cost term.
+  std::vector<int64_t> Empty(1001, 0);
+  std::atomic<int64_t> Covered{0};
+  parallelForCsrRows(Empty, [&](int64_t Begin, int64_t End) {
+    Covered += End - Begin;
+  });
+  EXPECT_EQ(Covered.load(), 1000);
+}

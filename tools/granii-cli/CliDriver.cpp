@@ -11,7 +11,9 @@
 #include "ir/Dsl.h"
 #include "runtime/CodeGen.h"
 #include "support/Str.h"
+#include "support/ThreadPool.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -154,7 +156,8 @@ int cmdCompile(const ArgParser &Args, std::string &Out, std::string &Err) {
 int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
   if (Args.Positional.size() < 2 || !Args.hasFlag("graph")) {
     Err += "usage: granii-cli run <model.gnn> --graph <mtx|synth:name> "
-           "--kin N --kout N [--hw cpu|a100|h100] [--iters N] [--train]\n";
+           "--kin N --kout N [--hw cpu|a100|h100] [--iters N] [--train] "
+           "[--threads N]\n";
     return 2;
   }
   std::optional<ParsedModel> Parsed = loadModel(Args.Positional[1], Err);
@@ -234,10 +237,20 @@ int cmdGraphGen(const ArgParser &Args, std::string &Out, std::string &Err) {
 int granii::cli::runCli(const std::vector<std::string> &Args, std::string &Out,
                         std::string &Err) {
   if (Args.empty()) {
-    Err += "usage: granii-cli <compile|run|graphgen> ...\n";
+    Err += "usage: granii-cli <compile|run|graphgen> [--threads N] ...\n";
     return 2;
   }
   ArgParser Parsed(Args);
+  // Global flag: pin the kernel thread pool before any command executes.
+  // Overrides GRANII_NUM_THREADS; values <= 0 are rejected.
+  if (Parsed.hasFlag("threads")) {
+    int64_t Threads = std::atoll(Parsed.value("threads").c_str());
+    if (Threads <= 0) {
+      Err += "error: --threads expects a positive integer\n";
+      return 2;
+    }
+    ThreadPool::get().setNumThreads(static_cast<int>(Threads));
+  }
   const std::string &Command = Parsed.Positional.empty()
                                    ? Args[0]
                                    : Parsed.Positional[0];
