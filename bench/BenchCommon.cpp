@@ -32,11 +32,14 @@ void BenchContext::setThreads(int NumThreads) {
 
 const CostModel &BenchContext::costFor(const std::string &Hw) {
   HardwareModel Model = platform(Hw);
-  std::string Cache = "granii_costmodel_" + Hw + ".cache";
+  // Caches live under GRANII_CACHE_DIR (default ./.granii-cache), not the
+  // working directory, so repeated runs never litter the source tree.
+  std::string Cache =
+      costModelCacheDir() + "/granii_costmodel_" + Hw + ".cache";
   // Measured profiles change with the thread count; keep one cache (and one
   // in-memory model) per count so stale profiles are never reused.
   if (Model.kind() == PlatformKind::Measured)
-    Cache = "granii_costmodel_" + Hw + "_t" +
+    Cache = costModelCacheDir() + "/granii_costmodel_" + Hw + "_t" +
             std::to_string(ThreadPool::get().numThreads()) + ".cache";
   auto It = CostModels.find(Cache);
   if (It != CostModels.end())

@@ -40,8 +40,9 @@ public:
   void setThreads(int NumThreads);
 
   /// The trained per-primitive cost model for \p Hw. Cached on disk under
-  /// ./granii_costmodel_<hw>.cache for simulated platforms and
-  /// ./granii_costmodel_<hw>_t<threads>.cache for measured ones (the first
+  /// costModelCacheDir() (GRANII_CACHE_DIR, default ./.granii-cache) as
+  /// granii_costmodel_<hw>.cache for simulated platforms and
+  /// granii_costmodel_<hw>_t<threads>.cache for measured ones (the first
   /// CPU run profiles kernels).
   const CostModel &costFor(const std::string &Hw);
 

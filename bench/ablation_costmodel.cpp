@@ -12,6 +12,7 @@
 #include "support/Stats.h"
 #include "support/Str.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace granii;

@@ -2,7 +2,10 @@
 //
 // google-benchmark timings of the primitive kernel library on the machine
 // running the reproduction (the "real measurement" counterpart of the
-// simulated platforms).
+// simulated platforms). Every benchmark drives the destination-passing
+// `...Into` kernel forms against a preallocated destination, mirroring the
+// runtime's buffer-arena execution: the loops measure kernel compute, not
+// the allocator.
 //
 //===----------------------------------------------------------------------===//
 
@@ -38,8 +41,11 @@ const Graph &benchGraph() {
 static void BM_Gemm(benchmark::State &State) {
   int64_t N = State.range(0), K = State.range(1);
   DenseMatrix A = randomDense(N, K, 1), B = randomDense(K, K, 2);
-  for (auto _ : State)
-    benchmark::DoNotOptimize(kernels::gemm(A, B));
+  DenseMatrix C(N, K);
+  for (auto _ : State) {
+    kernels::gemmInto(A, B, C);
+    benchmark::DoNotOptimize(C.data());
+  }
   State.SetItemsProcessed(State.iterations() * 2 * N * K * K);
 }
 BENCHMARK(BM_Gemm)->Args({1024, 32})->Args({1024, 64})->Args({2048, 64});
@@ -47,9 +53,11 @@ BENCHMARK(BM_Gemm)->Args({1024, 32})->Args({1024, 64})->Args({2048, 64});
 static void BM_SpmmUnweighted(benchmark::State &State) {
   const Graph &G = benchGraph();
   DenseMatrix H = randomDense(G.numNodes(), State.range(0), 3);
-  for (auto _ : State)
-    benchmark::DoNotOptimize(
-        kernels::spmm(G.adjacency(), H, Semiring::plusCopy()));
+  DenseMatrix Out(G.numNodes(), State.range(0));
+  for (auto _ : State) {
+    kernels::spmmInto(G.adjacency(), H, Semiring::plusCopy(), Out);
+    benchmark::DoNotOptimize(Out.data());
+  }
   State.SetItemsProcessed(State.iterations() * G.numEdges() * State.range(0));
 }
 BENCHMARK(BM_SpmmUnweighted)->Arg(32)->Arg(64)->Arg(128);
@@ -60,8 +68,11 @@ static void BM_SpmmWeighted(benchmark::State &State) {
   std::vector<float> Vals(static_cast<size_t>(A.nnz()), 0.5f);
   A.setValues(std::move(Vals));
   DenseMatrix H = randomDense(G.numNodes(), State.range(0), 4);
-  for (auto _ : State)
-    benchmark::DoNotOptimize(kernels::spmm(A, H));
+  DenseMatrix Out(G.numNodes(), State.range(0));
+  for (auto _ : State) {
+    kernels::spmmInto(A, H, Semiring::plusTimes(), Out);
+    benchmark::DoNotOptimize(Out.data());
+  }
   State.SetItemsProcessed(State.iterations() * 2 * G.numEdges() *
                           State.range(0));
 }
@@ -70,46 +81,64 @@ BENCHMARK(BM_SpmmWeighted)->Arg(32)->Arg(64)->Arg(128);
 static void BM_SddmmDot(benchmark::State &State) {
   const Graph &G = benchGraph();
   DenseMatrix U = randomDense(G.numNodes(), State.range(0), 5);
-  for (auto _ : State)
-    benchmark::DoNotOptimize(kernels::sddmm(G.adjacency(), U, U));
+  std::vector<float> Out(static_cast<size_t>(G.numEdges()));
+  for (auto _ : State) {
+    kernels::sddmmInto(G.adjacency(), U, U, Semiring::plusTimes(), Out);
+    benchmark::DoNotOptimize(Out.data());
+  }
 }
 BENCHMARK(BM_SddmmDot)->Arg(32)->Arg(64);
 
 static void BM_ScaleSparseBoth(benchmark::State &State) {
   const Graph &G = benchGraph();
   std::vector<float> D(static_cast<size_t>(G.numNodes()), 0.7f);
-  for (auto _ : State)
-    benchmark::DoNotOptimize(kernels::scaleSparseBoth(G.adjacency(), D, D));
+  std::vector<float> OutVals(static_cast<size_t>(G.numEdges()));
+  for (auto _ : State) {
+    kernels::scaleSparseBothInto(G.adjacency(), D, D, OutVals);
+    benchmark::DoNotOptimize(OutVals.data());
+  }
 }
 BENCHMARK(BM_ScaleSparseBoth);
 
 static void BM_RowBroadcast(benchmark::State &State) {
   DenseMatrix H = randomDense(4096, State.range(0), 6);
   std::vector<float> D(4096, 1.1f);
-  for (auto _ : State)
-    benchmark::DoNotOptimize(kernels::rowBroadcastMul(D, H));
+  DenseMatrix Out(4096, State.range(0));
+  for (auto _ : State) {
+    kernels::rowBroadcastMulInto(D, H, Out);
+    benchmark::DoNotOptimize(Out.data());
+  }
 }
 BENCHMARK(BM_RowBroadcast)->Arg(32)->Arg(128);
 
 static void BM_DegreeOffsets(benchmark::State &State) {
   const Graph &G = benchGraph();
-  for (auto _ : State)
-    benchmark::DoNotOptimize(kernels::degreeFromOffsets(G.adjacency()));
+  std::vector<float> Out(static_cast<size_t>(G.numNodes()));
+  for (auto _ : State) {
+    kernels::degreeFromOffsetsInto(G.adjacency(), Out);
+    benchmark::DoNotOptimize(Out.data());
+  }
 }
 BENCHMARK(BM_DegreeOffsets);
 
 static void BM_DegreeBinning(benchmark::State &State) {
   const Graph &G = benchGraph();
-  for (auto _ : State)
-    benchmark::DoNotOptimize(kernels::degreeByBinning(G.adjacency()));
+  std::vector<float> Out(static_cast<size_t>(G.numNodes()));
+  for (auto _ : State) {
+    kernels::degreeByBinningInto(G.adjacency(), Out);
+    benchmark::DoNotOptimize(Out.data());
+  }
 }
 BENCHMARK(BM_DegreeBinning);
 
 static void BM_EdgeSoftmax(benchmark::State &State) {
   const Graph &G = benchGraph();
   std::vector<float> Vals(static_cast<size_t>(G.numEdges()), 0.3f);
-  for (auto _ : State)
-    benchmark::DoNotOptimize(kernels::edgeSoftmax(G.adjacency(), Vals));
+  std::vector<float> Out(static_cast<size_t>(G.numEdges()));
+  for (auto _ : State) {
+    kernels::edgeSoftmaxInto(G.adjacency(), Vals, Out);
+    benchmark::DoNotOptimize(Out.data());
+  }
 }
 BENCHMARK(BM_EdgeSoftmax);
 

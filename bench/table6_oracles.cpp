@@ -14,6 +14,7 @@
 #include "support/Str.h"
 
 #include <cstdio>
+#include <functional>
 #include <map>
 
 using namespace granii;

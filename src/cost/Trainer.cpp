@@ -7,9 +7,24 @@
 #include "support/Timer.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
 #include <functional>
+#include <system_error>
 
 using namespace granii;
+
+std::string granii::costModelCacheDir() {
+  const char *Env = std::getenv("GRANII_CACHE_DIR");
+  std::string Dir = Env && *Env ? Env : "./.granii-cache";
+  while (Dir.size() > 1 && Dir.back() == '/')
+    Dir.pop_back();
+  // Failure to create the directory is not fatal here: the subsequent cache
+  // write fails silently and the model is simply retrained next run.
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  return Dir;
+}
 
 std::vector<int64_t> granii::defaultProfileWidths() {
   // The paper profiles embedding sizes from 32 to 2048; this range covers

@@ -52,6 +52,12 @@ LearnedCostModel trainCostModel(const HardwareModel &Hw,
                                 const GbtParams &Params = GbtParams(),
                                 TrainReport *Report = nullptr);
 
+/// Directory cost-model caches are written under: $GRANII_CACHE_DIR when
+/// set, ./.granii-cache otherwise. The directory is created on first call;
+/// the returned path has no trailing separator. Keeping caches out of the
+/// repository root stops profiling artifacts from littering source trees.
+std::string costModelCacheDir();
+
 /// Loads the cached model at \p CachePath, or profiles \p Graphs, trains,
 /// and writes the cache. The convenience entry point used by examples and
 /// benches.

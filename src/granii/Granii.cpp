@@ -185,6 +185,15 @@ ExecResult Optimizer::execute(const Selection &Sel, const LayerParams &Params,
                               bool Training) const {
   const CompositionPlan &Plan = Promoted[Sel.PlanIndex];
   LayerInputs Inputs = Params.inputs();
-  return Training ? Exec.runTraining(Plan, Inputs, Params.Stats)
-                  : Exec.run(Plan, Inputs, Params.Stats);
+  // One persistent workspace per (plan, mode): repeated executions of the
+  // same selection reuse the planned arena instead of reallocating every
+  // intermediate (training pins all activations, so the two modes cannot
+  // share a workspace).
+  PlanWorkspace &Ws = Workspaces[{Sel.PlanIndex, Training}];
+  ExecResult Result;
+  if (Training)
+    Exec.runTraining(Plan, Inputs, Params.Stats, Ws, Result);
+  else
+    Exec.run(Plan, Inputs, Params.Stats, Ws, Result);
+  return Result;
 }

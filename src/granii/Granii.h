@@ -92,7 +92,11 @@ public:
   Selection selectWithStats(const DimBinding &Binding,
                             const GraphStats &GraphStats) const;
 
-  /// Executes the selected plan once (forward, or forward+backward).
+  /// Executes the selected plan once (forward, or forward+backward)
+  /// against a workspace cached per (plan, mode): the first execution of a
+  /// selection plans and allocates its buffer arena, subsequent ones reuse
+  /// it. Because of that cache, execute() is not safe to call concurrently
+  /// from multiple threads on one Optimizer.
   ExecResult execute(const Selection &Sel, const LayerParams &Params,
                      bool Training) const;
 
@@ -118,6 +122,10 @@ private:
   std::vector<CompositionPlan> Promoted;
   PruneStats Stats;
   Executor Exec;
+  /// Per-(plan index, training mode) execution workspaces, created lazily
+  /// by execute(). Mutable: caching buffers does not change observable
+  /// optimizer state (outputs are bitwise identical either way).
+  mutable std::map<std::pair<size_t, bool>, PlanWorkspace> Workspaces;
 };
 
 } // namespace granii

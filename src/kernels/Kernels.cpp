@@ -7,6 +7,12 @@
 // the nnz-balanced partitioner (parallelForCsrRows) so skewed-degree graphs
 // do not serialize on their hub rows.
 //
+// Destination-passing contract: the `...Into` forms hold the real kernel
+// bodies, never allocate, and fully overwrite every destination element
+// (rows that accumulate are zeroed inside the same parallel region first,
+// preserving bitwise identity with the historical zero-initialized-alloc
+// formulation). The by-value forms allocate a zeroed result and forward.
+//
 //===----------------------------------------------------------------------===//
 
 #include "kernels/Kernels.h"
@@ -30,11 +36,58 @@ int64_t rowGrain(int64_t WorkPerRow) {
   return std::max<int64_t>(1, DenseGrainOps / std::max<int64_t>(WorkPerRow, 1));
 }
 
+/// Destination-shape precondition shared by the dense Into kernels.
+void checkDenseDst(const DenseMatrix &Dst, int64_t Rows, int64_t Cols,
+                   const char *Kernel) {
+  GRANII_CHECK(Dst.rows() == Rows && Dst.cols() == Cols,
+               std::string(Kernel) + " destination shape mismatch (have " +
+                   std::to_string(Dst.rows()) + "x" +
+                   std::to_string(Dst.cols()) + ", need " +
+                   std::to_string(Rows) + "x" + std::to_string(Cols) + ")");
+}
+
+/// Destination-length precondition shared by the vector Into kernels.
+void checkVecDst(const std::vector<float> &Out, size_t Size,
+                 const char *Kernel) {
+  GRANII_CHECK(Out.size() == Size,
+               std::string(Kernel) + " destination length mismatch (have " +
+                   std::to_string(Out.size()) + ", need " +
+                   std::to_string(Size) + ")");
+}
+
 } // namespace
 
+void kernels::gemmInto(const DenseMatrix &A, const DenseMatrix &B,
+                       DenseMatrix &Dst) {
+  GRANII_CHECK(A.cols() == B.rows(), "gemm inner dimension mismatch");
+  checkDenseDst(Dst, A.rows(), B.cols(), "gemm");
+  const int64_t M = A.rows(), K = A.cols(), N = B.cols();
+  // i-k-j loop order: streams B and C rows, good cache behavior row-major.
+  // Output rows are partitioned across threads; each C row is written by
+  // exactly one thread. Rows are zeroed in the owning thread right before
+  // accumulation, so reused (stale) buffers behave exactly like fresh
+  // zero-initialized ones.
+  parallelFor(0, M, rowGrain(K * N), [&](int64_t RowBegin, int64_t RowEnd) {
+    for (int64_t I = RowBegin; I < RowEnd; ++I) {
+      const float *ARow = A.rowPtr(I);
+      float *CRow = Dst.rowPtr(I);
+      std::fill(CRow, CRow + N, 0.0f);
+      for (int64_t KK = 0; KK < K; ++KK) {
+        float AVal = ARow[KK];
+        if (AVal == 0.0f)
+          continue;
+        const float *BRow = B.rowPtr(KK);
+        for (int64_t J = 0; J < N; ++J)
+          CRow[J] += AVal * BRow[J];
+      }
+    }
+  });
+}
+
 DenseMatrix kernels::gemm(const DenseMatrix &A, const DenseMatrix &B) {
+  GRANII_CHECK(A.cols() == B.rows(), "gemm inner dimension mismatch");
   DenseMatrix C(A.rows(), B.cols());
-  gemmAccumulate(A, B, C);
+  gemmInto(A, B, C);
   return C;
 }
 
@@ -44,9 +97,6 @@ void kernels::gemmAccumulate(const DenseMatrix &A, const DenseMatrix &B,
   GRANII_CHECK(C.rows() == A.rows() && C.cols() == B.cols(),
                "gemm output shape mismatch");
   const int64_t M = A.rows(), K = A.cols(), N = B.cols();
-  // i-k-j loop order: streams B and C rows, good cache behavior row-major.
-  // Output rows are partitioned across threads; each C row is written by
-  // exactly one thread.
   parallelFor(0, M, rowGrain(K * N), [&](int64_t RowBegin, int64_t RowEnd) {
     for (int64_t I = RowBegin; I < RowEnd; ++I) {
       const float *ARow = A.rowPtr(I);
@@ -63,10 +113,10 @@ void kernels::gemmAccumulate(const DenseMatrix &A, const DenseMatrix &B,
   });
 }
 
-DenseMatrix kernels::gemmTransposedLhs(const DenseMatrix &A,
-                                       const DenseMatrix &B) {
+void kernels::gemmTransposedLhsInto(const DenseMatrix &A, const DenseMatrix &B,
+                                    DenseMatrix &Dst) {
   GRANII_CHECK(A.rows() == B.rows(), "A^T*B dimension mismatch");
-  DenseMatrix C(A.cols(), B.cols());
+  checkDenseDst(Dst, A.cols(), B.cols(), "gemm_t_lhs");
   const int64_t M = A.rows(), N = B.cols();
   // Parallel over *output* rows (columns of A): the scatter formulation
   // (outer loop over A's rows) would race on C. The per-output-row update
@@ -75,7 +125,8 @@ DenseMatrix kernels::gemmTransposedLhs(const DenseMatrix &A,
   parallelFor(0, A.cols(), rowGrain(M * N),
               [&](int64_t RowBegin, int64_t RowEnd) {
                 for (int64_t R = RowBegin; R < RowEnd; ++R) {
-                  float *CRow = C.rowPtr(R);
+                  float *CRow = Dst.rowPtr(R);
+                  std::fill(CRow, CRow + N, 0.0f);
                   for (int64_t I = 0; I < M; ++I) {
                     float AVal = A.rowPtr(I)[R];
                     if (AVal == 0.0f)
@@ -86,19 +137,26 @@ DenseMatrix kernels::gemmTransposedLhs(const DenseMatrix &A,
                   }
                 }
               });
+}
+
+DenseMatrix kernels::gemmTransposedLhs(const DenseMatrix &A,
+                                       const DenseMatrix &B) {
+  GRANII_CHECK(A.rows() == B.rows(), "A^T*B dimension mismatch");
+  DenseMatrix C(A.cols(), B.cols());
+  gemmTransposedLhsInto(A, B, C);
   return C;
 }
 
-DenseMatrix kernels::gemmTransposedRhs(const DenseMatrix &A,
-                                       const DenseMatrix &B) {
+void kernels::gemmTransposedRhsInto(const DenseMatrix &A, const DenseMatrix &B,
+                                    DenseMatrix &Dst) {
   GRANII_CHECK(A.cols() == B.cols(), "A*B^T dimension mismatch");
-  DenseMatrix C(A.rows(), B.rows());
+  checkDenseDst(Dst, A.rows(), B.rows(), "gemm_t_rhs");
   const int64_t K = A.cols(), N = B.rows();
   parallelFor(0, A.rows(), rowGrain(K * N),
               [&](int64_t RowBegin, int64_t RowEnd) {
                 for (int64_t I = RowBegin; I < RowEnd; ++I) {
                   const float *ARow = A.rowPtr(I);
-                  float *CRow = C.rowPtr(I);
+                  float *CRow = Dst.rowPtr(I);
                   for (int64_t J = 0; J < N; ++J) {
                     const float *BRow = B.rowPtr(J);
                     float Acc = 0.0f;
@@ -108,14 +166,21 @@ DenseMatrix kernels::gemmTransposedRhs(const DenseMatrix &A,
                   }
                 }
               });
+}
+
+DenseMatrix kernels::gemmTransposedRhs(const DenseMatrix &A,
+                                       const DenseMatrix &B) {
+  GRANII_CHECK(A.cols() == B.cols(), "A*B^T dimension mismatch");
+  DenseMatrix C(A.rows(), B.rows());
+  gemmTransposedRhsInto(A, B, C);
   return C;
 }
 
-std::vector<float> kernels::gemv(const DenseMatrix &A,
-                                 const std::vector<float> &X) {
+void kernels::gemvInto(const DenseMatrix &A, const std::vector<float> &X,
+                       std::vector<float> &Y) {
   GRANII_CHECK(static_cast<int64_t>(X.size()) == A.cols(),
                "gemv dimension mismatch");
-  std::vector<float> Y(static_cast<size_t>(A.rows()), 0.0f);
+  checkVecDst(Y, static_cast<size_t>(A.rows()), "gemv");
   parallelFor(0, A.rows(), rowGrain(A.cols()),
               [&](int64_t RowBegin, int64_t RowEnd) {
                 for (int64_t I = RowBegin; I < RowEnd; ++I) {
@@ -126,7 +191,32 @@ std::vector<float> kernels::gemv(const DenseMatrix &A,
                   Y[static_cast<size_t>(I)] = Acc;
                 }
               });
+}
+
+std::vector<float> kernels::gemv(const DenseMatrix &A,
+                                 const std::vector<float> &X) {
+  GRANII_CHECK(static_cast<int64_t>(X.size()) == A.cols(),
+               "gemv dimension mismatch");
+  std::vector<float> Y(static_cast<size_t>(A.rows()), 0.0f);
+  gemvInto(A, X, Y);
   return Y;
+}
+
+void kernels::rowBroadcastMulInto(const std::vector<float> &D,
+                                  const DenseMatrix &H, DenseMatrix &Dst) {
+  GRANII_CHECK(static_cast<int64_t>(D.size()) == H.rows(),
+               "row broadcast length mismatch");
+  checkDenseDst(Dst, H.rows(), H.cols(), "row_bcast");
+  parallelFor(0, H.rows(), rowGrain(H.cols()),
+              [&](int64_t RowBegin, int64_t RowEnd) {
+                for (int64_t I = RowBegin; I < RowEnd; ++I) {
+                  float Scale = D[static_cast<size_t>(I)];
+                  const float *In = H.rowPtr(I);
+                  float *Out = Dst.rowPtr(I);
+                  for (int64_t J = 0; J < H.cols(); ++J)
+                    Out[J] = Scale * In[J];
+                }
+              });
 }
 
 DenseMatrix kernels::rowBroadcastMul(const std::vector<float> &D,
@@ -134,17 +224,25 @@ DenseMatrix kernels::rowBroadcastMul(const std::vector<float> &D,
   GRANII_CHECK(static_cast<int64_t>(D.size()) == H.rows(),
                "row broadcast length mismatch");
   DenseMatrix Out(H.rows(), H.cols());
+  rowBroadcastMulInto(D, H, Out);
+  return Out;
+}
+
+void kernels::colBroadcastMulInto(const DenseMatrix &H,
+                                  const std::vector<float> &D,
+                                  DenseMatrix &Dst) {
+  GRANII_CHECK(static_cast<int64_t>(D.size()) == H.cols(),
+               "column broadcast length mismatch");
+  checkDenseDst(Dst, H.rows(), H.cols(), "col_bcast");
   parallelFor(0, H.rows(), rowGrain(H.cols()),
               [&](int64_t RowBegin, int64_t RowEnd) {
                 for (int64_t I = RowBegin; I < RowEnd; ++I) {
-                  float Scale = D[static_cast<size_t>(I)];
                   const float *In = H.rowPtr(I);
-                  float *Dst = Out.rowPtr(I);
+                  float *Out = Dst.rowPtr(I);
                   for (int64_t J = 0; J < H.cols(); ++J)
-                    Dst[J] = Scale * In[J];
+                    Out[J] = In[J] * D[static_cast<size_t>(J)];
                 }
               });
-  return Out;
 }
 
 DenseMatrix kernels::colBroadcastMul(const DenseMatrix &H,
@@ -152,29 +250,29 @@ DenseMatrix kernels::colBroadcastMul(const DenseMatrix &H,
   GRANII_CHECK(static_cast<int64_t>(D.size()) == H.cols(),
                "column broadcast length mismatch");
   DenseMatrix Out(H.rows(), H.cols());
-  parallelFor(0, H.rows(), rowGrain(H.cols()),
-              [&](int64_t RowBegin, int64_t RowEnd) {
-                for (int64_t I = RowBegin; I < RowEnd; ++I) {
-                  const float *In = H.rowPtr(I);
-                  float *Dst = Out.rowPtr(I);
-                  for (int64_t J = 0; J < H.cols(); ++J)
-                    Dst[J] = In[J] * D[static_cast<size_t>(J)];
-                }
-              });
+  colBroadcastMulInto(H, D, Out);
   return Out;
+}
+
+void kernels::addMatricesInto(const DenseMatrix &A, const DenseMatrix &B,
+                              DenseMatrix &Dst) {
+  GRANII_CHECK(A.rows() == B.rows() && A.cols() == B.cols(),
+               "elementwise add shape mismatch");
+  checkDenseDst(Dst, A.rows(), A.cols(), "add");
+  const float *PA = A.data();
+  const float *PB = B.data();
+  float *PO = Dst.data();
+  parallelFor(0, A.size(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I)
+      PO[I] = PA[I] + PB[I];
+  });
 }
 
 DenseMatrix kernels::addMatrices(const DenseMatrix &A, const DenseMatrix &B) {
   GRANII_CHECK(A.rows() == B.rows() && A.cols() == B.cols(),
                "elementwise add shape mismatch");
   DenseMatrix Out(A.rows(), A.cols());
-  const float *PA = A.data();
-  const float *PB = B.data();
-  float *PO = Out.data();
-  parallelFor(0, A.size(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
-    for (int64_t I = Begin; I < End; ++I)
-      PO[I] = PA[I] + PB[I];
-  });
+  addMatricesInto(A, B, Out);
   return Out;
 }
 
@@ -189,25 +287,36 @@ void kernels::axpyInto(float Alpha, const DenseMatrix &A, DenseMatrix &B) {
   });
 }
 
-DenseMatrix kernels::scaleMatrix(const DenseMatrix &A, float Alpha) {
-  DenseMatrix Out(A.rows(), A.cols());
+void kernels::scaleMatrixInto(const DenseMatrix &A, float Alpha,
+                              DenseMatrix &Dst) {
+  checkDenseDst(Dst, A.rows(), A.cols(), "scale");
   const float *PA = A.data();
-  float *PO = Out.data();
+  float *PO = Dst.data();
   parallelFor(0, A.size(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
     for (int64_t I = Begin; I < End; ++I)
       PO[I] = Alpha * PA[I];
   });
+}
+
+DenseMatrix kernels::scaleMatrix(const DenseMatrix &A, float Alpha) {
+  DenseMatrix Out(A.rows(), A.cols());
+  scaleMatrixInto(A, Alpha, Out);
   return Out;
 }
 
-DenseMatrix kernels::relu(const DenseMatrix &A) {
-  DenseMatrix Out(A.rows(), A.cols());
+void kernels::reluInto(const DenseMatrix &A, DenseMatrix &Dst) {
+  checkDenseDst(Dst, A.rows(), A.cols(), "relu");
   const float *PA = A.data();
-  float *PO = Out.data();
+  float *PO = Dst.data();
   parallelFor(0, A.size(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
     for (int64_t I = Begin; I < End; ++I)
       PO[I] = PA[I] > 0.0f ? PA[I] : 0.0f;
   });
+}
+
+DenseMatrix kernels::relu(const DenseMatrix &A) {
+  DenseMatrix Out(A.rows(), A.cols());
+  reluInto(A, Out);
   return Out;
 }
 
@@ -222,25 +331,33 @@ DenseMatrix kernels::leakyRelu(const DenseMatrix &A, float NegativeSlope) {
   return Out;
 }
 
+void kernels::reluBackwardInto(const DenseMatrix &Pre, const DenseMatrix &Grad,
+                               DenseMatrix &Dst) {
+  GRANII_CHECK(Pre.rows() == Grad.rows() && Pre.cols() == Grad.cols(),
+               "relu backward shape mismatch");
+  checkDenseDst(Dst, Pre.rows(), Pre.cols(), "relu_backward");
+  const float *PP = Pre.data();
+  const float *PG = Grad.data();
+  float *PO = Dst.data();
+  parallelFor(0, Pre.size(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I)
+      PO[I] = PP[I] > 0.0f ? PG[I] : 0.0f;
+  });
+}
+
 DenseMatrix kernels::reluBackward(const DenseMatrix &Pre,
                                   const DenseMatrix &Grad) {
   GRANII_CHECK(Pre.rows() == Grad.rows() && Pre.cols() == Grad.cols(),
                "relu backward shape mismatch");
   DenseMatrix Out(Pre.rows(), Pre.cols());
-  const float *PP = Pre.data();
-  const float *PG = Grad.data();
-  float *PO = Out.data();
-  parallelFor(0, Pre.size(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
-    for (int64_t I = Begin; I < End; ++I)
-      PO[I] = PP[I] > 0.0f ? PG[I] : 0.0f;
-  });
+  reluBackwardInto(Pre, Grad, Out);
   return Out;
 }
 
-DenseMatrix kernels::spmm(const CsrMatrix &A, const DenseMatrix &B,
-                          const Semiring &S) {
+void kernels::spmmInto(const CsrMatrix &A, const DenseMatrix &B,
+                       const Semiring &S, DenseMatrix &Dst) {
   GRANII_CHECK(A.cols() == B.rows(), "spmm dimension mismatch");
-  DenseMatrix Out(A.rows(), B.cols());
+  checkDenseDst(Dst, A.rows(), B.cols(), "spmm");
   const auto &Offsets = A.rowOffsets();
   const auto &Cols = A.colIndices();
   const auto &Vals = A.values();
@@ -252,31 +369,32 @@ DenseMatrix kernels::spmm(const CsrMatrix &A, const DenseMatrix &B,
       S.Reduce == ReduceOpKind::Sum || S.Reduce == ReduceOpKind::Mean;
   parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
     for (int64_t R = RowBegin; R < RowEnd; ++R) {
-      float *Dst = Out.rowPtr(R);
+      float *Out = Dst.rowPtr(R);
       int64_t Begin = Offsets[static_cast<size_t>(R)];
       int64_t End = Offsets[static_cast<size_t>(R) + 1];
       if (SumLike) {
+        std::fill(Out, Out + NCols, 0.0f);
         for (int64_t K = Begin; K < End; ++K) {
           int32_t Col = Cols[static_cast<size_t>(K)];
           const float *Src = B.rowPtr(Col);
           if (S.Combine == CombineOpKind::CopyRhs) {
             for (int64_t J = 0; J < NCols; ++J)
-              Dst[J] += Src[J];
+              Out[J] += Src[J];
           } else {
             float EdgeVal = Weighted ? Vals[static_cast<size_t>(K)] : 1.0f;
             if (S.Combine == CombineOpKind::Mul) {
               for (int64_t J = 0; J < NCols; ++J)
-                Dst[J] += EdgeVal * Src[J];
+                Out[J] += EdgeVal * Src[J];
             } else { // Add combine.
               for (int64_t J = 0; J < NCols; ++J)
-                Dst[J] += EdgeVal + Src[J];
+                Out[J] += EdgeVal + Src[J];
             }
           }
         }
         if (S.Reduce == ReduceOpKind::Mean && End > Begin) {
           float Inv = 1.0f / static_cast<float>(End - Begin);
           for (int64_t J = 0; J < NCols; ++J)
-            Dst[J] *= Inv;
+            Out[J] *= Inv;
         }
         continue;
       }
@@ -284,25 +402,33 @@ DenseMatrix kernels::spmm(const CsrMatrix &A, const DenseMatrix &B,
       bool Any = End > Begin;
       float Identity = S.reduceIdentity();
       for (int64_t J = 0; J < NCols; ++J)
-        Dst[J] = Any ? Identity : 0.0f;
+        Out[J] = Any ? Identity : 0.0f;
       for (int64_t K = Begin; K < End; ++K) {
         int32_t Col = Cols[static_cast<size_t>(K)];
         float EdgeVal = A.valueAt(K);
         const float *Src = B.rowPtr(Col);
         for (int64_t J = 0; J < NCols; ++J)
-          Dst[J] = S.reduce(Dst[J], S.combine(EdgeVal, Src[J]));
+          Out[J] = S.reduce(Out[J], S.combine(EdgeVal, Src[J]));
       }
     }
   });
+}
+
+DenseMatrix kernels::spmm(const CsrMatrix &A, const DenseMatrix &B,
+                          const Semiring &S) {
+  GRANII_CHECK(A.cols() == B.rows(), "spmm dimension mismatch");
+  DenseMatrix Out(A.rows(), B.cols());
+  spmmInto(A, B, S, Out);
   return Out;
 }
 
-std::vector<float> kernels::sddmm(const CsrMatrix &Mask, const DenseMatrix &U,
-                                  const DenseMatrix &V, const Semiring &S) {
+void kernels::sddmmInto(const CsrMatrix &Mask, const DenseMatrix &U,
+                        const DenseMatrix &V, const Semiring &S,
+                        std::vector<float> &Out) {
   GRANII_CHECK(Mask.rows() == U.rows(), "sddmm left operand row mismatch");
   GRANII_CHECK(Mask.cols() == V.rows(), "sddmm right operand row mismatch");
   GRANII_CHECK(U.cols() == V.cols(), "sddmm feature width mismatch");
-  std::vector<float> Out(static_cast<size_t>(Mask.nnz()), 0.0f);
+  checkVecDst(Out, static_cast<size_t>(Mask.nnz()), "sddmm");
   const auto &Offsets = Mask.rowOffsets();
   const auto &Cols = Mask.colIndices();
   const int64_t Width = U.cols();
@@ -319,17 +445,24 @@ std::vector<float> kernels::sddmm(const CsrMatrix &Mask, const DenseMatrix &U,
       }
     }
   });
+}
+
+std::vector<float> kernels::sddmm(const CsrMatrix &Mask, const DenseMatrix &U,
+                                  const DenseMatrix &V, const Semiring &S) {
+  std::vector<float> Out(static_cast<size_t>(Mask.nnz()), 0.0f);
+  sddmmInto(Mask, U, V, S, Out);
   return Out;
 }
 
-std::vector<float> kernels::sddmmAddScalars(const CsrMatrix &Mask,
-                                            const std::vector<float> &SrcScore,
-                                            const std::vector<float> &DstScore) {
+void kernels::sddmmAddScalarsInto(const CsrMatrix &Mask,
+                                  const std::vector<float> &SrcScore,
+                                  const std::vector<float> &DstScore,
+                                  std::vector<float> &Out) {
   GRANII_CHECK(static_cast<int64_t>(SrcScore.size()) == Mask.rows(),
                "source score length mismatch");
   GRANII_CHECK(static_cast<int64_t>(DstScore.size()) == Mask.cols(),
                "destination score length mismatch");
-  std::vector<float> Out(static_cast<size_t>(Mask.nnz()), 0.0f);
+  checkVecDst(Out, static_cast<size_t>(Mask.nnz()), "sddmm_add");
   const auto &Offsets = Mask.rowOffsets();
   const auto &Cols = Mask.colIndices();
   parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
@@ -341,50 +474,72 @@ std::vector<float> kernels::sddmmAddScalars(const CsrMatrix &Mask,
             SVal + DstScore[static_cast<size_t>(Cols[static_cast<size_t>(K)])];
     }
   });
+}
+
+std::vector<float> kernels::sddmmAddScalars(const CsrMatrix &Mask,
+                                            const std::vector<float> &SrcScore,
+                                            const std::vector<float> &DstScore) {
+  std::vector<float> Out(static_cast<size_t>(Mask.nnz()), 0.0f);
+  sddmmAddScalarsInto(Mask, SrcScore, DstScore, Out);
   return Out;
 }
 
-CsrMatrix kernels::scaleSparseRows(const CsrMatrix &A,
-                                   const std::vector<float> &D) {
+void kernels::scaleSparseRowsInto(const CsrMatrix &A,
+                                  const std::vector<float> &D,
+                                  std::vector<float> &OutVals) {
   GRANII_CHECK(static_cast<int64_t>(D.size()) == A.rows(),
                "row scale length mismatch");
-  std::vector<float> Vals(static_cast<size_t>(A.nnz()));
+  checkVecDst(OutVals, static_cast<size_t>(A.nnz()), "scale_row");
   const auto &Offsets = A.rowOffsets();
   parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
     for (int64_t R = RowBegin; R < RowEnd; ++R) {
       float Scale = D[static_cast<size_t>(R)];
       for (int64_t K = Offsets[static_cast<size_t>(R)];
            K < Offsets[static_cast<size_t>(R) + 1]; ++K)
-        Vals[static_cast<size_t>(K)] = Scale * A.valueAt(K);
+        OutVals[static_cast<size_t>(K)] = Scale * A.valueAt(K);
     }
   });
+}
+
+CsrMatrix kernels::scaleSparseRows(const CsrMatrix &A,
+                                   const std::vector<float> &D) {
+  std::vector<float> Vals(static_cast<size_t>(A.nnz()));
+  scaleSparseRowsInto(A, D, Vals);
   return CsrMatrix(A.rows(), A.cols(), A.rowOffsets(), A.colIndices(),
                    std::move(Vals));
 }
 
-CsrMatrix kernels::scaleSparseCols(const CsrMatrix &A,
-                                   const std::vector<float> &D) {
+void kernels::scaleSparseColsInto(const CsrMatrix &A,
+                                  const std::vector<float> &D,
+                                  std::vector<float> &OutVals) {
   GRANII_CHECK(static_cast<int64_t>(D.size()) == A.cols(),
                "column scale length mismatch");
-  std::vector<float> Vals(static_cast<size_t>(A.nnz()));
+  checkVecDst(OutVals, static_cast<size_t>(A.nnz()), "scale_col");
   const auto &Cols = A.colIndices();
   // Row structure is irrelevant here; partition the flat edge array.
   parallelFor(0, A.nnz(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
     for (int64_t K = Begin; K < End; ++K)
-      Vals[static_cast<size_t>(K)] =
+      OutVals[static_cast<size_t>(K)] =
           A.valueAt(K) * D[static_cast<size_t>(Cols[static_cast<size_t>(K)])];
   });
+}
+
+CsrMatrix kernels::scaleSparseCols(const CsrMatrix &A,
+                                   const std::vector<float> &D) {
+  std::vector<float> Vals(static_cast<size_t>(A.nnz()));
+  scaleSparseColsInto(A, D, Vals);
   return CsrMatrix(A.rows(), A.cols(), A.rowOffsets(), A.colIndices(),
                    std::move(Vals));
 }
 
-CsrMatrix kernels::scaleSparseBoth(const CsrMatrix &A,
-                                   const std::vector<float> &L,
-                                   const std::vector<float> &R) {
+void kernels::scaleSparseBothInto(const CsrMatrix &A,
+                                  const std::vector<float> &L,
+                                  const std::vector<float> &R,
+                                  std::vector<float> &OutVals) {
   GRANII_CHECK(static_cast<int64_t>(L.size()) == A.rows() &&
                    static_cast<int64_t>(R.size()) == A.cols(),
                "diagonal scale length mismatch");
-  std::vector<float> Vals(static_cast<size_t>(A.nnz()));
+  checkVecDst(OutVals, static_cast<size_t>(A.nnz()), "scale_both");
   const auto &Offsets = A.rowOffsets();
   const auto &Cols = A.colIndices();
   parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
@@ -392,20 +547,28 @@ CsrMatrix kernels::scaleSparseBoth(const CsrMatrix &A,
       float Left = L[static_cast<size_t>(Row)];
       for (int64_t K = Offsets[static_cast<size_t>(Row)];
            K < Offsets[static_cast<size_t>(Row) + 1]; ++K)
-        Vals[static_cast<size_t>(K)] =
+        OutVals[static_cast<size_t>(K)] =
             Left * A.valueAt(K) *
             R[static_cast<size_t>(Cols[static_cast<size_t>(K)])];
     }
   });
+}
+
+CsrMatrix kernels::scaleSparseBoth(const CsrMatrix &A,
+                                   const std::vector<float> &L,
+                                   const std::vector<float> &R) {
+  std::vector<float> Vals(static_cast<size_t>(A.nnz()));
+  scaleSparseBothInto(A, L, R, Vals);
   return CsrMatrix(A.rows(), A.cols(), A.rowOffsets(), A.colIndices(),
                    std::move(Vals));
 }
 
-std::vector<float> kernels::edgeSoftmax(const CsrMatrix &A,
-                                        const std::vector<float> &EdgeValues) {
+void kernels::edgeSoftmaxInto(const CsrMatrix &A,
+                              const std::vector<float> &EdgeValues,
+                              std::vector<float> &Out) {
   GRANII_CHECK(static_cast<int64_t>(EdgeValues.size()) == A.nnz(),
                "edge value count mismatch");
-  std::vector<float> Out(EdgeValues.size(), 0.0f);
+  checkVecDst(Out, EdgeValues.size(), "edge_softmax");
   const auto &Offsets = A.rowOffsets();
   parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
     for (int64_t R = RowBegin; R < RowEnd; ++R) {
@@ -427,12 +590,18 @@ std::vector<float> kernels::edgeSoftmax(const CsrMatrix &A,
         Out[static_cast<size_t>(K)] *= Inv;
     }
   });
+}
+
+std::vector<float> kernels::edgeSoftmax(const CsrMatrix &A,
+                                        const std::vector<float> &EdgeValues) {
+  std::vector<float> Out(EdgeValues.size(), 0.0f);
+  edgeSoftmaxInto(A, EdgeValues, Out);
   return Out;
 }
 
-std::vector<float> kernels::leakyReluEdges(const std::vector<float> &EdgeValues,
-                                           float NegativeSlope) {
-  std::vector<float> Out(EdgeValues.size());
+void kernels::leakyReluEdgesInto(const std::vector<float> &EdgeValues,
+                                 float NegativeSlope, std::vector<float> &Out) {
+  checkVecDst(Out, EdgeValues.size(), "edge_leaky_relu");
   parallelFor(0, static_cast<int64_t>(EdgeValues.size()), DenseGrainOps,
               [&](int64_t Begin, int64_t End) {
                 for (int64_t I = Begin; I < End; ++I)
@@ -441,49 +610,82 @@ std::vector<float> kernels::leakyReluEdges(const std::vector<float> &EdgeValues,
                           ? EdgeValues[static_cast<size_t>(I)]
                           : NegativeSlope * EdgeValues[static_cast<size_t>(I)];
               });
+}
+
+std::vector<float> kernels::leakyReluEdges(const std::vector<float> &EdgeValues,
+                                           float NegativeSlope) {
+  std::vector<float> Out(EdgeValues.size());
+  leakyReluEdgesInto(EdgeValues, NegativeSlope, Out);
   return Out;
+}
+
+void kernels::degreeFromOffsetsInto(const CsrMatrix &A,
+                                    std::vector<float> &Out) {
+  checkVecDst(Out, static_cast<size_t>(A.rows()), "degree_off");
+  const auto &Offsets = A.rowOffsets();
+  parallelFor(0, A.rows(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
+    for (int64_t R = Begin; R < End; ++R)
+      Out[static_cast<size_t>(R)] =
+          static_cast<float>(Offsets[static_cast<size_t>(R) + 1] -
+                             Offsets[static_cast<size_t>(R)]);
+  });
 }
 
 std::vector<float> kernels::degreeFromOffsets(const CsrMatrix &A) {
   std::vector<float> Degrees(static_cast<size_t>(A.rows()), 0.0f);
-  const auto &Offsets = A.rowOffsets();
-  parallelFor(0, A.rows(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
-    for (int64_t R = Begin; R < End; ++R)
-      Degrees[static_cast<size_t>(R)] =
-          static_cast<float>(Offsets[static_cast<size_t>(R) + 1] -
-                             Offsets[static_cast<size_t>(R)]);
-  });
+  degreeFromOffsetsInto(A, Degrees);
   return Degrees;
 }
 
-std::vector<float> kernels::degreeByBinning(const CsrMatrix &A) {
+void kernels::degreeByBinningInto(const CsrMatrix &A,
+                                  std::vector<float> &Out) {
   // Binning formulation: walk every edge and increment its source bin, the
   // way a scatter-add (torch.bincount-style) kernel would. On a GPU these
   // increments contend atomically when few bins receive many edges; the
   // hardware models charge that contention. On CPU it is still O(E) versus
   // the O(N) offset-difference variant. Each row's bin is owned by the
-  // thread covering that row, so no increments contend here.
-  std::vector<float> Degrees(static_cast<size_t>(A.rows()), 0.0f);
+  // thread covering that row, so no increments contend here; the owning
+  // thread also zeroes its bins, so reused buffers match fresh ones.
+  checkVecDst(Out, static_cast<size_t>(A.rows()), "degree_bin");
   const auto &Offsets = A.rowOffsets();
   parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
-    for (int64_t R = RowBegin; R < RowEnd; ++R)
+    for (int64_t R = RowBegin; R < RowEnd; ++R) {
+      Out[static_cast<size_t>(R)] = 0.0f;
       for (int64_t K = Offsets[static_cast<size_t>(R)];
            K < Offsets[static_cast<size_t>(R) + 1]; ++K)
-        Degrees[static_cast<size_t>(R)] += 1.0f;
+        Out[static_cast<size_t>(R)] += 1.0f;
+    }
   });
+}
+
+std::vector<float> kernels::degreeByBinning(const CsrMatrix &A) {
+  std::vector<float> Degrees(static_cast<size_t>(A.rows()), 0.0f);
+  degreeByBinningInto(A, Degrees);
   return Degrees;
+}
+
+void kernels::invDegreeInto(const std::vector<float> &Degrees,
+                            std::vector<float> &Out) {
+  checkVecDst(Out, Degrees.size(), "inv_degree");
+  for (size_t I = 0; I < Degrees.size(); ++I)
+    Out[I] = Degrees[I] > 0.0f ? 1.0f / Degrees[I] : 0.0f;
 }
 
 std::vector<float> kernels::invDegree(const std::vector<float> &Degrees) {
   std::vector<float> Out(Degrees.size());
-  for (size_t I = 0; I < Degrees.size(); ++I)
-    Out[I] = Degrees[I] > 0.0f ? 1.0f / Degrees[I] : 0.0f;
+  invDegreeInto(Degrees, Out);
   return Out;
+}
+
+void kernels::invSqrtInto(const std::vector<float> &Degrees,
+                          std::vector<float> &Out) {
+  checkVecDst(Out, Degrees.size(), "inv_sqrt");
+  for (size_t I = 0; I < Degrees.size(); ++I)
+    Out[I] = Degrees[I] > 0.0f ? 1.0f / std::sqrt(Degrees[I]) : 0.0f;
 }
 
 std::vector<float> kernels::invSqrt(const std::vector<float> &Degrees) {
   std::vector<float> Out(Degrees.size());
-  for (size_t I = 0; I < Degrees.size(); ++I)
-    Out[I] = Degrees[I] > 0.0f ? 1.0f / std::sqrt(Degrees[I]) : 0.0f;
+  invSqrtInto(Degrees, Out);
   return Out;
 }

@@ -8,7 +8,6 @@
 #include "support/Timer.h"
 
 #include <cassert>
-#include <functional>
 
 using namespace granii;
 
@@ -55,14 +54,93 @@ DimBinding LayerInputs::binding(const CompositionPlan *Plan) const {
   return B;
 }
 
+//===----------------------------------------------------------------------===//
+// PlanWorkspace
+//===----------------------------------------------------------------------===//
+
+void PlanWorkspace::configure(const CompositionPlan &PlanIn,
+                              const DimBinding &B, bool TrainingIn) {
+  if (Buffers && Plan == &PlanIn && Training == TrainingIn &&
+      Binding.N == B.N && Binding.KIn == B.KIn && Binding.KOut == B.KOut &&
+      Binding.E == B.E)
+    return;
+  Plan = &PlanIn;
+  Binding = B;
+  Training = TrainingIn;
+  Buffers.emplace(PlanIn, B, TrainingIn);
+  Descs = PlanIn.primitiveDescs(B);
+  // Presize every slot to its planned capacity so the first run's resizes
+  // already fit; growth from here on is a planning bug the counter exposes.
+  const std::vector<ArenaSlot> &Sl = Buffers->slots();
+  DenseSlots.resize(Sl.size());
+  VecSlots.resize(Sl.size());
+  for (size_t S = 0; S < Sl.size(); ++S) {
+    size_t Cap = static_cast<size_t>(Sl[S].CapacityFloats);
+    if (Sl[S].Class == BufferClass::DenseSlot)
+      DenseSlots[S].reserveFloats(Cap);
+    else
+      VecSlots[S].reserve(Cap);
+  }
+  // Sparse patterns are copied from their runtime sources on first use;
+  // value arrays can at least be reserved now.
+  SparseValues.resize(PlanIn.Values.size());
+  Scratch.resize(PlanIn.Values.size());
+}
+
+DenseMatrix &PlanWorkspace::denseFor(int Id, int64_t Rows, int64_t Cols) {
+  assert(Buffers && "workspace not configured");
+  const ValueBuffer &B = Buffers->values()[static_cast<size_t>(Id)];
+  assert(B.Slot >= 0 && B.Class == BufferClass::DenseSlot &&
+         "value has no dense slot");
+  DenseMatrix &M = DenseSlots[static_cast<size_t>(B.Slot)];
+  size_t Cap = M.capacityFloats();
+  M.resize(Rows, Cols);
+  if (M.capacityFloats() != Cap)
+    ++Allocations;
+  return M;
+}
+
+std::vector<float> &PlanWorkspace::vecFor(int Id, size_t Size) {
+  assert(Buffers && "workspace not configured");
+  const ValueBuffer &B = Buffers->values()[static_cast<size_t>(Id)];
+  assert(B.Slot >= 0 && B.Class == BufferClass::VecSlot &&
+         "value has no vector slot");
+  std::vector<float> &V = VecSlots[static_cast<size_t>(B.Slot)];
+  size_t Cap = V.capacity();
+  V.resize(Size);
+  if (V.capacity() != Cap)
+    ++Allocations;
+  return V;
+}
+
+CsrMatrix &PlanWorkspace::sparseFor(int Id, const CsrMatrix &PatternSource) {
+  assert(Buffers && "workspace not configured");
+  CsrMatrix &S = SparseValues[static_cast<size_t>(Id)];
+  size_t OffCap = S.rowOffsets().capacity();
+  size_t ColCap = S.colIndices().capacity();
+  size_t ValCap = S.values().capacity();
+  // The pattern is copy-assigned every run (cheap next to any kernel that
+  // walks it, and correct even if the caller rebinds a different graph of
+  // the same size); once capacities fit this allocates nothing.
+  S.assignPattern(PatternSource.rows(), PatternSource.cols(),
+                  PatternSource.rowOffsets(), PatternSource.colIndices());
+  if (S.rowOffsets().capacity() != OffCap ||
+      S.colIndices().capacity() != ColCap || S.values().capacity() != ValCap)
+    ++Allocations;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Executor
+//===----------------------------------------------------------------------===//
+
 Executor::Executor(HardwareModel Hw, int NumThreads) : Hw(std::move(Hw)) {
   if (NumThreads > 0)
     ThreadPool::get().setNumThreads(NumThreads);
 }
 
 double Executor::timeKernel(const PrimitiveDesc &Desc, const GraphStats &Stats,
-                            const std::function<void()> &Body,
-                            bool Idempotent) const {
+                            FunctionRef<void()> Body, bool Idempotent) const {
   if (Hw.kind() == PlatformKind::Measured) {
     if (Idempotent)
       Body(); // Warm-up: caches and page faults are not per-iteration costs.
@@ -76,19 +154,7 @@ double Executor::timeKernel(const PrimitiveDesc &Desc, const GraphStats &Stats,
 
 namespace {
 
-/// Runtime storage for one plan value. Inputs alias caller tensors; all
-/// produced values are owned.
-struct RtValue {
-  PlanValueKind Kind = PlanValueKind::Dense;
-  DenseMatrix Dense;
-  CsrMatrix Sparse;
-  std::vector<float> Vec; // diagonal or node vector
-  const DenseMatrix *DenseRef = nullptr;
-  const CsrMatrix *SparseRef = nullptr;
-
-  const DenseMatrix &dense() const { return DenseRef ? *DenseRef : Dense; }
-  const CsrMatrix &sparse() const { return SparseRef ? *SparseRef : Sparse; }
-};
+using detail::RtValue;
 
 /// Gradient accumulators per value.
 struct RtGrad {
@@ -118,32 +184,81 @@ std::vector<bool> gradPath(const CompositionPlan &Plan) {
   return Need;
 }
 
-/// Forward interpreter shared by run() and runTraining().
+/// Forward interpreter shared by run() and runTraining(). With a workspace
+/// it executes against the arena slots and cached scratch (zero steady-
+/// state allocations); without one it owns per-call storage — both through
+/// the same destination-passing switch, so outputs are identical.
 class PlanInterpreter {
 public:
   PlanInterpreter(const Executor &Exec, const CompositionPlan &Plan,
-                  const LayerInputs &Inputs, const GraphStats &Stats)
-      : Exec(Exec), Plan(Plan), Inputs(Inputs), Stats(Stats),
-        Descs(Plan.primitiveDescs(Inputs.binding(&Plan))),
-        Values(Plan.Values.size()) {}
+                  const LayerInputs &Inputs, const GraphStats &Stats,
+                  PlanWorkspace *Ws)
+      : Exec(Exec), Plan(Plan), Inputs(Inputs), Stats(Stats), Ws(Ws) {
+    if (Ws) {
+      DescsPtr = &Ws->descs();
+      ValuesPtr = &Ws->scratch();
+    } else {
+      OwnedDescs = Plan.primitiveDescs(Inputs.binding(&Plan));
+      OwnedValues.resize(Plan.Values.size());
+      DescsPtr = &OwnedDescs;
+      ValuesPtr = &OwnedValues;
+    }
+  }
 
-  ExecResult forward();
+  void forward(ExecResult &Result);
   void backward(ExecResult &Result);
 
 private:
   void bindInput(size_t Id, const PlanValue &Def);
   void execStep(size_t StepIdx, ExecResult &Result);
 
-  RtValue &val(int Id) { return Values[static_cast<size_t>(Id)]; }
+  RtValue &val(int Id) { return (*ValuesPtr)[static_cast<size_t>(Id)]; }
 
-  double charge(size_t StepIdx, const std::function<void()> &Body) {
-    // Forward steps assign their result from scratch: safe to warm up.
-    return Exec.timeKernel(Descs[StepIdx], Stats, Body, /*Idempotent=*/true);
+  /// Destination accessors: the caller-visible result storage for value
+  /// \p Id, reshaped to the requested size. Arena path: the workspace slot
+  /// (operands of the current step are still live in the buffer plan, so a
+  /// destination slot never aliases an operand's). Legacy path: the
+  /// value's own storage.
+  DenseMatrix &dstDense(int Id, int64_t Rows, int64_t Cols) {
+    RtValue &Out = val(Id);
+    if (Ws) {
+      DenseMatrix &M = Ws->denseFor(Id, Rows, Cols);
+      Out.DensePtr = &M;
+      return M;
+    }
+    Out.Dense.resize(Rows, Cols);
+    return Out.Dense;
+  }
+  std::vector<float> &dstVec(int Id, size_t Size) {
+    RtValue &Out = val(Id);
+    if (Ws) {
+      std::vector<float> &V = Ws->vecFor(Id, Size);
+      Out.VecPtr = &V;
+      return V;
+    }
+    Out.Vec.resize(Size);
+    return Out.Vec;
+  }
+  CsrMatrix &dstSparse(int Id, const CsrMatrix &Pattern) {
+    RtValue &Out = val(Id);
+    if (Ws) {
+      CsrMatrix &S = Ws->sparseFor(Id, Pattern);
+      Out.SparsePtr = &S;
+      return S;
+    }
+    Out.Sparse.assignPattern(Pattern.rows(), Pattern.cols(),
+                             Pattern.rowOffsets(), Pattern.colIndices());
+    return Out.Sparse;
+  }
+
+  double charge(size_t StepIdx, FunctionRef<void()> Body) {
+    // Forward steps fully overwrite their destination: safe to warm up.
+    return Exec.timeKernel((*DescsPtr)[StepIdx], Stats, Body,
+                           /*Idempotent=*/true);
   }
 
   /// Charges an ad-hoc backward primitive.
-  double chargeDesc(const PrimitiveDesc &Desc,
-                    const std::function<void()> &Body) {
+  double chargeDesc(const PrimitiveDesc &Desc, FunctionRef<void()> Body) {
     return Exec.timeKernel(Desc, Stats, Body);
   }
 
@@ -151,12 +266,15 @@ private:
   const CompositionPlan &Plan;
   const LayerInputs &Inputs;
   const GraphStats &Stats;
-  std::vector<PrimitiveDesc> Descs;
-  std::vector<RtValue> Values;
+  PlanWorkspace *Ws;
+  std::vector<PrimitiveDesc> OwnedDescs;
+  std::vector<RtValue> OwnedValues;
+  const std::vector<PrimitiveDesc> *DescsPtr = nullptr;
+  std::vector<RtValue> *ValuesPtr = nullptr;
 };
 
 void PlanInterpreter::bindInput(size_t Id, const PlanValue &Def) {
-  RtValue &V = Values[Id];
+  RtValue &V = (*ValuesPtr)[Id];
   V.Kind = Def.Kind;
   switch (*Def.InputRole) {
   case LeafRole::Adjacency:
@@ -178,7 +296,7 @@ void PlanInterpreter::bindInput(size_t Id, const PlanValue &Def) {
     if (It == Inputs.AttnVecs.end())
       GRANII_FATAL("no attention vector bound for leaf '" + Def.DebugName +
                    "'");
-    V.Vec = *It->second;
+    V.VecRef = It->second;
     V.Kind = PlanValueKind::NodeVec;
     return;
   }
@@ -198,116 +316,149 @@ void PlanInterpreter::execStep(size_t StepIdx, ExecResult &Result) {
   switch (Step.Op) {
   case StepOp::Gemm:
     Seconds = charge(StepIdx, [&] {
-      Out.Dense = kernels::gemm(Op(0).dense(), Op(1).dense());
+      const DenseMatrix &A = Op(0).dense();
+      const DenseMatrix &B = Op(1).dense();
+      kernels::gemmInto(A, B, dstDense(Step.Result, A.rows(), B.cols()));
     });
     break;
   case StepOp::SpmmWeighted:
     Seconds = charge(StepIdx, [&] {
-      Out.Dense = kernels::spmm(Op(0).sparse(), Op(1).dense(),
-                                Semiring::plusTimes());
+      const CsrMatrix &A = Op(0).sparse();
+      const DenseMatrix &B = Op(1).dense();
+      kernels::spmmInto(A, B, Semiring::plusTimes(),
+                        dstDense(Step.Result, A.rows(), B.cols()));
     });
     break;
   case StepOp::SpmmUnweighted:
     Seconds = charge(StepIdx, [&] {
-      Out.Dense = kernels::spmm(Op(0).sparse(), Op(1).dense(),
-                                Semiring::plusCopy());
+      const CsrMatrix &A = Op(0).sparse();
+      const DenseMatrix &B = Op(1).dense();
+      kernels::spmmInto(A, B, Semiring::plusCopy(),
+                        dstDense(Step.Result, A.rows(), B.cols()));
     });
     break;
   case StepOp::SddmmScaleRow:
     Seconds = charge(StepIdx, [&] {
-      Out.Sparse = kernels::scaleSparseRows(Op(1).sparse(), Op(0).Vec);
+      const CsrMatrix &A = Op(1).sparse();
+      kernels::scaleSparseRowsInto(A, Op(0).vec(),
+                                   dstSparse(Step.Result, A).mutableValues());
     });
     break;
   case StepOp::SddmmScaleCol:
     Seconds = charge(StepIdx, [&] {
-      Out.Sparse = kernels::scaleSparseCols(Op(0).sparse(), Op(1).Vec);
+      const CsrMatrix &A = Op(0).sparse();
+      kernels::scaleSparseColsInto(A, Op(1).vec(),
+                                   dstSparse(Step.Result, A).mutableValues());
     });
     break;
   case StepOp::SddmmScaleBoth:
     Seconds = charge(StepIdx, [&] {
-      Out.Sparse =
-          kernels::scaleSparseBoth(Op(1).sparse(), Op(0).Vec, Op(2).Vec);
+      const CsrMatrix &A = Op(1).sparse();
+      kernels::scaleSparseBothInto(A, Op(0).vec(), Op(2).vec(),
+                                   dstSparse(Step.Result, A).mutableValues());
     });
     break;
   case StepOp::RowBcast:
     Seconds = charge(StepIdx, [&] {
-      Out.Dense = kernels::rowBroadcastMul(Op(0).Vec, Op(1).dense());
+      const DenseMatrix &H = Op(1).dense();
+      kernels::rowBroadcastMulInto(Op(0).vec(), H,
+                                   dstDense(Step.Result, H.rows(), H.cols()));
     });
     break;
   case StepOp::ColBcast:
     Seconds = charge(StepIdx, [&] {
-      Out.Dense = kernels::colBroadcastMul(Op(0).dense(), Op(1).Vec);
+      const DenseMatrix &H = Op(0).dense();
+      kernels::colBroadcastMulInto(H, Op(1).vec(),
+                                   dstDense(Step.Result, H.rows(), H.cols()));
     });
     break;
   case StepOp::DiagDiag:
     Seconds = charge(StepIdx, [&] {
-      const std::vector<float> &L = Op(0).Vec;
-      const std::vector<float> &R = Op(1).Vec;
-      Out.Vec.resize(L.size());
+      const std::vector<float> &L = Op(0).vec();
+      const std::vector<float> &R = Op(1).vec();
+      std::vector<float> &O = dstVec(Step.Result, L.size());
       for (size_t I = 0; I < L.size(); ++I)
-        Out.Vec[I] = L[I] * R[I];
+        O[I] = L[I] * R[I];
     });
     break;
   case StepOp::AddDense:
     Seconds = charge(StepIdx, [&] {
-      Out.Dense = kernels::addMatrices(Op(0).dense(), Op(1).dense());
+      const DenseMatrix &A = Op(0).dense();
+      kernels::addMatricesInto(A, Op(1).dense(),
+                               dstDense(Step.Result, A.rows(), A.cols()));
     });
     break;
   case StepOp::ScaleDense:
     Seconds = charge(StepIdx, [&] {
-      Out.Dense = kernels::scaleMatrix(Op(0).dense(),
-                                       static_cast<float>(Step.Param));
+      const DenseMatrix &A = Op(0).dense();
+      kernels::scaleMatrixInto(A, static_cast<float>(Step.Param),
+                               dstDense(Step.Result, A.rows(), A.cols()));
     });
     break;
   case StepOp::Relu:
-    Seconds = charge(StepIdx, [&] { Out.Dense = kernels::relu(Op(0).dense()); });
+    Seconds = charge(StepIdx, [&] {
+      const DenseMatrix &A = Op(0).dense();
+      kernels::reluInto(A, dstDense(Step.Result, A.rows(), A.cols()));
+    });
     break;
   case StepOp::DegreeOffsets:
     Seconds = charge(StepIdx, [&] {
-      Out.Vec = kernels::degreeFromOffsets(Op(0).sparse());
+      const CsrMatrix &A = Op(0).sparse();
+      kernels::degreeFromOffsetsInto(
+          A, dstVec(Step.Result, static_cast<size_t>(A.rows())));
     });
     break;
   case StepOp::DegreeBinning:
     Seconds = charge(StepIdx, [&] {
-      Out.Vec = kernels::degreeByBinning(Op(0).sparse());
+      const CsrMatrix &A = Op(0).sparse();
+      kernels::degreeByBinningInto(
+          A, dstVec(Step.Result, static_cast<size_t>(A.rows())));
     });
     break;
   case StepOp::InvSqrtVec:
-    Seconds = charge(StepIdx, [&] { Out.Vec = kernels::invSqrt(Op(0).Vec); });
+    Seconds = charge(StepIdx, [&] {
+      const std::vector<float> &D = Op(0).vec();
+      kernels::invSqrtInto(D, dstVec(Step.Result, D.size()));
+    });
     break;
   case StepOp::InvVec:
-    Seconds =
-        charge(StepIdx, [&] { Out.Vec = kernels::invDegree(Op(0).Vec); });
+    Seconds = charge(StepIdx, [&] {
+      const std::vector<float> &D = Op(0).vec();
+      kernels::invDegreeInto(D, dstVec(Step.Result, D.size()));
+    });
     break;
   case StepOp::AttnGemv:
     Seconds = charge(StepIdx, [&] {
-      Out.Vec = kernels::gemv(Op(0).dense(), Op(1).Vec);
+      const DenseMatrix &A = Op(0).dense();
+      kernels::gemvInto(A, Op(1).vec(),
+                        dstVec(Step.Result, static_cast<size_t>(A.rows())));
     });
     break;
   case StepOp::EdgeLogits:
     Seconds = charge(StepIdx, [&] {
       const CsrMatrix &Mask = Op(0).sparse();
-      std::vector<float> Vals =
-          kernels::sddmmAddScalars(Mask, Op(1).Vec, Op(2).Vec);
-      Out.Sparse = CsrMatrix(Mask.rows(), Mask.cols(), Mask.rowOffsets(),
-                             Mask.colIndices(), std::move(Vals));
+      kernels::sddmmAddScalarsInto(
+          Mask, Op(1).vec(), Op(2).vec(),
+          dstSparse(Step.Result, Mask).mutableValues());
     });
     break;
   case StepOp::EdgeLeakyRelu:
     Seconds = charge(StepIdx, [&] {
       const CsrMatrix &In = Op(0).sparse();
-      std::vector<float> Vals = kernels::leakyReluEdges(
-          In.values(), static_cast<float>(Step.Param));
-      Out.Sparse = CsrMatrix(In.rows(), In.cols(), In.rowOffsets(),
-                             In.colIndices(), std::move(Vals));
+      CsrMatrix &O = dstSparse(Step.Result, In);
+      if (In.isWeighted())
+        kernels::leakyReluEdgesInto(In.values(),
+                                    static_cast<float>(Step.Param),
+                                    O.mutableValues());
+      else
+        O.clearValues(); // unweighted in, unweighted out (all-ones edges)
     });
     break;
   case StepOp::EdgeSoftmax:
     Seconds = charge(StepIdx, [&] {
       const CsrMatrix &In = Op(0).sparse();
-      std::vector<float> Vals = kernels::edgeSoftmax(In, In.values());
-      Out.Sparse = CsrMatrix(In.rows(), In.cols(), In.rowOffsets(),
-                             In.colIndices(), std::move(Vals));
+      kernels::edgeSoftmaxInto(In, In.values(),
+                               dstSparse(Step.Result, In).mutableValues());
     });
     break;
   }
@@ -317,25 +468,62 @@ void PlanInterpreter::execStep(size_t StepIdx, ExecResult &Result) {
     Result.SetupSeconds += Seconds;
   else
     Result.ForwardSeconds += Seconds;
+
+  if (!Result.StepProfiles.empty()) {
+    StepProfile &P = Result.StepProfiles[StepIdx];
+    const PlanValue &Def = Plan.Values[static_cast<size_t>(Step.Result)];
+    P.Value = Def.DebugName.empty() ? "v" + std::to_string(Step.Result)
+                                    : Def.DebugName;
+    P.Op = stepOpName(Step.Op);
+    const RtValue &OutV = val(Step.Result);
+    switch (OutV.Kind) {
+    case PlanValueKind::Dense:
+      P.Shape = std::to_string(OutV.dense().rows()) + "x" +
+                std::to_string(OutV.dense().cols());
+      break;
+    case PlanValueKind::Sparse:
+      P.Shape = "nnz=" + std::to_string(OutV.sparse().nnz());
+      break;
+    case PlanValueKind::Diag:
+    case PlanValueKind::NodeVec:
+      P.Shape = std::to_string(OutV.vec().size());
+      break;
+    }
+    P.Setup = Step.Setup;
+    P.Seconds = Seconds;
+    P.Flops = (*DescsPtr)[StepIdx].flops();
+    P.Bytes = (*DescsPtr)[StepIdx].bytes();
+  }
 }
 
-ExecResult PlanInterpreter::forward() {
-  ExecResult Result;
+void PlanInterpreter::forward(ExecResult &Result) {
+  Result.SetupSeconds = 0.0;
+  Result.ForwardSeconds = 0.0;
+  Result.BackwardSeconds = 0.0;
   Result.StepSeconds.assign(Plan.Steps.size(), 0.0);
-  for (size_t V = 0; V < Plan.Values.size(); ++V)
+  if (Exec.stepProfiling())
+    Result.StepProfiles.resize(Plan.Steps.size());
+  else
+    Result.StepProfiles.clear();
+  Result.WeightGrads.clear();
+  Result.AttnGrads.clear();
+
+  for (size_t V = 0; V < Plan.Values.size(); ++V) {
+    (*ValuesPtr)[V].resetBindings();
     if (Plan.Values[V].InputRole)
       bindInput(V, Plan.Values[V]);
+  }
   for (size_t S = 0; S < Plan.Steps.size(); ++S)
     execStep(S, Result);
   const RtValue &Out = val(Plan.OutputValue);
   assert(Out.Kind == PlanValueKind::Dense && "layer output must be dense");
   Result.Output = Out.dense();
-  return Result;
 }
 
 void PlanInterpreter::backward(ExecResult &Result) {
   std::vector<bool> Need = gradPath(Plan);
   std::vector<RtGrad> Grads(Plan.Values.size());
+  std::vector<RtValue> &Values = *ValuesPtr;
   const DimBinding Binding = Inputs.binding(&Plan);
 
   auto EnsureDense = [&](int Id) -> DenseMatrix & {
@@ -350,7 +538,7 @@ void PlanInterpreter::backward(ExecResult &Result) {
   auto EnsureVec = [&](int Id) -> std::vector<float> & {
     RtGrad &G = Grads[static_cast<size_t>(Id)];
     if (!G.Present) {
-      G.Vec.assign(Values[static_cast<size_t>(Id)].Vec.size(), 0.0f);
+      G.Vec.assign(Values[static_cast<size_t>(Id)].vec().size(), 0.0f);
       G.Present = true;
     }
     return G.Vec;
@@ -450,7 +638,7 @@ void PlanInterpreter::backward(ExecResult &Result) {
       break;
     case StepOp::RowBcast: {
       if (NeedOp(1)) {
-        const std::vector<float> &Dv = OpVal(0).Vec;
+        const std::vector<float> &Dv = OpVal(0).vec();
         PrimitiveDesc D{PrimitiveKind::RowBroadcast, OutG.Dense.rows(),
                         OutG.Dense.cols(), 0, 0};
         Backward += chargeDesc(D, [&] {
@@ -462,7 +650,7 @@ void PlanInterpreter::backward(ExecResult &Result) {
     }
     case StepOp::ColBcast: {
       if (NeedOp(0)) {
-        const std::vector<float> &Dv = OpVal(1).Vec;
+        const std::vector<float> &Dv = OpVal(1).vec();
         PrimitiveDesc D{PrimitiveKind::ColBroadcast, OutG.Dense.rows(),
                         OutG.Dense.cols(), 0, 0};
         Backward += chargeDesc(D, [&] {
@@ -512,7 +700,7 @@ void PlanInterpreter::backward(ExecResult &Result) {
     }
     case StepOp::AttnGemv: {
       const DenseMatrix &Theta = OpVal(0).dense();
-      const std::vector<float> &AVec = OpVal(1).Vec;
+      const std::vector<float> &AVec = OpVal(1).vec();
       if (NeedOp(0)) {
         PrimitiveDesc D{PrimitiveKind::Gemm, Theta.rows(), Theta.cols(), 1, 0};
         Backward += chargeDesc(D, [&] {
@@ -640,15 +828,35 @@ void PlanInterpreter::backward(ExecResult &Result) {
 
 ExecResult Executor::run(const CompositionPlan &Plan, const LayerInputs &Inputs,
                          const GraphStats &Stats) const {
-  PlanInterpreter Interp(*this, Plan, Inputs, Stats);
-  return Interp.forward();
+  PlanInterpreter Interp(*this, Plan, Inputs, Stats, /*Ws=*/nullptr);
+  ExecResult Result;
+  Interp.forward(Result);
+  return Result;
 }
 
 ExecResult Executor::runTraining(const CompositionPlan &Plan,
                                  const LayerInputs &Inputs,
                                  const GraphStats &Stats) const {
-  PlanInterpreter Interp(*this, Plan, Inputs, Stats);
-  ExecResult Result = Interp.forward();
+  PlanInterpreter Interp(*this, Plan, Inputs, Stats, /*Ws=*/nullptr);
+  ExecResult Result;
+  Interp.forward(Result);
   Interp.backward(Result);
   return Result;
+}
+
+void Executor::run(const CompositionPlan &Plan, const LayerInputs &Inputs,
+                   const GraphStats &Stats, PlanWorkspace &Ws,
+                   ExecResult &Result) const {
+  Ws.configure(Plan, Inputs.binding(&Plan), /*Training=*/false);
+  PlanInterpreter Interp(*this, Plan, Inputs, Stats, &Ws);
+  Interp.forward(Result);
+}
+
+void Executor::runTraining(const CompositionPlan &Plan,
+                           const LayerInputs &Inputs, const GraphStats &Stats,
+                           PlanWorkspace &Ws, ExecResult &Result) const {
+  Ws.configure(Plan, Inputs.binding(&Plan), /*Training=*/true);
+  PlanInterpreter Interp(*this, Plan, Inputs, Stats, &Ws);
+  Interp.forward(Result);
+  Interp.backward(Result);
 }

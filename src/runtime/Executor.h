@@ -9,6 +9,15 @@
 /// the backward pass always runs the step-local VJPs, which is why training
 /// speedups trail inference speedups).
 ///
+/// Execution is destination-passing throughout: every step writes its
+/// result through the kernels' `...Into` forms. Callers choose between the
+/// legacy per-call storage (run()/runTraining() returning an ExecResult —
+/// each call allocates its intermediates) and the arena path, where a
+/// PlanWorkspace holds BufferPlan-assigned slots that persist across calls
+/// so steady-state inference performs zero heap allocations. Both paths run
+/// the same kernels in the same order, so their outputs are bitwise
+/// identical.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GRANII_RUNTIME_EXECUTOR_H
@@ -17,10 +26,13 @@
 #include "assoc/Composition.h"
 #include "graph/Graph.h"
 #include "hw/HardwareModel.h"
+#include "runtime/BufferPlan.h"
+#include "support/FunctionRef.h"
+#include "tensor/CsrMatrix.h"
 #include "tensor/DenseMatrix.h"
 
-#include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,6 +61,62 @@ struct LayerInputs {
   DimBinding binding() const { return binding(nullptr); }
 };
 
+namespace detail {
+
+/// Runtime storage for one plan value. Inputs alias caller tensors
+/// (DenseRef/SparseRef/VecRef); produced values either own their payload
+/// (legacy path: Dense/Sparse/Vec members) or point into a PlanWorkspace
+/// slot (arena path: DensePtr/SparsePtr/VecPtr).
+struct RtValue {
+  PlanValueKind Kind = PlanValueKind::Dense;
+  DenseMatrix Dense;
+  CsrMatrix Sparse;
+  std::vector<float> Vec; // diagonal or node vector
+  DenseMatrix *DensePtr = nullptr;
+  CsrMatrix *SparsePtr = nullptr;
+  std::vector<float> *VecPtr = nullptr;
+  const DenseMatrix *DenseRef = nullptr;
+  const CsrMatrix *SparseRef = nullptr;
+  const std::vector<float> *VecRef = nullptr;
+
+  const DenseMatrix &dense() const {
+    return DensePtr ? *DensePtr : DenseRef ? *DenseRef : Dense;
+  }
+  const CsrMatrix &sparse() const {
+    return SparsePtr ? *SparsePtr : SparseRef ? *SparseRef : Sparse;
+  }
+  const std::vector<float> &vec() const {
+    return VecPtr ? *VecPtr : VecRef ? *VecRef : Vec;
+  }
+
+  /// Drops aliases and slot pointers; owned storage is kept (its capacity
+  /// is what makes repeated legacy runs cheap and workspace scratch inert).
+  void resetBindings() {
+    DensePtr = nullptr;
+    SparsePtr = nullptr;
+    VecPtr = nullptr;
+    DenseRef = nullptr;
+    SparseRef = nullptr;
+    VecRef = nullptr;
+  }
+};
+
+} // namespace detail
+
+/// Profiling record for one executed step, filled when the executor's step
+/// profiling is enabled. Throughputs derive as Bytes/Seconds and
+/// Flops/Seconds; Seconds is measured wall-clock on measured platforms and
+/// the analytic estimate on simulated ones.
+struct StepProfile {
+  std::string Value; ///< result debug name (or "v<id>")
+  std::string Op;    ///< stepOpName of the executed op
+  std::string Shape; ///< result shape, e.g. "2048x64", "2048", "nnz=9854"
+  bool Setup = false;
+  double Seconds = 0.0;
+  double Flops = 0.0; ///< modelled FLOPs of the step's primitive
+  double Bytes = 0.0; ///< modelled bytes moved by the step's primitive
+};
+
 /// Outcome of executing a plan once.
 struct ExecResult {
   DenseMatrix Output;
@@ -61,6 +129,9 @@ struct ExecResult {
   /// Per-forward-step seconds, parallel to the plan's Steps (setup steps
   /// included); used by the runtime-breakdown experiment (Fig. 2).
   std::vector<double> StepSeconds;
+  /// Per-step profiles, parallel to Steps; empty unless the executor's
+  /// step profiling is enabled (see Executor::setStepProfiling).
+  std::vector<StepProfile> StepProfiles;
 
   /// Gradients produced by runTraining (empty after run()): one entry per
   /// weight leaf, keyed by its name ("W", "W0", ...), plus the feature
@@ -76,6 +147,65 @@ struct ExecResult {
   }
 };
 
+/// Persistent execution state for one (plan, binding) pair: the BufferPlan,
+/// its arena storage, the cached primitive descriptors, and interpreter
+/// scratch. configure() is idempotent — re-configuring with the same plan,
+/// binding, and mode keeps all storage — so callers simply configure before
+/// every run and pay nothing in the steady state. The allocation counter
+/// increments whenever any workspace-managed buffer has to grow, which is
+/// how tests and the CLI assert the zero-allocation property.
+class PlanWorkspace {
+public:
+  PlanWorkspace() = default;
+  PlanWorkspace(const PlanWorkspace &) = delete;
+  PlanWorkspace &operator=(const PlanWorkspace &) = delete;
+  PlanWorkspace(PlanWorkspace &&) = default;
+  PlanWorkspace &operator=(PlanWorkspace &&) = default;
+
+  /// Prepares storage for \p Plan under \p Binding. A matching prior
+  /// configuration is kept as-is; otherwise the BufferPlan is recomputed
+  /// and every slot is presized to its planned capacity (growth events are
+  /// not counted — they are the warm-up cost).
+  void configure(const CompositionPlan &Plan, const DimBinding &Binding,
+                 bool Training);
+
+  /// The buffer plan of the last configure() (null before any).
+  const BufferPlan *bufferPlan() const {
+    return Buffers ? &*Buffers : nullptr;
+  }
+
+  /// Workspace-managed buffer growth events since the last reset. Zero
+  /// across a run means that run performed no heap allocations for plan
+  /// values.
+  size_t allocationCount() const { return Allocations; }
+  void resetAllocationCount() { Allocations = 0; }
+
+  /// \name Executor internals
+  /// Slot accessors used by the interpreter; they reshape the backing
+  /// store to the requested size and count any capacity growth.
+  /// @{
+  DenseMatrix &denseFor(int Id, int64_t Rows, int64_t Cols);
+  std::vector<float> &vecFor(int Id, size_t Size);
+  /// Persistent sparse value: adopts \p PatternSource's pattern (copied
+  /// into place, reusing capacity) and exposes a value array of nnz floats.
+  CsrMatrix &sparseFor(int Id, const CsrMatrix &PatternSource);
+  const std::vector<PrimitiveDesc> &descs() const { return Descs; }
+  std::vector<detail::RtValue> &scratch() { return Scratch; }
+  /// @}
+
+private:
+  const CompositionPlan *Plan = nullptr;
+  DimBinding Binding{};
+  bool Training = false;
+  std::optional<BufferPlan> Buffers;
+  std::vector<DenseMatrix> DenseSlots;
+  std::vector<std::vector<float>> VecSlots;
+  std::vector<CsrMatrix> SparseValues; ///< indexed by value id
+  std::vector<PrimitiveDesc> Descs;
+  std::vector<detail::RtValue> Scratch;
+  size_t Allocations = 0;
+};
+
 /// Executes plans on one target platform.
 class Executor {
 public:
@@ -87,28 +217,50 @@ public:
 
   const HardwareModel &hardware() const { return Hw; }
 
-  /// Runs the forward pass of \p Plan once.
+  /// Enables per-step profiling: subsequent runs fill
+  /// ExecResult::StepProfiles. Off by default; the profile records allocate
+  /// label strings, so leave it off when asserting zero allocations.
+  void setStepProfiling(bool Enabled) { StepProfiling = Enabled; }
+  bool stepProfiling() const { return StepProfiling; }
+
+  /// Runs the forward pass of \p Plan once with per-call storage.
   ExecResult run(const CompositionPlan &Plan, const LayerInputs &Inputs,
                  const GraphStats &Stats) const;
 
-  /// Runs forward + backward once. Gradients are computed with respect to
-  /// every weight input (and features), seeded with dL/dOut = 1.
+  /// Runs forward + backward once with per-call storage. Gradients are
+  /// computed with respect to every weight input (and features), seeded
+  /// with dL/dOut = 1.
   ExecResult runTraining(const CompositionPlan &Plan,
                          const LayerInputs &Inputs,
                          const GraphStats &Stats) const;
+
+  /// Arena-path forward: executes against \p Ws (configured on entry) and
+  /// writes into \p Result, both reused across calls. After one warm-up
+  /// call, repeated calls perform zero heap allocations for plan values.
+  void run(const CompositionPlan &Plan, const LayerInputs &Inputs,
+           const GraphStats &Stats, PlanWorkspace &Ws,
+           ExecResult &Result) const;
+
+  /// Arena-path forward + backward. The forward activations live in \p Ws
+  /// (fully pinned in training mode); gradient accumulators and exported
+  /// gradients still allocate per call.
+  void runTraining(const CompositionPlan &Plan, const LayerInputs &Inputs,
+                   const GraphStats &Stats, PlanWorkspace &Ws,
+                   ExecResult &Result) const;
 
   /// Measures/estimates one primitive invocation: executes \p Body and
   /// returns the seconds to charge for it on this platform. On measured
   /// platforms, an \p Idempotent body is executed once as a warm-up and
   /// timed on the second run: plan timings stand for one iteration of an
   /// amortized loop (paper: 100 iterations), which runs warm. Bodies that
-  /// accumulate (the backward pass) must pass Idempotent = false.
+  /// accumulate (the backward pass) must pass Idempotent = false. The body
+  /// reference is non-owning and invoked synchronously, never stored.
   double timeKernel(const PrimitiveDesc &Desc, const GraphStats &Stats,
-                    const std::function<void()> &Body,
-                    bool Idempotent = false) const;
+                    FunctionRef<void()> Body, bool Idempotent = false) const;
 
 private:
   HardwareModel Hw;
+  bool StepProfiling = false;
 };
 
 } // namespace granii

@@ -1,0 +1,48 @@
+//===- FunctionRef.h - Non-owning callable reference ------------*- C++ -*-===//
+///
+/// \file
+/// A minimal non-owning reference to a callable, used where std::function
+/// is too heavy: std::function copies its target and heap-allocates when
+/// the captures exceed its small-buffer size, which would reintroduce
+/// per-step allocations into the executor's zero-allocation steady state.
+/// A FunctionRef is two words, never allocates, and must not outlive the
+/// callable it refers to (callers pass temporary lambdas down a call that
+/// invokes them synchronously).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_SUPPORT_FUNCTIONREF_H
+#define GRANII_SUPPORT_FUNCTIONREF_H
+
+#include <type_traits>
+#include <utility>
+
+namespace granii {
+
+template <typename Fn> class FunctionRef;
+
+/// Non-owning view of a callable with signature Ret(Params...).
+template <typename Ret, typename... Params> class FunctionRef<Ret(Params...)> {
+public:
+  template <typename Callable,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<Callable>, FunctionRef>>>
+  FunctionRef(Callable &&C)
+      : Obj(const_cast<void *>(static_cast<const void *>(&C))),
+        Call([](void *O, Params... Ps) -> Ret {
+          return (*static_cast<std::remove_reference_t<Callable> *>(O))(
+              std::forward<Params>(Ps)...);
+        }) {}
+
+  Ret operator()(Params... Ps) const {
+    return Call(Obj, std::forward<Params>(Ps)...);
+  }
+
+private:
+  void *Obj;
+  Ret (*Call)(void *, Params...);
+};
+
+} // namespace granii
+
+#endif // GRANII_SUPPORT_FUNCTIONREF_H

@@ -27,6 +27,18 @@ void CsrMatrix::setValues(std::vector<float> Vals) {
   Values = std::move(Vals);
 }
 
+void CsrMatrix::assignPattern(int64_t Rows, int64_t Columns,
+                              const std::vector<int64_t> &Offsets,
+                              const std::vector<int32_t> &Cols) {
+  assert(Offsets.size() == static_cast<size_t>(Rows) + 1 &&
+         "row offset array must have rows()+1 entries");
+  NumRows = Rows;
+  NumCols = Columns;
+  RowOffsets = Offsets;
+  ColIndices = Cols;
+  Values.resize(ColIndices.size());
+}
+
 DenseMatrix CsrMatrix::toDense() const {
   DenseMatrix Result(NumRows, NumCols);
   for (int64_t R = 0; R < NumRows; ++R)

@@ -55,6 +55,16 @@ public:
   /// Attaches \p Vals as explicit weights; size must equal nnz().
   void setValues(std::vector<float> Vals);
 
+  /// Rebuilds this matrix in place as a weighted matrix with the given
+  /// pattern, reusing existing storage capacity (copy-assignment of the
+  /// pattern arrays and a resize of the value array allocate nothing once
+  /// capacity suffices — the workspace's persistent sparse intermediates
+  /// rely on this). Value contents are unspecified afterwards; callers
+  /// overwrite them through mutableValues().
+  void assignPattern(int64_t Rows, int64_t Columns,
+                     const std::vector<int64_t> &Offsets,
+                     const std::vector<int32_t> &Cols);
+
   /// Drops explicit weights, making the matrix unweighted.
   void clearValues() { Values.clear(); }
 

@@ -60,6 +60,25 @@ public:
   float *data() { return Data.data(); }
   const float *data() const { return Data.data(); }
 
+  /// Reshapes to Rows x Cols reusing the existing storage. No reallocation
+  /// happens when capacityFloats() already covers the new size, which is
+  /// how the runtime's buffer arena reuses one backing store for several
+  /// differently-shaped values. Element contents are unspecified afterwards;
+  /// destination-passing kernels overwrite every element.
+  void resize(int64_t Rows, int64_t Cols) {
+    assert(Rows >= 0 && Cols >= 0 && "negative matrix dimension");
+    NumRows = Rows;
+    NumCols = Cols;
+    Data.resize(static_cast<size_t>(Rows * Cols));
+  }
+
+  /// Preallocates backing storage for \p Count floats without changing the
+  /// logical shape.
+  void reserveFloats(size_t Count) { Data.reserve(Count); }
+
+  /// Allocated capacity in floats (>= size()).
+  size_t capacityFloats() const { return Data.capacity(); }
+
   /// Sets every element to \p Value.
   void fill(float Value);
 

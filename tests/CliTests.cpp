@@ -98,6 +98,24 @@ TEST(Cli, RunOnSyntheticGraph) {
   EXPECT_NE(Out.find("output: 4096 x 32"), std::string::npos);
 }
 
+TEST(Cli, RunProfileReportsStepsAndZeroAllocations) {
+  std::string Path = writeModelFile("cli_gcn_prof.gnn", GcnSource);
+  std::string Out, Err;
+  ASSERT_EQ(runCli({"run", Path, "--graph", "synth:coauthors", "--kin", "16",
+                    "--kout", "8", "--profile"},
+                   Out, Err),
+            0)
+      << Err;
+  EXPECT_NE(Out.find("per-step profile (steady state):"), std::string::npos);
+  // Table columns and at least one kernel row.
+  EXPECT_NE(Out.find("GFLOP/s"), std::string::npos);
+  EXPECT_NE(Out.find("gemm"), std::string::npos);
+  // Planned memory line and the zero-allocation assertion.
+  EXPECT_NE(Out.find("planned memory: peak"), std::string::npos);
+  EXPECT_NE(Out.find("steady-state allocations: 0"), std::string::npos);
+  EXPECT_EQ(Err.find("steady-state run performed"), std::string::npos);
+}
+
 TEST(Cli, RunTrainingMode) {
   std::string Path = writeModelFile("cli_gcn5.gnn", GcnSource);
   std::string Out, Err;

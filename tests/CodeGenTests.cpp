@@ -113,6 +113,76 @@ TEST(CodeGen, SingleCandidateScenarioSkipsCostModels) {
 }
 
 //===----------------------------------------------------------------------===//
+// Destination-passing (buffer-annotated) code generation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+DimBinding referenceBinding() {
+  DimBinding B;
+  B.N = 4096;
+  B.E = 65536;
+  B.KIn = 64;
+  B.KOut = 64;
+  return B;
+}
+
+} // namespace
+
+TEST(CodeGenBuffers, EmitsWorkspaceStructAndIntoCalls) {
+  auto Plans = gcnPromoted();
+  BufferPlan Buffers(Plans[0], referenceBinding(), /*Training=*/false);
+  std::string Code = generatePlanCode(Plans[0], "gcn_c0", &Buffers);
+
+  // A workspace struct with planned byte totals replaces per-call locals.
+  EXPECT_NE(Code.find("struct gcn_c0_Workspace {"), std::string::npos);
+  EXPECT_NE(Code.find("peak " + std::to_string(Buffers.peakBytes()) + " B"),
+            std::string::npos);
+  // Calls are the Into forms writing into workspace members, and the
+  // function hands back a workspace reference, not a fresh value.
+  EXPECT_NE(Code.find("Into("), std::string::npos);
+  EXPECT_NE(Code.find(", W.s"), std::string::npos);
+  EXPECT_NE(Code.find("DenseMatrix &gcn_c0(const Inputs &In, "
+                      "gcn_c0_Workspace &W)"),
+            std::string::npos);
+  EXPECT_EQ(Code.find("DenseMatrix v"), std::string::npos); // no locals
+}
+
+TEST(CodeGenBuffers, ReuseCommentNamesTheDeadValue) {
+  auto Plans = gcnPromoted();
+  // Find a promoted plan whose buffer plan actually shares a slot.
+  bool SawReuse = false;
+  for (const CompositionPlan &Plan : Plans) {
+    BufferPlan Buffers(Plan, referenceBinding(), /*Training=*/false);
+    std::string Code = generatePlanCode(Plan, "f", &Buffers);
+    if (Code.find("reuses v") != std::string::npos) {
+      SawReuse = true;
+      EXPECT_NE(Code.find("'s storage (dead after step"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(SawReuse);
+}
+
+TEST(CodeGenBuffers, DispatchThreadsWorkspacesThrough) {
+  DimBinding B = referenceBinding();
+  std::string Code = generateDispatchCode("gcn", gcnPromoted(), &B);
+  EXPECT_NE(Code.find("reference binding"), std::string::npos);
+  EXPECT_NE(Code.find("static gcn_candidate0_Workspace W0;"),
+            std::string::npos);
+  EXPECT_NE(Code.find("(In, W0)"), std::string::npos);
+  // Candidate bodies precede the dispatcher so the static workspace
+  // declarations see complete types.
+  EXPECT_LT(Code.find("struct gcn_candidate0_Workspace"),
+            Code.find("gcn_forward(const Inputs &In)"));
+}
+
+TEST(CodeGenBuffers, UnannotatedOutputUnchangedByOverload) {
+  auto Plans = gcnPromoted();
+  EXPECT_EQ(generatePlanCode(Plans[0], "f"),
+            generatePlanCode(Plans[0], "f", nullptr));
+}
+
+//===----------------------------------------------------------------------===//
 // DOT export
 //===----------------------------------------------------------------------===//
 

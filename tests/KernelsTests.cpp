@@ -449,6 +449,22 @@ TEST(KernelChecks, SpmmDimMismatchDies) {
   EXPECT_DEATH(kernels::spmm(A, B), "spmm dimension mismatch");
 }
 
+TEST(KernelChecks, GemmIntoWrongDstShapeDies) {
+  DenseMatrix A = randomDense(4, 5, 74);
+  DenseMatrix B = randomDense(5, 3, 75);
+  DenseMatrix Dst(4, 2); // should be 4 x 3
+  EXPECT_DEATH(kernels::gemmInto(A, B, Dst),
+               "gemm destination shape mismatch");
+}
+
+TEST(KernelChecks, SpmmIntoWrongDstShapeDies) {
+  CsrMatrix A = randomSparse(8, 8, 20, 76, true);
+  DenseMatrix B = randomDense(8, 4, 77);
+  DenseMatrix Dst(7, 4); // should be 8 x 4
+  EXPECT_DEATH(kernels::spmmInto(A, B, Semiring::plusTimes(), Dst),
+               "spmm destination shape mismatch");
+}
+
 //===----------------------------------------------------------------------===//
 // Determinism across thread counts
 //===----------------------------------------------------------------------===//

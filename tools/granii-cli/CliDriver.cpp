@@ -153,11 +153,71 @@ int cmdCompile(const ArgParser &Args, std::string &Out, std::string &Err) {
   return 0;
 }
 
+/// The --profile path: executes the selected plan against a dedicated
+/// workspace with per-step profiling — a warm-up run plans and allocates
+/// the arena, then a steady-state run is profiled and its allocation count
+/// checked. Nonzero steady-state allocations are a planning bug, reported
+/// via the exit code so CI can assert the zero-allocation property.
+int profileRun(const CompositionPlan &Plan, const LayerParams &Params,
+               const OptimizerOptions &Options, bool Training,
+               std::string &Out, std::string &Err) {
+  Executor Exec(Options.Hw);
+  Exec.setStepProfiling(true);
+  PlanWorkspace Ws;
+  ExecResult R;
+  LayerInputs Inputs = Params.inputs();
+
+  auto RunOnce = [&] {
+    if (Training)
+      Exec.runTraining(Plan, Inputs, Params.Stats, Ws, R);
+    else
+      Exec.run(Plan, Inputs, Params.Stats, Ws, R);
+  };
+  RunOnce(); // warm-up: plans the arena, allocates every slot
+  Ws.resetAllocationCount();
+  RunOnce(); // steady state: profiled, must not allocate
+  size_t SteadyAllocs = Ws.allocationCount();
+
+  std::vector<std::string> Header = {"step", "value", "op",     "shape",
+                                     "ms",   "MB",    "GFLOP/s", "GB/s"};
+  std::vector<std::vector<std::string>> Rows;
+  for (size_t I = 0; I < R.StepProfiles.size(); ++I) {
+    const StepProfile &P = R.StepProfiles[I];
+    double GFlops = P.Seconds > 0.0 ? P.Flops / P.Seconds / 1e9 : 0.0;
+    double GBps = P.Seconds > 0.0 ? P.Bytes / P.Seconds / 1e9 : 0.0;
+    Rows.push_back({std::to_string(I) + (P.Setup ? " (setup)" : ""),
+                    P.Value, P.Op, P.Shape,
+                    formatDouble(P.Seconds * 1e3, 4),
+                    formatDouble(P.Bytes / 1e6, 3),
+                    formatDouble(GFlops, 2), formatDouble(GBps, 2)});
+  }
+  Out += "\nper-step profile (steady state):\n" + renderTable(Header, Rows);
+
+  const BufferPlan *Buffers = Ws.bufferPlan();
+  if (Buffers) {
+    Out += "planned memory: peak " +
+           formatDouble(Buffers->peakBytes() / 1e6, 3) + " MB live, arena " +
+           formatDouble(Buffers->arenaBytes() / 1e6, 3) +
+           " MB allocated, fresh-allocation baseline " +
+           formatDouble(Buffers->naiveBytes() / 1e6, 3) + " MB (" +
+           std::to_string(Buffers->slots().size()) + " slots for " +
+           std::to_string(Plan.Steps.size()) + " steps)\n";
+  }
+  Out += "steady-state allocations: " + std::to_string(SteadyAllocs) + "\n";
+  if (SteadyAllocs > 0) {
+    Err += "error: steady-state run performed " +
+           std::to_string(SteadyAllocs) +
+           " workspace allocations (expected 0)\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
   if (Args.Positional.size() < 2 || !Args.hasFlag("graph")) {
     Err += "usage: granii-cli run <model.gnn> --graph <mtx|synth:name> "
            "--kin N --kout N [--hw cpu|a100|h100] [--iters N] [--train] "
-           "[--threads N]\n";
+           "[--threads N] [--profile]\n";
     return 2;
   }
   std::optional<ParsedModel> Parsed = loadModel(Args.Positional[1], Err);
@@ -210,6 +270,10 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
          " ms\n";
   Out += "output: " + std::to_string(R.Output.rows()) + " x " +
          std::to_string(R.Output.cols()) + "\n";
+
+  if (Args.hasFlag("profile"))
+    return profileRun(Granii.promoted()[Sel.PlanIndex], Params, Options,
+                      Training, Out, Err);
   return 0;
 }
 
