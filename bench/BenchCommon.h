@@ -81,10 +81,21 @@ struct CellResult {
 };
 
 /// Runs one cell end to end (executes both plans once; 100-iteration totals
-/// follow the setup/per-iteration accounting).
+/// follow the setup/per-iteration accounting). A non-None \p Reorder runs
+/// the GRANII side through the workspace path on a relabeled graph:
+/// permutation construction lands in setup (amortized over the horizon),
+/// the per-iteration feature gather / output scatter in forward time, so
+/// the reported speedup already pays reordering's full cost.
 CellResult runCell(BenchContext &Ctx, BaselineSystem Sys, ModelKind Kind,
                    const std::string &Hw, const Graph &G, int64_t KIn,
-                   int64_t KOut, bool Training);
+                   int64_t KOut, bool Training,
+                   ReorderPolicy Reorder = ReorderPolicy::None);
+
+/// Consumes a "--reorder=<policy>" / "--reorder <policy>" argument from
+/// \p argv (compacting it like micro_kernels' --threads handling) and
+/// returns the parsed policy; None when absent. Exits with a diagnostic on
+/// an unknown policy name.
+ReorderPolicy consumeReorderFlag(int &argc, char **argv);
 
 /// Geomean over cell speedups.
 double geomeanSpeedup(const std::vector<CellResult> &Cells);

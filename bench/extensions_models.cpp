@@ -16,8 +16,9 @@
 using namespace granii;
 using namespace granii::bench;
 
-int main() {
+int main(int argc, char **argv) {
   BenchContext &Ctx = BenchContext::get();
+  ReorderPolicy Reorder = consumeReorderFlag(argc, argv);
   std::vector<std::string> Header = {"Model", "System", "HW",
                                      "Inference", "Training"};
   std::vector<std::vector<std::string>> Table;
@@ -33,9 +34,9 @@ int main() {
         for (const Graph &G : Ctx.evalGraphs()) {
           for (auto [KIn, KOut] : Combos) {
             Infer.push_back(runCell(Ctx, Sys, Kind, Hw, G, KIn, KOut,
-                                    /*Training=*/false));
+                                    /*Training=*/false, Reorder));
             Train.push_back(runCell(Ctx, Sys, Kind, Hw, G, KIn, KOut,
-                                    /*Training=*/true));
+                                    /*Training=*/true, Reorder));
           }
         }
         Table.push_back({modelName(Kind), systemName(Sys), Hw,

@@ -16,8 +16,9 @@
 using namespace granii;
 using namespace granii::bench;
 
-int main() {
+int main(int argc, char **argv) {
   BenchContext &Ctx = BenchContext::get();
+  ReorderPolicy Reorder = consumeReorderFlag(argc, argv);
   const std::vector<std::string> &Codes = Ctx.evalCodes();
 
   for (auto [Sys, Hw] :
@@ -38,8 +39,8 @@ int main() {
         std::vector<std::string> Line = {"(" + std::to_string(KIn) + "," +
                                          std::to_string(KOut) + ")"};
         for (const Graph &G : Ctx.evalGraphs()) {
-          CellResult Cell =
-              runCell(Ctx, Sys, Kind, Hw, G, KIn, KOut, /*Training=*/false);
+          CellResult Cell = runCell(Ctx, Sys, Kind, Hw, G, KIn, KOut,
+                                    /*Training=*/false, Reorder);
           Line.push_back(formatDouble(Cell.Speedup, 2));
         }
         Table.push_back(std::move(Line));

@@ -10,6 +10,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "graph/Generators.h"
+#include "graph/Reorder.h"
+#include "hw/HardwareModel.h"
 #include "kernels/Kernels.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
@@ -19,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 
 using namespace granii;
 
@@ -130,6 +133,66 @@ static void BM_DegreeBinning(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_DegreeBinning);
+
+namespace {
+
+/// Skewed R-MAT big enough that the SpMM's dense operand (n x k floats)
+/// dwarfs the L2 budget: the regime vertex reordering and column tiling
+/// exist for. benchGraph() is too small to show layout effects.
+const Graph &ablationGraph() {
+  static Graph G = makeRmat(20000, 300000, 0.57, 0.19, 0.19, 99);
+  return G;
+}
+
+const Graph &ablationGraphFor(int64_t PolicyIndex) {
+  static std::map<int64_t, Graph> Cache;
+  auto It = Cache.find(PolicyIndex);
+  if (It == Cache.end())
+    It = Cache
+             .emplace(PolicyIndex,
+                      reorderGraph(ablationGraph(),
+                                   allReorderPolicies()[static_cast<size_t>(
+                                       PolicyIndex)]))
+             .first;
+  return It->second;
+}
+
+} // namespace
+
+// Reordering ablation: unweighted SpMM under {none, rcm, degree} vertex
+// orderings x {untiled, L2-sized column tiles}. Run with
+//   --benchmark_filter=ReorderAblation
+// and read items_per_second: the none/untiled row is the baseline the
+// reordered rows are compared against (docs/REORDERING.md records measured
+// numbers).
+static void BM_SpmmReorderAblation(benchmark::State &State) {
+  const Graph &G = ablationGraphFor(State.range(0));
+  bool Tiled = State.range(1) != 0;
+  int64_t K = State.range(2);
+  DenseMatrix H = randomDense(G.numNodes(), K, 9);
+  DenseMatrix Out(G.numNodes(), K);
+  int64_t Tile = Tiled ? HardwareModel::byName("cpu").spmmColumnTile(
+                             K, G.stats().AvgRowSpan)
+                       : 0;
+  for (auto _ : State) {
+    kernels::spmmTiledInto(G.adjacency(), H, Semiring::plusCopy(), Tile, Out);
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.SetLabel(
+      reorderPolicyName(allReorderPolicies()[static_cast<size_t>(
+          State.range(0))]) +
+      (Tiled ? "+tiled(" + std::to_string(Tile) + ")" : "/untiled") +
+      " span=" + std::to_string(static_cast<int64_t>(G.stats().AvgRowSpan)));
+  State.SetItemsProcessed(State.iterations() * G.numEdges() * K);
+}
+BENCHMARK(BM_SpmmReorderAblation)
+    ->ArgNames({"policy", "tiled", "k"})
+    ->Args({0, 0, 128})
+    ->Args({0, 1, 128})
+    ->Args({1, 0, 128})
+    ->Args({1, 1, 128})
+    ->Args({2, 0, 128})
+    ->Args({2, 1, 128});
 
 static void BM_EdgeSoftmax(benchmark::State &State) {
   const Graph &G = benchGraph();

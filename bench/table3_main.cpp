@@ -16,13 +16,16 @@
 using namespace granii;
 using namespace granii::bench;
 
-int main() {
+int main(int argc, char **argv) {
   BenchContext &Ctx = BenchContext::get();
+  ReorderPolicy Reorder = consumeReorderFlag(argc, argv);
   std::printf("Table III: geomean speedups of GRANII across graphs and "
               "configurations for %d iterations\n",
               Ctx.iterations());
   std::printf("(Mode I = inference, T = training; paper-order rows; CPU is "
-              "measured, A100/H100 are simulated)\n\n");
+              "measured, A100/H100 are simulated; GRANII vertex reordering: "
+              "%s)\n\n",
+              reorderPolicyName(Reorder).c_str());
 
   struct RowSpec {
     BaselineSystem Sys;
@@ -58,8 +61,8 @@ int main() {
       for (ModelKind Kind : allModels()) {
         for (const Graph &G : Ctx.evalGraphs()) {
           for (auto [KIn, KOut] : embeddingCombos(Kind)) {
-            CellResult Cell =
-                runCell(Ctx, Row.Sys, Kind, Row.Hw, G, KIn, KOut, Training);
+            CellResult Cell = runCell(Ctx, Row.Sys, Kind, Row.Hw, G, KIn,
+                                      KOut, Training, Reorder);
             PerModel[Kind].push_back(Cell);
             RowCells.push_back(Cell);
             PerModeAll[Mode].push_back(Cell);

@@ -25,7 +25,8 @@ namespace {
 /// iteration (setup amortized over the iteration horizon).
 double twoLayerMillis(BenchContext &Ctx, ModelKind Kind, const Graph &G,
                       int64_t FeatureDim, int64_t HiddenDim, int64_t Classes,
-                      bool UseGranii, BaselineSystem Sys) {
+                      bool UseGranii, BaselineSystem Sys,
+                      ReorderPolicy Reorder) {
   GnnModel Model = makeModel(Kind);
   Executor Exec(Ctx.platform("h100"));
   const int Iters = Ctx.iterations();
@@ -34,19 +35,25 @@ double twoLayerMillis(BenchContext &Ctx, ModelKind Kind, const Graph &G,
   for (auto [KIn, KOut] : Dims) {
     LayerParams Params = makeLayerParams(Model, G, KIn, KOut, 5);
     CompositionPlan Plan = baselinePlan(Sys, Model, KIn, KOut);
+    // The baseline frameworks execute the graph as given; reordering is
+    // part of the GRANII pipeline and charged to its side only.
+    ReorderPolicy Policy = ReorderPolicy::None;
     if (UseGranii) {
       Optimizer &Opt = Ctx.optimizer(Kind, "h100");
       Selection Sel = Opt.select(G, KIn, KOut);
       Plan = Opt.promoted()[Sel.PlanIndex];
       Total += Sel.FeaturizeSeconds + Sel.SelectSeconds;
+      Policy = Reorder;
     }
     // Execute through a per-layer workspace: the warm-up run plans and
-    // allocates the buffer arena, the charged run is the allocation-free
-    // steady state a deployed iteration loop actually pays for.
+    // allocates the buffer arena (and builds the vertex permutation), the
+    // charged run is the allocation-free steady state a deployed iteration
+    // loop actually pays for — its SetupSeconds still carry the one-time
+    // reordering cost for honest amortized accounting.
     PlanWorkspace Ws;
     ExecResult R;
-    Exec.run(Plan, Params.inputs(), Params.Stats, Ws, R);
-    Exec.run(Plan, Params.inputs(), Params.Stats, Ws, R);
+    Exec.run(Plan, Params.inputs(), Params.Stats, Ws, R, Policy);
+    Exec.run(Plan, Params.inputs(), Params.Stats, Ws, R, Policy);
     Total += R.totalSeconds(Iters, false);
   }
   return Total / Iters * 1e3;
@@ -54,10 +61,13 @@ double twoLayerMillis(BenchContext &Ctx, ModelKind Kind, const Graph &G,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   BenchContext &Ctx = BenchContext::get();
+  ReorderPolicy Reorder = consumeReorderFlag(argc, argv);
   std::printf("Table IV: end-to-end per-iteration forward time (ms) on H100 "
-              "(two layers: features -> hidden -> classes)\n\n");
+              "(two layers: features -> hidden -> classes)\n");
+  std::printf("GRANII vertex reordering: %s\n\n",
+              reorderPolicyName(Reorder).c_str());
 
   std::vector<std::string> Header = {"Graph",   "GNN",   "Hidden",
                                      "Wise",    "Wise+GRANII", "speedup",
@@ -82,9 +92,9 @@ int main() {
                                          std::to_string(Hidden)};
         for (BaselineSystem Sys : allSystems()) {
           double Base = twoLayerMillis(Ctx, Kind, G, FeatureDim, Hidden,
-                                       W.Classes, false, Sys);
+                                       W.Classes, false, Sys, Reorder);
           double Granii = twoLayerMillis(Ctx, Kind, G, FeatureDim, Hidden,
-                                         W.Classes, true, Sys);
+                                         W.Classes, true, Sys, Reorder);
           Line.push_back(formatDouble(Base, 3));
           Line.push_back(formatDouble(Granii, 3));
           Line.push_back(formatSpeedup(Base / Granii));

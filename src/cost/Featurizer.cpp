@@ -17,7 +17,7 @@ const std::vector<std::string> &granii::costFeatureNames() {
       "log_nodes",        "log_edges",    "density",      "avg_degree",
       "log_max_degree",   "degree_cv",    "degree_gini",  "top_row_frac",
       "log_rows",         "log_cols",     "log_inner",    "log_nnz",
-      "log_flops",        "log_bytes"};
+      "log_flops",        "log_bytes",    "log_avg_span", "log_bandwidth"};
   return Names;
 }
 
@@ -38,5 +38,10 @@ FeatureVector granii::featurize(const PrimitiveDesc &Desc,
   F[11] = log1pSafe(static_cast<double>(Desc.Nnz));
   F[12] = log1pSafe(Desc.flops());
   F[13] = log1pSafe(Desc.bytes());
+  // Locality of the sparse gather pattern: how the same nnz is laid out.
+  // Reordering changes only these two (and the tile width derived from
+  // them), which is what lets the cost model learn when a policy pays.
+  F[14] = log1pSafe(Stats.AvgRowSpan);
+  F[15] = log1pSafe(Stats.Bandwidth);
   return F;
 }

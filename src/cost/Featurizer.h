@@ -22,7 +22,7 @@
 namespace granii {
 
 /// Number of features produced per sample.
-inline constexpr size_t NumCostFeatures = 14;
+inline constexpr size_t NumCostFeatures = 16;
 
 using FeatureVector = std::array<double, NumCostFeatures>;
 

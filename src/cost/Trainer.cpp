@@ -197,8 +197,18 @@ LearnedCostModel granii::loadOrTrainCostModel(const std::string &CachePath,
                                               const std::vector<int64_t> &Widths) {
   if (std::optional<LearnedCostModel> Cached =
           LearnedCostModel::loadFromFile(CachePath, Hw);
-      Cached && Cached->modelCount() > 0)
-    return std::move(*Cached);
+      Cached && Cached->modelCount() > 0) {
+    // A cache written before a featurizer change carries ensembles trained
+    // on a different feature vector; silently reusing it would feed the
+    // trees misaligned inputs. Reject and retrain instead.
+    bool FeaturesMatch = true;
+    for (PrimitiveKind Kind : allPrimitiveKinds())
+      if (const GbtModel *M = Cached->model(Kind);
+          M && M->numFeatures() != NumCostFeatures)
+        FeaturesMatch = false;
+    if (FeaturesMatch)
+      return std::move(*Cached);
+  }
   std::vector<ProfileSample> Samples = collectProfileData(Hw, Graphs, Widths);
   LearnedCostModel Model = trainCostModel(Hw, Samples);
   (void)Model.saveToFile(CachePath);

@@ -192,8 +192,8 @@ ExecResult Optimizer::execute(const Selection &Sel, const LayerParams &Params,
   PlanWorkspace &Ws = Workspaces[{Sel.PlanIndex, Training}];
   ExecResult Result;
   if (Training)
-    Exec.runTraining(Plan, Inputs, Params.Stats, Ws, Result);
+    Exec.runTraining(Plan, Inputs, Params.Stats, Ws, Result, Opts.Reorder);
   else
-    Exec.run(Plan, Inputs, Params.Stats, Ws, Result);
+    Exec.run(Plan, Inputs, Params.Stats, Ws, Result, Opts.Reorder);
   return Result;
 }

@@ -40,6 +40,11 @@ struct OptimizerOptions {
   int Iterations = 100;
   /// Offline enumeration knobs (ablations flip these).
   EnumOptions Enum;
+  /// Vertex-reordering policy applied by execute(): the permuted graph is
+  /// cached per (plan, mode) workspace, permutation construction is charged
+  /// as setup, and the per-run feature gather / output scatter as forward
+  /// time (docs/REORDERING.md).
+  ReorderPolicy Reorder = ReorderPolicy::None;
 };
 
 /// Result of the online selection stage.

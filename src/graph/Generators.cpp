@@ -2,12 +2,14 @@
 
 #include "graph/Generators.h"
 
+#include "graph/Reorder.h"
 #include "support/Error.h"
 #include "support/Rng.h"
 #include "tensor/CooMatrix.h"
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 using namespace granii;
 
@@ -42,8 +44,18 @@ Graph granii::makeRmat(int64_t NumNodes, int64_t TargetEdges, double A,
   }
   Rng Generator(Seed);
   CooMatrix Coo(NumNodes, NumNodes);
+  // R-MAT resamples already-emitted edges constantly (its whole point is
+  // skew), so count an edge only the first time its canonical (min, max)
+  // pair appears: the generator then really delivers TargetEdges distinct
+  // undirected edges instead of silently fewer after CSR dedup. The
+  // attempt cap bounds the tail where nearly every draw is a repeat.
+  std::unordered_set<int64_t> Seen;
+  Seen.reserve(static_cast<size_t>(TargetEdges) * 2);
   int64_t Accepted = 0;
-  while (Accepted < TargetEdges) {
+  int64_t Attempts = 0;
+  const int64_t MaxAttempts = 64 * std::max<int64_t>(TargetEdges, 1);
+  while (Accepted < TargetEdges && Attempts < MaxAttempts) {
+    ++Attempts;
     int64_t Row = 0, Col = 0;
     for (int L = 0; L < Levels; ++L) {
       double P = Generator.nextDouble();
@@ -61,6 +73,9 @@ Graph granii::makeRmat(int64_t NumNodes, int64_t TargetEdges, double A,
       }
     }
     if (Row >= NumNodes || Col >= NumNodes || Row == Col)
+      continue;
+    int64_t Key = std::min(Row, Col) * NumNodes + std::max(Row, Col);
+    if (!Seen.insert(Key).second)
       continue;
     Coo.addSymmetric(Row, Col);
     ++Accepted;
@@ -233,5 +248,11 @@ std::vector<Graph> granii::makeTrainingSuite(int SizeScale) {
   Suite.push_back(makeStar(1200 * S));
   Suite.push_back(makeRing(1500 * S));
   Suite.push_back(makeComplete(160));
+  // Reordered twins of the skewed/irregular entries: same size and degree
+  // features, different AvgRowSpan/Bandwidth, so the learned models can
+  // separate layout effects from structural ones.
+  Suite.push_back(reorderGraph(Suite[3], ReorderPolicy::Rcm));
+  Suite.push_back(reorderGraph(Suite[5], ReorderPolicy::Degree));
+  Suite.push_back(reorderGraph(Suite[6], ReorderPolicy::Rcm));
   return Suite;
 }

@@ -2,6 +2,7 @@
 
 #include "graph/Graph.h"
 
+#include "graph/Reorder.h"
 #include "support/Stats.h"
 #include "tensor/CooMatrix.h"
 
@@ -69,5 +70,7 @@ GraphStats granii::computeGraphStats(const CsrMatrix &Adjacency) {
   S.TopRowFraction = S.NumEdges > 0
                          ? TopSum / static_cast<double>(S.NumEdges)
                          : 0.0;
+  S.AvgRowSpan = averageRowSpan(Adjacency);
+  S.Bandwidth = static_cast<double>(bandwidthOf(Adjacency));
   return S;
 }

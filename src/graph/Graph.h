@@ -27,6 +27,11 @@ struct GraphStats {
   double DegreeCv = 0.0;    ///< stddev / mean (irregularity)
   double DegreeGini = 0.0;  ///< inequality of the degree distribution
   double TopRowFraction = 0.0; ///< fraction of edges in top 1% of rows
+  /// Mean over nonempty rows of (max col - min col + 1): how much dense-
+  /// operand memory one row's gathers span. Reordering exists to shrink
+  /// this; the cache-blocked SpMM sizes its column tiles from it.
+  double AvgRowSpan = 0.0;
+  double Bandwidth = 0.0; ///< max |row - col| over stored edges
 };
 
 /// An undirected (symmetric adjacency) graph used as GNN input.

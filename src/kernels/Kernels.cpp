@@ -414,6 +414,65 @@ void kernels::spmmInto(const CsrMatrix &A, const DenseMatrix &B,
   });
 }
 
+void kernels::spmmTiledInto(const CsrMatrix &A, const DenseMatrix &B,
+                            const Semiring &S, int64_t TileCols,
+                            DenseMatrix &Dst) {
+  const int64_t NCols = B.cols();
+  const bool SumLike =
+      S.Reduce == ReduceOpKind::Sum || S.Reduce == ReduceOpKind::Mean;
+  // Tiling pays only on the fused sum path; degenerate tiles mean no
+  // blocking. Either way the untiled kernel computes the identical result.
+  if (!SumLike || TileCols <= 0 || TileCols >= NCols) {
+    spmmInto(A, B, S, Dst);
+    return;
+  }
+  GRANII_CHECK(A.cols() == B.rows(), "spmm dimension mismatch");
+  checkDenseDst(Dst, A.rows(), B.cols(), "spmm_tiled");
+  const auto &Offsets = A.rowOffsets();
+  const auto &Cols = A.colIndices();
+  const auto &Vals = A.values();
+  const bool Weighted = !Vals.empty();
+
+  // Tile loop outer, row loop inner: consecutive rows of a block re-gather
+  // overlapping neighbor sets (especially after RCM reordering), and one
+  // tile of those B rows fits in L2. Each output element still accumulates
+  // its neighbors in CSR order, so the result is bitwise identical to the
+  // untiled kernel at any tile width and thread count.
+  parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
+    for (int64_t C0 = 0; C0 < NCols; C0 += TileCols) {
+      const int64_t C1 = std::min(C0 + TileCols, NCols);
+      for (int64_t R = RowBegin; R < RowEnd; ++R) {
+        float *Out = Dst.rowPtr(R);
+        int64_t Begin = Offsets[static_cast<size_t>(R)];
+        int64_t End = Offsets[static_cast<size_t>(R) + 1];
+        std::fill(Out + C0, Out + C1, 0.0f);
+        for (int64_t K = Begin; K < End; ++K) {
+          int32_t Col = Cols[static_cast<size_t>(K)];
+          const float *Src = B.rowPtr(Col);
+          if (S.Combine == CombineOpKind::CopyRhs) {
+            for (int64_t J = C0; J < C1; ++J)
+              Out[J] += Src[J];
+          } else {
+            float EdgeVal = Weighted ? Vals[static_cast<size_t>(K)] : 1.0f;
+            if (S.Combine == CombineOpKind::Mul) {
+              for (int64_t J = C0; J < C1; ++J)
+                Out[J] += EdgeVal * Src[J];
+            } else { // Add combine.
+              for (int64_t J = C0; J < C1; ++J)
+                Out[J] += EdgeVal + Src[J];
+            }
+          }
+        }
+        if (S.Reduce == ReduceOpKind::Mean && End > Begin) {
+          float Inv = 1.0f / static_cast<float>(End - Begin);
+          for (int64_t J = C0; J < C1; ++J)
+            Out[J] *= Inv;
+        }
+      }
+    }
+  });
+}
+
 DenseMatrix kernels::spmm(const CsrMatrix &A, const DenseMatrix &B,
                           const Semiring &S) {
   GRANII_CHECK(A.cols() == B.rows(), "spmm dimension mismatch");
@@ -442,6 +501,42 @@ void kernels::sddmmInto(const CsrMatrix &Mask, const DenseMatrix &U,
         for (int64_t J = 0; J < Width; ++J)
           Acc = S.reduce(Acc, S.combine(URow[J], VRow[J]));
         Out[static_cast<size_t>(K)] = Acc;
+      }
+    }
+  });
+}
+
+void kernels::sddmmTiledInto(const CsrMatrix &Mask, const DenseMatrix &U,
+                             const DenseMatrix &V, const Semiring &S,
+                             int64_t TileCols, std::vector<float> &Out) {
+  const int64_t Width = U.cols();
+  if (TileCols <= 0 || TileCols >= Width) {
+    sddmmInto(Mask, U, V, S, Out);
+    return;
+  }
+  GRANII_CHECK(Mask.rows() == U.rows(), "sddmm left operand row mismatch");
+  GRANII_CHECK(Mask.cols() == V.rows(), "sddmm right operand row mismatch");
+  GRANII_CHECK(U.cols() == V.cols(), "sddmm feature width mismatch");
+  checkVecDst(Out, static_cast<size_t>(Mask.nnz()), "sddmm_tiled");
+  const auto &Offsets = Mask.rowOffsets();
+  const auto &Cols = Mask.colIndices();
+  // Tile loop outer: each edge's reduction runs left to right across tiles
+  // with Out[K] carrying the partial, so the feature-dimension reduction
+  // order — and therefore the result — is bitwise identical to sddmmInto.
+  parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
+    for (int64_t J0 = 0; J0 < Width; J0 += TileCols) {
+      const int64_t J1 = std::min(J0 + TileCols, Width);
+      for (int64_t R = RowBegin; R < RowEnd; ++R) {
+        const float *URow = U.rowPtr(R);
+        for (int64_t K = Offsets[static_cast<size_t>(R)];
+             K < Offsets[static_cast<size_t>(R) + 1]; ++K) {
+          const float *VRow = V.rowPtr(Cols[static_cast<size_t>(K)]);
+          float Acc =
+              J0 == 0 ? S.reduceIdentity() : Out[static_cast<size_t>(K)];
+          for (int64_t J = J0; J < J1; ++J)
+            Acc = S.reduce(Acc, S.combine(URow[J], VRow[J]));
+          Out[static_cast<size_t>(K)] = Acc;
+        }
       }
     }
   });

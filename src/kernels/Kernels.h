@@ -123,6 +123,16 @@ DenseMatrix reluBackward(const DenseMatrix &Pre, const DenseMatrix &Grad);
 void spmmInto(const CsrMatrix &A, const DenseMatrix &B, const Semiring &S,
               DenseMatrix &Dst);
 
+/// Cache-blocked SpMM: processes \p B in column tiles of \p TileCols so the
+/// gathered B rows of one tile stay resident in L2 across consecutive CSR
+/// rows (HardwareModel::spmmColumnTile derives the width; graph reordering
+/// shrinks the per-row gather span, letting wider tiles fit). Per output
+/// element the neighbor accumulation order is unchanged, so the result is
+/// bitwise identical to spmmInto. TileCols <= 0 or >= B.cols(), and
+/// non-sum reductions, fall back to the untiled kernel.
+void spmmTiledInto(const CsrMatrix &A, const DenseMatrix &B, const Semiring &S,
+                   int64_t TileCols, DenseMatrix &Dst);
+
 /// Generalized SpMM: Out[i,:] = reduce_{j in N(i)} combine(a_ij, B[j,:]).
 /// With Semiring::plusTimes() this is the standard weighted SpMM; with
 /// Semiring::plusCopy() it is the cheaper unweighted aggregation.
@@ -141,6 +151,15 @@ std::vector<float> sddmm(const CsrMatrix &Mask, const DenseMatrix &U,
 void sddmmInto(const CsrMatrix &Mask, const DenseMatrix &U,
                const DenseMatrix &V, const Semiring &S,
                std::vector<float> &Out);
+
+/// Cache-blocked SDDMM: splits the feature width into tiles of \p TileCols
+/// and accumulates each edge's reduction across tiles, so one tile of the
+/// gathered V rows stays L2-resident across a row's edges. Per edge the
+/// feature reduction order is unchanged — bitwise identical to sddmmInto.
+/// TileCols <= 0 or >= U.cols() falls back to the untiled kernel.
+void sddmmTiledInto(const CsrMatrix &Mask, const DenseMatrix &U,
+                    const DenseMatrix &V, const Semiring &S, int64_t TileCols,
+                    std::vector<float> &Out);
 
 /// Per-edge sum of two node scalars: out_ij = SrcScore[i] + DstScore[j]
 /// (the SDDMM(+, +) used by GAT's attention logits).

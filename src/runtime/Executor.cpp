@@ -325,16 +325,22 @@ void PlanInterpreter::execStep(size_t StepIdx, ExecResult &Result) {
     Seconds = charge(StepIdx, [&] {
       const CsrMatrix &A = Op(0).sparse();
       const DenseMatrix &B = Op(1).dense();
-      kernels::spmmInto(A, B, Semiring::plusTimes(),
-                        dstDense(Step.Result, A.rows(), B.cols()));
+      // Tiled form is bitwise identical to spmmInto; the tile width only
+      // changes the memory schedule (HardwareModel::spmmColumnTile).
+      kernels::spmmTiledInto(A, B, Semiring::plusTimes(),
+                             Exec.hardware().spmmColumnTile(B.cols(),
+                                                            Stats.AvgRowSpan),
+                             dstDense(Step.Result, A.rows(), B.cols()));
     });
     break;
   case StepOp::SpmmUnweighted:
     Seconds = charge(StepIdx, [&] {
       const CsrMatrix &A = Op(0).sparse();
       const DenseMatrix &B = Op(1).dense();
-      kernels::spmmInto(A, B, Semiring::plusCopy(),
-                        dstDense(Step.Result, A.rows(), B.cols()));
+      kernels::spmmTiledInto(A, B, Semiring::plusCopy(),
+                             Exec.hardware().spmmColumnTile(B.cols(),
+                                                            Stats.AvgRowSpan),
+                             dstDense(Step.Result, A.rows(), B.cols()));
     });
     break;
   case StepOp::SddmmScaleRow:
@@ -844,19 +850,113 @@ ExecResult Executor::runTraining(const CompositionPlan &Plan,
   return Result;
 }
 
+double Executor::reorderSetup(detail::ReorderState &RS, const CsrMatrix &Adj,
+                              const GraphStats &Stats,
+                              ReorderPolicy Policy) const {
+  if (RS.Policy == Policy && RS.SourceAdj == &Adj &&
+      RS.SourceNnz == Adj.nnz() && RS.PermAdj.rows() == Adj.rows())
+    return 0.0;
+  // Per-(policy, graph) preprocessing, hoisted like degree normalizations.
+  // Charged as an edge-traversal primitive: the permutation build and the
+  // PAP^T rewrite are both O(E)-dominated passes over the structure.
+  PrimitiveDesc Desc{PrimitiveKind::EdgeElementwise, Adj.rows(), 0, 0,
+                     Adj.nnz()};
+  return timeKernel(Desc, Stats, [&] {
+    RS.Policy = Policy;
+    RS.SourceAdj = &Adj;
+    RS.SourceNnz = Adj.nnz();
+    RS.Perm = makeReorderPermutation(Policy, Adj);
+    RS.PermAdj = permuteSymmetric(Adj, RS.Perm);
+    RS.PermStats = computeGraphStats(RS.PermAdj);
+  });
+}
+
+LayerInputs Executor::permuteInputs(detail::ReorderState &RS,
+                                    const LayerInputs &Inputs,
+                                    PlanWorkspace &Ws,
+                                    double &PermSeconds) const {
+  const DenseMatrix &H = *Inputs.Features;
+  size_t Cap = RS.PermFeatures.capacityFloats();
+  RS.PermFeatures.resize(H.rows(), H.cols());
+  if (RS.PermFeatures.capacityFloats() != Cap)
+    Ws.countAllocation();
+  // The gather runs every iteration (features may change between calls
+  // even when the graph does not), so it is charged per iteration as a
+  // dense row map — its real cost on measured platforms.
+  PrimitiveDesc Desc{PrimitiveKind::DenseMap, H.rows(), H.cols(), 0, 0};
+  PermSeconds += timeKernel(
+      Desc, RS.PermStats, [&] { permuteRowsInto(H, RS.Perm, RS.PermFeatures); },
+      /*Idempotent=*/true);
+
+  LayerInputs Permuted = Inputs;
+  Permuted.Adjacency = &RS.PermAdj;
+  Permuted.Features = &RS.PermFeatures;
+  return Permuted;
+}
+
+double Executor::unpermuteRows(detail::ReorderState &RS, DenseMatrix &M,
+                               DenseMatrix &Staging, PlanWorkspace &Ws) const {
+  size_t Cap = Staging.capacityFloats();
+  Staging.resize(M.rows(), M.cols());
+  if (Staging.capacityFloats() != Cap)
+    Ws.countAllocation();
+  PrimitiveDesc Desc{PrimitiveKind::DenseMap, M.rows(), M.cols(), 0, 0};
+  double Seconds = timeKernel(
+      Desc, RS.PermStats, [&] { inversePermuteRowsInto(M, RS.Perm, Staging); },
+      /*Idempotent=*/true);
+  std::swap(M, Staging); // Both buffers persist; no allocation.
+  return Seconds;
+}
+
 void Executor::run(const CompositionPlan &Plan, const LayerInputs &Inputs,
                    const GraphStats &Stats, PlanWorkspace &Ws,
-                   ExecResult &Result) const {
-  Ws.configure(Plan, Inputs.binding(&Plan), /*Training=*/false);
-  PlanInterpreter Interp(*this, Plan, Inputs, Stats, &Ws);
+                   ExecResult &Result, ReorderPolicy Policy) const {
+  if (Policy == ReorderPolicy::None) {
+    Ws.configure(Plan, Inputs.binding(&Plan), /*Training=*/false);
+    PlanInterpreter Interp(*this, Plan, Inputs, Stats, &Ws);
+    Interp.forward(Result);
+    return;
+  }
+  detail::ReorderState &RS = Ws.reorderState();
+  double SetupSeconds = reorderSetup(RS, *Inputs.Adjacency, Stats, Policy);
+  double PermSeconds = 0.0;
+  LayerInputs Permuted = permuteInputs(RS, Inputs, Ws, PermSeconds);
+  Ws.configure(Plan, Permuted.binding(&Plan), /*Training=*/false);
+  PlanInterpreter Interp(*this, Plan, Permuted, RS.PermStats, &Ws);
   Interp.forward(Result);
+  PermSeconds += unpermuteRows(RS, Result.Output, RS.PermOutput, Ws);
+  Result.SetupSeconds += SetupSeconds;
+  Result.ForwardSeconds += PermSeconds;
 }
 
 void Executor::runTraining(const CompositionPlan &Plan,
                            const LayerInputs &Inputs, const GraphStats &Stats,
-                           PlanWorkspace &Ws, ExecResult &Result) const {
-  Ws.configure(Plan, Inputs.binding(&Plan), /*Training=*/true);
-  PlanInterpreter Interp(*this, Plan, Inputs, Stats, &Ws);
+                           PlanWorkspace &Ws, ExecResult &Result,
+                           ReorderPolicy Policy) const {
+  if (Policy == ReorderPolicy::None) {
+    Ws.configure(Plan, Inputs.binding(&Plan), /*Training=*/true);
+    PlanInterpreter Interp(*this, Plan, Inputs, Stats, &Ws);
+    Interp.forward(Result);
+    Interp.backward(Result);
+    return;
+  }
+  detail::ReorderState &RS = Ws.reorderState();
+  double SetupSeconds = reorderSetup(RS, *Inputs.Adjacency, Stats, Policy);
+  double PermSeconds = 0.0;
+  LayerInputs Permuted = permuteInputs(RS, Inputs, Ws, PermSeconds);
+  Ws.configure(Plan, Permuted.binding(&Plan), /*Training=*/true);
+  PlanInterpreter Interp(*this, Plan, Permuted, RS.PermStats, &Ws);
   Interp.forward(Result);
   Interp.backward(Result);
+  PermSeconds += unpermuteRows(RS, Result.Output, RS.PermOutput, Ws);
+  // Weight and attention gradients reduce over nodes and are row-order
+  // independent; only the feature gradient is per-node and must return to
+  // the caller's vertex order. Training allocates per call anyway.
+  if (Result.FeatureGrad.rows() > 0) {
+    DenseMatrix Staging(Result.FeatureGrad.rows(), Result.FeatureGrad.cols());
+    inversePermuteRowsInto(Result.FeatureGrad, RS.Perm, Staging);
+    std::swap(Result.FeatureGrad, Staging);
+  }
+  Result.SetupSeconds += SetupSeconds;
+  Result.ForwardSeconds += PermSeconds;
 }

@@ -25,6 +25,7 @@
 
 #include "assoc/Composition.h"
 #include "graph/Graph.h"
+#include "graph/Reorder.h"
 #include "hw/HardwareModel.h"
 #include "runtime/BufferPlan.h"
 #include "support/FunctionRef.h"
@@ -99,6 +100,22 @@ struct RtValue {
     SparseRef = nullptr;
     VecRef = nullptr;
   }
+};
+
+/// Cached vertex-reordering state of a workspace: one (policy, graph) pair's
+/// permutation, the relabeled adjacency PAP^T with its statistics, and the
+/// two persistent staging buffers of the per-run row gathers. Building it is
+/// setup (charged once, like degree normalizations); the steady state only
+/// re-gathers features and scatters the output, reusing every buffer here.
+struct ReorderState {
+  ReorderPolicy Policy = ReorderPolicy::None;
+  const CsrMatrix *SourceAdj = nullptr; ///< graph the cache was built for
+  int64_t SourceNnz = 0;                ///< guards against pointer reuse
+  Permutation Perm;
+  CsrMatrix PermAdj;        ///< PAP^T
+  GraphStats PermStats;     ///< its statistics (locality features differ)
+  DenseMatrix PermFeatures; ///< features gathered into permuted row order
+  DenseMatrix PermOutput;   ///< inverse-permutation staging buffer
 };
 
 } // namespace detail
@@ -191,6 +208,12 @@ public:
   CsrMatrix &sparseFor(int Id, const CsrMatrix &PatternSource);
   const std::vector<PrimitiveDesc> &descs() const { return Descs; }
   std::vector<detail::RtValue> &scratch() { return Scratch; }
+  /// The workspace's cached reordering state (empty until an executor run
+  /// with a non-None policy populates it).
+  detail::ReorderState &reorderState() { return Reorder; }
+  /// Records a growth of a workspace-managed buffer that lives outside the
+  /// slot arrays (the reorder staging buffers).
+  void countAllocation() { ++Allocations; }
   /// @}
 
 private:
@@ -203,6 +226,7 @@ private:
   std::vector<CsrMatrix> SparseValues; ///< indexed by value id
   std::vector<PrimitiveDesc> Descs;
   std::vector<detail::RtValue> Scratch;
+  detail::ReorderState Reorder;
   size_t Allocations = 0;
 };
 
@@ -237,16 +261,29 @@ public:
   /// Arena-path forward: executes against \p Ws (configured on entry) and
   /// writes into \p Result, both reused across calls. After one warm-up
   /// call, repeated calls perform zero heap allocations for plan values.
+  ///
+  /// A non-None \p Policy runs the plan on a reordered copy of the graph:
+  /// the workspace caches the permutation and relabeled adjacency per
+  /// (policy, graph) — rebuilt state is charged as setup — and each run
+  /// gathers the features into permuted order, executes, and scatters the
+  /// output back to the caller's vertex order (both charged per iteration).
+  /// The result equals the unreordered run's up to float summation order
+  /// (each row's neighbors accumulate in a different sequence), which is
+  /// why the differential tests compare it with a tolerance rather than
+  /// bitwise. Steady-state runs still allocate nothing.
   void run(const CompositionPlan &Plan, const LayerInputs &Inputs,
-           const GraphStats &Stats, PlanWorkspace &Ws,
-           ExecResult &Result) const;
+           const GraphStats &Stats, PlanWorkspace &Ws, ExecResult &Result,
+           ReorderPolicy Policy = ReorderPolicy::None) const;
 
   /// Arena-path forward + backward. The forward activations live in \p Ws
   /// (fully pinned in training mode); gradient accumulators and exported
-  /// gradients still allocate per call.
+  /// gradients still allocate per call. Under a non-None \p Policy the
+  /// feature gradient is scattered back alongside the output; weight and
+  /// attention gradients are row-order invariant and need no correction.
   void runTraining(const CompositionPlan &Plan, const LayerInputs &Inputs,
                    const GraphStats &Stats, PlanWorkspace &Ws,
-                   ExecResult &Result) const;
+                   ExecResult &Result,
+                   ReorderPolicy Policy = ReorderPolicy::None) const;
 
   /// Measures/estimates one primitive invocation: executes \p Body and
   /// returns the seconds to charge for it on this platform. On measured
@@ -259,6 +296,23 @@ public:
                     FunctionRef<void()> Body, bool Idempotent = false) const;
 
 private:
+  /// Rebuilds \p RS for (Policy, Adj) if it is stale; returns the setup
+  /// seconds to charge (0 when the cache was already valid).
+  double reorderSetup(detail::ReorderState &RS, const CsrMatrix &Adj,
+                      const GraphStats &Stats, ReorderPolicy Policy) const;
+
+  /// Gathers the caller's features into permuted order and returns inputs
+  /// rebound to the cached reordered graph; \p PermSeconds receives the
+  /// per-iteration gather cost.
+  LayerInputs permuteInputs(detail::ReorderState &RS,
+                            const LayerInputs &Inputs, PlanWorkspace &Ws,
+                            double &PermSeconds) const;
+
+  /// Scatters \p M (rows in permuted order) back to the caller's vertex
+  /// order through \p Staging and returns the seconds charged.
+  double unpermuteRows(detail::ReorderState &RS, DenseMatrix &M,
+                       DenseMatrix &Staging, PlanWorkspace &Ws) const;
+
   HardwareModel Hw;
   bool StepProfiling = false;
 };

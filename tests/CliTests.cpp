@@ -127,6 +127,30 @@ TEST(Cli, RunTrainingMode) {
   EXPECT_NE(Out.find("fwd+bwd"), std::string::npos);
 }
 
+TEST(Cli, RunWithReorderReportsLocalityImprovement) {
+  std::string Path = writeModelFile("cli_gcn_reorder.gnn", GcnSource);
+  std::string Out, Err;
+  ASSERT_EQ(runCli({"run", Path, "--graph", "synth:reddit", "--kin", "16",
+                    "--kout", "16", "--reorder", "rcm", "--profile"},
+                   Out, Err),
+            0)
+      << Err;
+  EXPECT_NE(Out.find("reorder rcm: bandwidth"), std::string::npos);
+  EXPECT_NE(Out.find("avg row span"), std::string::npos);
+  // Reordering must not cost the zero-allocation steady state.
+  EXPECT_NE(Out.find("steady-state allocations: 0"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsUnknownReorderPolicy) {
+  std::string Path = writeModelFile("cli_gcn_reorder2.gnn", GcnSource);
+  std::string Out, Err;
+  EXPECT_EQ(runCli({"run", Path, "--graph", "synth:coauthors", "--reorder",
+                    "hilbert"},
+                   Out, Err),
+            2);
+  EXPECT_NE(Err.find("unknown reorder policy"), std::string::npos);
+}
+
 TEST(Cli, RunRejectsUnknownHardware) {
   std::string Path = writeModelFile("cli_gcn6.gnn", GcnSource);
   std::string Out, Err;

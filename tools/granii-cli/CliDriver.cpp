@@ -169,9 +169,9 @@ int profileRun(const CompositionPlan &Plan, const LayerParams &Params,
 
   auto RunOnce = [&] {
     if (Training)
-      Exec.runTraining(Plan, Inputs, Params.Stats, Ws, R);
+      Exec.runTraining(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder);
     else
-      Exec.run(Plan, Inputs, Params.Stats, Ws, R);
+      Exec.run(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder);
   };
   RunOnce(); // warm-up: plans the arena, allocates every slot
   Ws.resetAllocationCount();
@@ -217,7 +217,7 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
   if (Args.Positional.size() < 2 || !Args.hasFlag("graph")) {
     Err += "usage: granii-cli run <model.gnn> --graph <mtx|synth:name> "
            "--kin N --kout N [--hw cpu|a100|h100] [--iters N] [--train] "
-           "[--threads N] [--profile]\n";
+           "[--threads N] [--profile] [--reorder none|rcm|degree]\n";
     return 2;
   }
   std::optional<ParsedModel> Parsed = loadModel(Args.Positional[1], Err);
@@ -236,10 +236,18 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
     return 2;
   }
   bool Training = Args.hasFlag("train");
+  std::optional<ReorderPolicy> Reorder =
+      parseReorderPolicy(Args.value("reorder", "none"));
+  if (!Reorder) {
+    Err += "error: unknown reorder policy '" + Args.value("reorder", "") +
+           "' (try none, rcm, degree)\n";
+    return 2;
+  }
 
   OptimizerOptions Options;
   Options.Hw = HardwareModel::byName(Hw);
   Options.Iterations = static_cast<int>(Args.intValue("iters", 100));
+  Options.Reorder = *Reorder;
   AnalyticCostModel Cost(Options.Hw);
   Optimizer Granii(Model, Options, &Cost);
 
@@ -250,6 +258,17 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
   Out += "offline: " + std::to_string(Granii.pruneStats().Enumerated) +
          " enumerated -> " + std::to_string(Granii.promoted().size()) +
          " promoted\n";
+  if (Options.Reorder != ReorderPolicy::None) {
+    // Report the locality change the executor's cached permutation will
+    // realize (the executor itself permutes the self-loop adjacency).
+    Graph Reordered = reorderGraph(*G, Options.Reorder);
+    Out += "reorder " + reorderPolicyName(Options.Reorder) + ": bandwidth " +
+           std::to_string(static_cast<int64_t>(G->stats().Bandwidth)) +
+           " -> " +
+           std::to_string(static_cast<int64_t>(Reordered.stats().Bandwidth)) +
+           ", avg row span " + formatDouble(G->stats().AvgRowSpan, 1) +
+           " -> " + formatDouble(Reordered.stats().AvgRowSpan, 1) + "\n";
+  }
 
   Selection Sel = Granii.select(*G, KIn, KOut);
   Out += "online: candidate #" + std::to_string(Sel.PlanIndex) + " (" +
