@@ -3,12 +3,14 @@
 #include "BenchCommon.h"
 
 #include "graph/Generators.h"
+#include "support/Json.h"
 #include "support/Stats.h"
 #include "support/Str.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 
 using namespace granii;
@@ -129,6 +131,15 @@ CellResult granii::bench::runCell(BenchContext &Ctx, BaselineSystem Sys,
   Cell.GraniiSeconds = TotalOf(Opt.promoted()[Cell.Sel.PlanIndex], Reorder) +
                        Cell.Sel.FeaturizeSeconds + Cell.Sel.SelectSeconds;
   Cell.Speedup = Cell.BaselineSeconds / Cell.GraniiSeconds;
+
+  DimBinding Binding;
+  Binding.N = Params.AdjSelf.rows();
+  Binding.E = Params.AdjSelf.nnz();
+  Binding.KIn = KIn;
+  Binding.KOut = KOut;
+  for (const PrimitiveDesc &D :
+       Opt.promoted()[Cell.PlanIndex].primitiveDescs(Binding))
+    Cell.GraniiBytes += D.bytes();
   return Cell;
 }
 
@@ -170,4 +181,132 @@ double granii::bench::geomeanSpeedup(const std::vector<CellResult> &Cells) {
 
 std::string granii::bench::formatSpeedup(double Value) {
   return formatDouble(Value, 2) + "x";
+}
+
+std::string granii::bench::consumeValueFlag(int &argc, char **argv,
+                                            const std::string &Name) {
+  std::string Value;
+  std::string Eq = "--" + Name + "=";
+  std::string Bare = "--" + Name;
+  int Kept = 1;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind(Eq, 0) == 0) {
+      Value = Arg.substr(Eq.size());
+      continue;
+    }
+    if (Arg == Bare && I + 1 < argc) {
+      Value = argv[++I];
+      continue;
+    }
+    argv[Kept++] = argv[I];
+  }
+  argc = Kept;
+  return Value;
+}
+
+bool granii::bench::consumeBoolFlag(int &argc, char **argv,
+                                    const std::string &Name) {
+  bool Present = false;
+  std::string Bare = "--" + Name;
+  int Kept = 1;
+  for (int I = 1; I < argc; ++I) {
+    if (Bare == argv[I]) {
+      Present = true;
+      continue;
+    }
+    argv[Kept++] = argv[I];
+  }
+  argc = Kept;
+  return Present;
+}
+
+BenchRecord BenchReport::makeRecord(std::string Id, std::string Graph,
+                                    int64_t KIn, int64_t KOut,
+                                    std::string Reorder,
+                                    const std::vector<double> &SecondsSamples,
+                                    double Bytes) {
+  BenchRecord R;
+  R.Id = std::move(Id);
+  R.Graph = std::move(Graph);
+  R.KIn = KIn;
+  R.KOut = KOut;
+  R.Threads = ThreadPool::get().numThreads();
+  R.Reorder = std::move(Reorder);
+  R.Repetitions = static_cast<int>(SecondsSamples.size());
+  R.MedianSeconds = medianOf(SecondsSamples);
+  R.P10Seconds = quantileOf(SecondsSamples, 0.1);
+  R.P90Seconds = quantileOf(SecondsSamples, 0.9);
+  R.Bytes = Bytes;
+  return R;
+}
+
+namespace {
+
+std::string jsonNumber(double Value) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.9g", Value);
+  return Buffer;
+}
+
+} // namespace
+
+std::string BenchReport::toJson() const {
+  std::string Json = "{\n";
+  Json += "  \"schema\": \"granii-bench-v1\",\n";
+  Json += "  \"git_sha\": \"" + jsonEscape(benchGitSha()) + "\",\n";
+  Json += "  \"threads\": " +
+          std::to_string(ThreadPool::get().numThreads()) + ",\n";
+  Json += "  \"benchmarks\": [";
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const BenchRecord &R = Records[I];
+    Json += I == 0 ? "\n" : ",\n";
+    Json += "    {\"id\": \"" + jsonEscape(R.Id) + "\", ";
+    Json += "\"graph\": \"" + jsonEscape(R.Graph) + "\", ";
+    Json += "\"kin\": " + std::to_string(R.KIn) + ", ";
+    Json += "\"kout\": " + std::to_string(R.KOut) + ", ";
+    Json += "\"threads\": " + std::to_string(R.Threads) + ", ";
+    Json += "\"reorder\": \"" + jsonEscape(R.Reorder) + "\", ";
+    Json += "\"repetitions\": " + std::to_string(R.Repetitions) + ", ";
+    Json += "\"median_seconds\": " + jsonNumber(R.MedianSeconds) + ", ";
+    Json += "\"p10_seconds\": " + jsonNumber(R.P10Seconds) + ", ";
+    Json += "\"p90_seconds\": " + jsonNumber(R.P90Seconds) + ", ";
+    Json += "\"bytes\": " + jsonNumber(R.Bytes) + "}";
+  }
+  Json += Records.empty() ? "]\n" : "\n  ]\n";
+  Json += "}\n";
+  return Json;
+}
+
+bool BenchReport::write(const std::string &Path,
+                        std::string *ErrorOut) const {
+  std::ofstream Out(Path);
+  if (!Out) {
+    if (ErrorOut)
+      *ErrorOut = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << toJson();
+  if (!Out) {
+    if (ErrorOut)
+      *ErrorOut = "short write to '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+std::string granii::bench::benchGitSha() {
+  if (const char *Sha = std::getenv("GRANII_GIT_SHA"))
+    if (*Sha)
+      return Sha;
+#if !defined(_WIN32)
+  if (FILE *Pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char Buffer[128] = {0};
+    size_t Read = std::fread(Buffer, 1, sizeof(Buffer) - 1, Pipe);
+    int Status = ::pclose(Pipe);
+    if (Status == 0 && Read >= 40)
+      return std::string(Buffer, 40);
+  }
+#endif
+  return "unknown";
 }

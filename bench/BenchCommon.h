@@ -78,6 +78,9 @@ struct CellResult {
   double Speedup = 0.0;
   size_t PlanIndex = 0;
   Selection Sel;
+  /// Cold-cache bytes moved by one forward pass of the selected plan
+  /// (analytic, from the primitive descriptors).
+  double GraniiBytes = 0.0;
 };
 
 /// Runs one cell end to end (executes both plans once; 100-iteration totals
@@ -102,6 +105,58 @@ double geomeanSpeedup(const std::vector<CellResult> &Cells);
 
 /// "1.24x"-style formatting.
 std::string formatSpeedup(double Value);
+
+/// Consumes a "--<name>=<value>" / "--<name> <value>" argument from \p argv
+/// (compacting like consumeReorderFlag). Returns the value, or an empty
+/// string when the flag is absent.
+std::string consumeValueFlag(int &argc, char **argv, const std::string &Name);
+
+/// Consumes a boolean "--<name>" flag from \p argv; returns its presence.
+bool consumeBoolFlag(int &argc, char **argv, const std::string &Name);
+
+/// One machine-readable measurement in a granii-bench-v1 report. Seconds
+/// statistics are over \p Repetitions samples of the same benchmark.
+struct BenchRecord {
+  std::string Id;      ///< stable id, e.g. "table3/DGL/h100/I/GCN/RD/32x32"
+  std::string Graph;   ///< graph name, or "-" when not graph-bound
+  int64_t KIn = 0;
+  int64_t KOut = 0;
+  int Threads = 0;     ///< kernel pool size at measurement time
+  std::string Reorder = "none";
+  int Repetitions = 0;
+  double MedianSeconds = 0.0;
+  double P10Seconds = 0.0;
+  double P90Seconds = 0.0;
+  double Bytes = 0.0;  ///< analytic bytes moved per measured unit (0 = n/a)
+};
+
+/// Accumulates BenchRecords and serializes them as granii-bench-v1 JSON
+/// (see docs/OBSERVABILITY.md for the schema). The report header carries
+/// the git SHA and the thread count shared by all records.
+class BenchReport {
+public:
+  /// Builds one record from repeated seconds samples; median/p10/p90 are
+  /// computed here, Threads is stamped from the current pool size.
+  static BenchRecord makeRecord(std::string Id, std::string Graph,
+                                int64_t KIn, int64_t KOut,
+                                std::string Reorder,
+                                const std::vector<double> &SecondsSamples,
+                                double Bytes);
+
+  void add(BenchRecord Record) { Records.push_back(std::move(Record)); }
+  bool empty() const { return Records.empty(); }
+
+  std::string toJson() const;
+  bool write(const std::string &Path, std::string *ErrorOut = nullptr) const;
+
+private:
+  std::vector<BenchRecord> Records;
+};
+
+/// The build SHA stamped into reports: $GRANII_GIT_SHA when set (CI sets it
+/// to $GITHUB_SHA), else `git rev-parse HEAD` when available, else
+/// "unknown".
+std::string benchGitSha();
 
 } // namespace bench
 } // namespace granii

@@ -9,12 +9,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "graph/Generators.h"
 #include "graph/Reorder.h"
 #include "hw/HardwareModel.h"
 #include "kernels/Kernels.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
+#include "support/Timer.h"
 
 #include <benchmark/benchmark.h>
 
@@ -205,6 +208,103 @@ static void BM_EdgeSoftmax(benchmark::State &State) {
 }
 BENCHMARK(BM_EdgeSoftmax);
 
+namespace {
+
+/// --json mode: a hand-rolled warmup + 11-repetition Timer loop over a
+/// representative kernel subset, bypassing google-benchmark so the output
+/// is a granii-bench-v1 report granii-bench-diff can consume. These are
+/// measured wall-clock numbers: machine-dependent, so CI baselines mark
+/// them gate=false (reported, never failing).
+int runJsonMode(const std::string &Path) {
+  using bench::BenchRecord;
+  using bench::BenchReport;
+  const Graph &G = benchGraph();
+  BenchReport Report;
+
+  auto Measure = [&](const std::string &Id, const std::string &GraphName,
+                     int64_t KIn, int64_t KOut, const PrimitiveDesc &Desc,
+                     auto &&Fn) {
+    Fn(); // warm-up: faults pages, warms caches and the thread pool
+    const int Reps = 11;
+    std::vector<double> Samples;
+    Samples.reserve(Reps);
+    for (int I = 0; I < Reps; ++I) {
+      Timer T;
+      Fn();
+      Samples.push_back(T.seconds());
+    }
+    Report.add(BenchReport::makeRecord("micro/" + Id, GraphName, KIn, KOut,
+                                       "none", Samples, Desc.bytes()));
+  };
+
+  {
+    const int64_t N = 1024, K = 64;
+    DenseMatrix A = randomDense(N, K, 1), B = randomDense(K, K, 2);
+    DenseMatrix C(N, K);
+    Measure("gemm/1024x64", "-", K, K,
+            {PrimitiveKind::Gemm, N, K, K, 0},
+            [&] { kernels::gemmInto(A, B, C); });
+  }
+  {
+    const int64_t K = 64;
+    DenseMatrix H = randomDense(G.numNodes(), K, 3);
+    DenseMatrix Out(G.numNodes(), K);
+    Measure("spmm_u/64", G.name(), K, K,
+            {PrimitiveKind::SpMMUnweighted, G.numNodes(), K, 0,
+             G.numEdges()},
+            [&] { kernels::spmmInto(G.adjacency(), H, Semiring::plusCopy(),
+                                    Out); });
+  }
+  {
+    const int64_t K = 64;
+    CsrMatrix A = G.adjacency();
+    std::vector<float> Vals(static_cast<size_t>(A.nnz()), 0.5f);
+    A.setValues(std::move(Vals));
+    DenseMatrix H = randomDense(G.numNodes(), K, 4);
+    DenseMatrix Out(G.numNodes(), K);
+    Measure("spmm_w/64", G.name(), K, K,
+            {PrimitiveKind::SpMMWeighted, G.numNodes(), K, 0, G.numEdges()},
+            [&] { kernels::spmmInto(A, H, Semiring::plusTimes(), Out); });
+  }
+  {
+    const int64_t K = 32;
+    DenseMatrix U = randomDense(G.numNodes(), K, 5);
+    std::vector<float> Out(static_cast<size_t>(G.numEdges()));
+    Measure("sddmm_dot/32", G.name(), K, K,
+            {PrimitiveKind::SddmmDot, G.numNodes(), 0, K, G.numEdges()},
+            [&] { kernels::sddmmInto(G.adjacency(), U, U,
+                                     Semiring::plusTimes(), Out); });
+  }
+  {
+    const int64_t K = 128;
+    DenseMatrix H = randomDense(4096, K, 6);
+    std::vector<float> D(4096, 1.1f);
+    DenseMatrix Out(4096, K);
+    Measure("row_broadcast/128", "-", K, K,
+            {PrimitiveKind::RowBroadcast, 4096, K, 0, 0},
+            [&] { kernels::rowBroadcastMulInto(D, H, Out); });
+  }
+  {
+    std::vector<float> Vals(static_cast<size_t>(G.numEdges()), 0.3f);
+    std::vector<float> Out(static_cast<size_t>(G.numEdges()));
+    Measure("edge_softmax", G.name(), 0, 0,
+            {PrimitiveKind::EdgeSoftmax, G.numNodes(), 0, 0, G.numEdges()},
+            [&] { kernels::edgeSoftmaxInto(G.adjacency(), Vals, Out); });
+  }
+
+  std::string WriteError;
+  if (!Report.write(Path, &WriteError)) {
+    std::fprintf(stderr, "error: %s\n", WriteError.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[micro_kernels] wrote machine-readable report to "
+               "%s\n",
+               Path.c_str());
+  return 0;
+}
+
+} // namespace
+
 // Custom main instead of BENCHMARK_MAIN(): consume --threads=N (or
 // "--threads N") before google-benchmark sees the argument list, so the
 // kernel pool size can be swept, e.g. for the 1-vs-8-thread speedup runs.
@@ -225,6 +325,9 @@ int main(int argc, char **argv) {
   argc = Kept;
   std::fprintf(stderr, "[micro_kernels] threads: %d\n",
                ThreadPool::get().numThreads());
+  std::string JsonPath = bench::consumeValueFlag(argc, argv, "json");
+  if (!JsonPath.empty())
+    return runJsonMode(JsonPath);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;

@@ -19,6 +19,14 @@ using namespace granii::bench;
 int main(int argc, char **argv) {
   BenchContext &Ctx = BenchContext::get();
   ReorderPolicy Reorder = consumeReorderFlag(argc, argv);
+  // --json=<file> additionally writes every GRANII cell as a machine-
+  // readable granii-bench-v1 record (3 repetitions per cell). --smoke
+  // restricts the sweep to the simulated-H100 rows, inference mode, and two
+  // small graphs: a fast, machine-independent subset CI gates on.
+  std::string JsonPath = consumeValueFlag(argc, argv, "json");
+  bool Smoke = consumeBoolFlag(argc, argv, "smoke");
+  const int JsonReps = 3;
+  BenchReport Report;
   std::printf("Table III: geomean speedups of GRANII across graphs and "
               "configurations for %d iterations\n",
               Ctx.iterations());
@@ -37,6 +45,20 @@ int main(int argc, char **argv) {
                                {BaselineSystem::DGL, "h100"},
                                {BaselineSystem::DGL, "a100"},
                                {BaselineSystem::DGL, "cpu"}};
+  std::vector<bool> Modes = {false, true};
+  // Graph indices into the Table II suite (BL = 4096-node lattice, AU =
+  // 3500-node coauthorship stand-in: the two smallest, fully synthetic).
+  std::vector<size_t> GraphIndices;
+  for (size_t I = 0; I < Ctx.evalGraphs().size(); ++I)
+    GraphIndices.push_back(I);
+  std::vector<ModelKind> Models = allModels();
+  if (Smoke) {
+    Rows = {{BaselineSystem::WiseGraph, "h100"}, {BaselineSystem::DGL,
+                                                  "h100"}};
+    Modes = {false};
+    GraphIndices = {3, 4};
+    Models = {ModelKind::GCN, ModelKind::GAT};
+  }
 
   std::vector<std::string> Header = {"System", "HW",    "Mode", "Overall",
                                      "GCN",    "GIN",   "SGC",  "TAGCN",
@@ -52,17 +74,32 @@ int main(int argc, char **argv) {
   double MaxFeaturizeGpu = 0.0, MaxFeaturizeCpu = 0.0, MaxSelect = 0.0;
 
   for (const RowSpec &Row : Rows) {
-    for (bool Training : {false, true}) {
+    for (bool Training : Modes) {
       std::string Mode = Training ? "T" : "I";
       std::vector<CellResult> RowCells;
       std::vector<std::string> Line = {systemName(Row.Sys), Row.Hw, Mode};
       std::map<ModelKind, std::vector<CellResult>> PerModel;
 
-      for (ModelKind Kind : allModels()) {
-        for (const Graph &G : Ctx.evalGraphs()) {
+      for (ModelKind Kind : Models) {
+        for (size_t GraphIdx : GraphIndices) {
+          const Graph &G = Ctx.evalGraphs()[GraphIdx];
+          const std::string &Code = Ctx.evalCodes()[GraphIdx];
           for (auto [KIn, KOut] : embeddingCombos(Kind)) {
             CellResult Cell = runCell(Ctx, Row.Sys, Kind, Row.Hw, G, KIn,
                                       KOut, Training, Reorder);
+            if (!JsonPath.empty()) {
+              std::vector<double> Samples = {Cell.GraniiSeconds};
+              for (int Rep = 1; Rep < JsonReps; ++Rep)
+                Samples.push_back(runCell(Ctx, Row.Sys, Kind, Row.Hw, G, KIn,
+                                          KOut, Training, Reorder)
+                                      .GraniiSeconds);
+              Report.add(BenchReport::makeRecord(
+                  "table3/" + systemName(Row.Sys) + "/" + Row.Hw + "/" +
+                      Mode + "/" + modelName(Kind) + "/" + Code + "/" +
+                      std::to_string(KIn) + "x" + std::to_string(KOut),
+                  G.name(), KIn, KOut, reorderPolicyName(Reorder), Samples,
+                  Cell.GraniiBytes));
+            }
             PerModel[Kind].push_back(Cell);
             RowCells.push_back(Cell);
             PerModeAll[Mode].push_back(Cell);
@@ -106,5 +143,15 @@ int main(int argc, char **argv) {
   std::printf("  max composition selection: %.3f ms\n", MaxSelect * 1e3);
   std::printf("\nPaper reference: overall geomean 1.56x (I) / 1.40x (T); "
               "largest wins for WiseGraph GCN/SGC/TAGCN on A100.\n");
+
+  if (!JsonPath.empty()) {
+    std::string WriteError;
+    if (!Report.write(JsonPath, &WriteError)) {
+      std::fprintf(stderr, "error: %s\n", WriteError.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[table3] wrote machine-readable report to %s\n",
+                 JsonPath.c_str());
+  }
   return 0;
 }

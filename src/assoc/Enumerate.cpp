@@ -19,6 +19,7 @@
 #include "assoc/Prune.h"
 #include "ir/Rewrite.h"
 #include "support/Error.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <map>
@@ -473,10 +474,14 @@ std::vector<RecipeRef> Enumerator::enumNode(const IRNodeRef &Node) {
 
 std::vector<CompositionPlan>
 granii::enumerateCompositions(const IRNodeRef &Root, const EnumOptions &Opts) {
+  TraceSpan EnumSpan("enumerate", "optimizer");
+  TraceSpan RewriteSpan("rewrite", "optimizer");
   IRNodeRef Rewritten = rewriteBroadcastsToDiag(Root);
   std::vector<IRNodeRef> Variants =
       Opts.EnableDistribution ? enumerateDistributions(Rewritten)
                               : std::vector<IRNodeRef>{Rewritten};
+  RewriteSpan.setArg("variants", static_cast<double>(Variants.size()));
+  RewriteSpan.end();
 
   std::vector<CompositionPlan> Plans;
   std::unordered_set<std::string> Seen;
@@ -494,5 +499,6 @@ granii::enumerateCompositions(const IRNodeRef &Root, const EnumOptions &Opts) {
       Plans.push_back(std::move(Plan));
     }
   }
+  EnumSpan.setArg("plans", static_cast<double>(Plans.size()));
   return Plans;
 }

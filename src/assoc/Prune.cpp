@@ -2,6 +2,8 @@
 
 #include "assoc/Prune.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <array>
 #include <map>
@@ -107,6 +109,8 @@ bool granii::dominates(const CompositionPlan &Dominator,
 std::vector<CompositionPlan>
 granii::pruneCompositions(std::vector<CompositionPlan> Plans,
                           PruneStats *Stats) {
+  TraceSpan Span("prune", "optimizer");
+  Span.setArg("enumerated", static_cast<double>(Plans.size()));
   const DimBinding Ge = pruneScenarioGe();
   const DimBinding Lt = pruneScenarioLt();
   const size_t Count = Plans.size();
@@ -153,5 +157,6 @@ granii::pruneCompositions(std::vector<CompositionPlan> Plans,
     Stats->Pruned = Pruned;
     Stats->Promoted = Promoted.size();
   }
+  Span.setArg("promoted", static_cast<double>(Promoted.size()));
   return Promoted;
 }

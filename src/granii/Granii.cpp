@@ -6,6 +6,7 @@
 #include "support/Error.h"
 #include "support/Rng.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <fstream>
@@ -130,6 +131,8 @@ Selection Optimizer::selectWithStats(const DimBinding &Binding,
   }
 
   // Cost-model comparison among the rest.
+  TraceSpan Span("cost-model", "optimizer");
+  Span.setArg("candidates", static_cast<double>(Candidates.size()));
   Timer SelectTimer;
   double BestCost = 0.0;
   size_t BestIndex = Candidates.front();
@@ -144,6 +147,8 @@ Selection Optimizer::selectWithStats(const DimBinding &Binding,
   Sel.PlanIndex = BestIndex;
   Sel.PredictedSeconds = BestCost;
   Sel.UsedCostModels = true;
+  Span.setArg("selected", static_cast<double>(BestIndex));
+  Span.setArg("predicted_seconds", BestCost);
   // On measured platforms the selection overhead is the wall-clock spent in
   // the cost models. On simulated platforms host milliseconds are not
   // commensurate with simulated kernel microseconds (this reproduction runs
@@ -158,10 +163,14 @@ Selection Optimizer::selectWithStats(const DimBinding &Binding,
 
 Selection Optimizer::select(const Graph &G, int64_t KIn, int64_t KOut) const {
   // Featurization overhead: one pass over the graph to gather statistics.
+  TraceSpan FeaturizeSpan("featurize", "optimizer");
   Timer FeaturizeTimer;
   Graph WithSelf = G.withSelfLoops();
   GraphStats Stats = WithSelf.stats();
   double MeasuredFeaturize = FeaturizeTimer.seconds();
+  FeaturizeSpan.setArg("nodes", static_cast<double>(WithSelf.numNodes()));
+  FeaturizeSpan.setArg("edges", static_cast<double>(WithSelf.numEdges()));
+  FeaturizeSpan.end();
 
   DimBinding Binding;
   Binding.N = WithSelf.numNodes();

@@ -3,6 +3,7 @@
 #include "ir/Dsl.h"
 
 #include "support/Str.h"
+#include "support/Trace.h"
 
 #include <cctype>
 #include <map>
@@ -410,6 +411,7 @@ std::optional<ParsedModel> Parser::parse(std::string *ErrorMessage) {
 
 std::optional<ParsedModel> granii::parseModelDsl(const std::string &Source,
                                                  std::string *ErrorMessage) {
+  TraceSpan Span("parse", "optimizer");
   std::string LexError;
   std::vector<Token> Tokens = lexModelDsl(Source, &LexError);
   if (!LexError.empty()) {

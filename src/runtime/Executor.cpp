@@ -6,6 +6,7 @@
 #include "support/Error.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -308,6 +309,13 @@ void PlanInterpreter::bindInput(size_t Id, const PlanValue &Def) {
 
 void PlanInterpreter::execStep(size_t StepIdx, ExecResult &Result) {
   const PlanStep &Step = Plan.Steps[StepIdx];
+  // One span per executed plan step, annotated with the StepProfile
+  // counters below. Constructing the name allocates, so it is guarded: the
+  // disabled-tracing path must stay allocation-free for the zero-steady-
+  // state-allocation guarantee.
+  TraceSpan Span;
+  if (Trace::get().enabled())
+    Span = TraceSpan(stepOpName(Step.Op), "executor");
   RtValue &Out = val(Step.Result);
   Out.Kind = Plan.Values[static_cast<size_t>(Step.Result)].Kind;
   auto Op = [&](int I) -> RtValue & { return val(Step.Operands[I]); };
@@ -475,8 +483,10 @@ void PlanInterpreter::execStep(size_t StepIdx, ExecResult &Result) {
   else
     Result.ForwardSeconds += Seconds;
 
-  if (!Result.StepProfiles.empty()) {
-    StepProfile &P = Result.StepProfiles[StepIdx];
+  if (!Result.StepProfiles.empty() || Span.active()) {
+    StepProfile Local;
+    StepProfile &P =
+        Result.StepProfiles.empty() ? Local : Result.StepProfiles[StepIdx];
     const PlanValue &Def = Plan.Values[static_cast<size_t>(Step.Result)];
     P.Value = Def.DebugName.empty() ? "v" + std::to_string(Step.Result)
                                     : Def.DebugName;
@@ -499,10 +509,20 @@ void PlanInterpreter::execStep(size_t StepIdx, ExecResult &Result) {
     P.Seconds = Seconds;
     P.Flops = (*DescsPtr)[StepIdx].flops();
     P.Bytes = (*DescsPtr)[StepIdx].bytes();
+    if (Span.active()) {
+      Span.setArg("value", P.Value);
+      Span.setArg("shape", P.Shape);
+      Span.setArg("charged_seconds", P.Seconds);
+      Span.setArg("flops", P.Flops);
+      Span.setArg("bytes", P.Bytes);
+      if (P.Setup)
+        Span.setArg("setup", 1.0);
+    }
   }
 }
 
 void PlanInterpreter::forward(ExecResult &Result) {
+  TraceSpan Span("forward", "executor");
   Result.SetupSeconds = 0.0;
   Result.ForwardSeconds = 0.0;
   Result.BackwardSeconds = 0.0;
@@ -527,6 +547,7 @@ void PlanInterpreter::forward(ExecResult &Result) {
 }
 
 void PlanInterpreter::backward(ExecResult &Result) {
+  TraceSpan Span("backward", "executor");
   std::vector<bool> Need = gradPath(Plan);
   std::vector<RtGrad> Grads(Plan.Values.size());
   std::vector<RtValue> &Values = *ValuesPtr;
@@ -859,6 +880,7 @@ double Executor::reorderSetup(detail::ReorderState &RS, const CsrMatrix &Adj,
   // Per-(policy, graph) preprocessing, hoisted like degree normalizations.
   // Charged as an edge-traversal primitive: the permutation build and the
   // PAP^T rewrite are both O(E)-dominated passes over the structure.
+  TraceSpan Span("reorder-setup", "executor");
   PrimitiveDesc Desc{PrimitiveKind::EdgeElementwise, Adj.rows(), 0, 0,
                      Adj.nnz()};
   return timeKernel(Desc, Stats, [&] {
@@ -883,6 +905,7 @@ LayerInputs Executor::permuteInputs(detail::ReorderState &RS,
   // The gather runs every iteration (features may change between calls
   // even when the graph does not), so it is charged per iteration as a
   // dense row map — its real cost on measured platforms.
+  TraceSpan Span("permute-features", "executor");
   PrimitiveDesc Desc{PrimitiveKind::DenseMap, H.rows(), H.cols(), 0, 0};
   PermSeconds += timeKernel(
       Desc, RS.PermStats, [&] { permuteRowsInto(H, RS.Perm, RS.PermFeatures); },
@@ -900,6 +923,7 @@ double Executor::unpermuteRows(detail::ReorderState &RS, DenseMatrix &M,
   Staging.resize(M.rows(), M.cols());
   if (Staging.capacityFloats() != Cap)
     Ws.countAllocation();
+  TraceSpan Span("unpermute-output", "executor");
   PrimitiveDesc Desc{PrimitiveKind::DenseMap, M.rows(), M.cols(), 0, 0};
   double Seconds = timeKernel(
       Desc, RS.PermStats, [&] { inversePermuteRowsInto(M, RS.Perm, Staging); },

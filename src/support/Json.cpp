@@ -1,0 +1,356 @@
+//===- Json.cpp - Minimal JSON parsing ----------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace granii;
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Value] : Obj)
+    if (Name == Key)
+      return &Value;
+  return nullptr;
+}
+
+double JsonValue::numberOr(const std::string &Key, double Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->kind() == Kind::Number ? V->number() : Default;
+}
+
+std::string JsonValue::stringOr(const std::string &Key,
+                                const std::string &Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->kind() == Kind::String ? V->str() : Default;
+}
+
+bool JsonValue::boolOr(const std::string &Key, bool Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->kind() == Kind::Bool ? V->boolean() : Default;
+}
+
+JsonValue JsonValue::makeBool(bool B) {
+  JsonValue V;
+  V.K = Kind::Bool;
+  V.Bool = B;
+  return V;
+}
+
+JsonValue JsonValue::makeNumber(double N) {
+  JsonValue V;
+  V.K = Kind::Number;
+  V.Num = N;
+  return V;
+}
+
+JsonValue JsonValue::makeString(std::string S) {
+  JsonValue V;
+  V.K = Kind::String;
+  V.Str = std::move(S);
+  return V;
+}
+
+JsonValue JsonValue::makeArray(std::vector<JsonValue> A) {
+  JsonValue V;
+  V.K = Kind::Array;
+  V.Arr = std::move(A);
+  return V;
+}
+
+JsonValue
+JsonValue::makeObject(std::vector<std::pair<std::string, JsonValue>> O) {
+  JsonValue V;
+  V.K = Kind::Object;
+  V.Obj = std::move(O);
+  return V;
+}
+
+namespace {
+
+class JsonParser {
+public:
+  JsonParser(const std::string &Text, std::string *Err)
+      : Text(Text), Err(Err) {}
+
+  std::optional<JsonValue> parse() {
+    std::optional<JsonValue> V = parseValue();
+    if (!V)
+      return std::nullopt;
+    skipSpace();
+    if (Pos != Text.size()) {
+      fail("trailing characters after JSON value");
+      return std::nullopt;
+    }
+    return V;
+  }
+
+private:
+  void fail(const std::string &Message) {
+    if (Err && Err->empty())
+      *Err = Message + " at offset " + std::to_string(Pos);
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::char_traits<char>::length(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  std::optional<JsonValue> parseValue() {
+    skipSpace();
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"') {
+      std::optional<std::string> S = parseString();
+      if (!S)
+        return std::nullopt;
+      return JsonValue::makeString(std::move(*S));
+    }
+    if (literal("true"))
+      return JsonValue::makeBool(true);
+    if (literal("false"))
+      return JsonValue::makeBool(false);
+    if (literal("null"))
+      return JsonValue::makeNull();
+    return parseNumber();
+  }
+
+  std::optional<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    bool SawDigit = false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        SawDigit = true;
+        ++Pos;
+      } else if (C == '.' || C == 'e' || C == 'E' || C == '-' || C == '+') {
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    if (!SawDigit) {
+      Pos = Start;
+      fail("invalid JSON value");
+      return std::nullopt;
+    }
+    std::string Token = Text.substr(Start, Pos - Start);
+    char *End = nullptr;
+    double Value = std::strtod(Token.c_str(), &End);
+    if (End != Token.c_str() + Token.size()) {
+      Pos = Start;
+      fail("malformed number '" + Token + "'");
+      return std::nullopt;
+    }
+    return JsonValue::makeNumber(Value);
+  }
+
+  std::optional<std::string> parseString() {
+    skipSpace();
+    if (!consume('"')) {
+      fail("expected '\"'");
+      return std::nullopt;
+    }
+    std::string Out;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size()) {
+          fail("truncated \\u escape");
+          return std::nullopt;
+        }
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code += static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code += static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code += static_cast<unsigned>(H - 'A' + 10);
+          else {
+            fail("invalid \\u escape");
+            return std::nullopt;
+          }
+        }
+        // UTF-8-encode the code point (BMP only; surrogate pairs are not
+        // produced by this repo's writers).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        fail("unknown escape sequence");
+        return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parseArray() {
+    consume('[');
+    std::vector<JsonValue> Items;
+    skipSpace();
+    if (consume(']'))
+      return JsonValue::makeArray(std::move(Items));
+    while (true) {
+      std::optional<JsonValue> Item = parseValue();
+      if (!Item)
+        return std::nullopt;
+      Items.push_back(std::move(*Item));
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return JsonValue::makeArray(std::move(Items));
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parseObject() {
+    consume('{');
+    std::vector<std::pair<std::string, JsonValue>> Members;
+    skipSpace();
+    if (consume('}'))
+      return JsonValue::makeObject(std::move(Members));
+    while (true) {
+      std::optional<std::string> Key = parseString();
+      if (!Key)
+        return std::nullopt;
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      std::optional<JsonValue> Value = parseValue();
+      if (!Value)
+        return std::nullopt;
+      Members.emplace_back(std::move(*Key), std::move(*Value));
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return JsonValue::makeObject(std::move(Members));
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  const std::string &Text;
+  std::string *Err;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> granii::parseJson(const std::string &Text,
+                                           std::string *Err) {
+  std::string Local;
+  JsonParser Parser(Text, Err ? Err : &Local);
+  return Parser.parse();
+}
+
+std::string granii::jsonEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size() + 2);
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,76 @@
+//===- Json.h - Minimal JSON parsing ---------------------------*- C++ -*-===//
+///
+/// \file
+/// A small recursive-descent JSON parser used by the observability layer:
+/// granii-bench-diff reads machine-readable benchmark results, and the
+/// trace tests validate emitted Chrome-trace documents. Parsing is strict
+/// (no comments, no trailing commas); numbers are held as doubles, which
+/// is exact for the magnitudes these files contain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_SUPPORT_JSON_H
+#define GRANII_SUPPORT_JSON_H
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace granii {
+
+/// One parsed JSON value. Object member order is preserved (benchmark
+/// reports compare in file order).
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+
+  bool boolean() const { return Bool; }
+  double number() const { return Num; }
+  const std::string &str() const { return Str; }
+  const std::vector<JsonValue> &array() const { return Arr; }
+  const std::vector<std::pair<std::string, JsonValue>> &object() const {
+    return Obj;
+  }
+
+  /// Object member lookup; null for non-objects and missing keys.
+  const JsonValue *find(const std::string &Key) const;
+
+  /// Convenience accessors with defaults for optional members.
+  double numberOr(const std::string &Key, double Default) const;
+  std::string stringOr(const std::string &Key,
+                       const std::string &Default) const;
+  bool boolOr(const std::string &Key, bool Default) const;
+
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue makeBool(bool B);
+  static JsonValue makeNumber(double N);
+  static JsonValue makeString(std::string S);
+  static JsonValue makeArray(std::vector<JsonValue> A);
+  static JsonValue
+  makeObject(std::vector<std::pair<std::string, JsonValue>> O);
+
+private:
+  Kind K = Kind::Null;
+  bool Bool = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+};
+
+/// Parses \p Text as one JSON document (trailing whitespace allowed).
+/// \returns nullopt with \p Err describing the position on malformed input.
+std::optional<JsonValue> parseJson(const std::string &Text,
+                                   std::string *Err = nullptr);
+
+/// Escapes \p Text for embedding inside a JSON string literal (quotes not
+/// included).
+std::string jsonEscape(const std::string &Text);
+
+} // namespace granii
+
+#endif // GRANII_SUPPORT_JSON_H

@@ -1,0 +1,235 @@
+//===- Trace.cpp - Chrome-trace scoped-span tracer ----------------------------===//
+
+#include "support/Trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace granii;
+
+namespace {
+
+/// JSON string escaping for event names and string args.
+std::string escapeJson(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size() + 2);
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// Numbers are serialized with enough precision to round-trip sub-
+/// microsecond durations; trailing-zero trimming keeps files compact.
+std::string formatNumber(double Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", Value);
+  return Buf;
+}
+
+std::atomic<int> NextThreadId{0};
+
+} // namespace
+
+Trace &Trace::get() {
+  static Trace Instance;
+  return Instance;
+}
+
+int Trace::currentThreadId() {
+  thread_local int Id = NextThreadId.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+void Trace::start() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.clear();
+  Epoch = std::chrono::steady_clock::now();
+  EpochValid = true;
+  Enabled.store(true, std::memory_order_relaxed);
+}
+
+void Trace::stop() { Enabled.store(false, std::memory_order_relaxed); }
+
+double Trace::nowMicros() const {
+  if (!EpochValid)
+    return 0.0;
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - Epoch)
+      .count();
+}
+
+void Trace::record(Event E) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back(std::move(E));
+}
+
+size_t Trace::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Events.size();
+}
+
+void Trace::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.clear();
+}
+
+std::string Trace::toJson() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::ostringstream Out;
+  Out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  // One thread_name metadata event per thread track keeps the Perfetto
+  // timeline labeled even though this process never sets OS thread names.
+  std::map<int, bool> Threads;
+  for (const Event &E : Events)
+    Threads[E.ThreadId] = true;
+  for (const auto &[Tid, Unused] : Threads) {
+    (void)Unused;
+    Out << (First ? "" : ",") << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << Tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << (Tid == 0 ? std::string("main") : "worker-" + std::to_string(Tid))
+        << "\"}}";
+    First = false;
+  }
+  for (const Event &E : Events) {
+    Out << (First ? "" : ",") << "{\"ph\":\"X\",\"pid\":1,\"tid\":"
+        << E.ThreadId << ",\"name\":\"" << escapeJson(E.Name)
+        << "\",\"cat\":\"" << escapeJson(E.Category)
+        << "\",\"ts\":" << formatNumber(E.StartMicros)
+        << ",\"dur\":" << formatNumber(E.DurationMicros);
+    if (!E.Args.empty())
+      Out << ",\"args\":{" << E.Args << "}";
+    Out << "}";
+    First = false;
+  }
+  Out << "]}";
+  return Out.str();
+}
+
+bool Trace::writeJson(const std::string &Path, std::string *Err) const {
+  std::ofstream Out(Path);
+  if (!Out) {
+    if (Err)
+      *Err = "cannot open trace output file '" + Path + "'";
+    return false;
+  }
+  Out << toJson() << "\n";
+  if (!Out) {
+    if (Err)
+      *Err = "failed writing trace to '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceSpan
+//===----------------------------------------------------------------------===//
+
+TraceSpan::TraceSpan(const char *NameIn, const char *CategoryIn) {
+  Trace &T = Trace::get();
+  if (!T.enabled())
+    return;
+  Active = true;
+  Name = NameIn;
+  Category = CategoryIn;
+  StartMicros = T.nowMicros();
+}
+
+TraceSpan::TraceSpan(std::string NameIn, const char *CategoryIn) {
+  Trace &T = Trace::get();
+  if (!T.enabled())
+    return;
+  Active = true;
+  Name = std::move(NameIn);
+  Category = CategoryIn;
+  StartMicros = T.nowMicros();
+}
+
+TraceSpan::TraceSpan(TraceSpan &&Other) noexcept
+    : Active(Other.Active), Name(std::move(Other.Name)),
+      Category(std::move(Other.Category)), StartMicros(Other.StartMicros),
+      Args(std::move(Other.Args)) {
+  Other.Active = false;
+}
+
+TraceSpan &TraceSpan::operator=(TraceSpan &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  end();
+  Active = Other.Active;
+  Name = std::move(Other.Name);
+  Category = std::move(Other.Category);
+  StartMicros = Other.StartMicros;
+  Args = std::move(Other.Args);
+  Other.Active = false;
+  return *this;
+}
+
+TraceSpan::~TraceSpan() { end(); }
+
+void TraceSpan::setArg(const char *Key, double Value) {
+  if (!Active)
+    return;
+  if (!Args.empty())
+    Args += ",";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "\"%s\":%.17g", Key, Value);
+  Args += Buf;
+}
+
+void TraceSpan::setArg(const char *Key, const std::string &Value) {
+  if (!Active)
+    return;
+  if (!Args.empty())
+    Args += ",";
+  Args += "\"";
+  Args += Key;
+  Args += "\":\"";
+  Args += escapeJson(Value);
+  Args += "\"";
+}
+
+void TraceSpan::end() {
+  if (!Active)
+    return;
+  Active = false;
+  Trace &T = Trace::get();
+  Trace::Event E;
+  E.Name = std::move(Name);
+  E.Category = std::move(Category);
+  E.StartMicros = StartMicros;
+  E.DurationMicros = T.nowMicros() - StartMicros;
+  E.ThreadId = Trace::currentThreadId();
+  E.Args = std::move(Args);
+  T.record(std::move(E));
+}

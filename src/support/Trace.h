@@ -1,0 +1,134 @@
+//===- Trace.h - Chrome-trace scoped-span tracer ----------------*- C++ -*-===//
+///
+/// \file
+/// A process-wide scoped-span tracer emitting Chrome `chrome://tracing` /
+/// Perfetto "Trace Event Format" JSON. Spans are recorded as complete
+/// ("ph":"X") events with microsecond timestamps, tagged with a per-thread
+/// id so pool workers render as separate tracks, and may carry numeric
+/// counter arguments (FLOPs, bytes, charged seconds) shown in the event
+/// detail pane.
+///
+/// The tracer is disabled by default and designed to be free to leave in
+/// hot paths: TraceSpan's constructor is a relaxed atomic load when tracing
+/// is off — no clock read, no string copy, no allocation — which is what
+/// keeps the executor's zero-steady-state-allocation guarantee intact.
+/// Enabling (granii-cli --trace=out.json) buffers events in memory and
+/// serializes them on demand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_SUPPORT_TRACE_H
+#define GRANII_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace granii {
+
+/// The process-wide event sink. All members are thread-safe.
+class Trace {
+public:
+  /// One buffered complete event. Timestamps are microseconds relative to
+  /// the start() call, so traces begin at t=0 in the viewer.
+  struct Event {
+    std::string Name;
+    std::string Category;
+    double StartMicros = 0.0;
+    double DurationMicros = 0.0;
+    int ThreadId = 0;
+    /// Pre-rendered JSON object body for "args" (without braces), e.g.
+    /// "\"flops\":1.2e9,\"bytes\":4096". Empty for no args.
+    std::string Args;
+  };
+
+  static Trace &get();
+
+  /// Clears any buffered events and starts capturing. Timestamps restart
+  /// at zero.
+  void start();
+
+  /// Stops capturing; buffered events are kept for serialization.
+  void stop();
+
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Microseconds since start() (0 when never started).
+  double nowMicros() const;
+
+  /// Appends one complete event (no-op when disabled).
+  void record(Event E);
+
+  size_t eventCount() const;
+
+  /// Discards all buffered events.
+  void clear();
+
+  /// Serializes the buffer as a Trace Event Format JSON document:
+  /// {"displayTimeUnit":"ms","traceEvents":[...]} with one thread_name
+  /// metadata event per thread seen.
+  std::string toJson() const;
+
+  /// Writes toJson() to \p Path. \returns false (with \p Err set) on IO
+  /// failure.
+  bool writeJson(const std::string &Path, std::string *Err = nullptr) const;
+
+  /// The calling thread's stable trace id (0 for the first thread that
+  /// records, usually the main thread).
+  static int currentThreadId();
+
+private:
+  Trace() = default;
+
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex Mutex;
+  std::vector<Event> Events;
+  std::chrono::steady_clock::time_point Epoch{};
+  bool EpochValid = false;
+};
+
+/// RAII span: opens at construction, records one complete event at
+/// destruction. Inactive (all methods no-ops) when tracing is disabled at
+/// construction time; the inactive paths never touch the clock or the heap.
+class TraceSpan {
+public:
+  /// Inactive span (useful as an optional's disengaged stand-in).
+  TraceSpan() = default;
+
+  /// Opens a span named \p Name under \p Category. \p Name is copied only
+  /// when tracing is enabled.
+  explicit TraceSpan(const char *Name, const char *Category = "granii");
+  TraceSpan(std::string Name, const char *Category);
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+  TraceSpan(TraceSpan &&Other) noexcept;
+  TraceSpan &operator=(TraceSpan &&Other) noexcept;
+
+  ~TraceSpan();
+
+  bool active() const { return Active; }
+
+  /// Attaches a numeric counter argument (rendered in the viewer's detail
+  /// pane). No-ops on an inactive span.
+  void setArg(const char *Key, double Value);
+  /// Attaches a string argument.
+  void setArg(const char *Key, const std::string &Value);
+
+  /// Closes the span now (idempotent; the destructor does the same).
+  void end();
+
+private:
+  bool Active = false;
+  std::string Name;
+  std::string Category;
+  double StartMicros = 0.0;
+  std::string Args;
+};
+
+} // namespace granii
+
+#endif // GRANII_SUPPORT_TRACE_H

@@ -2,16 +2,19 @@
 
 #include "CliDriver.h"
 
+#include "support/Json.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 using namespace granii::cli;
 
 namespace {
 
-/// Writes a GCN DSL model file into the test temp dir and returns its path.
+/// Writes a DSL model file into the test temp dir and returns its path.
 std::string writeModelFile(const std::string &Name,
                            const std::string &Contents) {
   std::string Path = ::testing::TempDir() + "/" + Name;
@@ -20,17 +23,11 @@ std::string writeModelFile(const std::string &Name,
   return Path;
 }
 
-const char *GcnSource = R"(model GCN {
-  input graph A;
-  input features H;
-  param weight W;
-  d = inv_sqrt_degree(A);
-  h = row_scale(d, H);
-  h = aggregate(A, h);
-  h = matmul(h, W);
-  h = row_scale(d, h);
-  output relu(h);
-})";
+/// The canonical GCN example, shared with the CI smoke test and the docs
+/// (GRANII_EXAMPLES_DIR is injected by tests/CMakeLists.txt).
+std::string gcnExamplePath() {
+  return std::string(GRANII_EXAMPLES_DIR) + "/gcn.gnn";
+}
 
 } // namespace
 
@@ -47,7 +44,7 @@ TEST(Cli, UnknownCommandRejected) {
 }
 
 TEST(Cli, CompileReportsOfflineStage) {
-  std::string Path = writeModelFile("cli_gcn.gnn", GcnSource);
+  std::string Path = gcnExamplePath();
   std::string Out, Err;
   ASSERT_EQ(runCli({"compile", Path}, Out, Err), 0) << Err;
   EXPECT_NE(Out.find("model 'GCN'"), std::string::npos);
@@ -57,7 +54,7 @@ TEST(Cli, CompileReportsOfflineStage) {
 }
 
 TEST(Cli, CompileWithCodegenEmitsDispatcher) {
-  std::string Path = writeModelFile("cli_gcn2.gnn", GcnSource);
+  std::string Path = gcnExamplePath();
   std::string Out, Err;
   ASSERT_EQ(runCli({"compile", Path, "--codegen"}, Out, Err), 0) << Err;
   EXPECT_NE(Out.find("GCN_forward"), std::string::npos);
@@ -65,7 +62,7 @@ TEST(Cli, CompileWithCodegenEmitsDispatcher) {
 }
 
 TEST(Cli, CompileWithDotEmitsDigraphs) {
-  std::string Path = writeModelFile("cli_gcn3.gnn", GcnSource);
+  std::string Path = gcnExamplePath();
   std::string Out, Err;
   ASSERT_EQ(runCli({"compile", Path, "--dot"}, Out, Err), 0) << Err;
   EXPECT_NE(Out.find("digraph \"GCN_ir\""), std::string::npos);
@@ -86,7 +83,7 @@ TEST(Cli, CompileParseErrorSurfacesDiagnostic) {
 }
 
 TEST(Cli, RunOnSyntheticGraph) {
-  std::string Path = writeModelFile("cli_gcn4.gnn", GcnSource);
+  std::string Path = gcnExamplePath();
   std::string Out, Err;
   ASSERT_EQ(runCli({"run", Path, "--graph", "synth:belgium-osm", "--kin",
                     "16", "--kout", "32", "--hw", "h100", "--iters", "50"},
@@ -99,7 +96,7 @@ TEST(Cli, RunOnSyntheticGraph) {
 }
 
 TEST(Cli, RunProfileReportsStepsAndZeroAllocations) {
-  std::string Path = writeModelFile("cli_gcn_prof.gnn", GcnSource);
+  std::string Path = gcnExamplePath();
   std::string Out, Err;
   ASSERT_EQ(runCli({"run", Path, "--graph", "synth:coauthors", "--kin", "16",
                     "--kout", "8", "--profile"},
@@ -117,7 +114,7 @@ TEST(Cli, RunProfileReportsStepsAndZeroAllocations) {
 }
 
 TEST(Cli, RunTrainingMode) {
-  std::string Path = writeModelFile("cli_gcn5.gnn", GcnSource);
+  std::string Path = gcnExamplePath();
   std::string Out, Err;
   ASSERT_EQ(runCli({"run", Path, "--graph", "synth:coauthors", "--kin", "8",
                     "--kout", "8", "--train"},
@@ -128,7 +125,7 @@ TEST(Cli, RunTrainingMode) {
 }
 
 TEST(Cli, RunWithReorderReportsLocalityImprovement) {
-  std::string Path = writeModelFile("cli_gcn_reorder.gnn", GcnSource);
+  std::string Path = gcnExamplePath();
   std::string Out, Err;
   ASSERT_EQ(runCli({"run", Path, "--graph", "synth:reddit", "--kin", "16",
                     "--kout", "16", "--reorder", "rcm", "--profile"},
@@ -142,7 +139,7 @@ TEST(Cli, RunWithReorderReportsLocalityImprovement) {
 }
 
 TEST(Cli, RunRejectsUnknownReorderPolicy) {
-  std::string Path = writeModelFile("cli_gcn_reorder2.gnn", GcnSource);
+  std::string Path = gcnExamplePath();
   std::string Out, Err;
   EXPECT_EQ(runCli({"run", Path, "--graph", "synth:coauthors", "--reorder",
                     "hilbert"},
@@ -152,7 +149,7 @@ TEST(Cli, RunRejectsUnknownReorderPolicy) {
 }
 
 TEST(Cli, RunRejectsUnknownHardware) {
-  std::string Path = writeModelFile("cli_gcn6.gnn", GcnSource);
+  std::string Path = gcnExamplePath();
   std::string Out, Err;
   EXPECT_EQ(runCli({"run", Path, "--graph", "synth:coauthors", "--hw",
                     "tpu"},
@@ -162,7 +159,7 @@ TEST(Cli, RunRejectsUnknownHardware) {
 }
 
 TEST(Cli, RunRejectsUnknownSyntheticGraph) {
-  std::string Path = writeModelFile("cli_gcn7.gnn", GcnSource);
+  std::string Path = gcnExamplePath();
   std::string Out, Err;
   EXPECT_EQ(
       runCli({"run", Path, "--graph", "synth:nosuch"}, Out, Err), 1);
@@ -175,7 +172,7 @@ TEST(Cli, GraphGenRoundTripsThroughRun) {
   ASSERT_EQ(runCli({"graphgen", "coauthors", MtxPath}, Out, Err), 0) << Err;
   EXPECT_NE(Out.find("wrote coauthors"), std::string::npos);
 
-  std::string ModelPath = writeModelFile("cli_gcn8.gnn", GcnSource);
+  std::string ModelPath = gcnExamplePath();
   std::string Out2, Err2;
   ASSERT_EQ(runCli({"run", ModelPath, "--graph", MtxPath, "--kin", "8",
                     "--kout", "8"},
@@ -202,4 +199,56 @@ TEST(Cli, CustomAttentionModelCompiles) {
   ASSERT_EQ(runCli({"compile", Path}, Out, Err), 0) << Err;
   EXPECT_NE(Out.find("2 compositions enumerated"), std::string::npos);
   EXPECT_NE(Out.find("edge_softmax"), std::string::npos);
+}
+
+TEST(Cli, RunDefaultsToCoauthorsGraph) {
+  std::string Out, Err;
+  ASSERT_EQ(runCli({"run", gcnExamplePath(), "--kin", "8", "--kout", "8"},
+                   Out, Err),
+            0)
+      << Err;
+  EXPECT_NE(Out.find("graph 'coauthors'"), std::string::npos);
+}
+
+TEST(Cli, RunWithTraceWritesPerfettoJson) {
+  std::string TracePath = ::testing::TempDir() + "/cli.trace.json";
+  std::string Out, Err;
+  ASSERT_EQ(runCli({"run", gcnExamplePath(), "--kin", "16", "--kout", "8",
+                    "--trace=" + TracePath},
+                   Out, Err),
+            0)
+      << Err;
+  EXPECT_NE(Out.find("trace: "), std::string::npos);
+
+  std::ifstream In(TracePath);
+  ASSERT_TRUE(In.good());
+  std::ostringstream Contents;
+  Contents << In.rdbuf();
+  std::string Error;
+  std::optional<granii::JsonValue> Doc =
+      granii::parseJson(Contents.str(), &Error);
+  ASSERT_TRUE(Doc) << Error;
+
+  // Optimizer-phase spans and counter-annotated executor step spans.
+  bool SawPhase = false, SawStepWithCounters = false;
+  for (const granii::JsonValue &E : Doc->find("traceEvents")->array()) {
+    std::string Cat = E.stringOr("cat", "");
+    std::string Name = E.stringOr("name", "");
+    if (Cat == "optimizer" &&
+        (Name == "parse" || Name == "enumerate" || Name == "prune" ||
+         Name == "cost-model"))
+      SawPhase = true;
+    if (Cat == "executor" && E.find("args") &&
+        E.find("args")->find("charged_seconds"))
+      SawStepWithCounters = true;
+  }
+  EXPECT_TRUE(SawPhase);
+  EXPECT_TRUE(SawStepWithCounters);
+  std::remove(TracePath.c_str());
+}
+
+TEST(Cli, TraceFlagRequiresAPath) {
+  std::string Out, Err;
+  EXPECT_EQ(runCli({"run", gcnExamplePath(), "--trace"}, Out, Err), 2);
+  EXPECT_NE(Err.find("--trace expects an output path"), std::string::npos);
 }

@@ -1,0 +1,70 @@
+//===- JsonTests.cpp - Tests for the minimal JSON parser ---------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace granii;
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parseJson("null")->isNull());
+  EXPECT_TRUE(parseJson("true")->boolean());
+  EXPECT_FALSE(parseJson("false")->boolean());
+  EXPECT_DOUBLE_EQ(parseJson("42")->number(), 42.0);
+  EXPECT_DOUBLE_EQ(parseJson("-1.5e3")->number(), -1500.0);
+  EXPECT_EQ(parseJson("\"hi\"")->str(), "hi");
+}
+
+TEST(Json, ParsesStringEscapes) {
+  std::optional<JsonValue> V = parseJson(R"("a\"b\\c\n\tA")");
+  ASSERT_TRUE(V);
+  EXPECT_EQ(V->str(), "a\"b\\c\n\tA");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  std::optional<JsonValue> V =
+      parseJson(R"({"a": [1, 2, {"b": "x"}], "c": {"d": true}})");
+  ASSERT_TRUE(V);
+  const JsonValue *A = V->find("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(A->array()[0].number(), 1.0);
+  EXPECT_EQ(A->array()[2].stringOr("b", ""), "x");
+  EXPECT_TRUE(V->find("c")->boolOr("d", false));
+}
+
+TEST(Json, PreservesObjectMemberOrder) {
+  std::optional<JsonValue> V = parseJson(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(V);
+  ASSERT_EQ(V->object().size(), 3u);
+  EXPECT_EQ(V->object()[0].first, "z");
+  EXPECT_EQ(V->object()[1].first, "a");
+  EXPECT_EQ(V->object()[2].first, "m");
+}
+
+TEST(Json, AccessorsDefaultOnMissingKeys) {
+  std::optional<JsonValue> V = parseJson(R"({"x": 1})");
+  ASSERT_TRUE(V);
+  EXPECT_DOUBLE_EQ(V->numberOr("missing", 7.0), 7.0);
+  EXPECT_EQ(V->stringOr("missing", "d"), "d");
+  EXPECT_TRUE(V->boolOr("missing", true));
+  EXPECT_EQ(V->find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string Err;
+  EXPECT_FALSE(parseJson("{", &Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(parseJson("[1, 2,]"));
+  EXPECT_FALSE(parseJson("{\"a\" 1}"));
+  EXPECT_FALSE(parseJson("\"unterminated"));
+  EXPECT_FALSE(parseJson("12 34"));
+  EXPECT_FALSE(parseJson(""));
+}
+
+TEST(Json, EscapeRoundTrips) {
+  std::string Raw = "quote\" backslash\\ newline\n tab\t ctrl\x01";
+  std::optional<JsonValue> V = parseJson("\"" + jsonEscape(Raw) + "\"");
+  ASSERT_TRUE(V);
+  EXPECT_EQ(V->str(), Raw);
+}

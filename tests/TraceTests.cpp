@@ -1,0 +1,177 @@
+//===- TraceTests.cpp - Tests for the Chrome-trace tracer --------------------===//
+
+#include "support/Json.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace granii;
+
+namespace {
+
+/// Finds the first complete ("ph":"X") event with \p Name; nullptr when
+/// absent.
+const JsonValue *findEvent(const JsonValue &Doc, const std::string &Name) {
+  const JsonValue *Events = Doc.find("traceEvents");
+  if (!Events)
+    return nullptr;
+  for (const JsonValue &E : Events->array())
+    if (E.stringOr("ph", "") == "X" && E.stringOr("name", "") == Name)
+      return &E;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  Trace::get().stop();
+  Trace::get().clear();
+  {
+    TraceSpan Span("ignored", "test");
+    // Inactive: the constructor saw tracing disabled, so no name copy, no
+    // clock read, and the destructor will not touch the buffer.
+    EXPECT_FALSE(Span.active());
+    Span.setArg("key", 1.0);
+  }
+  EXPECT_EQ(Trace::get().eventCount(), 0u);
+}
+
+TEST(Trace, RecordsCompleteEventsWithArgs) {
+  Trace::get().start();
+  {
+    TraceSpan Span("outer", "test");
+    EXPECT_TRUE(Span.active());
+    Span.setArg("flops", 1.5e9);
+    Span.setArg("label", "abc");
+  }
+  Trace::get().stop();
+  ASSERT_EQ(Trace::get().eventCount(), 1u);
+
+  std::string Error;
+  std::optional<JsonValue> Doc = parseJson(Trace::get().toJson(), &Error);
+  ASSERT_TRUE(Doc) << Error;
+  const JsonValue *Event = findEvent(*Doc, "outer");
+  ASSERT_NE(Event, nullptr);
+  EXPECT_EQ(Event->stringOr("cat", ""), "test");
+  EXPECT_GE(Event->numberOr("dur", -1.0), 0.0);
+  const JsonValue *Args = Event->find("args");
+  ASSERT_NE(Args, nullptr);
+  EXPECT_DOUBLE_EQ(Args->numberOr("flops", 0.0), 1.5e9);
+  EXPECT_EQ(Args->stringOr("label", ""), "abc");
+  Trace::get().clear();
+}
+
+TEST(Trace, NestedSpansAreContained) {
+  Trace::get().start();
+  {
+    TraceSpan Outer("outer", "test");
+    {
+      TraceSpan Inner("inner", "test");
+    }
+  }
+  Trace::get().stop();
+
+  std::optional<JsonValue> Doc = parseJson(Trace::get().toJson());
+  ASSERT_TRUE(Doc);
+  const JsonValue *Outer = findEvent(*Doc, "outer");
+  const JsonValue *Inner = findEvent(*Doc, "inner");
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  // The viewer nests by interval containment: inner must start no earlier
+  // and end no later than outer.
+  double OuterTs = Outer->numberOr("ts", 0.0);
+  double OuterEnd = OuterTs + Outer->numberOr("dur", 0.0);
+  double InnerTs = Inner->numberOr("ts", 0.0);
+  double InnerEnd = InnerTs + Inner->numberOr("dur", 0.0);
+  EXPECT_GE(InnerTs, OuterTs);
+  EXPECT_LE(InnerEnd, OuterEnd);
+  Trace::get().clear();
+}
+
+TEST(Trace, EndIsIdempotentAndStopsRecordingEarly) {
+  Trace::get().start();
+  TraceSpan Span("once", "test");
+  Span.end();
+  Span.end(); // second end() must not record a duplicate
+  EXPECT_FALSE(Span.active());
+  Trace::get().stop();
+  EXPECT_EQ(Trace::get().eventCount(), 1u);
+  Trace::get().clear();
+}
+
+TEST(Trace, ThreadsGetDistinctIdsAndMetadata) {
+  Trace::get().start();
+  {
+    TraceSpan Main("on-main", "test");
+  }
+  std::thread Worker([] { TraceSpan Span("on-worker", "test"); });
+  Worker.join();
+  Trace::get().stop();
+
+  std::optional<JsonValue> Doc = parseJson(Trace::get().toJson());
+  ASSERT_TRUE(Doc);
+  const JsonValue *Main = findEvent(*Doc, "on-main");
+  const JsonValue *WorkerEvent = findEvent(*Doc, "on-worker");
+  ASSERT_NE(Main, nullptr);
+  ASSERT_NE(WorkerEvent, nullptr);
+  EXPECT_NE(Main->numberOr("tid", -1.0), WorkerEvent->numberOr("tid", -1.0));
+
+  // One thread_name metadata event per thread seen.
+  size_t Metadata = 0;
+  for (const JsonValue &E : Doc->find("traceEvents")->array())
+    if (E.stringOr("ph", "") == "M" &&
+        E.stringOr("name", "") == "thread_name")
+      ++Metadata;
+  EXPECT_GE(Metadata, 2u);
+  Trace::get().clear();
+}
+
+TEST(Trace, StartResetsBufferAndEpoch) {
+  Trace::get().start();
+  {
+    TraceSpan Span("first", "test");
+  }
+  Trace::get().start(); // restart: buffer cleared, clock back to zero
+  {
+    TraceSpan Span("second", "test");
+  }
+  Trace::get().stop();
+  EXPECT_EQ(Trace::get().eventCount(), 1u);
+  std::optional<JsonValue> Doc = parseJson(Trace::get().toJson());
+  ASSERT_TRUE(Doc);
+  EXPECT_EQ(findEvent(*Doc, "first"), nullptr);
+  EXPECT_NE(findEvent(*Doc, "second"), nullptr);
+  Trace::get().clear();
+}
+
+TEST(Trace, WriteJsonRoundTripsThroughDisk) {
+  Trace::get().start();
+  {
+    TraceSpan Span("disk", "test");
+  }
+  Trace::get().stop();
+  std::string Path = ::testing::TempDir() + "/trace_test.trace.json";
+  std::string Error;
+  ASSERT_TRUE(Trace::get().writeJson(Path, &Error)) << Error;
+
+  std::ifstream In(Path);
+  std::ostringstream Contents;
+  Contents << In.rdbuf();
+  std::optional<JsonValue> Doc = parseJson(Contents.str(), &Error);
+  ASSERT_TRUE(Doc) << Error;
+  EXPECT_EQ(Doc->stringOr("displayTimeUnit", ""), "ms");
+  EXPECT_NE(findEvent(*Doc, "disk"), nullptr);
+  Trace::get().clear();
+  std::remove(Path.c_str());
+}
+
+TEST(Trace, WriteJsonReportsUnwritablePath) {
+  std::string Error;
+  EXPECT_FALSE(Trace::get().writeJson("/nonexistent/dir/out.json", &Error));
+  EXPECT_FALSE(Error.empty());
+}

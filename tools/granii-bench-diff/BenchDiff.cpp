@@ -1,0 +1,207 @@
+//===- BenchDiff.cpp - Benchmark regression comparison ----------------------===//
+
+#include "BenchDiff.h"
+
+#include "support/Json.h"
+#include "support/Str.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+using namespace granii;
+using namespace granii::benchdiff;
+
+namespace {
+
+/// One benchmark entry as loaded from a granii-bench-v1 report.
+struct DiffRecord {
+  std::string Id;
+  double MedianSeconds = 0.0;
+  double P10Seconds = 0.0;
+  double P90Seconds = 0.0;
+  /// Baseline-only overrides.
+  std::optional<double> Threshold;
+  bool Gate = true;
+
+  /// Relative measurement spread, the noise floor for the gate.
+  double spread() const {
+    if (MedianSeconds <= 0.0)
+      return 0.0;
+    return (P90Seconds - P10Seconds) / MedianSeconds;
+  }
+};
+
+/// A parsed report: records in file order plus an id index.
+struct DiffReport {
+  std::vector<DiffRecord> Records;
+  std::map<std::string, size_t> Index;
+
+  void add(DiffRecord Record) {
+    auto It = Index.find(Record.Id);
+    if (It != Index.end()) {
+      Records[It->second] = std::move(Record);
+      return;
+    }
+    Index.emplace(Record.Id, Records.size());
+    Records.push_back(std::move(Record));
+  }
+
+  const DiffRecord *find(const std::string &Id) const {
+    auto It = Index.find(Id);
+    return It == Index.end() ? nullptr : &Records[It->second];
+  }
+};
+
+bool loadReportFile(const std::string &Path, DiffReport &Report,
+                    std::string &Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    Err += "error: cannot open '" + Path + "'\n";
+    return false;
+  }
+  std::ostringstream Contents;
+  Contents << In.rdbuf();
+  std::string ParseError;
+  std::optional<JsonValue> Doc = parseJson(Contents.str(), &ParseError);
+  if (!Doc) {
+    Err += "error: " + Path + ": " + ParseError + "\n";
+    return false;
+  }
+  std::string Schema = Doc->stringOr("schema", "");
+  if (Schema != "granii-bench-v1") {
+    Err += "error: " + Path + ": unsupported schema '" + Schema +
+           "' (expected granii-bench-v1)\n";
+    return false;
+  }
+  const JsonValue *Benchmarks = Doc->find("benchmarks");
+  if (!Benchmarks || Benchmarks->kind() != JsonValue::Kind::Array) {
+    Err += "error: " + Path + ": missing \"benchmarks\" array\n";
+    return false;
+  }
+  for (const JsonValue &Entry : Benchmarks->array()) {
+    DiffRecord Record;
+    Record.Id = Entry.stringOr("id", "");
+    if (Record.Id.empty()) {
+      Err += "error: " + Path + ": benchmark entry without an \"id\"\n";
+      return false;
+    }
+    Record.MedianSeconds = Entry.numberOr("median_seconds", 0.0);
+    Record.P10Seconds = Entry.numberOr("p10_seconds", 0.0);
+    Record.P90Seconds = Entry.numberOr("p90_seconds", 0.0);
+    if (const JsonValue *Threshold = Entry.find("threshold"))
+      if (Threshold->kind() == JsonValue::Kind::Number)
+        Record.Threshold = Threshold->number();
+    Record.Gate = Entry.boolOr("gate", true);
+    Report.add(std::move(Record));
+  }
+  return true;
+}
+
+std::string formatPercent(double Fraction) {
+  std::string Sign = Fraction >= 0.0 ? "+" : "";
+  return Sign + formatDouble(Fraction * 100.0, 1) + "%";
+}
+
+} // namespace
+
+int granii::benchdiff::runBenchDiff(const std::vector<std::string> &Args,
+                                    std::string &Out, std::string &Err) {
+  double GlobalThreshold = 0.10;
+  std::vector<std::string> Paths;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &Arg = Args[I];
+    if (Arg.rfind("--threshold=", 0) == 0) {
+      GlobalThreshold = std::atof(Arg.c_str() + 12);
+    } else if (Arg == "--threshold" && I + 1 < Args.size()) {
+      GlobalThreshold = std::atof(Args[++I].c_str());
+    } else if (Arg.rfind("--", 0) == 0) {
+      Err += "error: unknown option '" + Arg + "'\n";
+      return 2;
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  if (Paths.size() < 2) {
+    Err += "usage: granii-bench-diff <baseline.json> <head.json> "
+           "[head2.json ...] [--threshold FRAC]\n";
+    return 2;
+  }
+  if (GlobalThreshold <= 0.0) {
+    Err += "error: --threshold expects a positive fraction (e.g. 0.10)\n";
+    return 2;
+  }
+
+  DiffReport Baseline, Head;
+  if (!loadReportFile(Paths[0], Baseline, Err))
+    return 2;
+  for (size_t I = 1; I < Paths.size(); ++I)
+    if (!loadReportFile(Paths[I], Head, Err))
+      return 2;
+
+  std::vector<std::string> Header = {"benchmark", "base",      "head",
+                                     "delta",     "threshold", "status"};
+  std::vector<std::vector<std::string>> Table;
+  size_t Regressions = 0, Improvements = 0, Compared = 0;
+
+  for (const DiffRecord &Base : Baseline.Records) {
+    const DiffRecord *New = Head.find(Base.Id);
+    if (!New)
+      continue;
+    ++Compared;
+    std::string Status = "ok";
+    double Delta = 0.0;
+    double Effective =
+        std::max(Base.Threshold.value_or(GlobalThreshold),
+                 std::max(Base.spread(), New->spread()));
+    if (Base.MedianSeconds <= 0.0) {
+      Status = "no-base";
+    } else {
+      Delta = (New->MedianSeconds - Base.MedianSeconds) / Base.MedianSeconds;
+      if (Delta > Effective) {
+        if (Base.Gate) {
+          Status = "REGRESSED";
+          ++Regressions;
+        } else {
+          Status = "regressed (ungated)";
+        }
+      } else if (Delta < -Effective) {
+        Status = "improved";
+        ++Improvements;
+      }
+    }
+    Table.push_back({Base.Id, formatDouble(Base.MedianSeconds * 1e3, 4),
+                     formatDouble(New->MedianSeconds * 1e3, 4),
+                     formatPercent(Delta), formatPercent(Effective),
+                     Status});
+  }
+
+  Out += "benchmark medians in ms; threshold is noise-aware: "
+         "max(threshold, p10-p90 spread)\n";
+  Out += renderTable(Header, Table);
+  Out += "compared " + std::to_string(Compared) + " benchmark(s): " +
+         std::to_string(Regressions) + " regression(s), " +
+         std::to_string(Improvements) + " improvement(s)\n";
+
+  // Mismatched sets are reported (a renamed or dropped benchmark should be
+  // visible in review) but only regressions fail the gate.
+  for (const DiffRecord &Base : Baseline.Records)
+    if (!Head.find(Base.Id))
+      Err += "warning: benchmark '" + Base.Id +
+             "' in baseline but missing from head\n";
+  for (const DiffRecord &New : Head.Records)
+    if (!Baseline.find(New.Id))
+      Err += "warning: benchmark '" + New.Id +
+             "' in head but missing from baseline\n";
+
+  if (Regressions > 0) {
+    Err += "error: " + std::to_string(Regressions) +
+           " benchmark(s) regressed beyond the threshold\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+//===- BenchDiff.h - Benchmark regression comparison ------------*- C++ -*-===//
+///
+/// \file
+/// The granii-bench-diff driver, factored as a library so the comparison
+/// logic is unit-testable:
+///
+///   granii-bench-diff <baseline.json> <head.json> [head2.json ...]
+///                     [--threshold FRAC]
+///
+/// Both inputs are granii-bench-v1 reports (see docs/OBSERVABILITY.md).
+/// When several head files are given, their records are unioned (later
+/// files win on duplicate ids), so one combined baseline can gate multiple
+/// harness outputs. For every benchmark present in both sides the median
+/// delta is printed; a median regression beyond the noise-aware threshold
+/// fails the run.
+///
+/// The effective threshold per benchmark is
+///   max(threshold, baseline spread, head spread)
+/// where spread = (p90 - p10) / median of the respective report, so noisy
+/// benchmarks do not flap the gate. `threshold` is the per-record
+/// "threshold" field of the baseline when present, else --threshold
+/// (default 0.10). Baseline records with "gate": false are reported but
+/// never fail (used for measured, machine-dependent numbers). Benchmarks
+/// present on only one side are reported as warnings and do not fail.
+///
+/// Exit codes: 0 = no gated regression, 1 = regression, 2 = usage or
+/// malformed input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_TOOLS_BENCHDIFF_H
+#define GRANII_TOOLS_BENCHDIFF_H
+
+#include <string>
+#include <vector>
+
+namespace granii {
+namespace benchdiff {
+
+/// Executes the driver on \p Args (excluding argv[0]); the delta table and
+/// diagnostics are appended to \p Out and \p Err.
+/// \returns the process exit code.
+int runBenchDiff(const std::vector<std::string> &Args, std::string &Out,
+                 std::string &Err);
+
+} // namespace benchdiff
+} // namespace granii
+
+#endif // GRANII_TOOLS_BENCHDIFF_H

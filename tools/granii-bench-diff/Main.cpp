@@ -1,0 +1,16 @@
+//===- Main.cpp - granii-bench-diff entry point ------------------------------===//
+
+#include "BenchDiff.h"
+
+#include <cstdio>
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  std::string Out, Err;
+  int Code = granii::benchdiff::runBenchDiff(Args, Out, Err);
+  if (!Out.empty())
+    std::fputs(Out.c_str(), stdout);
+  if (!Err.empty())
+    std::fputs(Err.c_str(), stderr);
+  return Code;
+}

@@ -12,6 +12,7 @@
 #include "runtime/CodeGen.h"
 #include "support/Str.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <cstdlib>
 #include <fstream>
@@ -25,12 +26,18 @@ using namespace granii::cli;
 namespace {
 
 /// Simple flag/value argument scanner. Positional arguments keep order.
+/// Flags accept both "--key value" and "--key=value" spellings.
 class ArgParser {
 public:
   explicit ArgParser(const std::vector<std::string> &Args) {
     for (size_t I = 0; I < Args.size(); ++I) {
       if (startsWith(Args[I], "--")) {
         std::string Key = Args[I].substr(2);
+        size_t Eq = Key.find('=');
+        if (Eq != std::string::npos) {
+          Values[Key.substr(0, Eq)] = Key.substr(Eq + 1);
+          continue;
+        }
         if (I + 1 < Args.size() && !startsWith(Args[I + 1], "--"))
           Values[Key] = Args[++I];
         else
@@ -214,16 +221,18 @@ int profileRun(const CompositionPlan &Plan, const LayerParams &Params,
 }
 
 int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
-  if (Args.Positional.size() < 2 || !Args.hasFlag("graph")) {
-    Err += "usage: granii-cli run <model.gnn> --graph <mtx|synth:name> "
+  if (Args.Positional.size() < 2) {
+    Err += "usage: granii-cli run <model.gnn> [--graph <mtx|synth:name>] "
            "--kin N --kout N [--hw cpu|a100|h100] [--iters N] [--train] "
-           "[--threads N] [--profile] [--reorder none|rcm|degree]\n";
+           "[--threads N] [--profile] [--reorder none|rcm|degree] "
+           "[--trace <out.json>]\n";
     return 2;
   }
   std::optional<ParsedModel> Parsed = loadModel(Args.Positional[1], Err);
   if (!Parsed)
     return 1;
-  std::optional<Graph> G = loadGraph(Args.value("graph"), Err);
+  std::optional<Graph> G =
+      loadGraph(Args.value("graph", "synth:coauthors"), Err);
   if (!G)
     return 1;
 
@@ -334,15 +343,44 @@ int granii::cli::runCli(const std::vector<std::string> &Args, std::string &Out,
     }
     ThreadPool::get().setNumThreads(static_cast<int>(Threads));
   }
+  // Global flag: record a Chrome-trace of the optimizer pipeline and the
+  // executor, written as Perfetto-loadable JSON when the command finishes.
+  // The file is written even when the command fails so a partial trace is
+  // available for diagnosing the failure.
+  std::string TracePath;
+  if (Parsed.hasFlag("trace")) {
+    TracePath = Parsed.value("trace");
+    if (TracePath.empty()) {
+      Err += "error: --trace expects an output path (--trace=out.json)\n";
+      return 2;
+    }
+    Trace::get().start();
+  }
   const std::string &Command = Parsed.Positional.empty()
                                    ? Args[0]
                                    : Parsed.Positional[0];
+  int Code;
   if (Command == "compile")
-    return cmdCompile(Parsed, Out, Err);
-  if (Command == "run")
-    return cmdRun(Parsed, Out, Err);
-  if (Command == "graphgen")
-    return cmdGraphGen(Parsed, Out, Err);
-  Err += "error: unknown command '" + Command + "'\n";
-  return 2;
+    Code = cmdCompile(Parsed, Out, Err);
+  else if (Command == "run")
+    Code = cmdRun(Parsed, Out, Err);
+  else if (Command == "graphgen")
+    Code = cmdGraphGen(Parsed, Out, Err);
+  else {
+    Err += "error: unknown command '" + Command + "'\n";
+    Code = 2;
+  }
+  if (!TracePath.empty()) {
+    Trace::get().stop();
+    std::string WriteError;
+    if (!Trace::get().writeJson(TracePath, &WriteError)) {
+      Err += "error: " + WriteError + "\n";
+      if (Code == 0)
+        Code = 1;
+    } else {
+      Out += "trace: " + std::to_string(Trace::get().eventCount()) +
+             " events -> " + TracePath + "\n";
+    }
+  }
+  return Code;
 }

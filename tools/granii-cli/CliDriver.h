@@ -9,18 +9,24 @@
 ///       enumeration/pruning statistics and the promoted candidates;
 ///       optionally emit Graphviz DOT and the generated dispatch code.
 ///
-///   granii-cli run <model.gnn> --graph <spec> --kin N --kout N
+///   granii-cli run <model.gnn> [--graph <spec>] --kin N --kout N
 ///              [--hw cpu|a100|h100] [--iters N] [--train] [--profile]
 ///       Full pipeline: offline compile, online selection for the given
 ///       input, execution, and a timing report. <spec> is a Matrix Market
-///       path or "synth:<name>" for a built-in evaluation graph. With
-///       --profile, the selected plan is re-executed against a buffer-planned
-///       workspace: a per-step table (time, bytes, GFLOP/s, GB/s), the
-///       planned peak/arena/baseline memory, and the steady-state allocation
-///       count (nonzero fails the run with exit code 1).
+///       path or "synth:<name>" for a built-in evaluation graph (default
+///       synth:coauthors). With --profile, the selected plan is re-executed
+///       against a buffer-planned workspace: a per-step table (time, bytes,
+///       GFLOP/s, GB/s), the planned peak/arena/baseline memory, and the
+///       steady-state allocation count (nonzero fails the run with exit
+///       code 1).
 ///
 ///   granii-cli graphgen <name> <out.mtx>
 ///       Write one of the built-in synthetic evaluation graphs to disk.
+///
+/// Global flags: --threads N pins the kernel thread pool; --trace=<file>
+/// records a Chrome-trace (chrome://tracing / Perfetto JSON) of the
+/// optimizer phases and executor steps and writes it when the command
+/// finishes, even on failure.
 ///
 //===----------------------------------------------------------------------===//
 
