@@ -476,10 +476,8 @@ std::vector<CompositionPlan>
 granii::enumerateCompositions(const IRNodeRef &Root, const EnumOptions &Opts) {
   TraceSpan EnumSpan("enumerate", "optimizer");
   TraceSpan RewriteSpan("rewrite", "optimizer");
-  IRNodeRef Rewritten = rewriteBroadcastsToDiag(Root);
-  std::vector<IRNodeRef> Variants =
-      Opts.EnableDistribution ? enumerateDistributions(Rewritten)
-                              : std::vector<IRNodeRef>{Rewritten};
+  std::vector<IRNodeRef> Variants = runRewritePipeline(
+      Root, Opts.EnableDistribution, /*MaxVariants=*/64, Opts.Verify);
   RewriteSpan.setArg("variants", static_cast<double>(Variants.size()));
   RewriteSpan.end();
 

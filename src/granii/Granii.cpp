@@ -4,6 +4,9 @@
 
 #include "assoc/PlanSerialize.h"
 #include "support/Error.h"
+#include "support/ThreadPool.h"
+#include "verify/VerifyBuffers.h"
+#include "verify/VerifyPlan.h"
 #include "support/Rng.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
@@ -66,10 +69,34 @@ Optimizer::Optimizer(GnnModel ModelIn, OptimizerOptions OptsIn,
     : Model(std::move(ModelIn)), Opts(std::move(OptsIn)), Cost(CostIn),
       Exec(Opts.Hw) {
   assert(Cost && "optimizer requires a cost model");
+  Opts.Enum.Verify = Opts.Verify; // one knob: --verify drives the rewrites too
   std::vector<CompositionPlan> All =
       enumerateCompositions(Model.Root, Opts.Enum);
+  if (Opts.Verify == VerifyLevel::Full) {
+    // Full: every enumerated candidate is checked before pruning, so a bad
+    // plan is caught even if pruning would have discarded it.
+    DiagEngine Diags;
+    for (const CompositionPlan &Plan : All)
+      verifyPlanDiags(Plan, Diags, "plan");
+    if (Diags.hasErrors())
+      GRANII_FATAL("enumerated plan verification failed:\n" + Diags.render());
+  }
   Promoted = pruneCompositions(std::move(All), &Stats);
   assert(!Promoted.empty() && "pruning removed every candidate");
+  verifyPromoted();
+}
+
+void Optimizer::verifyPromoted() const {
+  if (Opts.Verify < VerifyLevel::Fast)
+    return;
+  DiagEngine Diags;
+  for (const CompositionPlan &Plan : Promoted) {
+    verifyPlanDiags(Plan, Diags, "plan");
+    verifyScenarioAnnotations(Plan, Diags, "prune");
+  }
+  verifySurvivorSet(Promoted, Diags, "prune");
+  if (Diags.hasErrors())
+    GRANII_FATAL("promoted plan verification failed:\n" + Diags.render());
 }
 
 Optimizer::Optimizer(GnnModel ModelIn, OptimizerOptions OptsIn,
@@ -80,6 +107,9 @@ Optimizer::Optimizer(GnnModel ModelIn, OptimizerOptions OptsIn,
   assert(Cost && "optimizer requires a cost model");
   assert(!Promoted.empty() && "compiled plan set is empty");
   Stats.Enumerated = Stats.Promoted = Promoted.size();
+  // A deserialized plan set gets the same scrutiny as a freshly compiled
+  // one: the file may be stale or hand-edited.
+  verifyPromoted();
 }
 
 bool Optimizer::saveCompiled(const std::string &Path) const {
@@ -194,6 +224,23 @@ ExecResult Optimizer::execute(const Selection &Sel, const LayerParams &Params,
                               bool Training) const {
   const CompositionPlan &Plan = Promoted[Sel.PlanIndex];
   LayerInputs Inputs = Params.inputs();
+  if (Opts.Verify == VerifyLevel::Full) {
+    // Full: cross-check the buffer schedule the workspace will execute
+    // against recomputed live intervals, and the CSR row partition the
+    // parallel kernels will use against exclusive-coverage rules.
+    DimBinding Binding = Inputs.binding(&Plan);
+    DiagEngine Diags;
+    BufferPlan Buffers(Plan, Binding, Training);
+    verifyBufferPlan(Plan, Binding, Buffers, Diags);
+    const std::vector<int64_t> &RowOffsets = Params.AdjSelf.rowOffsets();
+    int64_t Chunks =
+        static_cast<int64_t>(ThreadPool::get().numThreads()) * 4;
+    verifyRowPartition(RowOffsets, csrRowPartitionBounds(RowOffsets, Chunks),
+                       Diags);
+    if (Diags.hasErrors())
+      GRANII_FATAL("execution schedule verification failed:\n" +
+                   Diags.render());
+  }
   // One persistent workspace per (plan, mode): repeated executions of the
   // same selection reuse the planned arena instead of reallocating every
   // intermediate (training pins all activations, so the two modes cannot

@@ -45,6 +45,14 @@ struct OptimizerOptions {
   /// as setup, and the per-run feature gather / output scatter as forward
   /// time (docs/REORDERING.md).
   ReorderPolicy Reorder = ReorderPolicy::None;
+  /// Static verification level (docs/VERIFICATION.md). Off: nothing. Fast
+  /// (default; overridable via GRANII_VERIFY): the IR verifier runs after
+  /// parsing and every rewrite pass, and the promoted plan set is checked
+  /// (plan legality, scenario annotations, survivor-set invariant). Full:
+  /// additionally every enumerated candidate is verified pre-prune and
+  /// execute() cross-checks each buffer schedule and CSR row partition.
+  /// Violations abort with the rendered diagnostics.
+  VerifyLevel Verify = defaultVerifyLevel();
 };
 
 /// Result of the online selection stage.
@@ -120,6 +128,11 @@ private:
   /// Used by loadCompiled to bypass enumeration.
   Optimizer(GnnModel Model, OptimizerOptions Opts, const CostModel *Cost,
             std::vector<CompositionPlan> Precompiled);
+
+  /// Runs the plan-set checks on Promoted (plan legality, scenario
+  /// annotations, survivor-set invariant) when Opts.Verify >= Fast; aborts
+  /// with the rendered diagnostics on violation.
+  void verifyPromoted() const;
 
   GnnModel Model;
   OptimizerOptions Opts;

@@ -2,6 +2,7 @@
 
 #include "ir/Dsl.h"
 
+#include "ir/VerifyIR.h"
 #include "support/Str.h"
 #include "support/Trace.h"
 
@@ -403,7 +404,15 @@ std::optional<ParsedModel> Parser::parse(std::string *ErrorMessage) {
     fail("model has no 'output' statement");
     return Bail();
   }
-  verifyIR(Output);
+  // Post-parse structured verification: a model that parses but violates
+  // the IR invariants (Table I roles, dimension chaining, ...) is a user
+  // error, so it surfaces as a parse failure with the rendered
+  // diagnostics, not an abort.
+  DiagEngine Diags;
+  if (!verifyIRDiags(Output, Diags, "parse")) {
+    fail("model failed IR verification:\n" + Diags.render());
+    return Bail();
+  }
   return ParsedModel{ModelName, Output};
 }
 

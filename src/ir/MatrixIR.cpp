@@ -2,6 +2,7 @@
 
 #include "ir/MatrixIR.h"
 
+#include "ir/VerifyIR.h"
 #include "support/Error.h"
 
 #include <cassert>
@@ -274,68 +275,14 @@ std::string granii::printIR(const IRNodeRef &Root) {
   return Out;
 }
 
-static void verifyNode(const IRNodeRef &Node) {
-  switch (Node->kind()) {
-  case IRKind::Leaf:
-    break;
-  case IRKind::MatMul: {
-    const auto &Mul = cast<MatMulNode>(Node);
-    const auto &Ops = Mul.operands();
-    if (Ops.size() < 2)
-      GRANII_FATAL("matmul chain with fewer than two operands");
-    for (size_t I = 0; I + 1 < Ops.size(); ++I)
-      if (!(Ops[I]->shape().Cols == Ops[I + 1]->shape().Rows))
-        GRANII_FATAL("matmul chain dimension mismatch at operand " +
-                     std::to_string(I));
-    for (const IRNodeRef &Op : Ops)
-      if (const auto *Nested = dynCast<MatMulNode>(Op)) {
-        (void)Nested;
-        GRANII_FATAL("nested matmul: associative chains must stay flat");
-      }
-    break;
-  }
-  case IRKind::Add: {
-    const auto &Add = cast<AddNode>(Node);
-    for (const IRNodeRef &Op : Add.operands())
-      if (!(Op->shape() == Node->shape()))
-        GRANII_FATAL("add operand shape mismatch");
-    break;
-  }
-  case IRKind::RowBroadcast: {
-    const auto &Bcast = cast<RowBroadcastNode>(Node);
-    if (Bcast.diag()->attr() != MatrixAttr::Diagonal)
-      GRANII_FATAL("row broadcast requires a diagonal left operand");
-    if (!(Bcast.diag()->shape().Rows == Bcast.matrix()->shape().Rows))
-      GRANII_FATAL("row broadcast row-count mismatch");
-    break;
-  }
-  case IRKind::ColBroadcast: {
-    const auto &Bcast = cast<ColBroadcastNode>(Node);
-    if (Bcast.diag()->attr() != MatrixAttr::Diagonal)
-      GRANII_FATAL("column broadcast requires a diagonal right operand");
-    if (!(Bcast.matrix()->shape().Cols == Bcast.diag()->shape().Rows))
-      GRANII_FATAL("column broadcast column-count mismatch");
-    break;
-  }
-  case IRKind::Unary:
-    break;
-  case IRKind::Atten: {
-    const auto &Att = cast<AttenNode>(Node);
-    if (Att.adj()->attr() != MatrixAttr::SparseUnweighted)
-      GRANII_FATAL("attention mask must be sparse unweighted");
-    if (!isDenseAttr(Att.theta()->attr()))
-      GRANII_FATAL("attention theta must be dense");
-    break;
-  }
-  }
-  for (const IRNodeRef &Child : Node->children())
-    verifyNode(Child);
-}
-
 void granii::verifyIR(const IRNodeRef &Root) {
-  if (!Root)
-    GRANII_FATAL("null IR root");
-  verifyNode(Root);
+  // Aborting wrapper for internal callers: structural bugs in builder or
+  // rewrite output are programming errors, not user input. The structured
+  // entry point (verifyIRDiags, VerifyIR.h) collects everything; here the
+  // first rendered batch becomes the fatal message.
+  DiagEngine Diags;
+  if (!verifyIRDiags(Root, Diags))
+    GRANII_FATAL("IR verification failed:\n" + Diags.render());
 }
 
 static void collectLeavesImpl(const IRNodeRef &Node,

@@ -2,6 +2,7 @@
 
 #include "ir/Rewrite.h"
 
+#include "ir/VerifyIR.h"
 #include "support/Error.h"
 
 #include <deque>
@@ -180,4 +181,47 @@ std::vector<IRNodeRef> granii::enumerateDistributions(const IRNodeRef &Root,
       Enqueue(Step);
   }
   return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Verified pipeline
+//===----------------------------------------------------------------------===//
+
+/// Verifies one pass output. Returns true when clean. With a null \p Diags
+/// a violation is fatal (the rewrite itself is buggy); otherwise the
+/// diagnostics accumulate in \p Diags under stage "rewrite:<PassName>".
+static bool checkPassOutput(const IRNodeRef &Root, const std::string &PassName,
+                            DiagEngine *Diags) {
+  if (Diags)
+    return verifyAfterPass(Root, PassName, *Diags);
+  DiagEngine Local;
+  if (verifyAfterPass(Root, PassName, Local))
+    return true;
+  GRANII_FATAL("rewrite pass '" + PassName + "' produced invalid IR:\n" +
+               Local.render());
+}
+
+std::vector<IRNodeRef> granii::runRewritePipeline(const IRNodeRef &Root,
+                                                  bool EnableDistribution,
+                                                  size_t MaxVariants,
+                                                  VerifyLevel Verify,
+                                                  DiagEngine *Diags) {
+  bool Check = Verify >= VerifyLevel::Fast;
+
+  IRNodeRef NoBcast = rewriteBroadcastsToDiag(Root);
+  if (Check && !checkPassOutput(NoBcast, "broadcast-to-diag", Diags))
+    return {};
+
+  if (!EnableDistribution)
+    return {NoBcast};
+
+  std::vector<IRNodeRef> Variants =
+      enumerateDistributions(NoBcast, MaxVariants);
+  if (!Check)
+    return Variants;
+  std::vector<IRNodeRef> Clean;
+  for (const IRNodeRef &Variant : Variants)
+    if (checkPassOutput(Variant, "distribute", Diags))
+      Clean.push_back(Variant);
+  return Clean;
 }

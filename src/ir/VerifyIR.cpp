@@ -1,0 +1,307 @@
+//===- VerifyIR.cpp - Structured matrix-IR verification ---------------------===//
+
+#include "ir/VerifyIR.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+using namespace granii;
+
+namespace {
+
+/// Recursive DAG walker accumulating diagnostics. Nodes are visited once
+/// (first-visit path wins for attribution); leaf identity is tracked by
+/// name so CSE aliasing bugs surface as role/shape disagreements.
+class IRVerifier {
+public:
+  IRVerifier(DiagEngine &Diags, std::string Stage)
+      : Diags(Diags), Stage(std::move(Stage)) {}
+
+  void run(const IRNodeRef &Root) {
+    if (!Root) {
+      Diags.error(Stage, "root", "null IR root");
+      return;
+    }
+    visit(Root, kindName(Root->kind()));
+  }
+
+private:
+  static std::string kindName(IRKind Kind) {
+    switch (Kind) {
+    case IRKind::Leaf:
+      return "leaf";
+    case IRKind::MatMul:
+      return "matmul";
+    case IRKind::Add:
+      return "add";
+    case IRKind::RowBroadcast:
+      return "rowbcast";
+    case IRKind::ColBroadcast:
+      return "colbcast";
+    case IRKind::Unary:
+      return "unary";
+    case IRKind::Atten:
+      return "atten";
+    }
+    return "?";
+  }
+
+  Diag &error(const std::string &Path, std::string Message,
+              std::string Hint = "") {
+    return Diags.error(Stage, Path, std::move(Message), std::move(Hint));
+  }
+
+  /// Expected result attribute of a flat multiplication chain; mirrors the
+  /// builder so attribute-propagation bugs in rewrites are caught.
+  static MatrixAttr chainAttr(const std::vector<IRNodeRef> &Ops) {
+    bool AnyDense = false, AllDiagonal = true;
+    for (const IRNodeRef &Op : Ops) {
+      AnyDense |= isDenseAttr(Op->attr());
+      AllDiagonal &= Op->attr() == MatrixAttr::Diagonal;
+    }
+    if (AnyDense)
+      return MatrixAttr::DenseData;
+    if (AllDiagonal)
+      return MatrixAttr::Diagonal;
+    return MatrixAttr::SparseWeighted;
+  }
+
+  void visit(const IRNodeRef &Node, const std::string &Path) {
+    if (!Visited.insert(Node.get()).second)
+      return;
+    const std::vector<IRNodeRef> Children = Node->children();
+    for (size_t I = 0; I < Children.size(); ++I) {
+      if (!Children[I]) {
+        error(Path, "null operand " + std::to_string(I));
+        return;
+      }
+    }
+    switch (Node->kind()) {
+    case IRKind::Leaf:
+      visitLeaf(cast<LeafNode>(Node), Path);
+      break;
+    case IRKind::MatMul:
+      visitMatMul(cast<MatMulNode>(Node), Path);
+      break;
+    case IRKind::Add:
+      visitAdd(cast<AddNode>(Node), Path);
+      break;
+    case IRKind::RowBroadcast:
+    case IRKind::ColBroadcast:
+      visitBroadcast(Node, Path);
+      break;
+    case IRKind::Unary:
+      visitUnary(cast<UnaryNode>(Node), Path);
+      break;
+    case IRKind::Atten:
+      visitAtten(cast<AttenNode>(Node), Path);
+      break;
+    }
+    for (size_t I = 0; I < Children.size(); ++I)
+      visit(Children[I], Path + "/" + std::to_string(I) + ":" +
+                             kindName(Children[I]->kind()));
+  }
+
+  void visitLeaf(const LeafNode &Leaf, const std::string &Path) {
+    std::string Where = Path + "(" + Leaf.name() + ")";
+    // Role -> attribute/shape consistency (paper Table I).
+    const SymShape NByN = {SymDim::n(), SymDim::n()};
+    switch (Leaf.role()) {
+    case LeafRole::Adjacency:
+      if (Leaf.attr() != MatrixAttr::SparseUnweighted)
+        error(Where, "adjacency leaf must be sparse.unweighted, got " +
+                         attrName(Leaf.attr()));
+      if (!(Leaf.shape() == NByN))
+        error(Where, "adjacency leaf must be N x N, got " +
+                         Leaf.shape().toString());
+      break;
+    case LeafRole::DegreeNorm:
+    case LeafRole::DegreeInv:
+      if (Leaf.attr() != MatrixAttr::Diagonal)
+        error(Where, "degree-normalization leaf must be diagonal, got " +
+                         attrName(Leaf.attr()));
+      if (!(Leaf.shape() == NByN))
+        error(Where, "degree-normalization leaf must be N x N, got " +
+                         Leaf.shape().toString());
+      break;
+    case LeafRole::Features:
+      if (Leaf.attr() != MatrixAttr::DenseData)
+        error(Where, "features leaf must be dense.data, got " +
+                         attrName(Leaf.attr()));
+      break;
+    case LeafRole::Weight:
+      if (Leaf.attr() != MatrixAttr::DenseWeight)
+        error(Where, "weight leaf must be dense.weight, got " +
+                         attrName(Leaf.attr()));
+      break;
+    case LeafRole::AttnSrcVec:
+    case LeafRole::AttnDstVec:
+      if (Leaf.attr() != MatrixAttr::DenseWeight)
+        error(Where, "attention vector leaf must be dense.weight, got " +
+                         attrName(Leaf.attr()));
+      if (!(Leaf.shape().Cols == SymDim::one()))
+        error(Where, "attention vector leaf must have one column, got " +
+                         Leaf.shape().toString());
+      break;
+    }
+    // Leaf names are the executor's binding key and the CSE identity: two
+    // leaves sharing a name must be interchangeable.
+    auto [It, Inserted] = LeavesByName.emplace(Leaf.name(), &Leaf);
+    if (!Inserted) {
+      const LeafNode *Prev = It->second;
+      if (Prev->role() != Leaf.role() || Prev->attr() != Leaf.attr() ||
+          !(Prev->shape() == Leaf.shape()))
+        error(Where,
+              "leaf '" + Leaf.name() +
+                  "' redeclared with a different role, attribute or shape",
+              "leaf names must identify one matrix; rename one of them");
+    }
+  }
+
+  void visitMatMul(const MatMulNode &Mul, const std::string &Path) {
+    const auto &Ops = Mul.operands();
+    if (Ops.size() < 2) {
+      error(Path, "matmul chain with fewer than two operands");
+      return;
+    }
+    for (size_t I = 0; I < Ops.size(); ++I)
+      if (dynCast<MatMulNode>(Ops[I]))
+        error(Path + "/" + std::to_string(I),
+              "nested matmul: associative chains must stay flat",
+              "build chains with ir::matMul, which splices nested operands");
+    for (size_t I = 0; I + 1 < Ops.size(); ++I)
+      if (!(Ops[I]->shape().Cols == Ops[I + 1]->shape().Rows))
+        error(Path,
+              "matmul chain dimension mismatch between operand " +
+                  std::to_string(I) + " (" + Ops[I]->shape().toString() +
+                  ") and operand " + std::to_string(I + 1) + " (" +
+                  Ops[I + 1]->shape().toString() + ")");
+    SymShape Inferred = {Ops.front()->shape().Rows, Ops.back()->shape().Cols};
+    if (!(Mul.shape() == Inferred))
+      error(Path, "matmul shape " + Mul.shape().toString() +
+                      " disagrees with re-inferred " + Inferred.toString());
+    if (Mul.attr() != chainAttr(Ops))
+      error(Path, "matmul attribute " + attrName(Mul.attr()) +
+                      " disagrees with re-propagated " +
+                      attrName(chainAttr(Ops)));
+  }
+
+  void visitAdd(const AddNode &Add, const std::string &Path) {
+    if (Add.operands().size() < 2)
+      error(Path, "add with fewer than two operands");
+    for (size_t I = 0; I < Add.operands().size(); ++I) {
+      const IRNodeRef &Op = Add.operands()[I];
+      if (!(Op->shape() == Add.shape()))
+        error(Path, "add operand " + std::to_string(I) + " shape " +
+                        Op->shape().toString() + " differs from result " +
+                        Add.shape().toString());
+      if (!isDenseAttr(Op->attr()))
+        error(Path, "add operand " + std::to_string(I) +
+                        " must be dense, got " + attrName(Op->attr()),
+              "elementwise addition is only defined over dense operands");
+    }
+    if (Add.attr() != MatrixAttr::DenseData)
+      error(Path, "add result must be dense.data, got " +
+                      attrName(Add.attr()));
+  }
+
+  void visitBroadcast(const IRNodeRef &Node, const std::string &Path) {
+    bool Row = Node->kind() == IRKind::RowBroadcast;
+    IRNodeRef Diag, Mat;
+    if (Row) {
+      const auto &B = cast<RowBroadcastNode>(Node);
+      Diag = B.diag();
+      Mat = B.matrix();
+    } else {
+      const auto &B = cast<ColBroadcastNode>(Node);
+      Diag = B.diag();
+      Mat = B.matrix();
+    }
+    if (Diag->attr() != MatrixAttr::Diagonal)
+      error(Path, std::string(Row ? "row" : "column") +
+                      " broadcast requires a diagonal operand, got " +
+                      attrName(Diag->attr()));
+    if (Row) {
+      if (!(Diag->shape().Rows == Mat->shape().Rows))
+        error(Path, "row broadcast row-count mismatch: diag " +
+                        Diag->shape().toString() + " vs matrix " +
+                        Mat->shape().toString());
+    } else if (!(Mat->shape().Cols == Diag->shape().Rows)) {
+      error(Path, "column broadcast column-count mismatch: matrix " +
+                      Mat->shape().toString() + " vs diag " +
+                      Diag->shape().toString());
+    }
+    if (!(Node->shape() == Mat->shape()))
+      error(Path, "broadcast shape " + Node->shape().toString() +
+                      " disagrees with matrix operand " +
+                      Mat->shape().toString());
+    MatrixAttr Expected = isDenseAttr(Mat->attr())
+                              ? MatrixAttr::DenseData
+                              : MatrixAttr::SparseWeighted;
+    if (Node->attr() != Expected)
+      error(Path, "broadcast attribute " + attrName(Node->attr()) +
+                      " disagrees with re-propagated " + attrName(Expected));
+  }
+
+  void visitUnary(const UnaryNode &Unary, const std::string &Path) {
+    if (!(Unary.shape() == Unary.operand()->shape()))
+      error(Path, "unary shape " + Unary.shape().toString() +
+                      " differs from operand " +
+                      Unary.operand()->shape().toString());
+    if (Unary.attr() != Unary.operand()->attr())
+      error(Path, "unary attribute " + attrName(Unary.attr()) +
+                      " differs from operand " +
+                      attrName(Unary.operand()->attr()),
+            "elementwise ops preserve the operand's attribute");
+  }
+
+  void visitAtten(const AttenNode &Att, const std::string &Path) {
+    if (Att.adj()->attr() != MatrixAttr::SparseUnweighted)
+      error(Path, "attention mask must be sparse.unweighted, got " +
+                      attrName(Att.adj()->attr()));
+    if (!isDenseAttr(Att.theta()->attr()))
+      error(Path, "attention theta must be dense, got " +
+                      attrName(Att.theta()->attr()));
+    if (!(Att.adj()->shape().Rows == Att.theta()->shape().Rows))
+      error(Path, "attention theta row count " +
+                      Att.theta()->shape().toString() +
+                      " does not match the mask's " +
+                      Att.adj()->shape().toString());
+    for (const IRNodeRef &Vec : {Att.srcVec(), Att.dstVec()}) {
+      if (!(Vec->shape().Cols == SymDim::one()))
+        error(Path, "attention vector must have one column, got " +
+                        Vec->shape().toString());
+      if (!(Vec->shape().Rows == Att.theta()->shape().Cols))
+        error(Path, "attention vector length " + Vec->shape().toString() +
+                        " does not match theta's columns " +
+                        Att.theta()->shape().toString());
+    }
+    if (Att.attr() != MatrixAttr::SparseWeighted)
+      error(Path, "attention result must be sparse.weighted, got " +
+                      attrName(Att.attr()));
+    if (!(Att.shape() == Att.adj()->shape()))
+      error(Path, "attention shape " + Att.shape().toString() +
+                      " disagrees with the mask's " +
+                      Att.adj()->shape().toString());
+  }
+
+  DiagEngine &Diags;
+  std::string Stage;
+  std::set<const IRNode *> Visited;
+  std::map<std::string, const LeafNode *> LeavesByName;
+};
+
+} // namespace
+
+bool granii::verifyIRDiags(const IRNodeRef &Root, DiagEngine &Diags,
+                           const std::string &Stage) {
+  size_t Before = Diags.errorCount();
+  IRVerifier(Diags, Stage).run(Root);
+  return Diags.errorCount() == Before;
+}
+
+bool granii::verifyAfterPass(const IRNodeRef &Root,
+                             const std::string &PassName, DiagEngine &Diags) {
+  return verifyIRDiags(Root, Diags, "rewrite:" + PassName);
+}

@@ -1,0 +1,48 @@
+//===- VerifyIR.h - Structured matrix-IR verification -----------*- C++ -*-===//
+///
+/// \file
+/// The IR stage of the GRANII verifier: whole-DAG checking of the matrix IR
+/// with symbolic-dimension inference and sparsity-attribute propagation.
+/// Unlike the aborting verifyIR() wrapper (MatrixIR.h), these entry points
+/// append structured diagnostics to a DiagEngine and keep going, so
+/// `granii-cli verify` can report every violation in one run.
+///
+/// Checked invariants per node:
+///  * leaves: role/attribute/shape consistency (Table I), and any two
+///    leaves sharing a name agree on role, attribute and shape (leaf names
+///    are the CSE identity).
+///  * matmul: >= 2 operands, no nested matmul (chains stay flat for the
+///    enumerator), operand dimensions chain, and the stored shape/attribute
+///    equal what re-inference from the operands produces.
+///  * add: operands dense with the node's shape.
+///  * broadcasts: diagonal operand on the correct side, matching row /
+///    column counts, re-inferred shape and attribute.
+///  * unary: shape and attribute preserved.
+///  * atten: unweighted sparse N x N mask, dense N-row theta, K x 1
+///    attention vectors, sparse weighted result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_IR_VERIFYIR_H
+#define GRANII_IR_VERIFYIR_H
+
+#include "ir/MatrixIR.h"
+#include "support/Diag.h"
+
+namespace granii {
+
+/// Verifies the whole DAG under \p Root, appending diagnostics to
+/// \p Diags with the given \p Stage label. Shared sub-DAGs are visited
+/// once. \returns true when no errors were added.
+bool verifyIRDiags(const IRNodeRef &Root, DiagEngine &Diags,
+                   const std::string &Stage = "ir");
+
+/// Verifies \p Root as the output of rewrite pass \p PassName: diagnostics
+/// carry the stage "rewrite:<PassName>" so a bad rewrite is attributed to
+/// the pass that produced it. \returns true when clean.
+bool verifyAfterPass(const IRNodeRef &Root, const std::string &PassName,
+                     DiagEngine &Diags);
+
+} // namespace granii
+
+#endif // GRANII_IR_VERIFYIR_H

@@ -1,0 +1,78 @@
+//===- Diag.cpp - Structured verifier diagnostics ---------------------------===//
+
+#include "support/Diag.h"
+
+#include <cstdlib>
+
+using namespace granii;
+
+std::optional<VerifyLevel> granii::parseVerifyLevel(const std::string &Name) {
+  if (Name == "off")
+    return VerifyLevel::Off;
+  if (Name == "fast")
+    return VerifyLevel::Fast;
+  if (Name == "full")
+    return VerifyLevel::Full;
+  return std::nullopt;
+}
+
+std::string granii::verifyLevelName(VerifyLevel Level) {
+  switch (Level) {
+  case VerifyLevel::Off:
+    return "off";
+  case VerifyLevel::Fast:
+    return "fast";
+  case VerifyLevel::Full:
+    return "full";
+  }
+  return "?";
+}
+
+VerifyLevel granii::defaultVerifyLevel() {
+  if (const char *Env = std::getenv("GRANII_VERIFY"))
+    if (std::optional<VerifyLevel> Level = parseVerifyLevel(Env))
+      return *Level;
+  return VerifyLevel::Fast;
+}
+
+static const char *severityName(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Error:
+    return "error";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Note:
+    return "note";
+  }
+  return "?";
+}
+
+std::string Diag::toString() const {
+  std::string Out = severityName(Severity);
+  Out += ": [" + Stage + "]";
+  if (!Node.empty())
+    Out += " " + Node + ":";
+  Out += " " + Message;
+  if (!Hint.empty())
+    Out += " (hint: " + Hint + ")";
+  return Out;
+}
+
+Diag &DiagEngine::report(DiagSeverity Severity, std::string Stage,
+                         std::string Node, std::string Message,
+                         std::string Hint) {
+  if (Severity == DiagSeverity::Error)
+    ++Errors;
+  Diags.push_back({Severity, std::move(Stage), std::move(Node),
+                   std::move(Message), std::move(Hint)});
+  return Diags.back();
+}
+
+std::string DiagEngine::render() const {
+  std::string Out;
+  for (const Diag &D : Diags) {
+    Out += D.toString();
+    Out += "\n";
+  }
+  return Out;
+}

@@ -223,36 +223,25 @@ void granii::parallelFor(int64_t Begin, int64_t End, int64_t GrainSize,
   ThreadPool::get().parallelFor(Begin, End, GrainSize, Body);
 }
 
-void granii::parallelForCsrRows(
-    const std::vector<int64_t> &RowOffsets,
-    const std::function<void(int64_t, int64_t)> &Body) {
+// Per-row cost model for the CSR partition: stored entries plus a constant
+// row overhead, so long empty-row tails still split instead of collapsing
+// into one chunk.
+static constexpr int64_t CsrRowConstCost = 4;
+
+std::vector<int64_t>
+granii::csrRowPartitionBounds(const std::vector<int64_t> &RowOffsets,
+                              int64_t NumChunks) {
   int64_t NumRows = static_cast<int64_t>(RowOffsets.size()) - 1;
-  if (NumRows <= 0)
-    return;
-  if (InParallelRegion) {
-    Body(0, NumRows);
-    return;
-  }
-  ThreadPool &Pool = ThreadPool::get();
-  int64_t Nnz = RowOffsets.back();
-  // Per-row cost model: stored entries plus a constant row overhead. Small
-  // matrices are not worth a pool round trip.
-  constexpr int64_t MinParallelCost = 1 << 12;
-  constexpr int64_t RowConstCost = 4;
-  int64_t TotalCost = Nnz + NumRows * RowConstCost;
-  int64_t MaxChunks = static_cast<int64_t>(Pool.numThreads()) * 4;
-  int64_t NumChunks = std::min(MaxChunks, NumRows);
-  if (NumChunks <= 1 || TotalCost < MinParallelCost) {
-    Body(0, NumRows);
-    return;
-  }
+  NumRows = std::max<int64_t>(NumRows, 0);
+  NumChunks = std::max<int64_t>(std::min(NumChunks, NumRows), 1);
+  int64_t TotalCost =
+      (NumRows > 0 ? RowOffsets.back() : 0) + NumRows * CsrRowConstCost;
 
   // Chunk boundaries at equal cumulative-cost targets: binary search for
   // the first row whose prefix cost reaches each target. Hub-heavy rows
-  // therefore get chunks with few rows, and long empty-row tails split by
-  // the constant term instead of collapsing into one chunk.
+  // therefore get chunks with few rows.
   auto PrefixCost = [&](int64_t Row) {
-    return RowOffsets[static_cast<size_t>(Row)] + Row * RowConstCost;
+    return RowOffsets[static_cast<size_t>(Row)] + Row * CsrRowConstCost;
   };
   std::vector<int64_t> Bounds(static_cast<size_t>(NumChunks) + 1);
   Bounds.front() = 0;
@@ -269,6 +258,32 @@ void granii::parallelForCsrRows(
     }
     Bounds[static_cast<size_t>(Chunk)] = Lo;
   }
+  return Bounds;
+}
+
+void granii::parallelForCsrRows(
+    const std::vector<int64_t> &RowOffsets,
+    const std::function<void(int64_t, int64_t)> &Body) {
+  int64_t NumRows = static_cast<int64_t>(RowOffsets.size()) - 1;
+  if (NumRows <= 0)
+    return;
+  if (InParallelRegion) {
+    Body(0, NumRows);
+    return;
+  }
+  ThreadPool &Pool = ThreadPool::get();
+  int64_t Nnz = RowOffsets.back();
+  // Small matrices are not worth a pool round trip.
+  constexpr int64_t MinParallelCost = 1 << 12;
+  int64_t TotalCost = Nnz + NumRows * CsrRowConstCost;
+  int64_t MaxChunks = static_cast<int64_t>(Pool.numThreads()) * 4;
+  int64_t NumChunks = std::min(MaxChunks, NumRows);
+  if (NumChunks <= 1 || TotalCost < MinParallelCost) {
+    Body(0, NumRows);
+    return;
+  }
+
+  std::vector<int64_t> Bounds = csrRowPartitionBounds(RowOffsets, NumChunks);
   Pool.parallelForChunks(NumChunks, [&](int64_t Chunk) {
     int64_t RowBegin = Bounds[static_cast<size_t>(Chunk)];
     int64_t RowEnd = Bounds[static_cast<size_t>(Chunk) + 1];

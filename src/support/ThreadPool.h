@@ -107,11 +107,22 @@ private:
 void parallelFor(int64_t Begin, int64_t End, int64_t GrainSize,
                  const std::function<void(int64_t, int64_t)> &Body);
 
+/// Computes the nnz-balanced chunk boundaries parallelForCsrRows assigns to
+/// workers: \p NumChunks + 1 non-decreasing row indices starting at 0 and
+/// ending at rows (= RowOffsets.size() - 1), splitting the rows at equal
+/// shares of cumulative nonzeros plus a constant per-row term. Exposed so
+/// the verifier can statically check that the partition covers each row
+/// exactly once (the kernels' race-freedom rests on that exclusivity).
+std::vector<int64_t>
+csrRowPartitionBounds(const std::vector<int64_t> &RowOffsets,
+                      int64_t NumChunks);
+
 /// Load-balanced parallel loop over the rows of a CSR matrix described by
 /// \p RowOffsets (size rows+1, last entry = nnz). Rows are split at equal
-/// shares of *cumulative nonzeros* (plus a constant per-row term), not at
-/// equal row counts, so skewed-degree graphs do not leave one thread with
-/// all the hub rows. \p Body receives exclusive [RowBegin, RowEnd) ranges.
+/// shares of *cumulative nonzeros* (plus a constant per-row term) via
+/// csrRowPartitionBounds(), not at equal row counts, so skewed-degree
+/// graphs do not leave one thread with all the hub rows. \p Body receives
+/// exclusive [RowBegin, RowEnd) ranges.
 void parallelForCsrRows(const std::vector<int64_t> &RowOffsets,
                         const std::function<void(int64_t, int64_t)> &Body);
 

@@ -402,6 +402,10 @@ TEST(Differential, OptimizerReorderOptionMatchesBaseline) {
     GnnModel M = makeModel(Kind);
     OptimizerOptions Base;
     Base.Hw = HardwareModel::byName("cpu");
+    // The differential harness runs the strictest verification: every
+    // enumerated candidate is checked pre-prune and each execution
+    // cross-checks its buffer schedule and row partition.
+    Base.Verify = VerifyLevel::Full;
     AnalyticCostModel Cost(Base.Hw);
     OptimizerOptions WithReorder = Base;
     WithReorder.Reorder = ReorderPolicy::Rcm;

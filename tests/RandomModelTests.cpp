@@ -13,8 +13,11 @@
 #include "assoc/Prune.h"
 #include "granii/Granii.h"
 #include "graph/Generators.h"
+#include "runtime/BufferPlan.h"
 #include "runtime/CodeGen.h"
 #include "support/Rng.h"
+#include "verify/VerifyBuffers.h"
+#include "verify/VerifyPlan.h"
 
 #include <gtest/gtest.h>
 
@@ -138,3 +141,42 @@ TEST_P(RandomModels, TrainingBackwardIsFinite) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomModels, ::testing::Range(0, 12));
+
+//===----------------------------------------------------------------------===//
+// Verifier coverage: whatever random model we build, every plan that
+// survives pruning must pass the static checkers — plan legality, scenario
+// annotations, the survivor-set invariant, and a clean buffer schedule
+// under both embedding-size scenarios in both execution modes.
+//===----------------------------------------------------------------------===//
+
+class RandomVerify : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomVerify, SurvivingPlansVerifyClean) {
+  Rng R(3000 + static_cast<uint64_t>(GetParam()));
+  IRNodeRef Root = randomModelIR(R);
+  std::vector<CompositionPlan> Promoted =
+      pruneCompositions(enumerateCompositions(Root));
+  ASSERT_FALSE(Promoted.empty());
+
+  DiagEngine Diags;
+  for (const CompositionPlan &Plan : Promoted) {
+    verifyPlanDiags(Plan, Diags);
+    verifyScenarioAnnotations(Plan, Diags);
+  }
+  verifySurvivorSet(Promoted, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render();
+
+  DimBinding Ge{.N = 4096, .KIn = 128, .KOut = 64, .E = 65536};
+  DimBinding Lt{.N = 4096, .KIn = 64, .KOut = 128, .E = 65536};
+  for (const CompositionPlan &Plan : Promoted)
+    for (const DimBinding &Binding : {Ge, Lt})
+      for (bool Training : {false, true}) {
+        DiagEngine BufDiags;
+        BufferPlan Buffers(Plan, Binding, Training);
+        EXPECT_TRUE(verifyBufferPlan(Plan, Binding, Buffers, BufDiags))
+            << Plan.Name << (Training ? " (training)" : "") << ":\n"
+            << BufDiags.render();
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomVerify, ::testing::Range(0, 24));

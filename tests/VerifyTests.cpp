@@ -1,0 +1,475 @@
+//===- VerifyTests.cpp - Whole-pipeline verifier tests -----------------------===//
+//
+// Hand-broken fixtures for every stage of the GRANII verifier: each test
+// constructs an object that violates exactly one invariant and asserts the
+// verifier rejects it with a diagnostic naming the stage and the offending
+// node. Clean objects (real models, real buffer plans, real partitions)
+// must verify without errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "assoc/Enumerate.h"
+#include "assoc/Prune.h"
+#include "ir/VerifyIR.h"
+#include "models/Models.h"
+#include "runtime/BufferPlan.h"
+#include "support/ThreadPool.h"
+#include "verify/Verify.h"
+#include "verify/VerifyBuffers.h"
+#include "verify/VerifyPlan.h"
+
+#include <gtest/gtest.h>
+
+using namespace granii;
+
+namespace {
+
+/// True when some diagnostic's rendering contains \p Needle.
+bool hasDiag(const DiagEngine &Diags, const std::string &Needle) {
+  return Diags.render().find(Needle) != std::string::npos;
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostic engine
+//===----------------------------------------------------------------------===//
+
+TEST(DiagTest, RenderingAndCounts) {
+  DiagEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error("ir", "matmul/1:leaf(W)", "dimension mismatch", "fix the DSL");
+  Diags.report(DiagSeverity::Warning, "plan", "plan#0/step1", "suspicious");
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.diags().size(), 2u);
+  EXPECT_EQ(Diags.diags()[0].toString(),
+            "error: [ir] matmul/1:leaf(W): dimension mismatch "
+            "(hint: fix the DSL)");
+  EXPECT_NE(Diags.render().find("warning: [plan] plan#0/step1: suspicious"),
+            std::string::npos);
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.render().empty());
+}
+
+TEST(DiagTest, VerifyLevelParsing) {
+  EXPECT_EQ(parseVerifyLevel("off"), VerifyLevel::Off);
+  EXPECT_EQ(parseVerifyLevel("fast"), VerifyLevel::Fast);
+  EXPECT_EQ(parseVerifyLevel("full"), VerifyLevel::Full);
+  EXPECT_FALSE(parseVerifyLevel("paranoid").has_value());
+  EXPECT_EQ(verifyLevelName(VerifyLevel::Full), "full");
+}
+
+//===----------------------------------------------------------------------===//
+// IR stage: hand-broken DAGs (node constructors skip the ir:: factories'
+// inference, so each fixture breaks exactly the invariant under test)
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyIRTest, NullRootIsRejected) {
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyIRDiags(nullptr, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "null IR root"));
+  EXPECT_TRUE(hasDiag(Diags, "[ir]"));
+}
+
+TEST(VerifyIRTest, MatMulChainMismatchIsRejected) {
+  // H (N x K_in) directly times A (N x N): inner dimensions cannot chain.
+  IRNodeRef H = ir::featuresLeaf();
+  IRNodeRef A = ir::adjacencyLeaf();
+  IRNodeRef Bad = std::make_shared<MatMulNode>(
+      std::vector<IRNodeRef>{H, A}, SymShape{SymDim::n(), SymDim::n()},
+      MatrixAttr::DenseData);
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyIRDiags(Bad, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "matmul chain dimension mismatch between "
+                             "operand 0"));
+}
+
+TEST(VerifyIRTest, NestedMatMulIsRejected) {
+  IRNodeRef A = ir::adjacencyLeaf();
+  IRNodeRef H = ir::featuresLeaf();
+  IRNodeRef Inner = std::make_shared<MatMulNode>(
+      std::vector<IRNodeRef>{A, H}, SymShape{SymDim::n(), SymDim::kIn()},
+      MatrixAttr::DenseData);
+  IRNodeRef Outer = std::make_shared<MatMulNode>(
+      std::vector<IRNodeRef>{A, Inner}, SymShape{SymDim::n(), SymDim::kIn()},
+      MatrixAttr::DenseData);
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyIRDiags(Outer, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "nested matmul"));
+  // The path pinpoints the offending operand of the outer chain.
+  EXPECT_TRUE(hasDiag(Diags, "matmul/1"));
+}
+
+TEST(VerifyIRTest, AddShapeMismatchIsRejected) {
+  IRNodeRef H = ir::featuresLeaf(); // N x K_in
+  IRNodeRef W = ir::weightLeaf();   // K_in x K_out
+  IRNodeRef Bad = std::make_shared<AddNode>(
+      std::vector<IRNodeRef>{H, W}, H->shape(), MatrixAttr::DenseData);
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyIRDiags(Bad, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "add operand 1 shape"));
+}
+
+TEST(VerifyIRTest, BroadcastWithoutDiagonalIsRejected) {
+  IRNodeRef H = ir::featuresLeaf();
+  IRNodeRef Bad = std::make_shared<RowBroadcastNode>(
+      /*Diag=*/H, /*Mat=*/H, H->shape(), MatrixAttr::DenseData);
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyIRDiags(Bad, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "row broadcast requires a diagonal operand"));
+}
+
+TEST(VerifyIRTest, RedeclaredLeafNameIsRejected) {
+  // Two leaves named "W" with different shapes: the CSE identity breaks.
+  IRNodeRef H = ir::featuresLeaf();
+  IRNodeRef W1 = ir::weightLeaf("W");
+  IRNodeRef W2 = ir::weightLeafWithShape(
+      "W", SymShape{SymDim::kOut(), SymDim::kOut()});
+  IRNodeRef Root = ir::matMul({H, W1, W2});
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyIRDiags(Root, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "leaf 'W' redeclared"));
+}
+
+TEST(VerifyIRTest, StoredAttributeMismatchIsRejected) {
+  // A * H is dense data; stamping the node sparse.weighted must be caught
+  // by attribute re-propagation.
+  IRNodeRef A = ir::adjacencyLeaf();
+  IRNodeRef H = ir::featuresLeaf();
+  IRNodeRef Bad = std::make_shared<MatMulNode>(
+      std::vector<IRNodeRef>{A, H}, SymShape{SymDim::n(), SymDim::kIn()},
+      MatrixAttr::SparseWeighted);
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyIRDiags(Bad, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "disagrees with re-propagated"));
+}
+
+TEST(VerifyIRTest, BadRewriteOutputNamesThePass) {
+  IRNodeRef H = ir::featuresLeaf();
+  IRNodeRef A = ir::adjacencyLeaf();
+  IRNodeRef Bad = std::make_shared<MatMulNode>(
+      std::vector<IRNodeRef>{H, A}, SymShape{SymDim::n(), SymDim::n()},
+      MatrixAttr::DenseData);
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyAfterPass(Bad, "broadcast-to-diag", Diags));
+  ASSERT_FALSE(Diags.diags().empty());
+  EXPECT_EQ(Diags.diags()[0].Stage, "rewrite:broadcast-to-diag");
+}
+
+TEST(VerifyIRTest, EveryModelVerifiesClean) {
+  for (ModelKind Kind : extendedModels()) {
+    DiagEngine Diags;
+    EXPECT_TRUE(verifyIRDiags(makeModel(Kind).Root, Diags))
+        << modelName(Kind) << ":\n"
+        << Diags.render();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Plan stage: hand-built straight-line programs
+//===----------------------------------------------------------------------===//
+
+/// A minimal well-formed plan: v2 = gemm(v0, v1); v3 = relu(v2);
+/// v4 = v2 + v3; output v4.
+CompositionPlan makeTinyPlan() {
+  CompositionPlan Plan;
+  Plan.Name = "tiny";
+  PlanValue H;
+  H.Kind = PlanValueKind::Dense;
+  H.Shape = {SymDim::n(), SymDim::kIn()};
+  H.DebugName = "H";
+  H.InputRole = LeafRole::Features;
+  PlanValue W;
+  W.Kind = PlanValueKind::Dense;
+  W.Shape = {SymDim::kIn(), SymDim::kOut()};
+  W.DebugName = "W";
+  W.InputRole = LeafRole::Weight;
+  PlanValue Out;
+  Out.Kind = PlanValueKind::Dense;
+  Out.Shape = {SymDim::n(), SymDim::kOut()};
+  Plan.Values = {H, W, Out, Out, Out};
+  Plan.Values[2].DebugName = "HW";
+  Plan.Values[3].DebugName = "relu";
+  Plan.Values[4].DebugName = "sum";
+  Plan.Steps = {{StepOp::Gemm, {0, 1}, 2},
+                {StepOp::Relu, {2}, 3},
+                {StepOp::AddDense, {2, 3}, 4}};
+  Plan.OutputValue = 4;
+  return Plan;
+}
+
+TEST(VerifyPlanTest, WellFormedPlanIsClean) {
+  DiagEngine Diags;
+  EXPECT_TRUE(verifyPlanDiags(makeTinyPlan(), Diags)) << Diags.render();
+}
+
+TEST(VerifyPlanTest, UseBeforeDefinitionIsRejected) {
+  CompositionPlan Plan = makeTinyPlan();
+  Plan.Steps[0].Operands = {0, 3}; // v3 defined only by step 1
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyPlanDiags(Plan, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "used before definition"));
+  EXPECT_TRUE(hasDiag(Diags, "tiny/step0(gemm)"));
+}
+
+TEST(VerifyPlanTest, DoubleDefinitionIsRejected) {
+  CompositionPlan Plan = makeTinyPlan();
+  Plan.Steps[1].Result = 2; // step 0 already defined v2
+  Plan.Steps[2].Operands = {2, 2};
+  Plan.OutputValue = 2;
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyPlanDiags(Plan, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "defined twice"));
+}
+
+TEST(VerifyPlanTest, WrongOperandKindIsRejected) {
+  // An SpMM whose "sparse" operand is the dense feature matrix.
+  CompositionPlan Plan = makeTinyPlan();
+  Plan.Steps[0].Op = StepOp::SpmmUnweighted;
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyPlanDiags(Plan, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "operand 0 must be sparse, got dense"));
+}
+
+TEST(VerifyPlanTest, SpmmVariantMismatchIsRejected) {
+  CompositionPlan Plan = makeTinyPlan();
+  PlanValue Adj;
+  Adj.Kind = PlanValueKind::Sparse;
+  Adj.Shape = {SymDim::n(), SymDim::n()};
+  Adj.SparseWeighted = false;
+  Adj.DebugName = "A";
+  Adj.InputRole = LeafRole::Adjacency;
+  Adj.GraphOnly = true;
+  Plan.Values.push_back(Adj); // v5
+  Plan.Values[2].Shape = {SymDim::n(), SymDim::kIn()};
+  Plan.Values[3].Shape = Plan.Values[2].Shape;
+  Plan.Values[4].Shape = Plan.Values[2].Shape;
+  // Weighted SpMM over the unweighted adjacency.
+  Plan.Steps[0] = {StepOp::SpmmWeighted, {5, 0}, 2};
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyPlanDiags(Plan, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "spmm variant mismatch"));
+}
+
+TEST(VerifyPlanTest, BrokenShapeChainIsRejected) {
+  CompositionPlan Plan = makeTinyPlan();
+  Plan.Steps[0].Operands = {1, 0}; // W (K_in x K_out) x H (N x K_in)
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyPlanDiags(Plan, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "operand shapes do not chain"));
+}
+
+TEST(VerifyPlanTest, SetupDependingOnDataIsRejected) {
+  CompositionPlan Plan = makeTinyPlan();
+  Plan.Steps[0].Setup = true; // gemm over H and W is not graph-only
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyPlanDiags(Plan, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "setup step depends on a non-graph-only "
+                             "operand"));
+}
+
+TEST(VerifyPlanTest, EnumeratedPlansAreClean) {
+  for (ModelKind Kind : extendedModels()) {
+    for (const CompositionPlan &Plan :
+         enumerateCompositions(makeModel(Kind).Root)) {
+      DiagEngine Diags;
+      EXPECT_TRUE(verifyPlanDiags(Plan, Diags))
+          << modelName(Kind) << " " << Plan.Name << ":\n"
+          << Diags.render();
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Prune stage: scenario annotations and the survivor-set invariant
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyPruneTest, ViableNowhereIsRejected) {
+  CompositionPlan Plan = makeTinyPlan();
+  Plan.ViableGe = Plan.ViableLt = false;
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyScenarioAnnotations(Plan, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "viable in no embedding-size scenario"));
+}
+
+TEST(VerifyPruneTest, PromotedSurvivorsSatisfyTheInvariant) {
+  std::vector<CompositionPlan> Promoted =
+      pruneCompositions(enumerateCompositions(makeModel(ModelKind::GCN).Root));
+  DiagEngine Diags;
+  EXPECT_TRUE(verifySurvivorSet(Promoted, Diags)) << Diags.render();
+}
+
+TEST(VerifyPruneTest, UnprunedSetViolatesTheInvariant) {
+  // Marking every enumerated GCN candidate viable everywhere must trip the
+  // re-derived domination rules: pruning exists because most candidates are
+  // beaten in at least one scenario.
+  std::vector<CompositionPlan> All =
+      enumerateCompositions(makeModel(ModelKind::GCN).Root);
+  ASSERT_GT(All.size(), 4u);
+  for (CompositionPlan &Plan : All)
+    Plan.ViableGe = Plan.ViableLt = true;
+  DiagEngine Diags;
+  EXPECT_FALSE(verifySurvivorSet(All, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "dominated by"));
+}
+
+TEST(VerifyPruneTest, DuplicateSurvivorIsRejected) {
+  std::vector<CompositionPlan> Promoted =
+      pruneCompositions(enumerateCompositions(makeModel(ModelKind::GCN).Root));
+  ASSERT_FALSE(Promoted.empty());
+  Promoted.push_back(Promoted.front()); // identical cost multiset
+  DiagEngine Diags;
+  EXPECT_FALSE(verifySurvivorSet(Promoted, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "cost-duplicate of"));
+}
+
+//===----------------------------------------------------------------------===//
+// Buffer stage: hand-broken slot assignments
+//===----------------------------------------------------------------------===//
+
+DimBinding tinyBinding() {
+  DimBinding B;
+  B.N = 8;
+  B.E = 24;
+  B.KIn = 4;
+  B.KOut = 3;
+  return B;
+}
+
+TEST(VerifyBuffersTest, RealPlansAreClean) {
+  for (ModelKind Kind : extendedModels()) {
+    for (const CompositionPlan &Plan :
+         pruneCompositions(enumerateCompositions(makeModel(Kind).Root))) {
+      for (bool Training : {false, true}) {
+        DiagEngine Diags;
+        BufferPlan Buffers(Plan, tinyBinding(), Training);
+        EXPECT_TRUE(verifyBufferPlan(Plan, tinyBinding(), Buffers, Diags))
+            << modelName(Kind) << " " << Plan.Name
+            << (Training ? " (training)" : "") << ":\n"
+            << Diags.render();
+      }
+    }
+  }
+}
+
+TEST(VerifyBuffersTest, OverlappingLifetimesInOneSlotAreRejected) {
+  CompositionPlan Plan = makeTinyPlan();
+  BufferPlan Buffers(Plan, tinyBinding(), /*Training=*/false);
+  std::vector<ValueBuffer> Vals = Buffers.values();
+  std::vector<ArenaSlot> Slots = Buffers.slots();
+  // v2 (live through the add at step 2) and v3 (defined at step 1) get
+  // distinct slots; forcing them into one slot aliases live values.
+  ASSERT_NE(Vals[2].Slot, Vals[3].Slot);
+  Vals[3].Slot = Vals[2].Slot;
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyBufferAssignment(Plan, tinyBinding(), false, Vals, Slots,
+                                      Diags));
+  EXPECT_TRUE(hasDiag(Diags, "overlapping lifetimes"));
+}
+
+TEST(VerifyBuffersTest, StaleLastUseIsRejected) {
+  CompositionPlan Plan = makeTinyPlan();
+  BufferPlan Buffers(Plan, tinyBinding(), /*Training=*/false);
+  std::vector<ValueBuffer> Vals = Buffers.values();
+  // v2 is read by the add at step 2; recording an earlier last use frees
+  // its slot while the value is still live.
+  ASSERT_EQ(Vals[2].LastUse, 2);
+  Vals[2].LastUse = 1;
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyBufferAssignment(Plan, tinyBinding(), false, Vals,
+                                      Buffers.slots(), Diags));
+  EXPECT_TRUE(hasDiag(Diags, "read until step"));
+  EXPECT_TRUE(hasDiag(Diags, "freed early"));
+}
+
+TEST(VerifyBuffersTest, WrongPayloadSizeIsRejected) {
+  CompositionPlan Plan = makeTinyPlan();
+  BufferPlan Buffers(Plan, tinyBinding(), /*Training=*/false);
+  std::vector<ValueBuffer> Vals = Buffers.values();
+  Vals[2].Floats /= 2;
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyBufferAssignment(Plan, tinyBinding(), false, Vals,
+                                      Buffers.slots(), Diags));
+  EXPECT_TRUE(hasDiag(Diags, "floats, expected"));
+}
+
+TEST(VerifyBuffersTest, UnpinnedTrainingValueIsRejected) {
+  CompositionPlan Plan = makeTinyPlan();
+  BufferPlan Buffers(Plan, tinyBinding(), /*Training=*/true);
+  std::vector<ValueBuffer> Vals = Buffers.values();
+  ASSERT_TRUE(Vals[2].Pinned);
+  Vals[2].Pinned = false;
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyBufferAssignment(Plan, tinyBinding(), true, Vals,
+                                      Buffers.slots(), Diags));
+  EXPECT_TRUE(hasDiag(Diags, "unpinned value in training mode"));
+}
+
+//===----------------------------------------------------------------------===//
+// Partition stage
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyPartitionTest, ComputedPartitionsAreClean) {
+  std::vector<int64_t> Offsets = {0, 3, 3, 10, 11, 40, 41, 44, 50};
+  for (int64_t Chunks : {1, 2, 3, 7, 64}) {
+    DiagEngine Diags;
+    EXPECT_TRUE(verifyRowPartition(
+        Offsets, csrRowPartitionBounds(Offsets, Chunks), Diags))
+        << Chunks << " chunks:\n"
+        << Diags.render();
+  }
+}
+
+TEST(VerifyPartitionTest, GappedPartitionIsRejected) {
+  std::vector<int64_t> Offsets = {0, 2, 4, 6};
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyRowPartition(Offsets, {1, 3}, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "leaving rows before it uncovered"));
+}
+
+TEST(VerifyPartitionTest, ShortPartitionIsRejected) {
+  std::vector<int64_t> Offsets = {0, 2, 4, 6};
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyRowPartition(Offsets, {0, 2}, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "partition ends at row 2, expected 3"));
+}
+
+TEST(VerifyPartitionTest, DecreasingBoundIsRejected) {
+  std::vector<int64_t> Offsets = {0, 2, 4, 6};
+  DiagEngine Diags;
+  EXPECT_FALSE(verifyRowPartition(Offsets, {0, 2, 1, 3}, Diags));
+  EXPECT_TRUE(hasDiag(Diags, "bound decreases from 2 to 1"));
+}
+
+//===----------------------------------------------------------------------===//
+// Umbrella pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyPipelineTest, EveryModelPassesEndToEnd) {
+  for (ModelKind Kind : extendedModels()) {
+    PipelineReport Report = verifyPipeline(makeModel(Kind).Root);
+    EXPECT_TRUE(Report.clean())
+        << modelName(Kind) << ":\n"
+        << Report.summary();
+    // Every stage ran and the summary reports each one.
+    ASSERT_EQ(Report.Stages.size(), 6u) << modelName(Kind);
+    for (const char *Stage :
+         {"ir:", "rewrite:", "plan:", "prune:", "buffers:", "partition:"})
+      EXPECT_NE(Report.summary().find(Stage), std::string::npos)
+          << modelName(Kind) << " missing " << Stage;
+  }
+}
+
+TEST(VerifyPipelineTest, BrokenIRStopsAtTheFirstStage) {
+  IRNodeRef H = ir::featuresLeaf();
+  IRNodeRef A = ir::adjacencyLeaf();
+  IRNodeRef Bad = std::make_shared<MatMulNode>(
+      std::vector<IRNodeRef>{H, A}, SymShape{SymDim::n(), SymDim::n()},
+      MatrixAttr::DenseData);
+  PipelineReport Report = verifyPipeline(Bad);
+  EXPECT_FALSE(Report.clean());
+  ASSERT_EQ(Report.Stages.size(), 1u); // downstream stages are skipped
+  EXPECT_EQ(Report.Stages[0].Stage, "ir");
+  EXPECT_GT(Report.Stages[0].Errors, 0u);
+}
+
+} // namespace

@@ -13,6 +13,7 @@
 #include "support/Str.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
+#include "verify/Verify.h"
 
 #include <cstdlib>
 #include <fstream>
@@ -121,21 +122,39 @@ std::optional<Graph> loadGraph(const std::string &Spec, std::string &Err) {
   return G;
 }
 
+/// Parses the --verify flag into a level; reports unknown spellings.
+std::optional<VerifyLevel> verifyFlag(const ArgParser &Args,
+                                      std::string &Err) {
+  if (!Args.hasFlag("verify"))
+    return defaultVerifyLevel();
+  std::optional<VerifyLevel> Level = parseVerifyLevel(Args.value("verify"));
+  if (!Level)
+    Err += "error: unknown verify level '" + Args.value("verify") +
+           "' (try off, fast, full)\n";
+  return Level;
+}
+
 int cmdCompile(const ArgParser &Args, std::string &Out, std::string &Err) {
   if (Args.Positional.size() < 2) {
-    Err += "usage: granii-cli compile <model.gnn> [--dot] [--codegen]\n";
+    Err += "usage: granii-cli compile <model.gnn> [--dot] [--codegen] "
+           "[--verify off|fast|full]\n";
     return 2;
   }
   std::optional<ParsedModel> Parsed = loadModel(Args.Positional[1], Err);
   if (!Parsed)
     return 1;
+  std::optional<VerifyLevel> Verify = verifyFlag(Args, Err);
+  if (!Verify)
+    return 2;
 
   Out += "model '" + Parsed->Name + "'\n\nmatrix IR:\n" +
          printIR(Parsed->Root) + "\n";
 
+  EnumOptions EnumOpts;
+  EnumOpts.Verify = *Verify;
   PruneStats Stats;
   std::vector<CompositionPlan> Promoted =
-      pruneCompositions(enumerateCompositions(Parsed->Root), &Stats);
+      pruneCompositions(enumerateCompositions(Parsed->Root, EnumOpts), &Stats);
   Out += "offline stage: " + std::to_string(Stats.Enumerated) +
          " compositions enumerated, " + std::to_string(Stats.Pruned) +
          " pruned, " + std::to_string(Stats.Promoted) + " promoted\n\n";
@@ -157,6 +176,27 @@ int cmdCompile(const ArgParser &Args, std::string &Out, std::string &Err) {
   }
   if (Args.hasFlag("codegen"))
     Out += generateDispatchCode(Parsed->Name, Promoted);
+  return 0;
+}
+
+/// `granii-cli verify`: runs the whole-pipeline static checker on a model
+/// and prints the per-stage invariant summary. Exit 0 only when every stage
+/// is clean, so CI can gate on it.
+int cmdVerify(const ArgParser &Args, std::string &Out, std::string &Err) {
+  if (Args.Positional.size() < 2) {
+    Err += "usage: granii-cli verify <model.gnn>\n";
+    return 2;
+  }
+  std::optional<ParsedModel> Parsed = loadModel(Args.Positional[1], Err);
+  if (!Parsed)
+    return 1;
+  PipelineReport Report = verifyPipeline(Parsed->Root);
+  Out += "model '" + Parsed->Name + "'\n" + Report.summary();
+  if (!Report.clean()) {
+    Err += "error: verification failed with " +
+           std::to_string(Report.Diags.errorCount()) + " error(s)\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -225,7 +265,7 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
     Err += "usage: granii-cli run <model.gnn> [--graph <mtx|synth:name>] "
            "--kin N --kout N [--hw cpu|a100|h100] [--iters N] [--train] "
            "[--threads N] [--profile] [--reorder none|rcm|degree] "
-           "[--trace <out.json>]\n";
+           "[--verify off|fast|full] [--trace <out.json>]\n";
     return 2;
   }
   std::optional<ParsedModel> Parsed = loadModel(Args.Positional[1], Err);
@@ -252,11 +292,15 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
            "' (try none, rcm, degree)\n";
     return 2;
   }
+  std::optional<VerifyLevel> Verify = verifyFlag(Args, Err);
+  if (!Verify)
+    return 2;
 
   OptimizerOptions Options;
   Options.Hw = HardwareModel::byName(Hw);
   Options.Iterations = static_cast<int>(Args.intValue("iters", 100));
   Options.Reorder = *Reorder;
+  Options.Verify = *Verify;
   AnalyticCostModel Cost(Options.Hw);
   Optimizer Granii(Model, Options, &Cost);
 
@@ -329,7 +373,8 @@ int cmdGraphGen(const ArgParser &Args, std::string &Out, std::string &Err) {
 int granii::cli::runCli(const std::vector<std::string> &Args, std::string &Out,
                         std::string &Err) {
   if (Args.empty()) {
-    Err += "usage: granii-cli <compile|run|graphgen> [--threads N] ...\n";
+    Err += "usage: granii-cli <compile|run|verify|graphgen> [--threads N] "
+           "...\n";
     return 2;
   }
   ArgParser Parsed(Args);
@@ -364,6 +409,8 @@ int granii::cli::runCli(const std::vector<std::string> &Args, std::string &Out,
     Code = cmdCompile(Parsed, Out, Err);
   else if (Command == "run")
     Code = cmdRun(Parsed, Out, Err);
+  else if (Command == "verify")
+    Code = cmdVerify(Parsed, Out, Err);
   else if (Command == "graphgen")
     Code = cmdGraphGen(Parsed, Out, Err);
   else {
