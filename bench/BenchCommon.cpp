@@ -3,6 +3,7 @@
 #include "BenchCommon.h"
 
 #include "graph/Generators.h"
+#include "kernels/Dispatch.h"
 #include "support/Json.h"
 #include "support/Stats.h"
 #include "support/Str.h"
@@ -39,11 +40,13 @@ const CostModel &BenchContext::costFor(const std::string &Hw) {
   // working directory, so repeated runs never litter the source tree.
   std::string Cache =
       costModelCacheDir() + "/granii_costmodel_" + Hw + ".cache";
-  // Measured profiles change with the thread count; keep one cache (and one
-  // in-memory model) per count so stale profiles are never reused.
+  // Measured profiles change with the thread count and with the SIMD
+  // dispatch level; key the cache (and the in-memory model) on both so a
+  // GRANII_ISA override never reuses a profile measured at another level.
   if (Model.kind() == PlatformKind::Measured)
     Cache = costModelCacheDir() + "/granii_costmodel_" + Hw + "_t" +
-            std::to_string(ThreadPool::get().numThreads()) + ".cache";
+            std::to_string(ThreadPool::get().numThreads()) + "_" +
+            Model.params().Isa + ".cache";
   auto It = CostModels.find(Cache);
   if (It != CostModels.end())
     return *It->second;
@@ -232,6 +235,7 @@ BenchRecord BenchReport::makeRecord(std::string Id, std::string Graph,
   R.KIn = KIn;
   R.KOut = KOut;
   R.Threads = ThreadPool::get().numThreads();
+  R.Isa = kernels::isaLevelName(kernels::activeIsaLevel());
   R.Reorder = std::move(Reorder);
   R.Repetitions = static_cast<int>(SecondsSamples.size());
   R.MedianSeconds = medianOf(SecondsSamples);
@@ -257,6 +261,12 @@ std::string BenchReport::toJson() const {
   Json += "  \"git_sha\": \"" + jsonEscape(benchGitSha()) + "\",\n";
   Json += "  \"threads\": " +
           std::to_string(ThreadPool::get().numThreads()) + ",\n";
+  Json += "  \"isa_levels\": [";
+  std::vector<kernels::IsaLevel> Levels = kernels::supportedIsaLevels();
+  for (size_t I = 0; I < Levels.size(); ++I)
+    Json += std::string(I == 0 ? "" : ", ") + "\"" +
+            kernels::isaLevelName(Levels[I]) + "\"";
+  Json += "],\n";
   Json += "  \"benchmarks\": [";
   for (size_t I = 0; I < Records.size(); ++I) {
     const BenchRecord &R = Records[I];
@@ -266,6 +276,8 @@ std::string BenchReport::toJson() const {
     Json += "\"kin\": " + std::to_string(R.KIn) + ", ";
     Json += "\"kout\": " + std::to_string(R.KOut) + ", ";
     Json += "\"threads\": " + std::to_string(R.Threads) + ", ";
+    if (!R.Isa.empty())
+      Json += "\"isa\": \"" + jsonEscape(R.Isa) + "\", ";
     Json += "\"reorder\": \"" + jsonEscape(R.Reorder) + "\", ";
     Json += "\"repetitions\": " + std::to_string(R.Repetitions) + ", ";
     Json += "\"median_seconds\": " + jsonNumber(R.MedianSeconds) + ", ";

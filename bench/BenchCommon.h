@@ -122,6 +122,11 @@ struct BenchRecord {
   int64_t KIn = 0;
   int64_t KOut = 0;
   int Threads = 0;     ///< kernel pool size at measurement time
+  /// SIMD dispatch level the measurement ran at ("scalar", "avx2",
+  /// "avx512"). Stamped by makeRecord from the kernel library's active
+  /// level; granii-bench-diff uses it to skip (rather than flag) baseline
+  /// records whose level the comparing host cannot execute.
+  std::string Isa;
   std::string Reorder = "none";
   int Repetitions = 0;
   double MedianSeconds = 0.0;
@@ -132,7 +137,8 @@ struct BenchRecord {
 
 /// Accumulates BenchRecords and serializes them as granii-bench-v1 JSON
 /// (see docs/OBSERVABILITY.md for the schema). The report header carries
-/// the git SHA and the thread count shared by all records.
+/// the git SHA, the thread count shared by all records, and the SIMD
+/// levels ("isa_levels") the producing host can execute.
 class BenchReport {
 public:
   /// Builds one record from repeated seconds samples; median/p10/p90 are

@@ -14,7 +14,9 @@
 #include "graph/Generators.h"
 #include "graph/Reorder.h"
 #include "hw/HardwareModel.h"
+#include "kernels/Dispatch.h"
 #include "kernels/Kernels.h"
+#include "support/Diag.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -212,14 +214,22 @@ namespace {
 
 /// --json mode: a hand-rolled warmup + 11-repetition Timer loop over a
 /// representative kernel subset, bypassing google-benchmark so the output
-/// is a granii-bench-v1 report granii-bench-diff can consume. These are
-/// measured wall-clock numbers: machine-dependent, so CI baselines mark
-/// them gate=false (reported, never failing).
+/// is a granii-bench-v1 report granii-bench-diff can consume. The subset
+/// runs once per SIMD level the host supports (record ids carry a
+/// "/<isa>" suffix), so one report both tracks regressions per level and
+/// yields the SIMD-vs-scalar speedups docs/SIMD.md calibrates from. These
+/// are measured wall-clock numbers: machine-dependent, so CI baselines
+/// mark them gate=false (reported, never failing) — and levels the CI
+/// host lacks are simply absent, which granii-bench-diff reports as
+/// skipped rather than missing.
 int runJsonMode(const std::string &Path) {
   using bench::BenchRecord;
   using bench::BenchReport;
   const Graph &G = benchGraph();
   BenchReport Report;
+  /// median seconds per (kernel id, isa) for the speedup summary.
+  std::map<std::string, std::map<std::string, double>> Medians;
+  std::string Isa;
 
   auto Measure = [&](const std::string &Id, const std::string &GraphName,
                      int64_t KIn, int64_t KOut, const PrimitiveDesc &Desc,
@@ -233,63 +243,105 @@ int runJsonMode(const std::string &Path) {
       Fn();
       Samples.push_back(T.seconds());
     }
-    Report.add(BenchReport::makeRecord("micro/" + Id, GraphName, KIn, KOut,
-                                       "none", Samples, Desc.bytes()));
+    BenchRecord R = BenchReport::makeRecord("micro/" + Id + "/" + Isa,
+                                            GraphName, KIn, KOut, "none",
+                                            Samples, Desc.bytes());
+    Medians[Id][Isa] = R.MedianSeconds;
+    Report.add(std::move(R));
   };
 
-  {
-    const int64_t N = 1024, K = 64;
-    DenseMatrix A = randomDense(N, K, 1), B = randomDense(K, K, 2);
-    DenseMatrix C(N, K);
-    Measure("gemm/1024x64", "-", K, K,
-            {PrimitiveKind::Gemm, N, K, K, 0},
-            [&] { kernels::gemmInto(A, B, C); });
+  auto MeasureAll = [&] {
+    {
+      const int64_t N = 1024, K = 64;
+      DenseMatrix A = randomDense(N, K, 1), B = randomDense(K, K, 2);
+      DenseMatrix C(N, K);
+      Measure("gemm/1024x64", "-", K, K, {PrimitiveKind::Gemm, N, K, K, 0},
+              [&] { kernels::gemmInto(A, B, C); });
+    }
+    {
+      const int64_t K = 64;
+      DenseMatrix H = randomDense(G.numNodes(), K, 3);
+      DenseMatrix Out(G.numNodes(), K);
+      Measure("spmm_u/64", G.name(), K, K,
+              {PrimitiveKind::SpMMUnweighted, G.numNodes(), K, 0,
+               G.numEdges()},
+              [&] {
+                kernels::spmmInto(G.adjacency(), H, Semiring::plusCopy(),
+                                  Out);
+              });
+    }
+    {
+      const int64_t K = 64;
+      CsrMatrix A = G.adjacency();
+      std::vector<float> Vals(static_cast<size_t>(A.nnz()), 0.5f);
+      A.setValues(std::move(Vals));
+      DenseMatrix H = randomDense(G.numNodes(), K, 4);
+      DenseMatrix Out(G.numNodes(), K);
+      Measure("spmm_w/64", G.name(), K, K,
+              {PrimitiveKind::SpMMWeighted, G.numNodes(), K, 0,
+               G.numEdges()},
+              [&] { kernels::spmmInto(A, H, Semiring::plusTimes(), Out); });
+    }
+    {
+      const int64_t K = 32;
+      DenseMatrix U = randomDense(G.numNodes(), K, 5);
+      std::vector<float> Out(static_cast<size_t>(G.numEdges()));
+      Measure("sddmm_dot/32", G.name(), K, K,
+              {PrimitiveKind::SddmmDot, G.numNodes(), 0, K, G.numEdges()},
+              [&] {
+                kernels::sddmmInto(G.adjacency(), U, U,
+                                   Semiring::plusTimes(), Out);
+              });
+    }
+    {
+      const int64_t K = 128;
+      DenseMatrix H = randomDense(4096, K, 6);
+      std::vector<float> D(4096, 1.1f);
+      DenseMatrix Out(4096, K);
+      Measure("row_broadcast/128", "-", K, K,
+              {PrimitiveKind::RowBroadcast, 4096, K, 0, 0},
+              [&] { kernels::rowBroadcastMulInto(D, H, Out); });
+    }
+    {
+      std::vector<float> Vals(static_cast<size_t>(G.numEdges()), 0.3f);
+      std::vector<float> Out(static_cast<size_t>(G.numEdges()));
+      Measure("edge_softmax", G.name(), 0, 0,
+              {PrimitiveKind::EdgeSoftmax, G.numNodes(), 0, 0,
+               G.numEdges()},
+              [&] { kernels::edgeSoftmaxInto(G.adjacency(), Vals, Out); });
+    }
+  };
+
+  // Sweep every SIMD level the host supports, scalar first, then restore
+  // the level the process started with so a trailing google-benchmark run
+  // (or the caller's environment override) is unaffected.
+  kernels::IsaLevel Entry = kernels::activeIsaLevel();
+  for (kernels::IsaLevel Level : kernels::supportedIsaLevels()) {
+    kernels::setIsaLevel(Level);
+    Isa = kernels::isaLevelName(Level);
+    std::fprintf(stderr, "[micro_kernels] measuring isa level: %s\n",
+                 Isa.c_str());
+    MeasureAll();
   }
-  {
-    const int64_t K = 64;
-    DenseMatrix H = randomDense(G.numNodes(), K, 3);
-    DenseMatrix Out(G.numNodes(), K);
-    Measure("spmm_u/64", G.name(), K, K,
-            {PrimitiveKind::SpMMUnweighted, G.numNodes(), K, 0,
-             G.numEdges()},
-            [&] { kernels::spmmInto(G.adjacency(), H, Semiring::plusCopy(),
-                                    Out); });
-  }
-  {
-    const int64_t K = 64;
-    CsrMatrix A = G.adjacency();
-    std::vector<float> Vals(static_cast<size_t>(A.nnz()), 0.5f);
-    A.setValues(std::move(Vals));
-    DenseMatrix H = randomDense(G.numNodes(), K, 4);
-    DenseMatrix Out(G.numNodes(), K);
-    Measure("spmm_w/64", G.name(), K, K,
-            {PrimitiveKind::SpMMWeighted, G.numNodes(), K, 0, G.numEdges()},
-            [&] { kernels::spmmInto(A, H, Semiring::plusTimes(), Out); });
-  }
-  {
-    const int64_t K = 32;
-    DenseMatrix U = randomDense(G.numNodes(), K, 5);
-    std::vector<float> Out(static_cast<size_t>(G.numEdges()));
-    Measure("sddmm_dot/32", G.name(), K, K,
-            {PrimitiveKind::SddmmDot, G.numNodes(), 0, K, G.numEdges()},
-            [&] { kernels::sddmmInto(G.adjacency(), U, U,
-                                     Semiring::plusTimes(), Out); });
-  }
-  {
-    const int64_t K = 128;
-    DenseMatrix H = randomDense(4096, K, 6);
-    std::vector<float> D(4096, 1.1f);
-    DenseMatrix Out(4096, K);
-    Measure("row_broadcast/128", "-", K, K,
-            {PrimitiveKind::RowBroadcast, 4096, K, 0, 0},
-            [&] { kernels::rowBroadcastMulInto(D, H, Out); });
-  }
-  {
-    std::vector<float> Vals(static_cast<size_t>(G.numEdges()), 0.3f);
-    std::vector<float> Out(static_cast<size_t>(G.numEdges()));
-    Measure("edge_softmax", G.name(), 0, 0,
-            {PrimitiveKind::EdgeSoftmax, G.numNodes(), 0, 0, G.numEdges()},
-            [&] { kernels::edgeSoftmaxInto(G.adjacency(), Vals, Out); });
+  kernels::setIsaLevel(Entry);
+
+  // Speedup summary over scalar: the calibration input for the
+  // DeviceParams::cpu() throughput scales (docs/SIMD.md) and the
+  // acceptance view for the SIMD microkernels.
+  for (const auto &[Id, PerIsa] : Medians) {
+    auto Scalar = PerIsa.find("scalar");
+    if (Scalar == PerIsa.end() || Scalar->second <= 0.0)
+      continue;
+    std::string Line = "[micro_kernels] " + Id + ":";
+    for (const auto &[Name, Median] : PerIsa) {
+      if (Name == "scalar" || Median <= 0.0)
+        continue;
+      char Buffer[64];
+      std::snprintf(Buffer, sizeof(Buffer), " %s %.2fx", Name.c_str(),
+                    Scalar->second / Median);
+      Line += Buffer;
+    }
+    std::fprintf(stderr, "%s\n", Line.c_str());
   }
 
   std::string WriteError;
@@ -309,15 +361,27 @@ int runJsonMode(const std::string &Path) {
 // "--threads N") before google-benchmark sees the argument list, so the
 // kernel pool size can be swept, e.g. for the 1-vs-8-thread speedup runs.
 int main(int argc, char **argv) {
+  auto SetThreads = [](const char *Text) {
+    std::string Warning;
+    int Threads = parseThreadCount(Text, /*Fallback=*/0, &Warning);
+    if (!Warning.empty())
+      std::fprintf(stderr, "%s\n",
+                   Diag{DiagSeverity::Warning, "bench", "--threads", Warning,
+                        "pass a positive integer thread count"}
+                       .toString()
+                       .c_str());
+    if (Threads > 0)
+      ThreadPool::get().setNumThreads(Threads);
+  };
   int Kept = 1;
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
     if (std::strncmp(Arg, "--threads=", 10) == 0) {
-      ThreadPool::get().setNumThreads(std::atoi(Arg + 10));
+      SetThreads(Arg + 10);
       continue;
     }
     if (std::strcmp(Arg, "--threads") == 0 && I + 1 < argc) {
-      ThreadPool::get().setNumThreads(std::atoi(argv[++I]));
+      SetThreads(argv[++I]);
       continue;
     }
     argv[Kept++] = argv[I];

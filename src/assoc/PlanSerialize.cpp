@@ -6,6 +6,7 @@
 #include "support/Str.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 
 using namespace granii;
@@ -87,6 +88,21 @@ std::optional<StepOp> parseStepOp(const std::string &Name) {
   return std::nullopt;
 }
 
+/// Checked integer parse for untrusted plan files: the whole field must be
+/// an optionally-signed decimal integer that fits \p T. Unlike the
+/// std::stoi family this cannot throw — out-of-range values (the case a
+/// digits-only pre-check misses) come back as std::nullopt like any other
+/// malformed field.
+template <typename T>
+std::optional<T> parseCheckedInt(const std::string &Text) {
+  T Value{};
+  auto [Ptr, Ec] = std::from_chars(Text.data(), Text.data() + Text.size(),
+                                   Value);
+  if (Ec != std::errc() || Ptr != Text.data() + Text.size())
+    return std::nullopt;
+  return Value;
+}
+
 std::optional<SymDim> parseDim(const std::string &Text) {
   if (Text == "N")
     return SymDim::n();
@@ -96,28 +112,29 @@ std::optional<SymDim> parseDim(const std::string &Text) {
     return SymDim::kOut();
   if (Text == "1")
     return SymDim::one();
-  // Constants are numeric; reject anything non-numeric.
-  for (char C : Text)
-    if (!std::isdigit(static_cast<unsigned char>(C)))
-      return std::nullopt;
-  return SymDim::constant(std::stoll(Text));
+  // Constants are unsigned numeric literals; a checked parse also rejects
+  // digit strings too large for the dimension type.
+  if (!Text.empty() && Text[0] == '-')
+    return std::nullopt;
+  auto Value = parseCheckedInt<int64_t>(Text);
+  if (!Value)
+    return std::nullopt;
+  return SymDim::constant(*Value);
 }
 
-/// True for an optionally-signed decimal integer.
-bool isInteger(const std::string &Text) {
-  size_t Begin = Text.size() > 1 && Text[0] == '-' ? 1 : 0;
-  if (Begin == Text.size())
-    return false;
-  for (size_t I = Begin; I < Text.size(); ++I)
-    if (!std::isdigit(static_cast<unsigned char>(Text[I])))
-      return false;
-  return true;
-}
+/// Parse context threaded through the record handlers so every failure can
+/// say which source, line, and field was malformed.
+struct ParseCursor {
+  std::string SourceName;
+  int64_t LineNo = 0;
+};
 
 std::optional<std::vector<CompositionPlan>>
-failParse(std::string *ErrorMessage, const std::string &Message) {
+failParse(std::string *ErrorMessage, const ParseCursor &Cursor,
+          const std::string &Message) {
   if (ErrorMessage)
-    *ErrorMessage = Message;
+    *ErrorMessage = Cursor.SourceName + ":" + std::to_string(Cursor.LineNo) +
+                    ": " + Message;
   return std::nullopt;
 }
 
@@ -157,12 +174,15 @@ granii::serializePlans(const std::vector<CompositionPlan> &Plans) {
 }
 
 std::optional<std::vector<CompositionPlan>>
-granii::deserializePlans(const std::string &Text, std::string *ErrorMessage) {
+granii::deserializePlans(const std::string &Text, std::string *ErrorMessage,
+                         const std::string &SourceName) {
   std::vector<CompositionPlan> Plans;
   CompositionPlan Current;
   bool InPlan = false;
+  ParseCursor Cursor{SourceName, 0};
 
   for (const std::string &RawLine : splitString(Text, '\n')) {
+    ++Cursor.LineNo;
     std::string_view Trimmed = trimString(RawLine);
     if (Trimmed.empty())
       continue;
@@ -174,7 +194,7 @@ granii::deserializePlans(const std::string &Text, std::string *ErrorMessage) {
     const std::string &Tag = Fields[0];
     if (Tag == "plan") {
       if (InPlan || Fields.size() != 4)
-        return failParse(ErrorMessage, "malformed plan header");
+        return failParse(ErrorMessage, Cursor, "malformed plan header");
       Current = CompositionPlan();
       Current.Name = Fields[1];
       Current.ViableGe = Fields[2] == "1";
@@ -183,18 +203,19 @@ granii::deserializePlans(const std::string &Text, std::string *ErrorMessage) {
       continue;
     }
     if (!InPlan)
-      return failParse(ErrorMessage, "record outside a plan: " + Tag);
+      return failParse(ErrorMessage, Cursor, "record outside a plan: " + Tag);
 
     if (Tag == "value") {
       if (Fields.size() != 8)
-        return failParse(ErrorMessage, "malformed value record");
+        return failParse(ErrorMessage, Cursor, "malformed value record");
       PlanValue Val;
       auto Kind = parseValueKind(Fields[1]);
       auto Rows = parseDim(Fields[2]);
       auto Cols = parseDim(Fields[3]);
       auto Role = parseRole(Fields[6]);
       if (!Kind || !Rows || !Cols || !Role)
-        return failParse(ErrorMessage, "bad value field in: " + RawLine);
+        return failParse(ErrorMessage, Cursor,
+                         "bad value field in: " + RawLine);
       Val.Kind = *Kind;
       Val.Shape = {*Rows, *Cols};
       Val.SparseWeighted = Fields[4] == "1";
@@ -206,36 +227,44 @@ granii::deserializePlans(const std::string &Text, std::string *ErrorMessage) {
     }
     if (Tag == "step") {
       if (Fields.size() < 5)
-        return failParse(ErrorMessage, "malformed step record");
+        return failParse(ErrorMessage, Cursor, "malformed step record");
       PlanStep Step;
       auto Op = parseStepOp(Fields[1]);
       if (!Op)
-        return failParse(ErrorMessage, "unknown step op: " + Fields[1]);
+        return failParse(ErrorMessage, Cursor, "unknown step op: " + Fields[1]);
       Step.Op = *Op;
-      if (!isInteger(Fields[2]))
-        return failParse(ErrorMessage, "bad step result id: " + Fields[2]);
-      Step.Result = std::stoi(Fields[2]);
+      auto Result = parseCheckedInt<int>(Fields[2]);
+      if (!Result)
+        return failParse(ErrorMessage, Cursor,
+                         "bad step result id: " + Fields[2]);
+      Step.Result = *Result;
       if (std::sscanf(Fields[3].c_str(), "%la", &Step.Param) != 1)
-        return failParse(ErrorMessage, "bad step parameter: " + Fields[3]);
+        return failParse(ErrorMessage, Cursor,
+                         "bad step parameter: " + Fields[3]);
       Step.Setup = Fields[4] == "1";
       for (size_t I = 5; I < Fields.size(); ++I) {
-        if (!isInteger(Fields[I]))
-          return failParse(ErrorMessage, "bad operand id: " + Fields[I]);
-        Step.Operands.push_back(std::stoi(Fields[I]));
+        auto Operand = parseCheckedInt<int>(Fields[I]);
+        if (!Operand)
+          return failParse(ErrorMessage, Cursor,
+                           "bad operand id: " + Fields[I]);
+        Step.Operands.push_back(*Operand);
       }
       Current.Steps.push_back(std::move(Step));
       continue;
     }
     if (Tag == "output") {
-      if (Fields.size() != 2 || !isInteger(Fields[1]))
-        return failParse(ErrorMessage, "malformed output record");
-      Current.OutputValue = std::stoi(Fields[1]);
+      auto Output = Fields.size() == 2 ? parseCheckedInt<int>(Fields[1])
+                                       : std::nullopt;
+      if (!Output)
+        return failParse(ErrorMessage, Cursor, "malformed output record");
+      Current.OutputValue = *Output;
       continue;
     }
     if (Tag == "end") {
       if (Current.OutputValue < 0 ||
           static_cast<size_t>(Current.OutputValue) >= Current.Values.size())
-        return failParse(ErrorMessage, "plan ended without a valid output");
+        return failParse(ErrorMessage, Cursor,
+                         "plan ended without a valid output");
       // Recoverable version of CompositionPlan::verify(): untrusted files
       // must not abort the process.
       std::vector<bool> Defined(Current.Values.size(), false);
@@ -245,23 +274,26 @@ granii::deserializePlans(const std::string &Text, std::string *ErrorMessage) {
         for (int Id : Step.Operands)
           if (Id < 0 || static_cast<size_t>(Id) >= Current.Values.size() ||
               !Defined[static_cast<size_t>(Id)])
-            return failParse(ErrorMessage, "plan uses an undefined value");
+            return failParse(ErrorMessage, Cursor,
+                             "plan uses an undefined value");
         if (Step.Result < 0 ||
             static_cast<size_t>(Step.Result) >= Current.Values.size() ||
             Defined[static_cast<size_t>(Step.Result)])
-          return failParse(ErrorMessage, "plan defines a value twice");
+          return failParse(ErrorMessage, Cursor,
+                           "plan defines a value twice");
         Defined[static_cast<size_t>(Step.Result)] = true;
       }
       if (!Defined[static_cast<size_t>(Current.OutputValue)])
-        return failParse(ErrorMessage, "plan output is never defined");
+        return failParse(ErrorMessage, Cursor,
+                         "plan output is never defined");
       Plans.push_back(std::move(Current));
       Current = CompositionPlan();
       InPlan = false;
       continue;
     }
-    return failParse(ErrorMessage, "unknown record tag: " + Tag);
+    return failParse(ErrorMessage, Cursor, "unknown record tag: " + Tag);
   }
   if (InPlan)
-    return failParse(ErrorMessage, "unterminated plan record");
+    return failParse(ErrorMessage, Cursor, "unterminated plan record");
   return Plans;
 }

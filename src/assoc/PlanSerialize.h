@@ -33,10 +33,13 @@ std::string serializePlans(const std::vector<CompositionPlan> &Plans);
 
 /// Parses one or more plan records. Returns std::nullopt (with a message
 /// in \p ErrorMessage if non-null) on any malformed input; every parsed
-/// plan is verify()-checked.
+/// plan is verify()-checked. Error messages carry "<source>:<line>: "
+/// context, with \p SourceName naming the file the text came from. All
+/// numeric fields are range-checked — a truncated or corrupted plan file
+/// yields an error message, never an exception or an overflowed id.
 std::optional<std::vector<CompositionPlan>>
-deserializePlans(const std::string &Text,
-                 std::string *ErrorMessage = nullptr);
+deserializePlans(const std::string &Text, std::string *ErrorMessage = nullptr,
+                 const std::string &SourceName = "<plans>");
 
 } // namespace granii
 

@@ -13,6 +13,7 @@
 
 #include <cassert>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <cmath>
 
@@ -129,10 +130,19 @@ std::optional<Optimizer> Optimizer::loadCompiled(const std::string &Path,
     return std::nullopt;
   std::ostringstream Contents;
   Contents << In.rdbuf();
+  std::string ParseError;
   std::optional<std::vector<CompositionPlan>> Plans =
-      deserializePlans(Contents.str());
-  if (!Plans || Plans->empty())
+      deserializePlans(Contents.str(), &ParseError, Path);
+  if (!Plans || Plans->empty()) {
+    // A present-but-corrupt plan file deserves a diagnostic, not the same
+    // silent nullopt a missing file gets.
+    if (!ParseError.empty())
+      std::cerr << Diag{DiagSeverity::Warning, "plan-load", Path, ParseError,
+                        "re-run the offline stage to regenerate the file"}
+                       .toString()
+                << "\n";
     return std::nullopt;
+  }
   return Optimizer(std::move(Model), std::move(Opts), Cost,
                    std::move(*Plans));
 }
@@ -232,7 +242,7 @@ ExecResult Optimizer::execute(const Selection &Sel, const LayerParams &Params,
     DiagEngine Diags;
     BufferPlan Buffers(Plan, Binding, Training);
     verifyBufferPlan(Plan, Binding, Buffers, Diags);
-    const std::vector<int64_t> &RowOffsets = Params.AdjSelf.rowOffsets();
+    const AlignedVector<int64_t> &RowOffsets = Params.AdjSelf.rowOffsets();
     int64_t Chunks =
         static_cast<int64_t>(ThreadPool::get().numThreads()) * 4;
     verifyRowPartition(RowOffsets, csrRowPartitionBounds(RowOffsets, Chunks),

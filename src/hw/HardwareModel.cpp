@@ -2,6 +2,7 @@
 
 #include "hw/HardwareModel.h"
 
+#include "kernels/Dispatch.h"
 #include "support/Error.h"
 #include "support/ThreadPool.h"
 
@@ -13,11 +14,23 @@ using namespace granii;
 DeviceParams DeviceParams::cpu() {
   DeviceParams P;
   P.Name = "cpu";
-  // One Xeon-class core running our scalar kernels; the kernel library
-  // row-partitions across NumCores of them.
-  P.DenseGflops = 4.0;
-  P.SparseGflops = 1.0;
-  P.BandwidthGBs = 12.0;
+  // One Xeon-class core running the scalar kernels; the kernel library
+  // row-partitions across NumCores of them. The active SIMD dispatch level
+  // multiplies both throughputs by its measured speedup over scalar (see
+  // docs/SIMD.md for the calibration procedure), so plan selection keeps
+  // ranking dense-vs-sparse trades correctly under GRANII_ISA overrides.
+  const kernels::SimdOps &Ops = kernels::simdOps();
+  P.Isa = kernels::isaLevelName(Ops.Level);
+  P.DenseGflops = 4.0 * Ops.DenseThroughputScale;
+  P.SparseGflops = 1.0 * Ops.SparseThroughputScale;
+  // The sparse scale doubles as the effective-bandwidth scale: it is
+  // calibrated from the g-SpMM/SDDMM medians, which are memory-traffic
+  // dominated, so the same factor describes how much more bandwidth the
+  // vector loads/gathers sustain than the scalar loops (a single core is
+  // load-port-limited, not DRAM-limited). Leaving bandwidth at the scalar
+  // calibration would make every sparse primitive memory-bound at a rate
+  // the measured kernels demonstrably exceed.
+  P.BandwidthGBs = 12.0 * Ops.SparseThroughputScale;
   P.LaunchMicros = 0.05;
   P.SaturationMflops = 0.01;
   P.AtomicCoef = 0.0; // Row-exclusive increments do not contend.

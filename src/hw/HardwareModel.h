@@ -28,6 +28,13 @@ namespace granii {
 /// Analytic device parameters for a simulated platform.
 struct DeviceParams {
   std::string Name;
+  /// SIMD level the throughput figures describe ("scalar", "avx2",
+  /// "avx512"). cpu() stamps the kernel library's active dispatch level and
+  /// scales DenseGflops/SparseGflops by that level's measured throughput
+  /// ratios, so analytic estimates and the measured-cost-model cache key
+  /// both track GRANII_ISA. Empty for the GPU presets, whose figures are
+  /// whole-device to begin with.
+  std::string Isa;
   double DenseGflops = 10.0;    ///< peak effective dense throughput
   double SparseGflops = 2.0;    ///< peak effective sparse throughput
   double BandwidthGBs = 20.0;   ///< memory bandwidth

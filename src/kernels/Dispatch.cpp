@@ -1,0 +1,152 @@
+//===- Dispatch.cpp - Runtime ISA selection for the kernel layer ----------===//
+
+#include "kernels/Dispatch.h"
+
+#include "support/Diag.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+using namespace granii;
+using namespace granii::kernels;
+
+namespace {
+
+const SimdOps *tableFor(IsaLevel Level) {
+  switch (Level) {
+  case IsaLevel::Scalar:
+    return &detail::scalarSimdOps();
+  case IsaLevel::Avx2:
+    return detail::avx2SimdOps();
+  case IsaLevel::Avx512:
+    return detail::avx512SimdOps();
+  }
+  return nullptr;
+}
+
+/// CPUID + build-capability probe; cached by detectedIsaLevel().
+IsaLevel probeIsaLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (detail::avx512SimdOps() && __builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512bw") && __builtin_cpu_supports("avx512vl"))
+    return IsaLevel::Avx512;
+  if (detail::avx2SimdOps() && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("fma"))
+    return IsaLevel::Avx2;
+#endif
+  return IsaLevel::Scalar;
+}
+
+void warnDispatch(std::string Message, std::string Hint) {
+  Diag Warning;
+  Warning.Severity = DiagSeverity::Warning;
+  Warning.Stage = "dispatch";
+  Warning.Node = "GRANII_ISA";
+  Warning.Message = std::move(Message);
+  Warning.Hint = std::move(Hint);
+  std::cerr << Warning.toString() << "\n";
+}
+
+/// Resolves the startup level: the detected maximum, lowered by a valid
+/// GRANII_ISA request. Unrecognized or too-high requests warn and fall back
+/// to the detected level.
+IsaLevel resolveStartupLevel() {
+  IsaLevel Detected = detectedIsaLevel();
+  const char *Env = std::getenv("GRANII_ISA");
+  if (!Env || !*Env)
+    return Detected;
+  std::optional<IsaLevel> Requested = parseIsaLevel(Env);
+  if (!Requested) {
+    warnDispatch("unrecognized ISA level '" + std::string(Env) + "'",
+                 "valid levels are scalar, avx2, avx512");
+    return Detected;
+  }
+  if (*Requested > Detected) {
+    warnDispatch("requested level '" + std::string(isaLevelName(*Requested)) +
+                     "' is unavailable on this build/host; using '" +
+                     isaLevelName(Detected) + "'",
+                 "");
+    return Detected;
+  }
+  return *Requested;
+}
+
+/// The active table. Null until first use; resolved under OnceFlag so the
+/// GRANII_ISA warning prints at most once.
+std::atomic<const SimdOps *> ActiveOps{nullptr};
+std::once_flag OnceFlag;
+
+const SimdOps *activeTable() {
+  const SimdOps *Ops = ActiveOps.load(std::memory_order_acquire);
+  if (Ops)
+    return Ops;
+  std::call_once(OnceFlag, [] {
+    ActiveOps.store(tableFor(resolveStartupLevel()),
+                    std::memory_order_release);
+  });
+  return ActiveOps.load(std::memory_order_acquire);
+}
+
+} // namespace
+
+const char *kernels::isaLevelName(IsaLevel Level) {
+  switch (Level) {
+  case IsaLevel::Scalar:
+    return "scalar";
+  case IsaLevel::Avx2:
+    return "avx2";
+  case IsaLevel::Avx512:
+    return "avx512";
+  }
+  return "scalar";
+}
+
+std::optional<IsaLevel> kernels::parseIsaLevel(const std::string &Name) {
+  if (Name == "scalar")
+    return IsaLevel::Scalar;
+  if (Name == "avx2")
+    return IsaLevel::Avx2;
+  if (Name == "avx512")
+    return IsaLevel::Avx512;
+  return std::nullopt;
+}
+
+IsaLevel kernels::detectedIsaLevel() {
+  static const IsaLevel Detected = probeIsaLevel();
+  return Detected;
+}
+
+IsaLevel kernels::activeIsaLevel() { return activeTable()->Level; }
+
+bool kernels::setIsaLevel(IsaLevel Level) {
+  if (Level > detectedIsaLevel())
+    return false;
+  const SimdOps *Ops = tableFor(Level);
+  if (!Ops)
+    return false;
+  // Make sure the one-time GRANII_ISA resolution has happened first so a
+  // later lazy resolve cannot overwrite an explicit override.
+  (void)activeTable();
+  ActiveOps.store(Ops, std::memory_order_release);
+  return true;
+}
+
+std::vector<IsaLevel> kernels::supportedIsaLevels() {
+  std::vector<IsaLevel> Levels;
+  for (IsaLevel Level :
+       {IsaLevel::Scalar, IsaLevel::Avx2, IsaLevel::Avx512})
+    if (Level <= detectedIsaLevel() && tableFor(Level))
+      Levels.push_back(Level);
+  return Levels;
+}
+
+const SimdOps &kernels::simdOps() { return *activeTable(); }
+
+const SimdOps *kernels::simdOpsFor(IsaLevel Level) {
+  if (Level > detectedIsaLevel())
+    return nullptr;
+  return tableFor(Level);
+}

@@ -13,10 +13,19 @@
 // preserving bitwise identity with the historical zero-initialized-alloc
 // formulation). The by-value forms allocate a zeroed result and forward.
 //
+// ISA dispatch: the hot row routines (packed GEMM family, fused sum g-SpMM,
+// plus-times SDDMM, and the elementwise map family) are fetched once per
+// kernel call from the active SimdOps table (kernels/Dispatch.h) and invoked
+// on whole row ranges inside the thread-pool partitions, so the indirect
+// call never sits in an inner loop. Each table preserves the determinism
+// contract above within its own ISA level; the general semiring paths below
+// are shared scalar code and thus identical at every level.
+//
 //===----------------------------------------------------------------------===//
 
 #include "kernels/Kernels.h"
 
+#include "kernels/Dispatch.h"
 #include "support/Error.h"
 #include "support/ThreadPool.h"
 
@@ -24,6 +33,7 @@
 #include <cmath>
 
 using namespace granii;
+using namespace granii::kernels;
 
 namespace {
 
@@ -47,12 +57,29 @@ void checkDenseDst(const DenseMatrix &Dst, int64_t Rows, int64_t Cols,
 }
 
 /// Destination-length precondition shared by the vector Into kernels.
-void checkVecDst(const std::vector<float> &Out, size_t Size,
-                 const char *Kernel) {
+void checkVecDst(std::span<const float> Out, size_t Size, const char *Kernel) {
   GRANII_CHECK(Out.size() == Size,
                std::string(Kernel) + " destination length mismatch (have " +
                    std::to_string(Out.size()) + ", need " +
                    std::to_string(Size) + ")");
+}
+
+/// Maps the fused sum-reduction cases onto the dispatch table's combine tag.
+SpmmCombine spmmCombineFor(const Semiring &S) {
+  switch (S.Combine) {
+  case CombineOpKind::Mul:
+    return SpmmCombine::Mul;
+  case CombineOpKind::CopyRhs:
+    return SpmmCombine::CopyRhs;
+  case CombineOpKind::Add:
+    return SpmmCombine::Add;
+  }
+  return SpmmCombine::Mul;
+}
+
+/// True for the semiring the dispatched SDDMM dot-product routine covers.
+bool isPlusTimes(const Semiring &S) {
+  return S.Reduce == ReduceOpKind::Sum && S.Combine == CombineOpKind::Mul;
 }
 
 } // namespace
@@ -62,25 +89,14 @@ void kernels::gemmInto(const DenseMatrix &A, const DenseMatrix &B,
   GRANII_CHECK(A.cols() == B.rows(), "gemm inner dimension mismatch");
   checkDenseDst(Dst, A.rows(), B.cols(), "gemm");
   const int64_t M = A.rows(), K = A.cols(), N = B.cols();
-  // i-k-j loop order: streams B and C rows, good cache behavior row-major.
   // Output rows are partitioned across threads; each C row is written by
-  // exactly one thread. Rows are zeroed in the owning thread right before
+  // exactly one thread and zeroed (inside the row routine) right before
   // accumulation, so reused (stale) buffers behave exactly like fresh
   // zero-initialized ones.
+  const SimdOps &Ops = simdOps();
   parallelFor(0, M, rowGrain(K * N), [&](int64_t RowBegin, int64_t RowEnd) {
-    for (int64_t I = RowBegin; I < RowEnd; ++I) {
-      const float *ARow = A.rowPtr(I);
-      float *CRow = Dst.rowPtr(I);
-      std::fill(CRow, CRow + N, 0.0f);
-      for (int64_t KK = 0; KK < K; ++KK) {
-        float AVal = ARow[KK];
-        if (AVal == 0.0f)
-          continue;
-        const float *BRow = B.rowPtr(KK);
-        for (int64_t J = 0; J < N; ++J)
-          CRow[J] += AVal * BRow[J];
-      }
-    }
+    Ops.GemmRowRange(A.data(), K, B.data(), N, Dst.data(), N, K, N, RowBegin,
+                     RowEnd, /*Accumulate=*/false);
   });
 }
 
@@ -97,19 +113,10 @@ void kernels::gemmAccumulate(const DenseMatrix &A, const DenseMatrix &B,
   GRANII_CHECK(C.rows() == A.rows() && C.cols() == B.cols(),
                "gemm output shape mismatch");
   const int64_t M = A.rows(), K = A.cols(), N = B.cols();
+  const SimdOps &Ops = simdOps();
   parallelFor(0, M, rowGrain(K * N), [&](int64_t RowBegin, int64_t RowEnd) {
-    for (int64_t I = RowBegin; I < RowEnd; ++I) {
-      const float *ARow = A.rowPtr(I);
-      float *CRow = C.rowPtr(I);
-      for (int64_t KK = 0; KK < K; ++KK) {
-        float AVal = ARow[KK];
-        if (AVal == 0.0f)
-          continue;
-        const float *BRow = B.rowPtr(KK);
-        for (int64_t J = 0; J < N; ++J)
-          CRow[J] += AVal * BRow[J];
-      }
-    }
+    Ops.GemmRowRange(A.data(), K, B.data(), N, C.data(), N, K, N, RowBegin,
+                     RowEnd, /*Accumulate=*/true);
   });
 }
 
@@ -122,20 +129,11 @@ void kernels::gemmTransposedLhsInto(const DenseMatrix &A, const DenseMatrix &B,
   // (outer loop over A's rows) would race on C. The per-output-row update
   // order over I is identical to the serial kernel, so results match
   // bitwise at every thread count.
+  const SimdOps &Ops = simdOps();
   parallelFor(0, A.cols(), rowGrain(M * N),
               [&](int64_t RowBegin, int64_t RowEnd) {
-                for (int64_t R = RowBegin; R < RowEnd; ++R) {
-                  float *CRow = Dst.rowPtr(R);
-                  std::fill(CRow, CRow + N, 0.0f);
-                  for (int64_t I = 0; I < M; ++I) {
-                    float AVal = A.rowPtr(I)[R];
-                    if (AVal == 0.0f)
-                      continue;
-                    const float *BRow = B.rowPtr(I);
-                    for (int64_t J = 0; J < N; ++J)
-                      CRow[J] += AVal * BRow[J];
-                  }
-                }
+                Ops.GemmTLhsRowRange(A.data(), A.cols(), B.data(), N,
+                                     Dst.data(), N, M, N, RowBegin, RowEnd);
               });
 }
 
@@ -152,19 +150,11 @@ void kernels::gemmTransposedRhsInto(const DenseMatrix &A, const DenseMatrix &B,
   GRANII_CHECK(A.cols() == B.cols(), "A*B^T dimension mismatch");
   checkDenseDst(Dst, A.rows(), B.rows(), "gemm_t_rhs");
   const int64_t K = A.cols(), N = B.rows();
+  const SimdOps &Ops = simdOps();
   parallelFor(0, A.rows(), rowGrain(K * N),
               [&](int64_t RowBegin, int64_t RowEnd) {
-                for (int64_t I = RowBegin; I < RowEnd; ++I) {
-                  const float *ARow = A.rowPtr(I);
-                  float *CRow = Dst.rowPtr(I);
-                  for (int64_t J = 0; J < N; ++J) {
-                    const float *BRow = B.rowPtr(J);
-                    float Acc = 0.0f;
-                    for (int64_t KK = 0; KK < K; ++KK)
-                      Acc += ARow[KK] * BRow[KK];
-                    CRow[J] = Acc;
-                  }
-                }
+                Ops.GemmTRhsRowRange(A.data(), K, B.data(), K, Dst.data(), N,
+                                     K, N, RowBegin, RowEnd);
               });
 }
 
@@ -207,15 +197,12 @@ void kernels::rowBroadcastMulInto(const std::vector<float> &D,
   GRANII_CHECK(static_cast<int64_t>(D.size()) == H.rows(),
                "row broadcast length mismatch");
   checkDenseDst(Dst, H.rows(), H.cols(), "row_bcast");
+  const SimdOps &Ops = simdOps();
   parallelFor(0, H.rows(), rowGrain(H.cols()),
               [&](int64_t RowBegin, int64_t RowEnd) {
-                for (int64_t I = RowBegin; I < RowEnd; ++I) {
-                  float Scale = D[static_cast<size_t>(I)];
-                  const float *In = H.rowPtr(I);
-                  float *Out = Dst.rowPtr(I);
-                  for (int64_t J = 0; J < H.cols(); ++J)
-                    Out[J] = Scale * In[J];
-                }
+                for (int64_t I = RowBegin; I < RowEnd; ++I)
+                  Ops.ScaleRange(D[static_cast<size_t>(I)], H.rowPtr(I),
+                                 Dst.rowPtr(I), H.cols());
               });
 }
 
@@ -234,14 +221,12 @@ void kernels::colBroadcastMulInto(const DenseMatrix &H,
   GRANII_CHECK(static_cast<int64_t>(D.size()) == H.cols(),
                "column broadcast length mismatch");
   checkDenseDst(Dst, H.rows(), H.cols(), "col_bcast");
+  const SimdOps &Ops = simdOps();
   parallelFor(0, H.rows(), rowGrain(H.cols()),
               [&](int64_t RowBegin, int64_t RowEnd) {
-                for (int64_t I = RowBegin; I < RowEnd; ++I) {
-                  const float *In = H.rowPtr(I);
-                  float *Out = Dst.rowPtr(I);
-                  for (int64_t J = 0; J < H.cols(); ++J)
-                    Out[J] = In[J] * D[static_cast<size_t>(J)];
-                }
+                for (int64_t I = RowBegin; I < RowEnd; ++I)
+                  Ops.MulRange(H.rowPtr(I), D.data(), Dst.rowPtr(I),
+                               H.cols());
               });
 }
 
@@ -262,9 +247,9 @@ void kernels::addMatricesInto(const DenseMatrix &A, const DenseMatrix &B,
   const float *PA = A.data();
   const float *PB = B.data();
   float *PO = Dst.data();
+  const SimdOps &Ops = simdOps();
   parallelFor(0, A.size(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
-    for (int64_t I = Begin; I < End; ++I)
-      PO[I] = PA[I] + PB[I];
+    Ops.AddRange(PA + Begin, PB + Begin, PO + Begin, End - Begin);
   });
 }
 
@@ -281,9 +266,9 @@ void kernels::axpyInto(float Alpha, const DenseMatrix &A, DenseMatrix &B) {
                "axpy shape mismatch");
   const float *PA = A.data();
   float *PB = B.data();
+  const SimdOps &Ops = simdOps();
   parallelFor(0, A.size(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
-    for (int64_t I = Begin; I < End; ++I)
-      PB[I] += Alpha * PA[I];
+    Ops.AxpyRange(Alpha, PA + Begin, PB + Begin, End - Begin);
   });
 }
 
@@ -292,9 +277,9 @@ void kernels::scaleMatrixInto(const DenseMatrix &A, float Alpha,
   checkDenseDst(Dst, A.rows(), A.cols(), "scale");
   const float *PA = A.data();
   float *PO = Dst.data();
+  const SimdOps &Ops = simdOps();
   parallelFor(0, A.size(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
-    for (int64_t I = Begin; I < End; ++I)
-      PO[I] = Alpha * PA[I];
+    Ops.ScaleRange(Alpha, PA + Begin, PO + Begin, End - Begin);
   });
 }
 
@@ -308,9 +293,9 @@ void kernels::reluInto(const DenseMatrix &A, DenseMatrix &Dst) {
   checkDenseDst(Dst, A.rows(), A.cols(), "relu");
   const float *PA = A.data();
   float *PO = Dst.data();
+  const SimdOps &Ops = simdOps();
   parallelFor(0, A.size(), DenseGrainOps, [&](int64_t Begin, int64_t End) {
-    for (int64_t I = Begin; I < End; ++I)
-      PO[I] = PA[I] > 0.0f ? PA[I] : 0.0f;
+    Ops.ReluRange(PA + Begin, PO + Begin, End - Begin);
   });
 }
 
@@ -362,43 +347,30 @@ void kernels::spmmInto(const CsrMatrix &A, const DenseMatrix &B,
   const auto &Cols = A.colIndices();
   const auto &Vals = A.values();
   const int64_t NCols = B.cols();
-  const bool Weighted = !Vals.empty();
 
-  // Fast path: plus-times / plus-copy sum reductions fused over rows.
+  // Fast path: plus-times / plus-copy sum reductions fused over rows,
+  // dispatched to the active ISA table over the full column range.
   const bool SumLike =
       S.Reduce == ReduceOpKind::Sum || S.Reduce == ReduceOpKind::Mean;
+  if (SumLike) {
+    const SimdOps &Ops = simdOps();
+    const float *ValsPtr = Vals.empty() ? nullptr : Vals.data();
+    const SpmmCombine Combine = spmmCombineFor(S);
+    const bool Mean = S.Reduce == ReduceOpKind::Mean;
+    parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
+      Ops.SpmmRowRange(Offsets.data(), Cols.data(), ValsPtr, B.data(), NCols,
+                       Dst.data(), NCols, 0, NCols, Combine, Mean, RowBegin,
+                       RowEnd);
+    });
+    return;
+  }
+
+  // General (max/min) reduction path; shared scalar code at every ISA level.
   parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
     for (int64_t R = RowBegin; R < RowEnd; ++R) {
       float *Out = Dst.rowPtr(R);
       int64_t Begin = Offsets[static_cast<size_t>(R)];
       int64_t End = Offsets[static_cast<size_t>(R) + 1];
-      if (SumLike) {
-        std::fill(Out, Out + NCols, 0.0f);
-        for (int64_t K = Begin; K < End; ++K) {
-          int32_t Col = Cols[static_cast<size_t>(K)];
-          const float *Src = B.rowPtr(Col);
-          if (S.Combine == CombineOpKind::CopyRhs) {
-            for (int64_t J = 0; J < NCols; ++J)
-              Out[J] += Src[J];
-          } else {
-            float EdgeVal = Weighted ? Vals[static_cast<size_t>(K)] : 1.0f;
-            if (S.Combine == CombineOpKind::Mul) {
-              for (int64_t J = 0; J < NCols; ++J)
-                Out[J] += EdgeVal * Src[J];
-            } else { // Add combine.
-              for (int64_t J = 0; J < NCols; ++J)
-                Out[J] += EdgeVal + Src[J];
-            }
-          }
-        }
-        if (S.Reduce == ReduceOpKind::Mean && End > Begin) {
-          float Inv = 1.0f / static_cast<float>(End - Begin);
-          for (int64_t J = 0; J < NCols; ++J)
-            Out[J] *= Inv;
-        }
-        continue;
-      }
-      // General (max/min) reduction path.
       bool Any = End > Begin;
       float Identity = S.reduceIdentity();
       for (int64_t J = 0; J < NCols; ++J)
@@ -431,44 +403,23 @@ void kernels::spmmTiledInto(const CsrMatrix &A, const DenseMatrix &B,
   const auto &Offsets = A.rowOffsets();
   const auto &Cols = A.colIndices();
   const auto &Vals = A.values();
-  const bool Weighted = !Vals.empty();
+  const SimdOps &Ops = simdOps();
+  const float *ValsPtr = Vals.empty() ? nullptr : Vals.data();
+  const SpmmCombine Combine = spmmCombineFor(S);
+  const bool Mean = S.Reduce == ReduceOpKind::Mean;
 
   // Tile loop outer, row loop inner: consecutive rows of a block re-gather
   // overlapping neighbor sets (especially after RCM reordering), and one
-  // tile of those B rows fits in L2. Each output element still accumulates
-  // its neighbors in CSR order, so the result is bitwise identical to the
-  // untiled kernel at any tile width and thread count.
+  // tile of those B rows fits in L2. Each output element's accumulation is
+  // per-element exact in every table (vector lanes and scalar tails agree
+  // bit for bit), so the result is bitwise identical to the untiled kernel
+  // at any tile width and thread count within one ISA level.
   parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
     for (int64_t C0 = 0; C0 < NCols; C0 += TileCols) {
       const int64_t C1 = std::min(C0 + TileCols, NCols);
-      for (int64_t R = RowBegin; R < RowEnd; ++R) {
-        float *Out = Dst.rowPtr(R);
-        int64_t Begin = Offsets[static_cast<size_t>(R)];
-        int64_t End = Offsets[static_cast<size_t>(R) + 1];
-        std::fill(Out + C0, Out + C1, 0.0f);
-        for (int64_t K = Begin; K < End; ++K) {
-          int32_t Col = Cols[static_cast<size_t>(K)];
-          const float *Src = B.rowPtr(Col);
-          if (S.Combine == CombineOpKind::CopyRhs) {
-            for (int64_t J = C0; J < C1; ++J)
-              Out[J] += Src[J];
-          } else {
-            float EdgeVal = Weighted ? Vals[static_cast<size_t>(K)] : 1.0f;
-            if (S.Combine == CombineOpKind::Mul) {
-              for (int64_t J = C0; J < C1; ++J)
-                Out[J] += EdgeVal * Src[J];
-            } else { // Add combine.
-              for (int64_t J = C0; J < C1; ++J)
-                Out[J] += EdgeVal + Src[J];
-            }
-          }
-        }
-        if (S.Reduce == ReduceOpKind::Mean && End > Begin) {
-          float Inv = 1.0f / static_cast<float>(End - Begin);
-          for (int64_t J = C0; J < C1; ++J)
-            Out[J] *= Inv;
-        }
-      }
+      Ops.SpmmRowRange(Offsets.data(), Cols.data(), ValsPtr, B.data(), NCols,
+                       Dst.data(), NCols, C0, C1, Combine, Mean, RowBegin,
+                       RowEnd);
     }
   });
 }
@@ -483,7 +434,7 @@ DenseMatrix kernels::spmm(const CsrMatrix &A, const DenseMatrix &B,
 
 void kernels::sddmmInto(const CsrMatrix &Mask, const DenseMatrix &U,
                         const DenseMatrix &V, const Semiring &S,
-                        std::vector<float> &Out) {
+                        std::span<float> Out) {
   GRANII_CHECK(Mask.rows() == U.rows(), "sddmm left operand row mismatch");
   GRANII_CHECK(Mask.cols() == V.rows(), "sddmm right operand row mismatch");
   GRANII_CHECK(U.cols() == V.cols(), "sddmm feature width mismatch");
@@ -491,6 +442,15 @@ void kernels::sddmmInto(const CsrMatrix &Mask, const DenseMatrix &U,
   const auto &Offsets = Mask.rowOffsets();
   const auto &Cols = Mask.colIndices();
   const int64_t Width = U.cols();
+  if (isPlusTimes(S)) {
+    const SimdOps &Ops = simdOps();
+    parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
+      Ops.SddmmDotRowRange(Offsets.data(), Cols.data(), U.data(), Width,
+                           V.data(), Width, Out.data(), 0, Width,
+                           /*FirstTile=*/true, RowBegin, RowEnd);
+    });
+    return;
+  }
   parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
     for (int64_t R = RowBegin; R < RowEnd; ++R) {
       const float *URow = U.rowPtr(R);
@@ -508,7 +468,7 @@ void kernels::sddmmInto(const CsrMatrix &Mask, const DenseMatrix &U,
 
 void kernels::sddmmTiledInto(const CsrMatrix &Mask, const DenseMatrix &U,
                              const DenseMatrix &V, const Semiring &S,
-                             int64_t TileCols, std::vector<float> &Out) {
+                             int64_t TileCols, std::span<float> Out) {
   const int64_t Width = U.cols();
   if (TileCols <= 0 || TileCols >= Width) {
     sddmmInto(Mask, U, V, S, Out);
@@ -522,7 +482,22 @@ void kernels::sddmmTiledInto(const CsrMatrix &Mask, const DenseMatrix &U,
   const auto &Cols = Mask.colIndices();
   // Tile loop outer: each edge's reduction runs left to right across tiles
   // with Out[K] carrying the partial, so the feature-dimension reduction
-  // order — and therefore the result — is bitwise identical to sddmmInto.
+  // order — and therefore the result — matches sddmmInto bitwise. The SIMD
+  // tables fold features in fixed groups (SimdOps::ColumnQuantum), so for
+  // them this identity requires ColumnQuantum-aligned tile widths, which is
+  // what HardwareModel::spmmColumnTile produces.
+  if (isPlusTimes(S)) {
+    const SimdOps &Ops = simdOps();
+    parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
+      for (int64_t J0 = 0; J0 < Width; J0 += TileCols) {
+        const int64_t J1 = std::min(J0 + TileCols, Width);
+        Ops.SddmmDotRowRange(Offsets.data(), Cols.data(), U.data(), Width,
+                             V.data(), Width, Out.data(), J0, J1,
+                             /*FirstTile=*/J0 == 0, RowBegin, RowEnd);
+      }
+    });
+    return;
+  }
   parallelForCsrRows(Offsets, [&](int64_t RowBegin, int64_t RowEnd) {
     for (int64_t J0 = 0; J0 < Width; J0 += TileCols) {
       const int64_t J1 = std::min(J0 + TileCols, Width);
@@ -552,7 +527,7 @@ std::vector<float> kernels::sddmm(const CsrMatrix &Mask, const DenseMatrix &U,
 void kernels::sddmmAddScalarsInto(const CsrMatrix &Mask,
                                   const std::vector<float> &SrcScore,
                                   const std::vector<float> &DstScore,
-                                  std::vector<float> &Out) {
+                                  std::span<float> Out) {
   GRANII_CHECK(static_cast<int64_t>(SrcScore.size()) == Mask.rows(),
                "source score length mismatch");
   GRANII_CHECK(static_cast<int64_t>(DstScore.size()) == Mask.cols(),
@@ -581,7 +556,7 @@ std::vector<float> kernels::sddmmAddScalars(const CsrMatrix &Mask,
 
 void kernels::scaleSparseRowsInto(const CsrMatrix &A,
                                   const std::vector<float> &D,
-                                  std::vector<float> &OutVals) {
+                                  std::span<float> OutVals) {
   GRANII_CHECK(static_cast<int64_t>(D.size()) == A.rows(),
                "row scale length mismatch");
   checkVecDst(OutVals, static_cast<size_t>(A.nnz()), "scale_row");
@@ -600,13 +575,12 @@ CsrMatrix kernels::scaleSparseRows(const CsrMatrix &A,
                                    const std::vector<float> &D) {
   std::vector<float> Vals(static_cast<size_t>(A.nnz()));
   scaleSparseRowsInto(A, D, Vals);
-  return CsrMatrix(A.rows(), A.cols(), A.rowOffsets(), A.colIndices(),
-                   std::move(Vals));
+  return A.withValues(Vals);
 }
 
 void kernels::scaleSparseColsInto(const CsrMatrix &A,
                                   const std::vector<float> &D,
-                                  std::vector<float> &OutVals) {
+                                  std::span<float> OutVals) {
   GRANII_CHECK(static_cast<int64_t>(D.size()) == A.cols(),
                "column scale length mismatch");
   checkVecDst(OutVals, static_cast<size_t>(A.nnz()), "scale_col");
@@ -623,14 +597,13 @@ CsrMatrix kernels::scaleSparseCols(const CsrMatrix &A,
                                    const std::vector<float> &D) {
   std::vector<float> Vals(static_cast<size_t>(A.nnz()));
   scaleSparseColsInto(A, D, Vals);
-  return CsrMatrix(A.rows(), A.cols(), A.rowOffsets(), A.colIndices(),
-                   std::move(Vals));
+  return A.withValues(Vals);
 }
 
 void kernels::scaleSparseBothInto(const CsrMatrix &A,
                                   const std::vector<float> &L,
                                   const std::vector<float> &R,
-                                  std::vector<float> &OutVals) {
+                                  std::span<float> OutVals) {
   GRANII_CHECK(static_cast<int64_t>(L.size()) == A.rows() &&
                    static_cast<int64_t>(R.size()) == A.cols(),
                "diagonal scale length mismatch");
@@ -654,13 +627,12 @@ CsrMatrix kernels::scaleSparseBoth(const CsrMatrix &A,
                                    const std::vector<float> &R) {
   std::vector<float> Vals(static_cast<size_t>(A.nnz()));
   scaleSparseBothInto(A, L, R, Vals);
-  return CsrMatrix(A.rows(), A.cols(), A.rowOffsets(), A.colIndices(),
-                   std::move(Vals));
+  return A.withValues(Vals);
 }
 
 void kernels::edgeSoftmaxInto(const CsrMatrix &A,
-                              const std::vector<float> &EdgeValues,
-                              std::vector<float> &Out) {
+                              std::span<const float> EdgeValues,
+                              std::span<float> Out) {
   GRANII_CHECK(static_cast<int64_t>(EdgeValues.size()) == A.nnz(),
                "edge value count mismatch");
   checkVecDst(Out, EdgeValues.size(), "edge_softmax");
@@ -688,14 +660,14 @@ void kernels::edgeSoftmaxInto(const CsrMatrix &A,
 }
 
 std::vector<float> kernels::edgeSoftmax(const CsrMatrix &A,
-                                        const std::vector<float> &EdgeValues) {
+                                        std::span<const float> EdgeValues) {
   std::vector<float> Out(EdgeValues.size(), 0.0f);
   edgeSoftmaxInto(A, EdgeValues, Out);
   return Out;
 }
 
-void kernels::leakyReluEdgesInto(const std::vector<float> &EdgeValues,
-                                 float NegativeSlope, std::vector<float> &Out) {
+void kernels::leakyReluEdgesInto(std::span<const float> EdgeValues,
+                                 float NegativeSlope, std::span<float> Out) {
   checkVecDst(Out, EdgeValues.size(), "edge_leaky_relu");
   parallelFor(0, static_cast<int64_t>(EdgeValues.size()), DenseGrainOps,
               [&](int64_t Begin, int64_t End) {
@@ -707,7 +679,7 @@ void kernels::leakyReluEdgesInto(const std::vector<float> &EdgeValues,
               });
 }
 
-std::vector<float> kernels::leakyReluEdges(const std::vector<float> &EdgeValues,
+std::vector<float> kernels::leakyReluEdges(std::span<const float> EdgeValues,
                                            float NegativeSlope) {
   std::vector<float> Out(EdgeValues.size());
   leakyReluEdgesInto(EdgeValues, NegativeSlope, Out);

@@ -9,7 +9,14 @@
 /// shared thread pool (support/ThreadPool.h): threads own disjoint output
 /// rows/elements and each output's serial computation is partition-
 /// independent, so results are bitwise-identical at every thread count.
+/// The hot inner loops run through the runtime ISA dispatch layer
+/// (kernels/Dispatch.h): the determinism guarantee holds *within* each ISA
+/// level; results may differ across levels (docs/SIMD.md).
 /// The hardware models in src/hw derive per-device latencies for them.
+///
+/// Edge-value operands and destinations are taken as std::span so callers
+/// can pass either plain std::vectors or the cache-line-aligned storage of
+/// CsrMatrix (support/Aligned.h) without copies.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +27,7 @@
 #include "tensor/DenseMatrix.h"
 #include "tensor/Semiring.h"
 
+#include <span>
 #include <vector>
 
 namespace granii {
@@ -149,8 +157,7 @@ std::vector<float> sddmm(const CsrMatrix &Mask, const DenseMatrix &U,
 
 /// Generalized SDDMM into \p Out, which must have Mask.nnz() entries.
 void sddmmInto(const CsrMatrix &Mask, const DenseMatrix &U,
-               const DenseMatrix &V, const Semiring &S,
-               std::vector<float> &Out);
+               const DenseMatrix &V, const Semiring &S, std::span<float> Out);
 
 /// Cache-blocked SDDMM: splits the feature width into tiles of \p TileCols
 /// and accumulates each edge's reduction across tiles, so one tile of the
@@ -159,7 +166,7 @@ void sddmmInto(const CsrMatrix &Mask, const DenseMatrix &U,
 /// TileCols <= 0 or >= U.cols() falls back to the untiled kernel.
 void sddmmTiledInto(const CsrMatrix &Mask, const DenseMatrix &U,
                     const DenseMatrix &V, const Semiring &S, int64_t TileCols,
-                    std::vector<float> &Out);
+                    std::span<float> Out);
 
 /// Per-edge sum of two node scalars: out_ij = SrcScore[i] + DstScore[j]
 /// (the SDDMM(+, +) used by GAT's attention logits).
@@ -171,7 +178,7 @@ std::vector<float> sddmmAddScalars(const CsrMatrix &Mask,
 void sddmmAddScalarsInto(const CsrMatrix &Mask,
                          const std::vector<float> &SrcScore,
                          const std::vector<float> &DstScore,
-                         std::vector<float> &Out);
+                         std::span<float> Out);
 
 /// Sparse diagonal scalings (special SDDMMs over diagonal operands). The
 /// Into forms compute only the scaled value array — the sparsity pattern is
@@ -181,36 +188,36 @@ void sddmmAddScalarsInto(const CsrMatrix &Mask,
 /// returns A with values v_ij = D[i] * a_ij.
 CsrMatrix scaleSparseRows(const CsrMatrix &A, const std::vector<float> &D);
 void scaleSparseRowsInto(const CsrMatrix &A, const std::vector<float> &D,
-                         std::vector<float> &OutVals);
+                         std::span<float> OutVals);
 /// returns A with values v_ij = a_ij * D[j].
 CsrMatrix scaleSparseCols(const CsrMatrix &A, const std::vector<float> &D);
 void scaleSparseColsInto(const CsrMatrix &A, const std::vector<float> &D,
-                         std::vector<float> &OutVals);
+                         std::span<float> OutVals);
 /// returns A with values v_ij = L[i] * a_ij * R[j] (the fused ternary
 /// normalization SDDMM of GCN's precompute composition, Eq. (3)).
 CsrMatrix scaleSparseBoth(const CsrMatrix &A, const std::vector<float> &L,
                           const std::vector<float> &R);
 void scaleSparseBothInto(const CsrMatrix &A, const std::vector<float> &L,
                          const std::vector<float> &R,
-                         std::vector<float> &OutVals);
+                         std::span<float> OutVals);
 
 /// Row-wise softmax over a sparse matrix's edge values (GAT attention).
 /// \p EdgeValues must have A.nnz() entries; returns normalized values.
 std::vector<float> edgeSoftmax(const CsrMatrix &A,
-                               const std::vector<float> &EdgeValues);
+                               std::span<const float> EdgeValues);
 
 /// Row-wise softmax into \p Out (A.nnz() entries). \p Out may alias
 /// \p EdgeValues: each row's maximum is read before any write to the row.
-void edgeSoftmaxInto(const CsrMatrix &A, const std::vector<float> &EdgeValues,
-                     std::vector<float> &Out);
+void edgeSoftmaxInto(const CsrMatrix &A, std::span<const float> EdgeValues,
+                     std::span<float> Out);
 
 /// Elementwise leaky ReLU over edge values.
-std::vector<float> leakyReluEdges(const std::vector<float> &EdgeValues,
+std::vector<float> leakyReluEdges(std::span<const float> EdgeValues,
                                   float NegativeSlope = 0.2f);
 
 /// Elementwise leaky ReLU into \p Out (EdgeValues.size() entries).
-void leakyReluEdgesInto(const std::vector<float> &EdgeValues,
-                        float NegativeSlope, std::vector<float> &Out);
+void leakyReluEdgesInto(std::span<const float> EdgeValues,
+                        float NegativeSlope, std::span<float> Out);
 
 //===----------------------------------------------------------------------===//
 // Degree / normalization helpers

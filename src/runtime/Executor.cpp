@@ -788,7 +788,7 @@ void PlanInterpreter::backward(ExecResult &Result) {
                         In.nnz()};
         Backward += chargeDesc(D, [&] {
           std::vector<float> &DIn = EnsureEdge(OpId(0));
-          const std::vector<float> &Pre = In.values();
+          const AlignedVector<float> &Pre = In.values();
           float Slope = static_cast<float>(Step.Param);
           for (size_t I = 0; I < Pre.size(); ++I)
             DIn[I] += OutG.Edge[I] * (Pre[I] > 0.0f ? 1.0f : Slope);

@@ -2,8 +2,12 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Diag.h"
+
 #include <algorithm>
+#include <charconv>
 #include <cstdlib>
+#include <iostream>
 
 using namespace granii;
 
@@ -14,17 +18,82 @@ namespace {
 /// the pool.
 thread_local bool InParallelRegion = false;
 
-int defaultThreadCount() {
-  if (const char *Env = std::getenv("GRANII_NUM_THREADS")) {
-    int Parsed = std::atoi(Env);
-    if (Parsed > 0)
-      return Parsed;
-  }
+int hardwareThreadCount() {
   unsigned Hw = std::thread::hardware_concurrency();
   return Hw == 0 ? 1 : static_cast<int>(Hw);
 }
 
+int defaultThreadCount() {
+  if (const char *Env = std::getenv("GRANII_NUM_THREADS")) {
+    std::string Warning;
+    int Parsed = parseThreadCount(Env, hardwareThreadCount(), &Warning);
+    if (!Warning.empty())
+      std::cerr << Diag{DiagSeverity::Warning, "threads", "GRANII_NUM_THREADS",
+                        Warning, "set a positive integer thread count"}
+                       .toString()
+                << "\n";
+    return Parsed;
+  }
+  return hardwareThreadCount();
+}
+
 } // namespace
+
+int granii::maxConfigurableThreads() {
+  // CI intentionally oversubscribes (GRANII_NUM_THREADS above nproc) to
+  // shake out partition bugs, so the cap must stay well above the hardware
+  // concurrency; 8x (with a floor of 32 for small hosts) keeps deliberate
+  // oversubscription working while rejecting runaway values.
+  return std::max(32, 8 * hardwareThreadCount());
+}
+
+int granii::parseThreadCount(const std::string &Text, int Fallback,
+                             std::string *Warning) {
+  auto Warn = [&](const std::string &Message) {
+    if (Warning)
+      *Warning = Message;
+  };
+  const char *Begin = Text.data();
+  const char *End = Begin + Text.size();
+  // Tolerate surrounding whitespace ("  4 " is clearly a thread count) but
+  // nothing else: "4abc" and "four" both fall back.
+  while (Begin != End && (*Begin == ' ' || *Begin == '\t'))
+    ++Begin;
+  while (End != Begin && (End[-1] == ' ' || End[-1] == '\t'))
+    --End;
+  long long Value = 0;
+  auto [Ptr, Ec] = std::from_chars(Begin, End, Value);
+  if (Begin == End || Ptr != End ||
+      (Ec != std::errc() && Ec != std::errc::result_out_of_range)) {
+    Warn("thread count '" + Text + "' is not an integer; using " +
+         std::to_string(Fallback));
+    return Fallback;
+  }
+  int Cap = maxConfigurableThreads();
+  if (Ec == std::errc::result_out_of_range) {
+    // from_chars consumed the whole string, so this is a numeric value that
+    // merely overflows long long: clamp by sign.
+    if (*Begin == '-') {
+      Warn("thread count '" + Text + "' is below the minimum; clamping to 1");
+      return 1;
+    }
+    Warn("thread count '" + Text +
+         "' exceeds the configurable maximum; clamping to " +
+         std::to_string(Cap));
+    return Cap;
+  }
+  if (Value < 1) {
+    Warn("thread count '" + Text + "' is below the minimum; clamping to 1");
+    return 1;
+  }
+  if (Value > Cap) {
+    Warn("thread count '" + Text +
+         "' exceeds the configurable maximum; clamping to " +
+         std::to_string(Cap));
+    return Cap;
+  }
+  return static_cast<int>(Value);
+}
 
 ThreadPool &ThreadPool::get() {
   static ThreadPool Instance;
@@ -229,7 +298,7 @@ void granii::parallelFor(int64_t Begin, int64_t End, int64_t GrainSize,
 static constexpr int64_t CsrRowConstCost = 4;
 
 std::vector<int64_t>
-granii::csrRowPartitionBounds(const std::vector<int64_t> &RowOffsets,
+granii::csrRowPartitionBounds(std::span<const int64_t> RowOffsets,
                               int64_t NumChunks) {
   int64_t NumRows = static_cast<int64_t>(RowOffsets.size()) - 1;
   NumRows = std::max<int64_t>(NumRows, 0);
@@ -262,7 +331,7 @@ granii::csrRowPartitionBounds(const std::vector<int64_t> &RowOffsets,
 }
 
 void granii::parallelForCsrRows(
-    const std::vector<int64_t> &RowOffsets,
+    std::span<const int64_t> RowOffsets,
     const std::function<void(int64_t, int64_t)> &Body) {
   int64_t NumRows = static_cast<int64_t>(RowOffsets.size()) - 1;
   if (NumRows <= 0)

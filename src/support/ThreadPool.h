@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -113,9 +115,8 @@ void parallelFor(int64_t Begin, int64_t End, int64_t GrainSize,
 /// shares of cumulative nonzeros plus a constant per-row term. Exposed so
 /// the verifier can statically check that the partition covers each row
 /// exactly once (the kernels' race-freedom rests on that exclusivity).
-std::vector<int64_t>
-csrRowPartitionBounds(const std::vector<int64_t> &RowOffsets,
-                      int64_t NumChunks);
+std::vector<int64_t> csrRowPartitionBounds(std::span<const int64_t> RowOffsets,
+                                           int64_t NumChunks);
 
 /// Load-balanced parallel loop over the rows of a CSR matrix described by
 /// \p RowOffsets (size rows+1, last entry = nnz). Rows are split at equal
@@ -123,8 +124,24 @@ csrRowPartitionBounds(const std::vector<int64_t> &RowOffsets,
 /// csrRowPartitionBounds(), not at equal row counts, so skewed-degree
 /// graphs do not leave one thread with all the hub rows. \p Body receives
 /// exclusive [RowBegin, RowEnd) ranges.
-void parallelForCsrRows(const std::vector<int64_t> &RowOffsets,
+void parallelForCsrRows(std::span<const int64_t> RowOffsets,
                         const std::function<void(int64_t, int64_t)> &Body);
+
+/// Upper bound accepted for a configured thread count. Deliberately far
+/// above the hardware concurrency — oversubscription is a supported (and
+/// CI-exercised) configuration — but low enough that a garbage value such
+/// as "999999999" cannot exhaust process resources.
+int maxConfigurableThreads();
+
+/// Parses a thread-count string (GRANII_NUM_THREADS or --threads) with
+/// clamping instead of undefined fallout: non-numeric or trailing-garbage
+/// input yields \p Fallback, values below 1 clamp to 1, and values above
+/// maxConfigurableThreads() (including out-of-range integers) clamp to that
+/// cap. Whenever the returned count differs from a clean parse of \p Text,
+/// \p Warning (if non-null) receives a one-line explanation; otherwise it
+/// is left untouched.
+int parseThreadCount(const std::string &Text, int Fallback,
+                     std::string *Warning = nullptr);
 
 } // namespace granii
 

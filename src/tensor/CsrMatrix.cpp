@@ -13,8 +13,13 @@ using namespace granii;
 CsrMatrix::CsrMatrix(int64_t Rows, int64_t Columns,
                      std::vector<int64_t> Offsets, std::vector<int32_t> Cols,
                      std::vector<float> Vals)
-    : NumRows(Rows), NumCols(Columns), RowOffsets(std::move(Offsets)),
-      ColIndices(std::move(Cols)), Values(std::move(Vals)) {
+    : NumRows(Rows), NumCols(Columns),
+      RowOffsets(Offsets.begin(), Offsets.end()),
+      ColIndices(Cols.begin(), Cols.end()),
+      Values(Vals.begin(), Vals.end()) {
+  // The parameter vectors use the default allocator (keeping brace-list
+  // construction ergonomic); their contents are copied into the aligned
+  // members above.
   assert(RowOffsets.size() == static_cast<size_t>(Rows) + 1 &&
          "row offset array must have rows()+1 entries");
   assert((Values.empty() || Values.size() == ColIndices.size()) &&
@@ -24,18 +29,26 @@ CsrMatrix::CsrMatrix(int64_t Rows, int64_t Columns,
 void CsrMatrix::setValues(std::vector<float> Vals) {
   assert(Vals.size() == ColIndices.size() &&
          "value count must match structural nnz");
-  Values = std::move(Vals);
+  Values.assign(Vals.begin(), Vals.end());
+}
+
+CsrMatrix CsrMatrix::withValues(std::span<const float> Vals) const {
+  assert(Vals.size() == ColIndices.size() &&
+         "value count must match structural nnz");
+  CsrMatrix Result = *this;
+  Result.Values.assign(Vals.begin(), Vals.end());
+  return Result;
 }
 
 void CsrMatrix::assignPattern(int64_t Rows, int64_t Columns,
-                              const std::vector<int64_t> &Offsets,
-                              const std::vector<int32_t> &Cols) {
+                              std::span<const int64_t> Offsets,
+                              std::span<const int32_t> Cols) {
   assert(Offsets.size() == static_cast<size_t>(Rows) + 1 &&
          "row offset array must have rows()+1 entries");
   NumRows = Rows;
   NumCols = Columns;
-  RowOffsets = Offsets;
-  ColIndices = Cols;
+  RowOffsets.assign(Offsets.begin(), Offsets.end());
+  ColIndices.assign(Cols.begin(), Cols.end());
   Values.resize(ColIndices.size());
 }
 

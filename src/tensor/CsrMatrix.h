@@ -11,9 +11,12 @@
 #ifndef GRANII_TENSOR_CSRMATRIX_H
 #define GRANII_TENSOR_CSRMATRIX_H
 
+#include "support/Aligned.h"
+
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace granii {
@@ -36,10 +39,10 @@ public:
   int64_t nnz() const { return static_cast<int64_t>(ColIndices.size()); }
   bool isWeighted() const { return !Values.empty(); }
 
-  const std::vector<int64_t> &rowOffsets() const { return RowOffsets; }
-  const std::vector<int32_t> &colIndices() const { return ColIndices; }
-  const std::vector<float> &values() const { return Values; }
-  std::vector<float> &mutableValues() { return Values; }
+  const AlignedVector<int64_t> &rowOffsets() const { return RowOffsets; }
+  const AlignedVector<int32_t> &colIndices() const { return ColIndices; }
+  const AlignedVector<float> &values() const { return Values; }
+  AlignedVector<float> &mutableValues() { return Values; }
 
   /// Number of stored entries in row \p R.
   int64_t rowNnz(int64_t R) const {
@@ -55,15 +58,20 @@ public:
   /// Attaches \p Vals as explicit weights; size must equal nnz().
   void setValues(std::vector<float> Vals);
 
+  /// \returns a copy of this matrix's pattern carrying \p Vals as its
+  /// explicit weights (the by-value diagonal-scaling kernels build their
+  /// results this way).
+  CsrMatrix withValues(std::span<const float> Vals) const;
+
   /// Rebuilds this matrix in place as a weighted matrix with the given
-  /// pattern, reusing existing storage capacity (copy-assignment of the
+  /// pattern, reusing existing storage capacity (assignment into the
   /// pattern arrays and a resize of the value array allocate nothing once
   /// capacity suffices — the workspace's persistent sparse intermediates
   /// rely on this). Value contents are unspecified afterwards; callers
   /// overwrite them through mutableValues().
   void assignPattern(int64_t Rows, int64_t Columns,
-                     const std::vector<int64_t> &Offsets,
-                     const std::vector<int32_t> &Cols);
+                     std::span<const int64_t> Offsets,
+                     std::span<const int32_t> Cols);
 
   /// Drops explicit weights, making the matrix unweighted.
   void clearValues() { Values.clear(); }
@@ -81,9 +89,13 @@ public:
 private:
   int64_t NumRows = 0;
   int64_t NumCols = 0;
-  std::vector<int64_t> RowOffsets;
-  std::vector<int32_t> ColIndices;
-  std::vector<float> Values;
+  /// Cache-line-aligned arrays (support/Aligned.h) so the SIMD kernels can
+  /// assume 64-byte-aligned bases. The construction paths copy into these;
+  /// capacity reuse (assignPattern/setValues within capacity) never
+  /// reallocates and therefore never loses the alignment.
+  AlignedVector<int64_t> RowOffsets;
+  AlignedVector<int32_t> ColIndices;
+  AlignedVector<float> Values;
 };
 
 } // namespace granii

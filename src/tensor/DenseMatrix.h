@@ -9,6 +9,8 @@
 #ifndef GRANII_TENSOR_DENSEMATRIX_H
 #define GRANII_TENSOR_DENSEMATRIX_H
 
+#include "support/Aligned.h"
+
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -57,8 +59,14 @@ public:
     return Data.data() + R * NumCols;
   }
 
-  float *data() { return Data.data(); }
-  const float *data() const { return Data.data(); }
+  float *data() {
+    assert(isKernelAligned(Data.data()) && "dense storage lost alignment");
+    return Data.data();
+  }
+  const float *data() const {
+    assert(isKernelAligned(Data.data()) && "dense storage lost alignment");
+    return Data.data();
+  }
 
   /// Reshapes to Rows x Cols reusing the existing storage. No reallocation
   /// happens when capacityFloats() already covers the new size, which is
@@ -106,7 +114,12 @@ public:
 private:
   int64_t NumRows = 0;
   int64_t NumCols = 0;
-  std::vector<float> Data;
+  /// Cache-line-aligned backing store (support/Aligned.h): the SIMD kernels
+  /// rely on data() starting on a 64-byte boundary. Still a std::vector, so
+  /// resize() within capacity reuses (and never re-mis-aligns) the buffer.
+  AlignedVector<float> Data;
+  static_assert(KernelAlignment % alignof(float) == 0,
+                "kernel alignment must cover the element type");
 };
 
 } // namespace granii

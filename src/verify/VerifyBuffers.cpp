@@ -209,7 +209,7 @@ bool granii::verifyBufferPlan(const CompositionPlan &Plan,
   return Diags.errorCount() == Before;
 }
 
-bool granii::verifyRowPartition(const std::vector<int64_t> &RowOffsets,
+bool granii::verifyRowPartition(std::span<const int64_t> RowOffsets,
                                 const std::vector<int64_t> &Bounds,
                                 DiagEngine &Diags, const std::string &Stage) {
   size_t Before = Diags.errorCount();

@@ -23,6 +23,8 @@
 #include "runtime/BufferPlan.h"
 #include "support/Diag.h"
 
+#include <span>
+
 namespace granii {
 
 /// Verifies a (possibly hand-built) slot assignment \p Vals / \p Slots for
@@ -48,7 +50,7 @@ bool verifyBufferPlan(const CompositionPlan &Plan, const DimBinding &Binding,
 /// Verifies that \p Bounds (as produced by csrRowPartitionBounds) covers
 /// each row of the CSR matrix described by \p RowOffsets exactly once:
 /// front == 0, back == rows, non-decreasing. \returns true when clean.
-bool verifyRowPartition(const std::vector<int64_t> &RowOffsets,
+bool verifyRowPartition(std::span<const int64_t> RowOffsets,
                         const std::vector<int64_t> &Bounds, DiagEngine &Diags,
                         const std::string &Stage = "partition");
 

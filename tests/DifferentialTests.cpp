@@ -25,6 +25,7 @@
 #include "graph/Generators.h"
 #include "graph/Reorder.h"
 #include "granii/Granii.h"
+#include "kernels/Dispatch.h"
 #include "models/Models.h"
 #include "runtime/Executor.h"
 #include "support/Rng.h"
@@ -32,6 +33,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -318,6 +320,65 @@ TEST(Differential, AllPathsAgreeOnRandomInstances) {
       EXPECT_EQ(Ws.allocationCount(), 0u) << "arena steady state allocated";
       EXPECT_EQ(WsR.allocationCount(), 0u)
           << "reordered steady state allocated";
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-ISA differential: every SIMD level this build/host supports
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Restores the entry ISA level even when an ASSERT unwinds the test body.
+struct IsaLevelGuard {
+  kernels::IsaLevel Entry = kernels::activeIsaLevel();
+  ~IsaLevelGuard() { kernels::setIsaLevel(Entry); }
+};
+
+} // namespace
+
+// For each supported level: 1 vs 4 threads stays bitwise identical (the
+// dispatched routines never split one row's reduction), the level agrees
+// with the scalar level within 1e-5 relative (vector FMA contraction and
+// grouped horizontal sums are the only differences), and everything stays
+// within the float-vs-double tolerance of the naive reference.
+TEST(Differential, IsaLevelsAgreeAndStayThreadDeterministic) {
+  IsaLevelGuard Guard;
+  for (uint64_t I = 0; I < 6; ++I) {
+    Instance Inst = makeInstance(4000 + I);
+    SCOPED_TRACE(Inst.Desc);
+    GnnModel M = makeModel(Inst.Kind);
+    LayerParams Params =
+        makeLayerParams(M, Inst.G, Inst.KIn, Inst.KOut, Inst.Seed);
+    DenseMatrix Naive = naiveReference(M, Params);
+    std::vector<CompositionPlan> Plans = survivingPlans(M);
+    ASSERT_FALSE(Plans.empty());
+    const CompositionPlan &Plan = Plans[I % Plans.size()];
+
+    std::optional<DenseMatrix> ScalarOut;
+    for (kernels::IsaLevel Level : kernels::supportedIsaLevels()) {
+      SCOPED_TRACE(kernels::isaLevelName(Level));
+      ASSERT_TRUE(kernels::setIsaLevel(Level));
+
+      Executor E1(HardwareModel::byName("cpu"), /*NumThreads=*/1);
+      DenseMatrix Out1 = E1.run(Plan, Params.inputs(), Params.Stats).Output;
+      Executor E4(HardwareModel::byName("cpu"), /*NumThreads=*/4);
+      DenseMatrix Out4 = E4.run(Plan, Params.inputs(), Params.Stats).Output;
+      EXPECT_EQ(Out4.maxAbsDiff(Out1), 0.0f)
+          << "thread count changed the output at this ISA level";
+
+      EXPECT_TRUE(Out1.approxEquals(Naive, 3e-3f, 3e-3f))
+          << "diverges from naive reference by " << Out1.maxAbsDiff(Naive);
+      if (!ScalarOut) {
+        // supportedIsaLevels() always starts with Scalar.
+        ASSERT_EQ(Level, kernels::IsaLevel::Scalar);
+        ScalarOut = std::move(Out1);
+      } else {
+        EXPECT_TRUE(Out1.approxEquals(*ScalarOut, 1e-5f, 1e-5f))
+            << "diverges from the scalar level by "
+            << Out1.maxAbsDiff(*ScalarOut);
+      }
     }
   }
 }

@@ -351,13 +351,15 @@ TEST(EdgeSoftmax, LargeLogitsAreStable) {
   Coo.add(0, 0);
   Coo.add(0, 1);
   CsrMatrix A = Coo.toCsr();
-  std::vector<float> Soft = kernels::edgeSoftmax(A, {500.0f, 500.0f});
+  std::vector<float> Soft =
+      kernels::edgeSoftmax(A, std::vector<float>{500.0f, 500.0f});
   EXPECT_NEAR(Soft[0], 0.5f, 1e-6f);
   EXPECT_FALSE(std::isnan(Soft[1]));
 }
 
 TEST(EdgeMap, LeakyReluEdges) {
-  std::vector<float> Out = kernels::leakyReluEdges({-1.0f, 2.0f}, 0.25f);
+  std::vector<float> Out =
+      kernels::leakyReluEdges(std::vector<float>{-1.0f, 2.0f}, 0.25f);
   EXPECT_FLOAT_EQ(Out[0], -0.25f);
   EXPECT_FLOAT_EQ(Out[1], 2.0f);
 }
@@ -496,8 +498,7 @@ void expectBitwiseEqual(const DenseMatrix &A, const DenseMatrix &B) {
     ASSERT_EQ(PA[I], PB[I]) << "element " << I;
 }
 
-void expectBitwiseEqual(const std::vector<float> &A,
-                        const std::vector<float> &B) {
+void expectBitwiseEqual(std::span<const float> A, std::span<const float> B) {
   ASSERT_EQ(A.size(), B.size());
   for (size_t I = 0; I < A.size(); ++I)
     ASSERT_EQ(A[I], B[I]) << "element " << I;

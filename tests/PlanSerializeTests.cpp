@@ -88,6 +88,80 @@ TEST(PlanSerialize, RejectsSemanticallyBrokenPlans) {
   EXPECT_NE(Error.find("undefined value"), std::string::npos);
 }
 
+TEST(PlanSerialize, ErrorsCarrySourceAndLineContext) {
+  // The overflowing step result id sits on line 3; the message must name
+  // the default source and that line so a bad file is findable.
+  std::string Text = "plan p 1 1\n"
+                     "value dense N Kin 0 0 features H\n"
+                     "step relu 99999999999999999999 0x0p+0 0 0\n"
+                     "output 0\n"
+                     "end\n";
+  std::string Error;
+  EXPECT_FALSE(deserializePlans(Text, &Error));
+  EXPECT_NE(Error.find("<plans>:3: "), std::string::npos) << Error;
+  EXPECT_NE(Error.find("bad step result id"), std::string::npos) << Error;
+
+  // A caller-supplied source name (the plan file path) replaces the
+  // placeholder.
+  EXPECT_FALSE(deserializePlans(Text, &Error, "models/gcn.plans"));
+  EXPECT_NE(Error.find("models/gcn.plans:3: "), std::string::npos) << Error;
+}
+
+TEST(PlanSerialize, RejectsOverflowAndJunkNumericFields) {
+  // Every numeric field goes through a checked full-field parse: digits
+  // that overflow the target type or carry trailing junk fail recoverably
+  // (std::stoi previously threw out of the parser on several of these).
+  std::string Error;
+  EXPECT_FALSE(deserializePlans("plan p 1 1\n"
+                                "value dense N Kin 0 0 features H\n"
+                                "step relu 0 0x0p+0 0 88888888888888888888\n"
+                                "output 0\n"
+                                "end\n",
+                                &Error));
+  EXPECT_NE(Error.find("bad operand id"), std::string::npos) << Error;
+
+  EXPECT_FALSE(deserializePlans("plan p 1 1\n"
+                                "value dense N Kin 0 0 features H\n"
+                                "step relu 1x 0x0p+0 0 0\n"
+                                "output 1\n"
+                                "end\n",
+                                &Error));
+  EXPECT_NE(Error.find("bad step result id"), std::string::npos) << Error;
+
+  EXPECT_FALSE(deserializePlans("plan p 1 1\n"
+                                "value dense N Kin 0 0 features H\n"
+                                "output 999999999999999999999999\n"
+                                "end\n",
+                                &Error));
+  EXPECT_NE(Error.find("malformed output record"), std::string::npos)
+      << Error;
+}
+
+TEST(PlanSerialize, RejectsBadConstantDimensions) {
+  // Negative and overflowing constants are not valid dimensions.
+  for (const char *Dim : {"-3", "99999999999999999999999", "12cols"}) {
+    std::string Text = std::string("plan p 1 1\n") + "value dense " + Dim +
+                       " Kin 0 0 features H\n"
+                       "output 0\n"
+                       "end\n";
+    std::string Error;
+    EXPECT_FALSE(deserializePlans(Text, &Error)) << Dim;
+    EXPECT_NE(Error.find("bad value field"), std::string::npos)
+        << Dim << " produced: " << Error;
+  }
+}
+
+TEST(PlanSerialize, TruncatedFileFailsWithLineContext) {
+  std::string Text = "plan p 1 1\n"
+                     "value dense N Kin 0 0 features H\n"
+                     "step relu 1 0x0p+0 0 0"; // no end record, no newline
+  std::string Error;
+  EXPECT_FALSE(deserializePlans(Text, &Error));
+  EXPECT_NE(Error.find("unterminated plan record"), std::string::npos)
+      << Error;
+  EXPECT_NE(Error.find("<plans>:3"), std::string::npos) << Error;
+}
+
 TEST(PlanSerialize, EmptyInputYieldsEmptySet) {
   auto Restored = deserializePlans("");
   ASSERT_TRUE(Restored.has_value());

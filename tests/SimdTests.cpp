@@ -1,0 +1,332 @@
+//===- SimdTests.cpp - Runtime ISA dispatch and SIMD kernel tests -----------===//
+//
+// Covers the kernel dispatch layer (src/kernels/Dispatch.h): level parsing
+// and naming, CPUID-bounded level enumeration, the setIsaLevel override,
+// table completeness, the 64-byte alignment contract of the tensor storage,
+// and cross-ISA agreement of every dispatched kernel family on fixtures
+// whose shapes exercise both the vector bodies and the scalar tails.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Dispatch.h"
+#include "kernels/Kernels.h"
+#include "support/Aligned.h"
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+#include "tensor/CooMatrix.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace granii;
+using kernels::IsaLevel;
+
+namespace {
+
+/// Restores the entry ISA level even when an ASSERT unwinds the test body.
+struct IsaLevelGuard {
+  IsaLevel Entry = kernels::activeIsaLevel();
+  ~IsaLevelGuard() { kernels::setIsaLevel(Entry); }
+};
+
+DenseMatrix randomDense(int64_t Rows, int64_t Cols, uint64_t Seed) {
+  Rng R(Seed);
+  DenseMatrix M(Rows, Cols);
+  M.fillRandom(R, -1.0f, 1.0f);
+  return M;
+}
+
+CsrMatrix randomSparse(int64_t Rows, int64_t Cols, int64_t Entries,
+                       uint64_t Seed, bool Weighted) {
+  Rng R(Seed);
+  CooMatrix Coo(Rows, Cols);
+  for (int64_t I = 0; I < Entries; ++I)
+    Coo.add(static_cast<int64_t>(R.nextBelow(static_cast<uint64_t>(Rows))),
+            static_cast<int64_t>(R.nextBelow(static_cast<uint64_t>(Cols))),
+            R.nextFloat(0.1f, 1.0f));
+  return Coo.toCsr(!Weighted);
+}
+
+void expectApproxEqual(const DenseMatrix &Got, const DenseMatrix &Want,
+                       float Tol, const std::string &What) {
+  EXPECT_TRUE(Got.approxEquals(Want, Tol, Tol))
+      << What << " differs from the scalar level by "
+      << Got.maxAbsDiff(Want);
+}
+
+void expectBitwiseEqual(const DenseMatrix &Got, const DenseMatrix &Want,
+                        const std::string &What) {
+  EXPECT_EQ(Got.maxAbsDiff(Want), 0.0f)
+      << What << " is not bitwise identical to the scalar level";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Level parsing, naming, enumeration
+//===----------------------------------------------------------------------===//
+
+TEST(Dispatch, IsaNamesRoundTrip) {
+  EXPECT_EQ(kernels::parseIsaLevel("scalar"), IsaLevel::Scalar);
+  EXPECT_EQ(kernels::parseIsaLevel("avx2"), IsaLevel::Avx2);
+  EXPECT_EQ(kernels::parseIsaLevel("avx512"), IsaLevel::Avx512);
+  for (IsaLevel Level :
+       {IsaLevel::Scalar, IsaLevel::Avx2, IsaLevel::Avx512})
+    EXPECT_EQ(kernels::parseIsaLevel(kernels::isaLevelName(Level)), Level);
+}
+
+TEST(Dispatch, IsaParsingRejectsGarbage) {
+  EXPECT_FALSE(kernels::parseIsaLevel(""));
+  EXPECT_FALSE(kernels::parseIsaLevel("AVX2"));
+  EXPECT_FALSE(kernels::parseIsaLevel("avx-512"));
+  EXPECT_FALSE(kernels::parseIsaLevel("sse4"));
+  EXPECT_FALSE(kernels::parseIsaLevel(" scalar"));
+}
+
+TEST(Dispatch, SupportedLevelsStartWithScalarAndAscend) {
+  std::vector<IsaLevel> Levels = kernels::supportedIsaLevels();
+  ASSERT_FALSE(Levels.empty());
+  EXPECT_EQ(Levels.front(), IsaLevel::Scalar);
+  for (size_t I = 1; I < Levels.size(); ++I)
+    EXPECT_LT(Levels[I - 1], Levels[I]);
+  EXPECT_EQ(Levels.back(), kernels::detectedIsaLevel());
+}
+
+TEST(Dispatch, SetIsaLevelSwitchesActiveTable) {
+  IsaLevelGuard Guard;
+  for (IsaLevel Level : kernels::supportedIsaLevels()) {
+    ASSERT_TRUE(kernels::setIsaLevel(Level));
+    EXPECT_EQ(kernels::activeIsaLevel(), Level);
+    EXPECT_EQ(kernels::simdOps().Level, Level);
+    EXPECT_STREQ(kernels::simdOps().Name, kernels::isaLevelName(Level));
+  }
+}
+
+TEST(Dispatch, UnavailableLevelsAreRejected) {
+  IsaLevelGuard Guard;
+  IsaLevel Detected = kernels::detectedIsaLevel();
+  for (IsaLevel Level :
+       {IsaLevel::Scalar, IsaLevel::Avx2, IsaLevel::Avx512}) {
+    if (Level <= Detected)
+      continue;
+    EXPECT_EQ(kernels::simdOpsFor(Level), nullptr);
+    // A rejected request must leave the active level untouched.
+    EXPECT_FALSE(kernels::setIsaLevel(Level));
+    EXPECT_EQ(kernels::activeIsaLevel(), Guard.Entry);
+  }
+}
+
+TEST(Dispatch, TablesAreFullyPopulated) {
+  for (IsaLevel Level : kernels::supportedIsaLevels()) {
+    const kernels::SimdOps *Ops = kernels::simdOpsFor(Level);
+    ASSERT_NE(Ops, nullptr) << kernels::isaLevelName(Level);
+    EXPECT_EQ(Ops->Level, Level);
+    EXPECT_NE(Ops->GemmRowRange, nullptr);
+    EXPECT_NE(Ops->GemmTLhsRowRange, nullptr);
+    EXPECT_NE(Ops->GemmTRhsRowRange, nullptr);
+    EXPECT_NE(Ops->SpmmRowRange, nullptr);
+    EXPECT_NE(Ops->SddmmDotRowRange, nullptr);
+    EXPECT_NE(Ops->ScaleRange, nullptr);
+    EXPECT_NE(Ops->MulRange, nullptr);
+    EXPECT_NE(Ops->AddRange, nullptr);
+    EXPECT_NE(Ops->AxpyRange, nullptr);
+    EXPECT_NE(Ops->ReluRange, nullptr);
+    EXPECT_GE(Ops->ColumnQuantum, 1);
+    EXPECT_GE(Ops->DenseThroughputScale, 1.0);
+    EXPECT_GE(Ops->SparseThroughputScale, 1.0);
+  }
+  // The scalar table reproduces the pre-SIMD kernels: no tiling quantum,
+  // unit throughput (it is the calibration baseline).
+  const kernels::SimdOps *Scalar = kernels::simdOpsFor(IsaLevel::Scalar);
+  ASSERT_NE(Scalar, nullptr);
+  EXPECT_EQ(Scalar->ColumnQuantum, 1);
+  EXPECT_EQ(Scalar->DenseThroughputScale, 1.0);
+  EXPECT_EQ(Scalar->SparseThroughputScale, 1.0);
+}
+
+TEST(Dispatch, SimdLevelsShareOneColumnQuantum) {
+  // HardwareModel::spmmColumnTile rounds to the active ColumnQuantum; the
+  // tiled-SDDMM bitwise contract relies on every SIMD level sharing one
+  // quantum so a tile width legal for one level is legal for all.
+  for (IsaLevel Level : kernels::supportedIsaLevels()) {
+    if (Level == IsaLevel::Scalar)
+      continue;
+    EXPECT_EQ(kernels::simdOpsFor(Level)->ColumnQuantum, 8)
+        << kernels::isaLevelName(Level);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Alignment contract of the tensor storage
+//===----------------------------------------------------------------------===//
+
+TEST(Alignment, DenseMatrixStorageIsCacheLineAligned) {
+  for (auto [Rows, Cols] : {std::pair<int64_t, int64_t>{1, 1},
+                            {17, 9},
+                            {64, 64},
+                            {3, 1000}}) {
+    DenseMatrix M(Rows, Cols);
+    EXPECT_TRUE(isKernelAligned(M.data()));
+  }
+  // Arena-style reshapes reuse the buffer and must keep the alignment.
+  DenseMatrix M(8, 8);
+  const float *Before = M.data();
+  M.resize(4, 16);
+  EXPECT_EQ(M.data(), Before);
+  EXPECT_TRUE(isKernelAligned(M.data()));
+}
+
+TEST(Alignment, CsrMatrixStorageIsCacheLineAligned) {
+  CsrMatrix A = randomSparse(50, 50, 300, 99, /*Weighted=*/true);
+  EXPECT_TRUE(isKernelAligned(A.rowOffsets().data()));
+  EXPECT_TRUE(isKernelAligned(A.colIndices().data()));
+  EXPECT_TRUE(isKernelAligned(A.values().data()));
+}
+
+TEST(Alignment, AlignedVectorSurvivesGrowth) {
+  AlignedVector<float> V;
+  for (int I = 0; I < 1000; ++I) {
+    V.push_back(static_cast<float>(I));
+    ASSERT_TRUE(isKernelAligned(V.data()));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-ISA kernel agreement
+//===----------------------------------------------------------------------===//
+//
+// Shapes deliberately avoid vector-width multiples (K = 45, N = 29, ...)
+// so every level runs both its vector body and its scalar tail.
+
+TEST(CrossIsa, GemmFamilyAgreesWithScalarLevel) {
+  IsaLevelGuard Guard;
+  DenseMatrix A = randomDense(37, 45, 11);
+  DenseMatrix B = randomDense(45, 29, 12);
+  DenseMatrix At = randomDense(45, 37, 13); // lhs of the A^T * B form
+  DenseMatrix Bt = randomDense(29, 45, 14); // rhs of the A * B^T form
+
+  ASSERT_TRUE(kernels::setIsaLevel(IsaLevel::Scalar));
+  DenseMatrix RefGemm = kernels::gemm(A, B);
+  DenseMatrix RefTLhs = kernels::gemmTransposedLhs(At, B);
+  DenseMatrix RefTRhs = kernels::gemmTransposedRhs(A, Bt);
+
+  for (IsaLevel Level : kernels::supportedIsaLevels()) {
+    SCOPED_TRACE(kernels::isaLevelName(Level));
+    ASSERT_TRUE(kernels::setIsaLevel(Level));
+    expectApproxEqual(kernels::gemm(A, B), RefGemm, 1e-5f, "gemm");
+    expectApproxEqual(kernels::gemmTransposedLhs(At, B), RefTLhs, 1e-5f,
+                      "gemmTransposedLhs");
+    expectApproxEqual(kernels::gemmTransposedRhs(A, Bt), RefTRhs, 1e-5f,
+                      "gemmTransposedRhs");
+  }
+}
+
+TEST(CrossIsa, SpmmAgreesWithScalarLevel) {
+  IsaLevelGuard Guard;
+  CsrMatrix Weighted = randomSparse(60, 60, 320, 21, /*Weighted=*/true);
+  CsrMatrix Unweighted = randomSparse(60, 60, 320, 22, /*Weighted=*/false);
+  DenseMatrix B = randomDense(60, 33, 23);
+
+  ASSERT_TRUE(kernels::setIsaLevel(IsaLevel::Scalar));
+  DenseMatrix RefW = kernels::spmm(Weighted, B, Semiring::plusTimes());
+  DenseMatrix RefU = kernels::spmm(Unweighted, B, Semiring::plusCopy());
+
+  for (IsaLevel Level : kernels::supportedIsaLevels()) {
+    SCOPED_TRACE(kernels::isaLevelName(Level));
+    ASSERT_TRUE(kernels::setIsaLevel(Level));
+    expectApproxEqual(kernels::spmm(Weighted, B, Semiring::plusTimes()),
+                      RefW, 1e-5f, "weighted spmm");
+    expectApproxEqual(kernels::spmm(Unweighted, B, Semiring::plusCopy()),
+                      RefU, 1e-5f, "unweighted spmm");
+  }
+}
+
+TEST(CrossIsa, SddmmAgreesWithScalarLevel) {
+  IsaLevelGuard Guard;
+  CsrMatrix Mask = randomSparse(40, 40, 260, 31, /*Weighted=*/false);
+  DenseMatrix U = randomDense(40, 21, 32);
+  DenseMatrix V = randomDense(40, 21, 33);
+
+  ASSERT_TRUE(kernels::setIsaLevel(IsaLevel::Scalar));
+  std::vector<float> Ref = kernels::sddmm(Mask, U, V);
+
+  for (IsaLevel Level : kernels::supportedIsaLevels()) {
+    SCOPED_TRACE(kernels::isaLevelName(Level));
+    ASSERT_TRUE(kernels::setIsaLevel(Level));
+    std::vector<float> Got = kernels::sddmm(Mask, U, V);
+    ASSERT_EQ(Got.size(), Ref.size());
+    for (size_t I = 0; I < Ref.size(); ++I)
+      EXPECT_NEAR(Got[I], Ref[I], 1e-5f) << "edge " << I;
+  }
+}
+
+TEST(CrossIsa, ElementwiseOpsAreBitwiseAcrossLevels) {
+  // Scale, add, multiply, and ReLU apply the same single IEEE operation per
+  // element at every level; vectorization cannot change a bit.
+  IsaLevelGuard Guard;
+  DenseMatrix A = randomDense(23, 37, 41);
+  DenseMatrix B = randomDense(23, 37, 42);
+  std::vector<float> D(23);
+  Rng R(43);
+  for (float &X : D)
+    X = R.nextFloat(-1.0f, 1.0f);
+
+  ASSERT_TRUE(kernels::setIsaLevel(IsaLevel::Scalar));
+  DenseMatrix RefRelu = kernels::relu(A);
+  DenseMatrix RefAdd = kernels::addMatrices(A, B);
+  DenseMatrix RefScale = kernels::scaleMatrix(A, 0.37f);
+  DenseMatrix RefRowMul = kernels::rowBroadcastMul(D, A);
+
+  for (IsaLevel Level : kernels::supportedIsaLevels()) {
+    SCOPED_TRACE(kernels::isaLevelName(Level));
+    ASSERT_TRUE(kernels::setIsaLevel(Level));
+    expectBitwiseEqual(kernels::relu(A), RefRelu, "relu");
+    expectBitwiseEqual(kernels::addMatrices(A, B), RefAdd, "addMatrices");
+    expectBitwiseEqual(kernels::scaleMatrix(A, 0.37f), RefScale,
+                       "scaleMatrix");
+    expectBitwiseEqual(kernels::rowBroadcastMul(D, A), RefRowMul,
+                       "rowBroadcastMul");
+  }
+}
+
+TEST(CrossIsa, AxpyAgreesWithScalarLevel) {
+  // axpy uses fused multiply-add on the SIMD levels, so only approximate
+  // agreement with the scalar level's mul-then-add holds.
+  IsaLevelGuard Guard;
+  DenseMatrix A = randomDense(19, 31, 51);
+  DenseMatrix Base = randomDense(19, 31, 52);
+
+  ASSERT_TRUE(kernels::setIsaLevel(IsaLevel::Scalar));
+  DenseMatrix Ref = Base;
+  kernels::axpyInto(0.73f, A, Ref);
+
+  for (IsaLevel Level : kernels::supportedIsaLevels()) {
+    SCOPED_TRACE(kernels::isaLevelName(Level));
+    ASSERT_TRUE(kernels::setIsaLevel(Level));
+    DenseMatrix Got = Base;
+    kernels::axpyInto(0.73f, A, Got);
+    expectApproxEqual(Got, Ref, 1e-5f, "axpy");
+  }
+}
+
+TEST(CrossIsa, WithinLevelResultsAreThreadCountInvariant) {
+  // The bitwise 1-vs-N-thread contract, checked per level directly at the
+  // kernel layer (the differential suite covers the full pipeline).
+  IsaLevelGuard Guard;
+  CsrMatrix A = randomSparse(80, 80, 500, 61, /*Weighted=*/true);
+  DenseMatrix H = randomDense(80, 29, 62);
+  int EntryThreads = ThreadPool::get().numThreads();
+  for (IsaLevel Level : kernels::supportedIsaLevels()) {
+    SCOPED_TRACE(kernels::isaLevelName(Level));
+    ASSERT_TRUE(kernels::setIsaLevel(Level));
+    ThreadPool::get().setNumThreads(1);
+    DenseMatrix One = kernels::spmm(A, H, Semiring::plusTimes());
+    ThreadPool::get().setNumThreads(4);
+    DenseMatrix Four = kernels::spmm(A, H, Semiring::plusTimes());
+    EXPECT_EQ(Four.maxAbsDiff(One), 0.0f)
+        << "thread count changed spmm output";
+  }
+  ThreadPool::get().setNumThreads(EntryThreads);
+}

@@ -121,11 +121,66 @@ TEST(ThreadPool, CsrRowPartitionCoversSkewedOffsets) {
     ASSERT_EQ(Visits[static_cast<size_t>(R)], 1) << "row " << R;
 }
 
+//===----------------------------------------------------------------------===//
+// GRANII_NUM_THREADS / --threads parsing and clamping
+//===----------------------------------------------------------------------===//
+
+TEST(ParseThreadCount, AcceptsPlainAndPaddedIntegers) {
+  std::string Warning;
+  EXPECT_EQ(parseThreadCount("4", 0, &Warning), 4);
+  EXPECT_TRUE(Warning.empty());
+  EXPECT_EQ(parseThreadCount("  8\t", 0, &Warning), 8);
+  EXPECT_TRUE(Warning.empty()) << Warning;
+  EXPECT_EQ(parseThreadCount("1", 0, &Warning), 1);
+  EXPECT_TRUE(Warning.empty()) << Warning;
+}
+
+TEST(ParseThreadCount, RejectsNonNumericWithFallback) {
+  for (const char *Bad : {"", "   ", "abc", "4abc", "3x2", "1.5", "+4"}) {
+    std::string Warning;
+    EXPECT_EQ(parseThreadCount(Bad, 7, &Warning), 7) << "'" << Bad << "'";
+    EXPECT_NE(Warning.find("not an integer"), std::string::npos)
+        << "'" << Bad << "' produced: " << Warning;
+  }
+  // A clean parse must leave an existing warning untouched.
+  std::string Warning = "prior";
+  EXPECT_EQ(parseThreadCount("2", 0, &Warning), 2);
+  EXPECT_EQ(Warning, "prior");
+  // And the warning pointer is optional.
+  EXPECT_EQ(parseThreadCount("junk", 3, nullptr), 3);
+}
+
+TEST(ParseThreadCount, ClampsOutOfRangeValues) {
+  int Cap = maxConfigurableThreads();
+  ASSERT_GE(Cap, 32);
+  std::string Warning;
+  EXPECT_EQ(parseThreadCount("0", 5, &Warning), 1);
+  EXPECT_NE(Warning.find("clamping to 1"), std::string::npos) << Warning;
+  Warning.clear();
+  EXPECT_EQ(parseThreadCount("-5", 5, &Warning), 1);
+  EXPECT_NE(Warning.find("clamping to 1"), std::string::npos) << Warning;
+  Warning.clear();
+  EXPECT_EQ(parseThreadCount("99999999", 5, &Warning), Cap);
+  EXPECT_NE(Warning.find("exceeds the configurable maximum"),
+            std::string::npos)
+      << Warning;
+  // Values past the integer range clamp by sign instead of wrapping.
+  Warning.clear();
+  EXPECT_EQ(parseThreadCount("99999999999999999999999", 5, &Warning), Cap);
+  EXPECT_NE(Warning.find("clamping to " + std::to_string(Cap)),
+            std::string::npos)
+      << Warning;
+  Warning.clear();
+  EXPECT_EQ(parseThreadCount("-99999999999999999999999", 5, &Warning), 1);
+  EXPECT_NE(Warning.find("clamping to 1"), std::string::npos) << Warning;
+}
+
 TEST(ThreadPool, CsrRowPartitionHandlesDegenerateShapes) {
   ScopedThreads Scope(4);
   // No rows at all.
   bool Called = false;
-  parallelForCsrRows({0}, [&](int64_t, int64_t) { Called = true; });
+  parallelForCsrRows(std::vector<int64_t>{0},
+                     [&](int64_t, int64_t) { Called = true; });
   EXPECT_FALSE(Called);
   // All-empty rows: covered once via the constant per-row cost term.
   std::vector<int64_t> Empty(1001, 0);

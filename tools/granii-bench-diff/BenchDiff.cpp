@@ -24,6 +24,8 @@ struct DiffRecord {
   double MedianSeconds = 0.0;
   double P10Seconds = 0.0;
   double P90Seconds = 0.0;
+  /// SIMD level the record was measured at (empty in pre-SIMD reports).
+  std::string Isa;
   /// Baseline-only overrides.
   std::optional<double> Threshold;
   bool Gate = true;
@@ -40,6 +42,15 @@ struct DiffRecord {
 struct DiffReport {
   std::vector<DiffRecord> Records;
   std::map<std::string, size_t> Index;
+  /// SIMD levels the producing host supports ("isa_levels" header). Empty
+  /// for reports predating the field, in which case no ISA-based skipping
+  /// happens.
+  std::vector<std::string> IsaLevels;
+
+  bool supportsIsa(const std::string &Isa) const {
+    return std::find(IsaLevels.begin(), IsaLevels.end(), Isa) !=
+           IsaLevels.end();
+  }
 
   void add(DiffRecord Record) {
     auto It = Index.find(Record.Id);
@@ -78,6 +89,11 @@ bool loadReportFile(const std::string &Path, DiffReport &Report,
            "' (expected granii-bench-v1)\n";
     return false;
   }
+  if (const JsonValue *IsaLevels = Doc->find("isa_levels"))
+    if (IsaLevels->kind() == JsonValue::Kind::Array)
+      for (const JsonValue &Level : IsaLevels->array())
+        if (Level.kind() == JsonValue::Kind::String)
+          Report.IsaLevels.push_back(Level.str());
   const JsonValue *Benchmarks = Doc->find("benchmarks");
   if (!Benchmarks || Benchmarks->kind() != JsonValue::Kind::Array) {
     Err += "error: " + Path + ": missing \"benchmarks\" array\n";
@@ -93,6 +109,7 @@ bool loadReportFile(const std::string &Path, DiffReport &Report,
     Record.MedianSeconds = Entry.numberOr("median_seconds", 0.0);
     Record.P10Seconds = Entry.numberOr("p10_seconds", 0.0);
     Record.P90Seconds = Entry.numberOr("p90_seconds", 0.0);
+    Record.Isa = Entry.stringOr("isa", "");
     if (const JsonValue *Threshold = Entry.find("threshold"))
       if (Threshold->kind() == JsonValue::Kind::Number)
         Record.Threshold = Threshold->number();
@@ -148,10 +165,22 @@ int granii::benchdiff::runBenchDiff(const std::vector<std::string> &Args,
   std::vector<std::vector<std::string>> Table;
   size_t Regressions = 0, Improvements = 0, Compared = 0;
 
+  /// Baseline records measured at a SIMD level the head host cannot
+  /// execute: reported as skipped, never counted as missing or regressed.
+  auto IsaUnavailable = [&](const DiffRecord &Base) {
+    return !Base.Isa.empty() && !Head.IsaLevels.empty() &&
+           !Head.supportsIsa(Base.Isa);
+  };
+
   for (const DiffRecord &Base : Baseline.Records) {
     const DiffRecord *New = Head.find(Base.Id);
-    if (!New)
+    if (!New) {
+      if (IsaUnavailable(Base))
+        Table.push_back({Base.Id, formatDouble(Base.MedianSeconds * 1e3, 4),
+                         "-", "-", "-",
+                         "skipped (isa " + Base.Isa + " unavailable)"});
       continue;
+    }
     ++Compared;
     std::string Status = "ok";
     double Delta = 0.0;
@@ -188,9 +217,11 @@ int granii::benchdiff::runBenchDiff(const std::vector<std::string> &Args,
          std::to_string(Improvements) + " improvement(s)\n";
 
   // Mismatched sets are reported (a renamed or dropped benchmark should be
-  // visible in review) but only regressions fail the gate.
+  // visible in review) but only regressions fail the gate. Baseline
+  // records whose SIMD level the head host lacks already appear as skipped
+  // rows and are expected to be absent.
   for (const DiffRecord &Base : Baseline.Records)
-    if (!Head.find(Base.Id))
+    if (!Head.find(Base.Id) && !IsaUnavailable(Base))
       Err += "warning: benchmark '" + Base.Id +
              "' in baseline but missing from head\n";
   for (const DiffRecord &New : Head.Records)

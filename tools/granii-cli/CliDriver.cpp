@@ -9,12 +9,15 @@
 #include "graph/MatrixMarket.h"
 #include "granii/Granii.h"
 #include "ir/Dsl.h"
+#include "kernels/Dispatch.h"
 #include "runtime/CodeGen.h"
+#include "support/Diag.h"
 #include "support/Str.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 #include "verify/Verify.h"
 
+#include <charconv>
 #include <cstdlib>
 #include <fstream>
 #include <map>
@@ -57,9 +60,18 @@ public:
     return It == Values.end() ? Default : It->second;
   }
 
+  /// Integer flag lookup. Non-numeric or out-of-range text falls back to
+  /// \p Default instead of throwing (std::stoll would abort the CLI on a
+  /// typo like --kin=3x2).
   int64_t intValue(const std::string &Key, int64_t Default) const {
     auto It = Values.find(Key);
-    return It == Values.end() ? Default : std::stoll(It->second);
+    if (It == Values.end())
+      return Default;
+    int64_t Value = 0;
+    const char *Begin = It->second.data();
+    const char *End = Begin + It->second.size();
+    auto [Ptr, Ec] = std::from_chars(Begin, End, Value);
+    return (Ec == std::errc() && Ptr == End) ? Value : Default;
   }
 
   std::vector<std::string> Positional;
@@ -264,7 +276,8 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
   if (Args.Positional.size() < 2) {
     Err += "usage: granii-cli run <model.gnn> [--graph <mtx|synth:name>] "
            "--kin N --kout N [--hw cpu|a100|h100] [--iters N] [--train] "
-           "[--threads N] [--profile] [--reorder none|rcm|degree] "
+           "[--threads N] [--isa scalar|avx2|avx512] [--profile] "
+           "[--reorder none|rcm|degree] "
            "[--verify off|fast|full] [--trace <out.json>]\n";
     return 2;
   }
@@ -374,19 +387,47 @@ int granii::cli::runCli(const std::vector<std::string> &Args, std::string &Out,
                         std::string &Err) {
   if (Args.empty()) {
     Err += "usage: granii-cli <compile|run|verify|graphgen> [--threads N] "
-           "...\n";
+           "[--isa scalar|avx2|avx512] ...\n";
     return 2;
   }
   ArgParser Parsed(Args);
   // Global flag: pin the kernel thread pool before any command executes.
-  // Overrides GRANII_NUM_THREADS; values <= 0 are rejected.
+  // Overrides GRANII_NUM_THREADS. Non-numeric input is rejected; numeric
+  // values outside [1, maxConfigurableThreads()] clamp with a warning.
   if (Parsed.hasFlag("threads")) {
-    int64_t Threads = std::atoll(Parsed.value("threads").c_str());
+    std::string Warning;
+    int Threads = parseThreadCount(Parsed.value("threads"), /*Fallback=*/0,
+                                   &Warning);
     if (Threads <= 0) {
       Err += "error: --threads expects a positive integer\n";
       return 2;
     }
-    ThreadPool::get().setNumThreads(static_cast<int>(Threads));
+    if (!Warning.empty())
+      Err += Diag{DiagSeverity::Warning, "cli", "--threads", Warning,
+                  "pass a value between 1 and " +
+                      std::to_string(maxConfigurableThreads())}
+                 .toString() +
+             "\n";
+    ThreadPool::get().setNumThreads(Threads);
+  }
+  // Global flag: force a SIMD dispatch level (overrides both the CPUID
+  // detection and the GRANII_ISA environment variable). Levels the host
+  // cannot execute are rejected rather than clamped: an explicit flag
+  // asking for unavailable instructions is a mistake worth stopping on.
+  if (Parsed.hasFlag("isa")) {
+    std::string Name = Parsed.value("isa");
+    std::optional<kernels::IsaLevel> Level = kernels::parseIsaLevel(Name);
+    if (!Level) {
+      Err += "error: --isa expects scalar, avx2, or avx512\n";
+      return 2;
+    }
+    if (!kernels::setIsaLevel(*Level)) {
+      Err += "error: ISA level '" + Name +
+             "' is not available on this host (detected: " +
+             std::string(kernels::isaLevelName(kernels::detectedIsaLevel())) +
+             ")\n";
+      return 2;
+    }
   }
   // Global flag: record a Chrome-trace of the optimizer pipeline and the
   // executor, written as Perfetto-loadable JSON when the command finishes.
