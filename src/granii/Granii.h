@@ -124,8 +124,22 @@ public:
                                                OptimizerOptions Opts,
                                                const CostModel *Cost);
 
+  /// Constructs an optimizer directly from an already-compiled candidate
+  /// set, bypassing enumeration and pruning. This is the compile-once /
+  /// run-many entry point the serving layer's plan cache builds on: a
+  /// cached (or deserialized) promoted set becomes a ready Optimizer
+  /// without paying the offline stage again. The set still goes through
+  /// verifyPromoted() — cached artifacts get the same scrutiny as fresh
+  /// ones.
+  static Optimizer fromCompiled(GnnModel Model, OptimizerOptions Opts,
+                                const CostModel *Cost,
+                                std::vector<CompositionPlan> Compiled) {
+    return Optimizer(std::move(Model), std::move(Opts), Cost,
+                     std::move(Compiled));
+  }
+
 private:
-  /// Used by loadCompiled to bypass enumeration.
+  /// Used by loadCompiled/fromCompiled to bypass enumeration.
   Optimizer(GnnModel Model, OptimizerOptions Opts, const CostModel *Cost,
             std::vector<CompositionPlan> Precompiled);
 

@@ -1,0 +1,45 @@
+//===- GraphSpec.cpp - Textual graph specifications ---------------------------===//
+
+#include "graph/GraphSpec.h"
+
+#include "graph/Generators.h"
+#include "graph/MatrixMarket.h"
+#include "support/Hash.h"
+#include "support/Str.h"
+
+using namespace granii;
+
+std::optional<Graph> granii::loadGraphSpec(const std::string &Spec,
+                                           std::string *Err) {
+  if (startsWith(Spec, "synth:")) {
+    std::string Name = Spec.substr(6);
+    for (const char *Known : {"reddit", "com-amazon", "mycielskian",
+                              "belgium-osm", "coauthors", "ogbn-products"})
+      if (Name == Known)
+        return makeEvaluationGraph(Name);
+    if (Err)
+      *Err += "error: unknown synthetic graph '" + Name +
+              "' (try reddit, com-amazon, mycielskian, belgium-osm, "
+              "coauthors, ogbn-products)\n";
+    return std::nullopt;
+  }
+  std::string ReadError;
+  std::optional<Graph> G = readMatrixMarket(Spec, &ReadError);
+  if (!G && Err)
+    *Err += "error: " + ReadError + "\n";
+  return G;
+}
+
+uint64_t granii::graphFingerprint(const Graph &G) {
+  const CsrMatrix &Adj = G.adjacency();
+  uint64_t Hash = fnv1a64(G.name());
+  Hash = fnv1a64(static_cast<uint64_t>(Adj.rows()), Hash);
+  Hash = fnv1a64(static_cast<uint64_t>(Adj.nnz()), Hash);
+  Hash = fnv1a64(Adj.rowOffsets().data(),
+                 Adj.rowOffsets().size() * sizeof(int64_t), Hash);
+  Hash = fnv1a64(Adj.colIndices().data(),
+                 Adj.colIndices().size() * sizeof(int32_t), Hash);
+  Hash = fnv1a64(Adj.values().data(), Adj.values().size() * sizeof(float),
+                 Hash);
+  return Hash;
+}

@@ -1,0 +1,105 @@
+//===- Client.cpp - granii-serve client library -------------------------------===//
+
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace granii;
+using namespace granii::serve;
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::connect(const std::string &SocketPath, std::string *Err) {
+  close();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path must be 1.." +
+             std::to_string(sizeof(Addr.sun_path) - 1) + " bytes, got " +
+             std::to_string(SocketPath.size());
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Err)
+      *Err = std::string("socket failed: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    if (Err)
+      *Err = "cannot connect to '" + SocketPath +
+             "': " + std::strerror(errno) +
+             " (is the daemon running? start it with 'granii-cli serve')";
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::roundTrip(Verb V, const std::vector<uint8_t> &Payload, Frame &Out,
+                       std::string *Err) {
+  if (Fd < 0) {
+    if (Err)
+      *Err = "client is not connected";
+    return false;
+  }
+  if (!writeFrame(Fd, static_cast<uint16_t>(V), Payload, Err))
+    return false;
+  ReadStatus Status = readFrame(Fd, Out, Err);
+  if (Status == ReadStatus::Eof) {
+    if (Err)
+      *Err = "daemon closed the connection without responding";
+    return false;
+  }
+  if (Status == ReadStatus::Error)
+    return false;
+  if (Out.Verb != static_cast<uint16_t>(V)) {
+    if (Err)
+      *Err = "response verb " + std::to_string(Out.Verb) +
+             " does not match request verb '" + verbName(V) + "'";
+    return false;
+  }
+  return true;
+}
+
+bool Client::compile(const JobRequest &Req, CompileResponse &Resp,
+                     std::string *Err) {
+  Frame Out;
+  if (!roundTrip(Verb::Compile, encodeJobRequest(Req), Out, Err))
+    return false;
+  return decodeCompileResponse(Out.Payload, Resp, Err);
+}
+
+bool Client::run(const JobRequest &Req, RunResponse &Resp, std::string *Err) {
+  Frame Out;
+  if (!roundTrip(Verb::Run, encodeJobRequest(Req), Out, Err))
+    return false;
+  return decodeRunResponse(Out.Payload, Resp, Err);
+}
+
+bool Client::stats(StatsResponse &Resp, std::string *Err) {
+  Frame Out;
+  if (!roundTrip(Verb::Stats, std::vector<uint8_t>(), Out, Err))
+    return false;
+  return decodeStatsResponse(Out.Payload, Resp, Err);
+}
+
+bool Client::shutdown(ShutdownResponse &Resp, std::string *Err) {
+  Frame Out;
+  if (!roundTrip(Verb::Shutdown, std::vector<uint8_t>(), Out, Err))
+    return false;
+  return decodeShutdownResponse(Out.Payload, Resp, Err);
+}

@@ -1,0 +1,345 @@
+//===- Engine.cpp - Compile-once/run-many serving engine ----------------------===//
+
+#include "serve/Engine.h"
+
+#include "cost/Trainer.h"
+#include "graph/GraphSpec.h"
+#include "graph/Reorder.h"
+#include "ir/Dsl.h"
+#include "kernels/Dispatch.h"
+#include "support/Diag.h"
+#include "support/Error.h"
+#include "support/Hash.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
+#include "verify/VerifyBuffers.h"
+
+#include <utility>
+
+using namespace granii;
+using namespace granii::serve;
+
+namespace {
+
+/// Wraps parsed DSL into a GnnModel (weight count and attention flag
+/// derived from the IR leaves) — the same derivation the CLI applies to
+/// models it loads from disk, so a served model behaves identically.
+GnnModel wrapParsedModel(const ParsedModel &Parsed) {
+  GnnModel Model;
+  Model.Name = Parsed.Name;
+  Model.Root = Parsed.Root;
+  Model.WeightCount = 0;
+  for (const LeafNode *Leaf : collectLeaves(Parsed.Root)) {
+    if (Leaf->role() == LeafRole::Weight)
+      ++Model.WeightCount;
+    if (Leaf->role() == LeafRole::AttnSrcVec)
+      Model.UsesAttention = true;
+  }
+  if (Model.WeightCount == 0)
+    Model.WeightCount = 1;
+  return Model;
+}
+
+/// The request-level session identity: request fields plus the execution
+/// environment (thread count, ISA). Cheap to compute — the graph is
+/// fingerprinted by its spec string here, not its content, so a warm
+/// session lookup never loads the graph; the plan cache underneath keys on
+/// content.
+std::string sessionKeyFor(const JobRequest &Req) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(Req.ModelText)));
+  std::string Key = "m";
+  Key += Buf;
+  Key += "/" + Req.GraphSpec;
+  Key += "/k" + std::to_string(Req.KIn) + "x" + std::to_string(Req.KOut);
+  Key += "/t" + std::to_string(ThreadPool::get().numThreads());
+  Key += "/";
+  Key += kernels::isaLevelName(kernels::activeIsaLevel());
+  Key += "/r" + Req.Reorder;
+  Key += "/s" + std::to_string(Req.Seed);
+  Key += Req.Training ? "/train" : "/infer";
+  return Key;
+}
+
+/// loadGraphSpec formats its message as a ready-to-print CLI diagnostic
+/// ("error: ...\n"); over the wire the bare message is wanted.
+std::string stripDiagDecoration(std::string Msg) {
+  while (!Msg.empty() && Msg.back() == '\n')
+    Msg.pop_back();
+  if (Msg.rfind("error: ", 0) == 0)
+    Msg.erase(0, 7);
+  return Msg;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Session
+//===----------------------------------------------------------------------===//
+
+RunResponse Session::run(bool WantOutput) {
+  RunResponse Resp;
+  std::lock_guard<std::mutex> Lock(RunMutex);
+  TraceSpan Span("session-run", "serve");
+  Span.setArg("run_index", static_cast<double>(Runs + 1));
+
+  const CompositionPlan &Plan = Opt->promoted()[Sel.PlanIndex];
+  LayerInputs Inputs = Params.inputs();
+  if (Options.Verify == VerifyLevel::Full && !ScheduleVerified) {
+    // Full: the same schedule cross-checks Optimizer::execute runs — the
+    // buffer plan against recomputed live intervals and the CSR row
+    // partition against exclusive-coverage rules. The schedule is a
+    // function of the (plan, binding, mode) triple, which is fixed for the
+    // session's lifetime, so one check covers every subsequent run.
+    DimBinding Binding = Inputs.binding(&Plan);
+    DiagEngine Diags;
+    BufferPlan Buffers(Plan, Binding, Training);
+    verifyBufferPlan(Plan, Binding, Buffers, Diags);
+    const AlignedVector<int64_t> &RowOffsets = Params.AdjSelf.rowOffsets();
+    int64_t Chunks = static_cast<int64_t>(ThreadPool::get().numThreads()) * 4;
+    verifyRowPartition(RowOffsets, csrRowPartitionBounds(RowOffsets, Chunks),
+                       Diags);
+    if (Diags.hasErrors())
+      GRANII_FATAL("execution schedule verification failed:\n" +
+                   Diags.render());
+    ScheduleVerified = true;
+  }
+
+  // Measure this run's allocations, not the lifetime total: the first run
+  // builds the arena (nonzero), every later run must report zero.
+  Ws.resetAllocationCount();
+  ExecResult R;
+  if (Training)
+    Exec->runTraining(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder);
+  else
+    Exec->run(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder);
+  ++Runs;
+
+  Resp.Rows = R.Output.rows();
+  Resp.Cols = R.Output.cols();
+  if (WantOutput)
+    Resp.Output.assign(R.Output.data(), R.Output.data() + R.Output.size());
+  Resp.SetupSeconds = R.SetupSeconds;
+  Resp.ForwardSeconds = R.ForwardSeconds;
+  Resp.BackwardSeconds = R.BackwardSeconds;
+  Resp.PlanIndex = Sel.PlanIndex;
+  Resp.UsedCostModels = Sel.UsedCostModels;
+  Resp.PlanCacheHit = PlanCacheHit;
+  Resp.SteadyAllocations = Ws.allocationCount();
+  Resp.RunIndex = Runs;
+  Span.setArg("plan", static_cast<double>(Sel.PlanIndex));
+  Span.setArg("allocations", static_cast<double>(Resp.SteadyAllocations));
+  return Resp;
+}
+
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
+Engine::Engine(EngineOptions OptsIn)
+    : Opts(std::move(OptsIn)),
+      Plans(Opts.PlanCacheCapacity,
+            Opts.DiskSpill
+                ? (Opts.SpillDir.empty() ? costModelCacheDir() : Opts.SpillDir)
+                : std::string()),
+      CompileCost(Opts.Hw) {}
+
+PlanCache::Plans Engine::resolvePlans(const GnnModel &Model, const Graph &G,
+                                      const JobRequest &Req,
+                                      CompileResponse &Resp) {
+  Timer CompileTimer;
+  PlanCacheKey Key;
+  Key.ModelHash = fnv1a64(Req.ModelText);
+  Key.GraphHash = graphFingerprint(G);
+  Key.KIn = Req.KIn;
+  Key.KOut = Req.KOut;
+  Key.Threads = ThreadPool::get().numThreads();
+  Key.Isa = kernels::isaLevelName(kernels::activeIsaLevel());
+  Resp.CacheKey = Key.canonical();
+
+  bool DiskHit = false;
+  if (PlanCache::Plans Cached = Plans.get(Key, &DiskHit)) {
+    Resp.PlanCacheHit = true;
+    Resp.DiskHit = DiskHit;
+    Resp.Enumerated = Resp.Promoted = Cached->size();
+    Resp.Pruned = 0;
+    Resp.CompileSeconds = CompileTimer.seconds();
+    return Cached;
+  }
+
+  // Miss: run the offline stage once and publish the promoted set.
+  TraceSpan Span("offline-compile", "serve");
+  OptimizerOptions OptOpts;
+  OptOpts.Hw = Opts.Hw;
+  OptOpts.Iterations = Opts.Iterations;
+  OptOpts.Verify = Opts.Verify;
+  Optimizer Compiled(Model, OptOpts, &CompileCost);
+  auto Value = std::make_shared<const std::vector<CompositionPlan>>(
+      Compiled.promoted());
+  Plans.put(Key, Value);
+  Resp.PlanCacheHit = false;
+  Resp.DiskHit = false;
+  Resp.Enumerated = Compiled.pruneStats().Enumerated;
+  Resp.Pruned = Compiled.pruneStats().Pruned;
+  Resp.Promoted = Compiled.pruneStats().Promoted;
+  Resp.CompileSeconds = CompileTimer.seconds();
+  Span.setArg("promoted", static_cast<double>(Value->size()));
+  return Value;
+}
+
+CompileResponse Engine::compile(const JobRequest &Req) {
+  CompileResponse Resp;
+  if (Req.KIn < 1 || Req.KOut < 1) {
+    Resp.Status.Ok = false;
+    Resp.Status.Error = "embedding sizes must be >= 1";
+    return Resp;
+  }
+  std::string ParseError;
+  std::optional<ParsedModel> Parsed =
+      parseModelDsl(Req.ModelText, &ParseError);
+  if (!Parsed) {
+    Resp.Status.Ok = false;
+    Resp.Status.Error = "model parse failed: " + ParseError;
+    return Resp;
+  }
+  std::string GraphError;
+  std::optional<Graph> G = loadGraphSpec(Req.GraphSpec, &GraphError);
+  if (!G) {
+    Resp.Status.Ok = false;
+    Resp.Status.Error = stripDiagDecoration(GraphError);
+    return Resp;
+  }
+  GnnModel Model = wrapParsedModel(*Parsed);
+  std::lock_guard<std::mutex> Lock(M);
+  resolvePlans(Model, *G, Req, Resp);
+  return Resp;
+}
+
+std::shared_ptr<Session> Engine::session(const JobRequest &Req,
+                                         std::string &Error,
+                                         bool *SessionHit,
+                                         CompileResponse *Compile) {
+  if (SessionHit)
+    *SessionHit = false;
+  std::string Key = sessionKeyFor(Req);
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = SessionIndex.find(Key);
+  if (It != SessionIndex.end()) {
+    SessionLru.splice(SessionLru.begin(), SessionLru, It->second);
+    ++SessionHits;
+    if (SessionHit)
+      *SessionHit = true;
+    if (Compile) {
+      Compile->PlanCacheHit = true;
+      Compile->Promoted = (*It->second)->optimizer().promoted().size();
+      Compile->Enumerated = Compile->Promoted;
+    }
+    return *It->second;
+  }
+
+  // Cold path: validate the request, resolve plans, build the session.
+  // Engine-level lock held throughout — enumeration is single-threaded
+  // anyway, and serializing creation means concurrent identical requests
+  // compile once instead of racing.
+  if (Req.KIn < 1 || Req.KOut < 1) {
+    Error = "embedding sizes must be >= 1";
+    return nullptr;
+  }
+  std::optional<ReorderPolicy> Reorder = parseReorderPolicy(Req.Reorder);
+  if (!Reorder) {
+    Error = "unknown reorder policy '" + Req.Reorder +
+            "' (try none, rcm, degree)";
+    return nullptr;
+  }
+  std::string ParseError;
+  std::optional<ParsedModel> Parsed =
+      parseModelDsl(Req.ModelText, &ParseError);
+  if (!Parsed) {
+    Error = "model parse failed: " + ParseError;
+    return nullptr;
+  }
+  std::string GraphError;
+  std::optional<Graph> G = loadGraphSpec(Req.GraphSpec, &GraphError);
+  if (!G) {
+    Error = stripDiagDecoration(GraphError);
+    return nullptr;
+  }
+
+  auto S = std::shared_ptr<Session>(new Session());
+  S->Key = Key;
+  S->Model = wrapParsedModel(*Parsed);
+  S->Options.Hw = Opts.Hw;
+  S->Options.Iterations = Opts.Iterations;
+  S->Options.Reorder = *Reorder;
+  S->Options.Verify = Opts.Verify;
+  S->Training = Req.Training;
+  S->Cost = AnalyticCostModel(Opts.Hw);
+
+  CompileResponse CompileInfo;
+  PlanCache::Plans Compiled = resolvePlans(S->Model, *G, Req, CompileInfo);
+  S->PlanCacheHit = CompileInfo.PlanCacheHit;
+  if (Compile)
+    *Compile = CompileInfo;
+  // The session owns its own Optimizer built from the shared plan set (the
+  // copy is a few plan graphs — negligible next to enumeration).
+  S->Opt.emplace(Optimizer::fromCompiled(S->Model, S->Options, &S->Cost,
+                                         *Compiled));
+  S->Params = makeLayerParams(S->Model, *G, Req.KIn, Req.KOut, Req.Seed);
+  S->Sel = S->Opt->select(*G, Req.KIn, Req.KOut);
+  S->Exec.emplace(Opts.Hw);
+
+  SessionLru.push_front(S);
+  SessionIndex[Key] = SessionLru.begin();
+  while (SessionLru.size() > Opts.SessionCapacity && Opts.SessionCapacity) {
+    SessionIndex.erase(SessionLru.back()->Key);
+    SessionLru.pop_back();
+    ++SessionEvictions;
+  }
+  ++SessionMisses;
+  return S;
+}
+
+RunResponse Engine::run(const JobRequest &Req) {
+  std::string Error;
+  bool SessionHit = false;
+  std::shared_ptr<Session> S = session(Req, Error, &SessionHit);
+  if (!S) {
+    RunResponse Resp;
+    Resp.Status.Ok = false;
+    Resp.Status.Error = Error;
+    return Resp;
+  }
+  // Kernel execution happens outside the engine lock: distinct sessions
+  // proceed concurrently and multiplex over the shared ThreadPool.
+  RunResponse Resp = S->run(Req.WantOutput);
+  Resp.SessionCacheHit = SessionHit;
+  return Resp;
+}
+
+EngineStats Engine::stats() const {
+  EngineStats Out;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Out.SessionHits = SessionHits;
+    Out.SessionMisses = SessionMisses;
+    Out.SessionEvictions = SessionEvictions;
+    Out.SessionsLive = SessionLru.size();
+  }
+  Out.PlanCache = Plans.stats();
+  return Out;
+}
+
+void Engine::fillStats(StatsResponse &Out) const {
+  EngineStats S = stats();
+  Out.SessionsLive = S.SessionsLive;
+  Out.SessionHits = S.SessionHits;
+  Out.SessionEvictions = S.SessionEvictions;
+  Out.PlanCacheHits = S.PlanCache.Hits;
+  Out.PlanCacheMisses = S.PlanCache.Misses;
+  Out.PlanCacheDiskHits = S.PlanCache.DiskHits;
+  Out.PlanCacheEvictions = S.PlanCache.Evictions;
+  Out.Threads = ThreadPool::get().numThreads();
+  Out.Isa = kernels::isaLevelName(kernels::activeIsaLevel());
+}

@@ -1,0 +1,173 @@
+//===- Engine.h - Compile-once/run-many serving engine ----------*- C++ -*-===//
+///
+/// \file
+/// The library heart of granii-serve: an Engine that turns JobRequests into
+/// warm Sessions, and a Session that owns one compiled configuration end to
+/// end — the promoted plan set, the selection, the layer parameters, and a
+/// persistent execution workspace — so repeated run() calls pay only the
+/// kernel time. This is the paper's amortization argument turned into an
+/// object: the offline stage (enumerate + prune) runs at most once per plan
+/// cache key, selection and parameter setup at most once per session, and a
+/// warm run performs zero workspace allocations (surfaced per response via
+/// the workspace allocation counter, so remote clients can assert it).
+///
+/// Layering: the daemon (Server.h) and the CLI's `serve`/`call` both sit on
+/// this file; nothing here knows about sockets or frames. The Engine is
+/// safe for concurrent callers — session lookup/creation serializes on one
+/// mutex (enumeration is not parallelized anyway), while the kernel work of
+/// different sessions multiplexes over the shared ThreadPool exactly like
+/// any other GRANII execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_SERVE_ENGINE_H
+#define GRANII_SERVE_ENGINE_H
+
+#include "granii/Granii.h"
+#include "serve/PlanCache.h"
+#include "serve/Protocol.h"
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace granii {
+namespace serve {
+
+struct EngineOptions {
+  /// Execution platform. The daemon executes real kernels, so this stays
+  /// "cpu" in practice; simulated platforms are accepted for tests.
+  HardwareModel Hw = HardwareModel::byName("cpu");
+  /// Amortization horizon forwarded to the Optimizer (selection reports
+  /// predicted seconds for this many iterations).
+  int Iterations = 100;
+  VerifyLevel Verify = defaultVerifyLevel();
+  /// Reorder policy requests may ask for is parsed per request; sessions of
+  /// different policies coexist.
+  size_t PlanCacheCapacity = 16;
+  /// Bound on live sessions (each owns an arena sized by its graph).
+  size_t SessionCapacity = 8;
+  /// Directory for plan-cache spill files; "" = $GRANII_CACHE_DIR (the
+  /// cost-model cache directory). Set DiskSpill = false to disable.
+  std::string SpillDir;
+  bool DiskSpill = true;
+};
+
+/// Aggregate counters for the stats verb (engine part only; the server
+/// layers its request counters on top).
+struct EngineStats {
+  uint64_t SessionHits = 0;
+  uint64_t SessionMisses = 0;
+  uint64_t SessionEvictions = 0;
+  uint64_t SessionsLive = 0;
+  PlanCacheStats PlanCache;
+};
+
+/// One warm serving configuration: compiled plans + selection + parameters
+/// + persistent workspace. Sessions are created by the Engine and shared:
+/// the LRU may drop a session while a request still runs it. run() is
+/// internally serialized; concurrent callers on one session queue up.
+class Session {
+public:
+  /// Executes one pass (forward, or forward+backward for training
+  /// sessions) and fills everything except the server-level counters of
+  /// \p Resp. When \p WantOutput is set the output matrix is copied into
+  /// the response. Warm calls (RunIndex > 1) report SteadyAllocations == 0
+  /// by construction of the buffer arena; the counter is re-measured every
+  /// call rather than assumed.
+  RunResponse run(bool WantOutput);
+
+  /// The request-level identity of this session (also its LRU key).
+  const std::string &key() const { return Key; }
+  const Selection &selection() const { return Sel; }
+  const Optimizer &optimizer() const { return *Opt; }
+  /// The session's materialized layer tensors (the CLI's --profile path
+  /// re-executes against them with step profiling enabled).
+  const LayerParams &params() const { return Params; }
+
+private:
+  friend class Engine;
+  Session() = default;
+
+  std::string Key;
+  GnnModel Model;
+  OptimizerOptions Options;
+  bool Training = false;
+  /// Selection + execution state. Cost must outlive Opt (the optimizer
+  /// keeps a pointer), hence the member order.
+  AnalyticCostModel Cost{HardwareModel::byName("cpu")};
+  std::optional<Optimizer> Opt;
+  LayerParams Params;
+  Selection Sel;
+  /// Executor + workspace owned here (not Optimizer::execute) so run()
+  /// can read the workspace allocation counter after every pass.
+  std::optional<Executor> Exec;
+  PlanWorkspace Ws;
+  bool PlanCacheHit = false;
+  bool ScheduleVerified = false;
+  std::mutex RunMutex;
+  uint64_t Runs = 0;
+};
+
+/// Session factory + plan cache. One Engine per daemon (or per test).
+class Engine {
+public:
+  explicit Engine(EngineOptions Opts = EngineOptions());
+
+  /// The compile verb: resolve the request's plan set (cache, disk, or a
+  /// fresh offline stage) without creating a session.
+  CompileResponse compile(const JobRequest &Req);
+
+  /// The run verb: session lookup or creation, then one executed pass.
+  /// Errors (bad model text, unknown graph, unknown reorder policy) come
+  /// back as Status.Ok == false with the diagnostic text.
+  RunResponse run(const JobRequest &Req);
+
+  /// Looks up (or builds) the warm session for \p Req — the library-level
+  /// entry the CLI's one-shot `run` shares with the daemon, so both paths
+  /// execute through the same Session and stay bitwise comparable.
+  /// \returns nullptr with \p Error set on request errors. \p SessionHit
+  /// (if non-null) reports reuse; \p Compile (if non-null) receives the
+  /// offline-stage numbers (enumerated/pruned/promoted, cache hits).
+  std::shared_ptr<Session> session(const JobRequest &Req, std::string &Error,
+                                   bool *SessionHit = nullptr,
+                                   CompileResponse *Compile = nullptr);
+
+  /// Fills the engine-owned fields of \p Out (sessions + plan cache +
+  /// pool/ISA); the server adds its request counters.
+  void fillStats(StatsResponse &Out) const;
+
+  EngineStats stats() const;
+  PlanCache &planCache() { return Plans; }
+  const EngineOptions &options() const { return Opts; }
+
+private:
+  /// Resolves the promoted plan set for a parsed request: plan cache get,
+  /// else run the offline stage and put. Fills the compile-side fields of
+  /// \p Resp (counts, hit flags, key, seconds).
+  PlanCache::Plans resolvePlans(const GnnModel &Model, const Graph &G,
+                                const JobRequest &Req, CompileResponse &Resp);
+
+  EngineOptions Opts;
+  PlanCache Plans;
+  /// Cost model handed to throwaway compile-verb Optimizers (sessions own
+  /// their own instance).
+  AnalyticCostModel CompileCost;
+
+  mutable std::mutex M;
+  std::list<std::shared_ptr<Session>> SessionLru; ///< front = most recent
+  std::map<std::string, std::list<std::shared_ptr<Session>>::iterator>
+      SessionIndex;
+  uint64_t SessionHits = 0;
+  uint64_t SessionMisses = 0;
+  uint64_t SessionEvictions = 0;
+};
+
+} // namespace serve
+} // namespace granii
+
+#endif // GRANII_SERVE_ENGINE_H

@@ -100,7 +100,22 @@ ThreadPool &ThreadPool::get() {
   return Instance;
 }
 
-ThreadPool::~ThreadPool() { stopWorkers(); }
+ThreadPool::~ThreadPool() {
+  // Same discipline as quiesce(): taking SubmitMutex first means
+  // destruction cannot overlap an in-flight job or an ensureWorkers() that
+  // is concurrently growing the worker vector (a shutdown race TSan flags
+  // when a detached thread is still submitting at process exit).
+  std::lock_guard<std::mutex> Submit(SubmitMutex);
+  stopWorkers();
+}
+
+void ThreadPool::quiesce() {
+  // A submitter holds SubmitMutex for its job's entire duration, so once we
+  // own it there is no job in flight and no worker can be handed a new one;
+  // stragglers from the previous job drain inside stopWorkers()'s joins.
+  std::lock_guard<std::mutex> Submit(SubmitMutex);
+  stopWorkers();
+}
 
 int ThreadPool::numThreads() {
   // Lock-free fast path: loop bodies (which run while the submitter holds

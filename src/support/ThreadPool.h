@@ -55,6 +55,15 @@ public:
   /// Existing workers are joined; new ones start lazily on the next loop.
   void setNumThreads(int NumThreads);
 
+  /// Drains the pool: waits for any in-flight parallel job (and any
+  /// concurrent submitters queued behind it) to finish, then joins every
+  /// worker thread. The configured thread count is kept, and the pool stays
+  /// usable — the next parallel loop lazily restarts the workers — so this
+  /// is a drain point, not a teardown: the serving daemon calls it after its
+  /// last request so process exit never races a worker, and tests call it to
+  /// assert that no job is left behind.
+  void quiesce();
+
   /// Runs \p Body over contiguous disjoint subranges covering
   /// [Begin, End). \p GrainSize is the minimum indices per chunk; ranges
   /// at or below one grain (or nested calls) run inline on the caller.

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -251,4 +252,99 @@ TEST(Cli, TraceFlagRequiresAPath) {
   std::string Out, Err;
   EXPECT_EQ(runCli({"run", gcnExamplePath(), "--trace"}, Out, Err), 2);
   EXPECT_NE(Err.find("--trace expects an output path"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Unknown-flag rejection (one regression test per subcommand)
+//===----------------------------------------------------------------------===//
+
+TEST(Cli, EverySubcommandRejectsUnknownFlags) {
+  struct Case {
+    std::vector<std::string> Args;
+    const char *Cmd;
+  };
+  std::string Model = gcnExamplePath();
+  const std::vector<Case> Cases = {
+      {{"compile", Model, "--frobnicate"}, "compile"},
+      {{"run", Model, "--frobnicate"}, "run"},
+      {{"verify", Model, "--frobnicate"}, "verify"},
+      {{"graphgen", "mycielskian", "/dev/null", "--frobnicate"}, "graphgen"},
+      {{"serve", "--socket", "/tmp/never-bound.sock", "--frobnicate"},
+       "serve"},
+      {{"call", "--socket", "/tmp/never-bound.sock", "--frobnicate"}, "call"},
+  };
+  for (const Case &C : Cases) {
+    std::string Out, Err;
+    EXPECT_EQ(runCli(C.Args, Out, Err), 2) << C.Cmd;
+    EXPECT_NE(Err.find("unknown flag for '" + std::string(C.Cmd) + "'"),
+              std::string::npos)
+        << C.Cmd << ": " << Err;
+    EXPECT_NE(Err.find("--frobnicate"), std::string::npos) << C.Cmd;
+    // The diagnostic lists what IS supported, so typos are self-serviceable.
+    EXPECT_NE(Err.find("supported flags"), std::string::npos) << C.Cmd;
+  }
+}
+
+TEST(Cli, UnknownFlagDiagnosticNamesEveryOffender) {
+  std::string Out, Err;
+  EXPECT_EQ(runCli({"compile", gcnExamplePath(), "--bogus-one", "--bogus-two"},
+                   Out, Err),
+            2);
+  EXPECT_NE(Err.find("--bogus-one"), std::string::npos);
+  EXPECT_NE(Err.find("--bogus-two"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// run --out and the serve/call surface
+//===----------------------------------------------------------------------===//
+
+TEST(Cli, RunWritesBinaryOutputFile) {
+  std::string OutPath = ::testing::TempDir() + "/cli-run-out.bin";
+  std::string Out, Err;
+  ASSERT_EQ(runCli({"run", gcnExamplePath(), "--graph", "synth:mycielskian",
+                    "--kin", "8", "--kout", "12", "--out", OutPath},
+                   Out, Err),
+            0)
+      << Err;
+  EXPECT_NE(Out.find("wrote output"), std::string::npos);
+
+  std::ifstream In(OutPath, std::ios::binary);
+  ASSERT_TRUE(In.good());
+  uint32_t Magic = 0;
+  int64_t Rows = 0, Cols = 0;
+  uint64_t Count = 0;
+  In.read(reinterpret_cast<char *>(&Magic), sizeof(Magic));
+  In.read(reinterpret_cast<char *>(&Rows), sizeof(Rows));
+  In.read(reinterpret_cast<char *>(&Cols), sizeof(Cols));
+  In.read(reinterpret_cast<char *>(&Count), sizeof(Count));
+  EXPECT_EQ(Magic, 0x4f4e5247u); // "GRNO"
+  EXPECT_GT(Rows, 0);
+  EXPECT_EQ(Cols, 12);
+  EXPECT_EQ(Count, static_cast<uint64_t>(Rows) * static_cast<uint64_t>(Cols));
+  In.seekg(0, std::ios::end);
+  EXPECT_EQ(static_cast<uint64_t>(In.tellg()),
+            sizeof(Magic) + sizeof(Rows) + sizeof(Cols) + sizeof(Count) +
+                Count * sizeof(float));
+  std::remove(OutPath.c_str());
+}
+
+TEST(Cli, ServeRequiresASocketPath) {
+  std::string Out, Err;
+  EXPECT_EQ(runCli({"serve"}, Out, Err), 2);
+  EXPECT_NE(Err.find("--socket"), std::string::npos);
+}
+
+TEST(Cli, CallRequiresASocketPath) {
+  std::string Out, Err;
+  EXPECT_EQ(runCli({"call", gcnExamplePath()}, Out, Err), 2);
+  EXPECT_NE(Err.find("--socket"), std::string::npos);
+}
+
+TEST(Cli, CallWithoutDaemonExplainsTheFailure) {
+  std::string Out, Err;
+  EXPECT_EQ(runCli({"call", "--socket", "/tmp/granii-no-such-daemon.sock",
+                    gcnExamplePath()},
+                   Out, Err),
+            1);
+  EXPECT_NE(Err.find("daemon"), std::string::npos);
 }

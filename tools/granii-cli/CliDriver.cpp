@@ -5,24 +5,30 @@
 #include "assoc/DotExport.h"
 #include "assoc/Enumerate.h"
 #include "assoc/Prune.h"
-#include "graph/Generators.h"
+#include "graph/GraphSpec.h"
 #include "graph/MatrixMarket.h"
 #include "granii/Granii.h"
 #include "ir/Dsl.h"
 #include "kernels/Dispatch.h"
 #include "runtime/CodeGen.h"
+#include "serve/Client.h"
+#include "serve/Engine.h"
+#include "serve/Server.h"
 #include "support/Diag.h"
 #include "support/Str.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 #include "verify/Verify.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdlib>
 #include <fstream>
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <sstream>
+#include <string_view>
 
 using namespace granii;
 using namespace granii::cli;
@@ -74,14 +80,57 @@ public:
     return (Ec == std::errc() && Ptr == End) ? Value : Default;
   }
 
+  /// Flags present on the command line but not in \p Known — the per-
+  /// subcommand typo guard (a misspelled flag must fail loudly, not fall
+  /// back to a default).
+  std::vector<std::string>
+  unknownFlags(std::initializer_list<std::string_view> Known) const {
+    std::vector<std::string> Unknown;
+    for (const auto &[Key, Unused] : Values) {
+      bool Found = false;
+      for (std::string_view K : Known)
+        if (Key == K) {
+          Found = true;
+          break;
+        }
+      if (!Found)
+        Unknown.push_back(Key);
+    }
+    return Unknown;
+  }
+
   std::vector<std::string> Positional;
 
 private:
   std::map<std::string, std::string> Values;
 };
 
-std::optional<ParsedModel> loadModel(const std::string &Path,
-                                     std::string &Err) {
+/// Rejects flags \p Cmd does not understand with a structured Diag per
+/// offender. \returns 0 when every flag is known, else the exit code 2.
+int rejectUnknownFlags(const ArgParser &Args, const std::string &Cmd,
+                       std::initializer_list<std::string_view> Known,
+                       std::string &Err) {
+  std::vector<std::string> Unknown = Args.unknownFlags(Known);
+  if (Unknown.empty())
+    return 0;
+  std::string Supported;
+  for (std::string_view K : Known) {
+    if (!Supported.empty())
+      Supported += " ";
+    Supported += "--";
+    Supported += K;
+  }
+  for (const std::string &Flag : Unknown)
+    Err += Diag{DiagSeverity::Error, "cli", "--" + Flag,
+                "unknown flag for '" + Cmd + "'",
+                "supported flags: " + Supported}
+               .toString() +
+           "\n";
+  return 2;
+}
+
+std::optional<std::string> readFileText(const std::string &Path,
+                                        std::string &Err) {
   std::ifstream In(Path);
   if (!In) {
     Err += "error: cannot open model file '" + Path + "'\n";
@@ -89,49 +138,55 @@ std::optional<ParsedModel> loadModel(const std::string &Path,
   }
   std::ostringstream Contents;
   Contents << In.rdbuf();
+  return Contents.str();
+}
+
+std::optional<ParsedModel> loadModel(const std::string &Path,
+                                     std::string &Err) {
+  std::optional<std::string> Text = readFileText(Path, Err);
+  if (!Text)
+    return std::nullopt;
   std::string ParseError;
-  std::optional<ParsedModel> Parsed =
-      parseModelDsl(Contents.str(), &ParseError);
+  std::optional<ParsedModel> Parsed = parseModelDsl(*Text, &ParseError);
   if (!Parsed)
     Err += "error: " + Path + ": " + ParseError + "\n";
   return Parsed;
 }
 
-/// Wraps a parsed DSL model into a GnnModel (weight count and attention
-/// flag derived from the IR's leaves).
-GnnModel wrapModel(const ParsedModel &Parsed) {
-  GnnModel Model;
-  Model.Name = Parsed.Name;
-  Model.Root = Parsed.Root;
-  Model.WeightCount = 0;
-  for (const LeafNode *Leaf : collectLeaves(Parsed.Root)) {
-    if (Leaf->role() == LeafRole::Weight)
-      ++Model.WeightCount;
-    if (Leaf->role() == LeafRole::AttnSrcVec)
-      Model.UsesAttention = true;
-  }
-  if (Model.WeightCount == 0)
-    Model.WeightCount = 1;
-  return Model;
+/// Graph specs resolve through the shared loadGraphSpec() path — the same
+/// resolution the serving daemon applies, so `run` and `call` of one spec
+/// always execute the same graph.
+std::optional<Graph> loadGraph(const std::string &Spec, std::string &Err) {
+  std::string SpecError;
+  std::optional<Graph> G = loadGraphSpec(Spec, &SpecError);
+  if (!G)
+    Err += SpecError;
+  return G;
 }
 
-std::optional<Graph> loadGraph(const std::string &Spec, std::string &Err) {
-  if (startsWith(Spec, "synth:")) {
-    std::string Name = Spec.substr(6);
-    for (const char *Known : {"reddit", "com-amazon", "mycielskian",
-                              "belgium-osm", "coauthors", "ogbn-products"})
-      if (Name == Known)
-        return makeEvaluationGraph(Name);
-    Err += "error: unknown synthetic graph '" + Name +
-           "' (try reddit, com-amazon, mycielskian, belgium-osm, "
-           "coauthors, ogbn-products)\n";
-    return std::nullopt;
+/// Writes an output matrix as the binary interchange format shared by
+/// `run --out` and `call --out` (magic "GRNO", i64 rows/cols, u64 count,
+/// raw little-endian floats). Binary so CI can `cmp` the daemon's answer
+/// against the one-shot pipeline's bit for bit.
+bool writeOutputFile(const std::string &Path, int64_t Rows, int64_t Cols,
+                     std::span<const float> Values, std::string &Err) {
+  serve::WireWriter W;
+  W.putU32(0x4f4e5247u); // "GRNO"
+  W.putI64(Rows);
+  W.putI64(Cols);
+  W.putFloats(Values);
+  std::ofstream OutFile(Path, std::ios::binary);
+  if (!OutFile) {
+    Err += "error: cannot open output file '" + Path + "'\n";
+    return false;
   }
-  std::string ReadError;
-  std::optional<Graph> G = readMatrixMarket(Spec, &ReadError);
-  if (!G)
-    Err += "error: " + ReadError + "\n";
-  return G;
+  OutFile.write(reinterpret_cast<const char *>(W.bytes().data()),
+                static_cast<std::streamsize>(W.bytes().size()));
+  if (!OutFile) {
+    Err += "error: failed writing output file '" + Path + "'\n";
+    return false;
+  }
+  return true;
 }
 
 /// Parses the --verify flag into a level; reports unknown spellings.
@@ -147,6 +202,10 @@ std::optional<VerifyLevel> verifyFlag(const ArgParser &Args,
 }
 
 int cmdCompile(const ArgParser &Args, std::string &Out, std::string &Err) {
+  if (int Code = rejectUnknownFlags(
+          Args, "compile",
+          {"dot", "codegen", "verify", "threads", "isa", "trace"}, Err))
+    return Code;
   if (Args.Positional.size() < 2) {
     Err += "usage: granii-cli compile <model.gnn> [--dot] [--codegen] "
            "[--verify off|fast|full]\n";
@@ -195,6 +254,9 @@ int cmdCompile(const ArgParser &Args, std::string &Out, std::string &Err) {
 /// and prints the per-stage invariant summary. Exit 0 only when every stage
 /// is clean, so CI can gate on it.
 int cmdVerify(const ArgParser &Args, std::string &Out, std::string &Err) {
+  if (int Code = rejectUnknownFlags(Args, "verify",
+                                    {"threads", "isa", "trace"}, Err))
+    return Code;
   if (Args.Positional.size() < 2) {
     Err += "usage: granii-cli verify <model.gnn>\n";
     return 2;
@@ -273,23 +335,38 @@ int profileRun(const CompositionPlan &Plan, const LayerParams &Params,
 }
 
 int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
+  if (int Code = rejectUnknownFlags(
+          Args, "run",
+          {"graph", "kin", "kout", "hw", "iters", "train", "profile",
+           "reorder", "verify", "out", "threads", "isa", "trace"},
+          Err))
+    return Code;
   if (Args.Positional.size() < 2) {
     Err += "usage: granii-cli run <model.gnn> [--graph <mtx|synth:name>] "
            "--kin N --kout N [--hw cpu|a100|h100] [--iters N] [--train] "
            "[--threads N] [--isa scalar|avx2|avx512] [--profile] "
-           "[--reorder none|rcm|degree] "
+           "[--reorder none|rcm|degree] [--out <file>] "
            "[--verify off|fast|full] [--trace <out.json>]\n";
     return 2;
   }
-  std::optional<ParsedModel> Parsed = loadModel(Args.Positional[1], Err);
-  if (!Parsed)
+  std::optional<std::string> ModelText =
+      readFileText(Args.Positional[1], Err);
+  if (!ModelText)
     return 1;
+  {
+    // Parse up front so frontend diagnostics keep their CLI formatting
+    // (the engine would report the same failure, but over its own path).
+    std::string ParseError;
+    if (!parseModelDsl(*ModelText, &ParseError)) {
+      Err += "error: " + Args.Positional[1] + ": " + ParseError + "\n";
+      return 1;
+    }
+  }
   std::optional<Graph> G =
       loadGraph(Args.value("graph", "synth:coauthors"), Err);
   if (!G)
     return 1;
 
-  GnnModel Model = wrapModel(*Parsed);
   int64_t KIn = Args.intValue("kin", 32);
   int64_t KOut = Args.intValue("kout", 32);
   std::string Hw = Args.value("hw", "cpu");
@@ -314,15 +391,42 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
   Options.Iterations = static_cast<int>(Args.intValue("iters", 100));
   Options.Reorder = *Reorder;
   Options.Verify = *Verify;
-  AnalyticCostModel Cost(Options.Hw);
-  Optimizer Granii(Model, Options, &Cost);
+
+  // One-shot runs go through the same Engine/Session layer the daemon
+  // serves from — one code path, bitwise-identical answers. Disk spill is
+  // off so a one-shot always reports honest offline-stage numbers instead
+  // of cache hits from an earlier invocation.
+  serve::EngineOptions EngOpts;
+  EngOpts.Hw = Options.Hw;
+  EngOpts.Iterations = Options.Iterations;
+  EngOpts.Verify = Options.Verify;
+  EngOpts.DiskSpill = false;
+  serve::Engine Engine(EngOpts);
+
+  serve::JobRequest Req;
+  Req.ModelText = *ModelText;
+  Req.GraphSpec = Args.value("graph", "synth:coauthors");
+  Req.KIn = KIn;
+  Req.KOut = KOut;
+  Req.Training = Training;
+  Req.Reorder = Args.value("reorder", "none");
+  Req.WantOutput = Args.hasFlag("out");
+
+  std::string SessionError;
+  serve::CompileResponse Compile;
+  std::shared_ptr<serve::Session> S =
+      Engine.session(Req, SessionError, nullptr, &Compile);
+  if (!S) {
+    Err += "error: " + SessionError + "\n";
+    return 1;
+  }
 
   Out += "graph '" + G->name() + "': " + std::to_string(G->numNodes()) +
          " nodes, " + std::to_string(G->numEdges()) + " edges (density " +
          formatDouble(G->stats().Density, 5) + ", avg degree " +
          formatDouble(G->stats().AvgDegree, 1) + ")\n";
-  Out += "offline: " + std::to_string(Granii.pruneStats().Enumerated) +
-         " enumerated -> " + std::to_string(Granii.promoted().size()) +
+  Out += "offline: " + std::to_string(Compile.Enumerated) +
+         " enumerated -> " + std::to_string(Compile.Promoted) +
          " promoted\n";
   if (Options.Reorder != ReorderPolicy::None) {
     // Report the locality change the executor's cached permutation will
@@ -336,33 +440,235 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
            " -> " + formatDouble(Reordered.stats().AvgRowSpan, 1) + "\n";
   }
 
-  Selection Sel = Granii.select(*G, KIn, KOut);
+  const Selection &Sel = S->selection();
   Out += "online: candidate #" + std::to_string(Sel.PlanIndex) + " (" +
          (Sel.UsedCostModels ? "cost models" : "embedding-size condition") +
          "), predicted " + formatDouble(Sel.PredictedSeconds * 1e3, 3) +
          " ms for " + std::to_string(Options.Iterations) + " iterations\n";
   Out += "selected composition:\n" +
-         Granii.promoted()[Sel.PlanIndex].toString();
+         S->optimizer().promoted()[Sel.PlanIndex].toString();
 
-  LayerParams Params = makeLayerParams(Model, *G, KIn, KOut);
-  ExecResult R = Granii.execute(Sel, Params, Training);
+  serve::RunResponse R = S->run(Req.WantOutput);
+  double PerIter = R.ForwardSeconds + R.BackwardSeconds;
+  double Total = R.SetupSeconds + PerIter * Options.Iterations;
   Out += std::string(Training ? "fwd+bwd" : "forward") + ": " +
-         formatDouble((R.ForwardSeconds + R.BackwardSeconds) * 1e3, 3) +
-         " ms/iteration (+ " + formatDouble(R.SetupSeconds * 1e3, 3) +
-         " ms one-time setup); " + std::to_string(Options.Iterations) +
-         "-iteration total " +
-         formatDouble(R.totalSeconds(Options.Iterations, Training) * 1e3, 2) +
-         " ms\n";
-  Out += "output: " + std::to_string(R.Output.rows()) + " x " +
-         std::to_string(R.Output.cols()) + "\n";
+         formatDouble(PerIter * 1e3, 3) + " ms/iteration (+ " +
+         formatDouble(R.SetupSeconds * 1e3, 3) + " ms one-time setup); " +
+         std::to_string(Options.Iterations) + "-iteration total " +
+         formatDouble(Total * 1e3, 2) + " ms\n";
+  Out += "output: " + std::to_string(R.Rows) + " x " +
+         std::to_string(R.Cols) + "\n";
+
+  if (Args.hasFlag("out")) {
+    std::string OutPath = Args.value("out");
+    if (OutPath.empty()) {
+      Err += "error: --out expects an output path (--out=result.bin)\n";
+      return 2;
+    }
+    if (!writeOutputFile(OutPath, R.Rows, R.Cols, R.Output, Err))
+      return 1;
+    Out += "wrote output (" + std::to_string(R.Rows) + " x " +
+           std::to_string(R.Cols) + ") to " + OutPath + "\n";
+  }
 
   if (Args.hasFlag("profile"))
-    return profileRun(Granii.promoted()[Sel.PlanIndex], Params, Options,
-                      Training, Out, Err);
+    return profileRun(S->optimizer().promoted()[Sel.PlanIndex], S->params(),
+                      Options, Training, Out, Err);
+  return 0;
+}
+
+/// `granii-cli serve`: run the plan-serving daemon on a Unix socket until
+/// SIGINT/SIGTERM or a client's shutdown verb drains it.
+int cmdServe(const ArgParser &Args, std::string &Out, std::string &Err) {
+  if (int Code = rejectUnknownFlags(Args, "serve",
+                                    {"socket", "workers", "plan-cache",
+                                     "sessions", "iters", "verify", "threads",
+                                     "isa", "trace"},
+                                    Err))
+    return Code;
+  std::string Socket = Args.value("socket");
+  if (Socket.empty()) {
+    Err += "usage: granii-cli serve --socket <path> [--workers N] "
+           "[--plan-cache N] [--sessions N] [--iters N] "
+           "[--verify off|fast|full] [--threads N] "
+           "[--isa scalar|avx2|avx512]\n";
+    return 2;
+  }
+  std::optional<VerifyLevel> Verify = verifyFlag(Args, Err);
+  if (!Verify)
+    return 2;
+
+  serve::ServerOptions Options;
+  Options.SocketPath = Socket;
+  Options.ConnWorkers = static_cast<int>(Args.intValue("workers", 8));
+  Options.Engine.Verify = *Verify;
+  Options.Engine.Iterations =
+      static_cast<int>(Args.intValue("iters", 100));
+  Options.Engine.PlanCacheCapacity = static_cast<size_t>(
+      std::max<int64_t>(1, Args.intValue("plan-cache", 16)));
+  Options.Engine.SessionCapacity =
+      static_cast<size_t>(std::max<int64_t>(1, Args.intValue("sessions", 8)));
+
+  serve::Server Server(Options);
+  std::string ServeError;
+  if (!Server.serveForever(&ServeError)) {
+    Err += "error: " + ServeError + "\n";
+    return 1;
+  }
+  serve::ServerCounters Counters = Server.counters();
+  Out += "granii-serve drained: " +
+         std::to_string(Counters.RequestsServed) + " request(s) served (" +
+         std::to_string(Counters.RunRequests) + " run, " +
+         std::to_string(Counters.CompileRequests) + " compile, " +
+         std::to_string(Counters.ErrorResponses) + " error(s))\n";
+  return 0;
+}
+
+/// `granii-cli call`: one request against a running daemon — run (default),
+/// compile (--compile-only), stats (--stats), or shutdown (--shutdown).
+int cmdCall(const ArgParser &Args, std::string &Out, std::string &Err) {
+  if (int Code = rejectUnknownFlags(
+          Args, "call",
+          {"socket", "graph", "kin", "kout", "train", "reorder", "seed",
+           "out", "compile-only", "stats", "shutdown", "threads", "isa",
+           "trace"},
+          Err))
+    return Code;
+  std::string Socket = Args.value("socket");
+  if (Socket.empty()) {
+    Err += "usage: granii-cli call --socket <path> <model.gnn> "
+           "[--graph <mtx|synth:name>] [--kin N] [--kout N] [--train] "
+           "[--reorder none|rcm|degree] [--seed N] [--out <file>] "
+           "[--compile-only] | --stats | --shutdown\n";
+    return 2;
+  }
+
+  serve::Client Client;
+  std::string CallError;
+  if (!Client.connect(Socket, &CallError)) {
+    Err += "error: " + CallError + "\n";
+    return 1;
+  }
+
+  if (Args.hasFlag("stats")) {
+    serve::StatsResponse Resp;
+    if (!Client.stats(Resp, &CallError)) {
+      Err += "error: " + CallError + "\n";
+      return 1;
+    }
+    if (!Resp.Status.Ok) {
+      Err += "error: daemon: " + Resp.Status.Error + "\n";
+      return 1;
+    }
+    Out += "daemon: " + std::to_string(Resp.RequestsServed) +
+           " request(s) served (" + std::to_string(Resp.RunRequests) +
+           " run, " + std::to_string(Resp.CompileRequests) + " compile, " +
+           std::to_string(Resp.ErrorResponses) + " error(s)), uptime " +
+           formatDouble(Resp.UptimeSeconds, 1) + " s\n";
+    Out += "sessions: " + std::to_string(Resp.SessionsLive) + " live, " +
+           std::to_string(Resp.SessionHits) + " hit(s), " +
+           std::to_string(Resp.SessionEvictions) + " eviction(s)\n";
+    Out += "plan cache: " + std::to_string(Resp.PlanCacheHits) +
+           " hit(s), " + std::to_string(Resp.PlanCacheMisses) + " miss(es), " +
+           std::to_string(Resp.PlanCacheDiskHits) + " disk hit(s), " +
+           std::to_string(Resp.PlanCacheEvictions) + " eviction(s)\n";
+    Out += "pool: " + std::to_string(Resp.Threads) + " thread(s), isa " +
+           Resp.Isa + "\n";
+    return 0;
+  }
+
+  if (Args.hasFlag("shutdown")) {
+    serve::ShutdownResponse Resp;
+    if (!Client.shutdown(Resp, &CallError)) {
+      Err += "error: " + CallError + "\n";
+      return 1;
+    }
+    if (!Resp.Status.Ok) {
+      Err += "error: daemon: " + Resp.Status.Error + "\n";
+      return 1;
+    }
+    Out += "daemon acknowledged shutdown\n";
+    return 0;
+  }
+
+  if (Args.Positional.size() < 2) {
+    Err += "error: call needs a model file (or --stats / --shutdown)\n";
+    return 2;
+  }
+  std::optional<std::string> ModelText =
+      readFileText(Args.Positional[1], Err);
+  if (!ModelText)
+    return 1;
+
+  serve::JobRequest Req;
+  Req.ModelText = *ModelText;
+  Req.GraphSpec = Args.value("graph", "synth:coauthors");
+  Req.KIn = Args.intValue("kin", 32);
+  Req.KOut = Args.intValue("kout", 32);
+  Req.Training = Args.hasFlag("train");
+  Req.Reorder = Args.value("reorder", "none");
+  Req.Seed = static_cast<uint64_t>(Args.intValue("seed", 1));
+  Req.WantOutput = Args.hasFlag("out");
+
+  if (Args.hasFlag("compile-only")) {
+    serve::CompileResponse Resp;
+    if (!Client.compile(Req, Resp, &CallError)) {
+      Err += "error: " + CallError + "\n";
+      return 1;
+    }
+    if (!Resp.Status.Ok) {
+      Err += "error: daemon: " + Resp.Status.Error + "\n";
+      return 1;
+    }
+    Out += "compile: " + std::to_string(Resp.Enumerated) +
+           " enumerated -> " + std::to_string(Resp.Promoted) +
+           " promoted (plan cache " +
+           (Resp.PlanCacheHit ? (Resp.DiskHit ? "disk hit" : "hit") : "miss") +
+           ", " + formatDouble(Resp.CompileSeconds * 1e3, 3) + " ms)\n";
+    Out += "cache key: " + Resp.CacheKey + "\n";
+    return 0;
+  }
+
+  serve::RunResponse Resp;
+  if (!Client.run(Req, Resp, &CallError)) {
+    Err += "error: " + CallError + "\n";
+    return 1;
+  }
+  if (!Resp.Status.Ok) {
+    Err += "error: daemon: " + Resp.Status.Error + "\n";
+    return 1;
+  }
+  Out += "call: candidate #" + std::to_string(Resp.PlanIndex) + " (" +
+         (Resp.UsedCostModels ? "cost models" : "embedding-size condition") +
+         "), session " + (Resp.SessionCacheHit ? "warm" : "cold") +
+         ", plan cache " + (Resp.PlanCacheHit ? "hit" : "miss") + "\n";
+  Out += std::string(Req.Training ? "fwd+bwd" : "forward") + ": " +
+         formatDouble((Resp.ForwardSeconds + Resp.BackwardSeconds) * 1e3, 3) +
+         " ms/iteration (+ " + formatDouble(Resp.SetupSeconds * 1e3, 3) +
+         " ms one-time setup); run #" + std::to_string(Resp.RunIndex) +
+         ", steady-state allocations: " +
+         std::to_string(Resp.SteadyAllocations) + "\n";
+  Out += "output: " + std::to_string(Resp.Rows) + " x " +
+         std::to_string(Resp.Cols) + "\n";
+
+  if (Args.hasFlag("out")) {
+    std::string OutPath = Args.value("out");
+    if (OutPath.empty()) {
+      Err += "error: --out expects an output path (--out=result.bin)\n";
+      return 2;
+    }
+    if (!writeOutputFile(OutPath, Resp.Rows, Resp.Cols, Resp.Output, Err))
+      return 1;
+    Out += "wrote output (" + std::to_string(Resp.Rows) + " x " +
+           std::to_string(Resp.Cols) + ") to " + OutPath + "\n";
+  }
   return 0;
 }
 
 int cmdGraphGen(const ArgParser &Args, std::string &Out, std::string &Err) {
+  if (int Code = rejectUnknownFlags(Args, "graphgen",
+                                    {"threads", "isa", "trace"}, Err))
+    return Code;
   if (Args.Positional.size() < 3) {
     Err += "usage: granii-cli graphgen <name> <out.mtx>\n";
     return 2;
@@ -386,8 +692,8 @@ int cmdGraphGen(const ArgParser &Args, std::string &Out, std::string &Err) {
 int granii::cli::runCli(const std::vector<std::string> &Args, std::string &Out,
                         std::string &Err) {
   if (Args.empty()) {
-    Err += "usage: granii-cli <compile|run|verify|graphgen> [--threads N] "
-           "[--isa scalar|avx2|avx512] ...\n";
+    Err += "usage: granii-cli <compile|run|verify|graphgen|serve|call> "
+           "[--threads N] [--isa scalar|avx2|avx512] ...\n";
     return 2;
   }
   ArgParser Parsed(Args);
@@ -454,6 +760,10 @@ int granii::cli::runCli(const std::vector<std::string> &Args, std::string &Out,
     Code = cmdVerify(Parsed, Out, Err);
   else if (Command == "graphgen")
     Code = cmdGraphGen(Parsed, Out, Err);
+  else if (Command == "serve")
+    Code = cmdServe(Parsed, Out, Err);
+  else if (Command == "call")
+    Code = cmdCall(Parsed, Out, Err);
   else {
     Err += "error: unknown command '" + Command + "'\n";
     Code = 2;

@@ -23,10 +23,24 @@
 ///   granii-cli graphgen <name> <out.mtx>
 ///       Write one of the built-in synthetic evaluation graphs to disk.
 ///
+///   granii-cli serve --socket <path> [--workers N] [--plan-cache N]
+///              [--sessions N]
+///       Run the persistent plan-serving daemon on a Unix socket: compiled
+///       plan sets are cached (memory LRU + disk spill), sessions stay warm
+///       between requests, and shutdown (SIGINT/SIGTERM or the shutdown
+///       verb) drains gracefully. See docs/SERVING.md.
+///
+///   granii-cli call --socket <path> <model.gnn> [run flags] [--out <file>]
+///   granii-cli call --socket <path> --stats | --shutdown
+///       One request against a running daemon. `--out` writes the output
+///       matrix in the same binary format as `run --out`, so the two can
+///       be compared bit for bit.
+///
 /// Global flags: --threads N pins the kernel thread pool; --trace=<file>
 /// records a Chrome-trace (chrome://tracing / Perfetto JSON) of the
 /// optimizer phases and executor steps and writes it when the command
-/// finishes, even on failure.
+/// finishes, even on failure. Every subcommand rejects flags it does not
+/// understand with a structured diagnostic.
 ///
 //===----------------------------------------------------------------------===//
 
