@@ -17,7 +17,8 @@ const std::vector<std::string> &granii::costFeatureNames() {
       "log_nodes",        "log_edges",    "density",      "avg_degree",
       "log_max_degree",   "degree_cv",    "degree_gini",  "top_row_frac",
       "log_rows",         "log_cols",     "log_inner",    "log_nnz",
-      "log_flops",        "log_bytes",    "log_avg_span", "log_bandwidth"};
+      "log_flops",        "log_bytes",    "log_avg_span", "log_bandwidth",
+      "ell_fill_ratio",   "log_row_len_variance",         "format_id"};
   return Names;
 }
 
@@ -43,5 +44,13 @@ FeatureVector granii::featurize(const PrimitiveDesc &Desc,
   // them), which is what lets the cost model learn when a policy pays.
   F[14] = log1pSafe(Stats.AvgRowSpan);
   F[15] = log1pSafe(Stats.Bandwidth);
+  // Format-sensitivity features: padded storage (ELL/SELL) pays for empty
+  // lanes, so the nnz fraction of an N x MaxDegree padded layout and the
+  // spread of row lengths tell the model which formats fit this graph.
+  double Padded =
+      static_cast<double>(Stats.NumNodes) * std::max(Stats.MaxDegree, 0.0);
+  F[16] = Padded > 0.0 ? static_cast<double>(Stats.NumEdges) / Padded : 1.0;
+  F[17] = log1pSafe(Stats.DegreeStddev * Stats.DegreeStddev);
+  F[18] = static_cast<double>(Desc.Format);
   return F;
 }

@@ -21,8 +21,12 @@
 
 namespace granii {
 
-/// Number of features produced per sample.
-inline constexpr size_t NumCostFeatures = 16;
+/// Number of features produced per sample. Bumped 16 -> 19 when the sparse
+/// storage format became a plan dimension: per-format cost regression needs
+/// the padding/regularity features (ELL fill ratio, row-length variance)
+/// plus the format id itself. Cached models trained against the old width
+/// are rejected by the trainer's staleness check and retrained.
+inline constexpr size_t NumCostFeatures = 19;
 
 using FeatureVector = std::array<double, NumCostFeatures>;
 

@@ -45,6 +45,12 @@ struct OptimizerOptions {
   /// as setup, and the per-run feature gather / output scatter as forward
   /// time (docs/REORDERING.md).
   ReorderPolicy Reorder = ReorderPolicy::None;
+  /// Sparse storage format the executor aggregates under. A concrete
+  /// forward format (Csr/Ell/Sell/Hyb) pins every selection; Auto lets the
+  /// online selector minimize jointly over (plan, format) with per-format
+  /// cost features (docs/FORMATS.md). Csc is backward-only (the executor
+  /// always uses it for transposed SpMM) and is not a valid choice here.
+  SparseFormat Format = SparseFormat::Csr;
   /// Static verification level (docs/VERIFICATION.md). Off: nothing. Fast
   /// (default; overridable via GRANII_VERIFY): the IR verifier runs after
   /// parsing and every rewrite pass, and the promoted plan set is checked
@@ -58,6 +64,9 @@ struct OptimizerOptions {
 /// Result of the online selection stage.
 struct Selection {
   size_t PlanIndex = 0;
+  /// Concrete sparse format the executor will aggregate under — resolved
+  /// here even when OptimizerOptions::Format is Auto.
+  SparseFormat Format = SparseFormat::Csr;
   double PredictedSeconds = 0.0;
   /// False when the embedding-size conditions alone decided (cheaper path
   /// in the generated dispatch code).
@@ -154,10 +163,13 @@ private:
   std::vector<CompositionPlan> Promoted;
   PruneStats Stats;
   Executor Exec;
-  /// Per-(plan index, training mode) execution workspaces, created lazily
-  /// by execute(). Mutable: caching buffers does not change observable
-  /// optimizer state (outputs are bitwise identical either way).
-  mutable std::map<std::pair<size_t, bool>, PlanWorkspace> Workspaces;
+  /// Per-(plan index, training mode, format) execution workspaces, created
+  /// lazily by execute(). Format is part of the key so an Auto selector
+  /// alternating formats does not thrash one workspace's cached structure.
+  /// Mutable: caching buffers does not change observable optimizer state
+  /// (outputs are bitwise identical either way).
+  mutable std::map<std::tuple<size_t, bool, SparseFormat>, PlanWorkspace>
+      Workspaces;
 };
 
 } // namespace granii

@@ -2,6 +2,7 @@
 
 #include "runtime/Executor.h"
 
+#include "kernels/FormatKernels.h"
 #include "kernels/Kernels.h"
 #include "support/Error.h"
 #include "support/ThreadPool.h"
@@ -193,8 +194,10 @@ class PlanInterpreter {
 public:
   PlanInterpreter(const Executor &Exec, const CompositionPlan &Plan,
                   const LayerInputs &Inputs, const GraphStats &Stats,
-                  PlanWorkspace *Ws)
-      : Exec(Exec), Plan(Plan), Inputs(Inputs), Stats(Stats), Ws(Ws) {
+                  PlanWorkspace *Ws,
+                  SparseFormat Format = SparseFormat::Csr)
+      : Exec(Exec), Plan(Plan), Inputs(Inputs), Stats(Stats), Ws(Ws),
+        Format(Format), FS(Ws ? &Ws->formatState() : nullptr) {
     if (Ws) {
       DescsPtr = &Ws->descs();
       ValuesPtr = &Ws->scratch();
@@ -263,6 +266,68 @@ private:
     return Exec.timeKernel(Desc, Stats, Body);
   }
 
+  /// True when the interpreter runs under a non-CSR forward format and the
+  /// workspace's cached structure covers \p A. Size equality suffices as
+  /// the pattern guard: the only sparse values a plan produces carry the
+  /// bound adjacency's pattern (dstSparse copies it), which is exactly
+  /// what formatSetup converted.
+  bool formatCovers(const CsrMatrix &A) const {
+    if (!FS || Format == SparseFormat::Csr || FS->Format != Format)
+      return false;
+    switch (Format) {
+    case SparseFormat::Ell:
+      return FS->Ell.rows() == A.rows() && FS->Ell.cols() == A.cols() &&
+             FS->Ell.nnz() == A.nnz();
+    case SparseFormat::Sell:
+      return FS->Sell.rows() == A.rows() && FS->Sell.cols() == A.cols() &&
+             FS->Sell.nnz() == A.nnz();
+    case SparseFormat::Hyb:
+      return FS->Hyb.rows() == A.rows() && FS->Hyb.cols() == A.cols() &&
+             FS->Hyb.nnz() == A.nnz();
+    default:
+      return false;
+    }
+  }
+
+  /// Runs one forward aggregation over the cached format structure;
+  /// formatCovers(A) must hold.
+  void formatSpmmInto(const CsrMatrix &A, const DenseMatrix &B,
+                      const Semiring &S, DenseMatrix &Dst) const {
+    switch (Format) {
+    case SparseFormat::Ell:
+      kernels::spmmEllInto(FS->Ell, A.values(), B, S, Dst);
+      return;
+    case SparseFormat::Sell:
+      kernels::spmmSellInto(FS->Sell, A.values(), B, S, Dst);
+      return;
+    case SparseFormat::Hyb:
+      kernels::spmmHybInto(FS->Hyb, A.values(), B, S, Dst);
+      return;
+    default:
+      GRANII_FATAL("formatSpmmInto called without a cached format structure");
+    }
+  }
+
+  /// Per-edge dots over the cached format structure (backward dS);
+  /// formatCovers(Mask) must hold.
+  void formatSddmmInto([[maybe_unused]] const CsrMatrix &Mask,
+                       const DenseMatrix &U, const DenseMatrix &V,
+                       std::span<float> Out) const {
+    switch (Format) {
+    case SparseFormat::Ell:
+      kernels::sddmmEllInto(FS->Ell, U, V, Semiring::plusTimes(), Out);
+      return;
+    case SparseFormat::Sell:
+      kernels::sddmmSellInto(FS->Sell, U, V, Semiring::plusTimes(), Out);
+      return;
+    case SparseFormat::Hyb:
+      kernels::sddmmHybInto(FS->Hyb, U, V, Semiring::plusTimes(), Out);
+      return;
+    default:
+      GRANII_FATAL("formatSddmmInto called without a cached format structure");
+    }
+  }
+
   const Executor &Exec;
   const CompositionPlan &Plan;
   const LayerInputs &Inputs;
@@ -272,6 +337,8 @@ private:
   std::vector<RtValue> OwnedValues;
   const std::vector<PrimitiveDesc> *DescsPtr = nullptr;
   std::vector<RtValue> *ValuesPtr = nullptr;
+  SparseFormat Format = SparseFormat::Csr;
+  detail::FormatState *FS = nullptr;
 };
 
 void PlanInterpreter::bindInput(size_t Id, const PlanValue &Def) {
@@ -333,22 +400,34 @@ void PlanInterpreter::execStep(size_t StepIdx, ExecResult &Result) {
     Seconds = charge(StepIdx, [&] {
       const CsrMatrix &A = Op(0).sparse();
       const DenseMatrix &B = Op(1).dense();
+      DenseMatrix &Dst = dstDense(Step.Result, A.rows(), B.cols());
+      // Per-format aggregation preserves CSR neighbor order and shares the
+      // dispatched inner loops, so every branch here is bitwise identical.
+      if (formatCovers(A)) {
+        formatSpmmInto(A, B, Semiring::plusTimes(), Dst);
+        return;
+      }
       // Tiled form is bitwise identical to spmmInto; the tile width only
       // changes the memory schedule (HardwareModel::spmmColumnTile).
       kernels::spmmTiledInto(A, B, Semiring::plusTimes(),
                              Exec.hardware().spmmColumnTile(B.cols(),
                                                             Stats.AvgRowSpan),
-                             dstDense(Step.Result, A.rows(), B.cols()));
+                             Dst);
     });
     break;
   case StepOp::SpmmUnweighted:
     Seconds = charge(StepIdx, [&] {
       const CsrMatrix &A = Op(0).sparse();
       const DenseMatrix &B = Op(1).dense();
+      DenseMatrix &Dst = dstDense(Step.Result, A.rows(), B.cols());
+      if (formatCovers(A)) {
+        formatSpmmInto(A, B, Semiring::plusCopy(), Dst);
+        return;
+      }
       kernels::spmmTiledInto(A, B, Semiring::plusCopy(),
                              Exec.hardware().spmmColumnTile(B.cols(),
                                                             Stats.AvgRowSpan),
-                             dstDense(Step.Result, A.rows(), B.cols()));
+                             Dst);
     });
     break;
   case StepOp::SddmmScaleRow:
@@ -626,21 +705,39 @@ void PlanInterpreter::backward(ExecResult &Result) {
       const CsrMatrix &S = OpVal(0).sparse();
       const DenseMatrix &X = OpVal(1).dense();
       if (NeedOp(1)) {
-        // dX += S^T dY. The transpose pass is charged as an edge-map.
-        PrimitiveDesc TD{PrimitiveKind::EdgeElementwise, S.rows(), 0, 0,
-                         S.nnz()};
-        CsrMatrix ST;
-        Backward += chargeDesc(TD, [&] { ST = S.transposed(); });
+        // dX += S^T dY, walked through a CSC view of S instead of
+        // re-materializing a transposed CSR every step. The CSC holds the
+        // structure only (values gather through its CSR index map), so a
+        // workspace caches it across runs; the one-time build is charged
+        // as the edge-map the per-step transpose used to be.
+        CscMatrix LocalCsc;
+        const CscMatrix *Csc = nullptr;
+        if (FS && FS->CscSource == &S && FS->CscSourceNnz == S.nnz() &&
+            FS->Csc.rows() == S.rows()) {
+          Csc = &FS->Csc;
+        } else {
+          PrimitiveDesc TD{PrimitiveKind::EdgeElementwise, S.rows(), 0, 0,
+                           S.nnz()};
+          CscMatrix &Built = FS ? FS->Csc : LocalCsc;
+          Backward += chargeDesc(TD, [&] { Built = CscMatrix::fromCsr(S); });
+          if (FS) {
+            FS->CscSource = &S;
+            FS->CscSourceNnz = S.nnz();
+          }
+          Csc = &Built;
+        }
         PrimitiveDesc D{Step.Op == StepOp::SpmmWeighted
                             ? PrimitiveKind::SpMMWeighted
                             : PrimitiveKind::SpMMUnweighted,
                         S.cols(), X.cols(), 0, S.nnz()};
+        D.Format = SparseFormat::Csc;
         Backward += chargeDesc(D, [&] {
-          DenseMatrix DX =
-              kernels::spmm(ST, OutG.Dense,
-                            Step.Op == StepOp::SpmmWeighted
-                                ? Semiring::plusTimes()
-                                : Semiring::plusCopy());
+          DenseMatrix DX(S.cols(), OutG.Dense.cols());
+          kernels::spmmCscTransposedInto(*Csc, S.values(), OutG.Dense,
+                                         Step.Op == StepOp::SpmmWeighted
+                                             ? Semiring::plusTimes()
+                                             : Semiring::plusCopy(),
+                                         DX);
           kernels::axpyInto(1.0f, DX, EnsureDense(OpId(1)));
         });
       }
@@ -648,8 +745,13 @@ void PlanInterpreter::backward(ExecResult &Result) {
         // dS_ij += dY_i . X_j (SDDMM at the sparse pattern).
         PrimitiveDesc D{PrimitiveKind::SddmmDot, S.rows(), 0, X.cols(),
                         S.nnz()};
+        D.Format = formatCovers(S) ? Format : SparseFormat::Csr;
         Backward += chargeDesc(D, [&] {
-          std::vector<float> DS = kernels::sddmm(S, OutG.Dense, X);
+          std::vector<float> DS(static_cast<size_t>(S.nnz()));
+          if (formatCovers(S))
+            formatSddmmInto(S, OutG.Dense, X, DS);
+          else
+            kernels::sddmmInto(S, OutG.Dense, X, Semiring::plusTimes(), DS);
           std::vector<float> &Acc = EnsureEdge(OpId(0));
           for (size_t I = 0; I < DS.size(); ++I)
             Acc[I] += DS[I];
@@ -893,6 +995,41 @@ double Executor::reorderSetup(detail::ReorderState &RS, const CsrMatrix &Adj,
   });
 }
 
+double Executor::formatSetup(detail::FormatState &FS, const CsrMatrix &Adj,
+                             const GraphStats &Stats,
+                             SparseFormat Format) const {
+  if (FS.Format == Format && FS.SourceAdj == &Adj && FS.SourceNnz == Adj.nnz())
+    return 0.0;
+  // Per-(format, graph) conversion, hoisted like the reorder preprocessing.
+  // Each converter is a structure-only O(E) pass over the CSR, so it is
+  // charged as an edge-traversal primitive stamped with the target format.
+  TraceSpan Span("format-setup", "executor");
+  PrimitiveDesc Desc{PrimitiveKind::EdgeElementwise, Adj.rows(), 0, 0,
+                     Adj.nnz()};
+  Desc.Format = Format;
+  return timeKernel(Desc, Stats, [&] {
+    switch (Format) {
+    case SparseFormat::Ell:
+      FS.Ell = EllMatrix::fromCsr(Adj);
+      break;
+    case SparseFormat::Sell:
+      FS.Sell = SellMatrix::fromCsr(Adj);
+      break;
+    case SparseFormat::Hyb:
+      FS.Hyb = HybMatrix::fromCsr(Adj);
+      break;
+    case SparseFormat::Csr:
+    case SparseFormat::Csc:
+    case SparseFormat::Auto:
+      GRANII_CHECK(false, "formatSetup: format has no forward conversion");
+      break;
+    }
+    FS.Format = Format;
+    FS.SourceAdj = &Adj;
+    FS.SourceNnz = Adj.nnz();
+  });
+}
+
 LayerInputs Executor::permuteInputs(detail::ReorderState &RS,
                                     const LayerInputs &Inputs,
                                     PlanWorkspace &Ws,
@@ -934,21 +1071,30 @@ double Executor::unpermuteRows(detail::ReorderState &RS, DenseMatrix &M,
 
 void Executor::run(const CompositionPlan &Plan, const LayerInputs &Inputs,
                    const GraphStats &Stats, PlanWorkspace &Ws,
-                   ExecResult &Result, ReorderPolicy Policy) const {
-  if (Policy == ReorderPolicy::None) {
-    Ws.configure(Plan, Inputs.binding(&Plan), /*Training=*/false);
-    PlanInterpreter Interp(*this, Plan, Inputs, Stats, &Ws);
-    Interp.forward(Result);
-    return;
-  }
+                   ExecResult &Result, ReorderPolicy Policy,
+                   SparseFormat Format) const {
+  GRANII_CHECK(Format != SparseFormat::Auto && Format != SparseFormat::Csc,
+               "Executor::run: format must be a concrete forward format");
+  const LayerInputs *Bound = &Inputs;
+  const GraphStats *BoundStats = &Stats;
   detail::ReorderState &RS = Ws.reorderState();
-  double SetupSeconds = reorderSetup(RS, *Inputs.Adjacency, Stats, Policy);
+  double SetupSeconds = 0.0;
   double PermSeconds = 0.0;
-  LayerInputs Permuted = permuteInputs(RS, Inputs, Ws, PermSeconds);
-  Ws.configure(Plan, Permuted.binding(&Plan), /*Training=*/false);
-  PlanInterpreter Interp(*this, Plan, Permuted, RS.PermStats, &Ws);
+  LayerInputs Permuted;
+  if (Policy != ReorderPolicy::None) {
+    SetupSeconds += reorderSetup(RS, *Inputs.Adjacency, Stats, Policy);
+    Permuted = permuteInputs(RS, Inputs, Ws, PermSeconds);
+    Bound = &Permuted;
+    BoundStats = &RS.PermStats;
+  }
+  if (Format != SparseFormat::Csr)
+    SetupSeconds +=
+        formatSetup(Ws.formatState(), *Bound->Adjacency, *BoundStats, Format);
+  Ws.configure(Plan, Bound->binding(&Plan), /*Training=*/false);
+  PlanInterpreter Interp(*this, Plan, *Bound, *BoundStats, &Ws, Format);
   Interp.forward(Result);
-  PermSeconds += unpermuteRows(RS, Result.Output, RS.PermOutput, Ws);
+  if (Policy != ReorderPolicy::None)
+    PermSeconds += unpermuteRows(RS, Result.Output, RS.PermOutput, Ws);
   Result.SetupSeconds += SetupSeconds;
   Result.ForwardSeconds += PermSeconds;
 }
@@ -956,22 +1102,33 @@ void Executor::run(const CompositionPlan &Plan, const LayerInputs &Inputs,
 void Executor::runTraining(const CompositionPlan &Plan,
                            const LayerInputs &Inputs, const GraphStats &Stats,
                            PlanWorkspace &Ws, ExecResult &Result,
-                           ReorderPolicy Policy) const {
-  if (Policy == ReorderPolicy::None) {
-    Ws.configure(Plan, Inputs.binding(&Plan), /*Training=*/true);
-    PlanInterpreter Interp(*this, Plan, Inputs, Stats, &Ws);
-    Interp.forward(Result);
-    Interp.backward(Result);
-    return;
-  }
+                           ReorderPolicy Policy, SparseFormat Format) const {
+  GRANII_CHECK(Format != SparseFormat::Auto && Format != SparseFormat::Csc,
+               "Executor::runTraining: format must be a concrete forward "
+               "format");
+  const LayerInputs *Bound = &Inputs;
+  const GraphStats *BoundStats = &Stats;
   detail::ReorderState &RS = Ws.reorderState();
-  double SetupSeconds = reorderSetup(RS, *Inputs.Adjacency, Stats, Policy);
+  double SetupSeconds = 0.0;
   double PermSeconds = 0.0;
-  LayerInputs Permuted = permuteInputs(RS, Inputs, Ws, PermSeconds);
-  Ws.configure(Plan, Permuted.binding(&Plan), /*Training=*/true);
-  PlanInterpreter Interp(*this, Plan, Permuted, RS.PermStats, &Ws);
+  LayerInputs Permuted;
+  if (Policy != ReorderPolicy::None) {
+    SetupSeconds += reorderSetup(RS, *Inputs.Adjacency, Stats, Policy);
+    Permuted = permuteInputs(RS, Inputs, Ws, PermSeconds);
+    Bound = &Permuted;
+    BoundStats = &RS.PermStats;
+  }
+  if (Format != SparseFormat::Csr)
+    SetupSeconds +=
+        formatSetup(Ws.formatState(), *Bound->Adjacency, *BoundStats, Format);
+  Ws.configure(Plan, Bound->binding(&Plan), /*Training=*/true);
+  PlanInterpreter Interp(*this, Plan, *Bound, *BoundStats, &Ws, Format);
   Interp.forward(Result);
   Interp.backward(Result);
+  if (Policy == ReorderPolicy::None) {
+    Result.SetupSeconds += SetupSeconds;
+    return;
+  }
   PermSeconds += unpermuteRows(RS, Result.Output, RS.PermOutput, Ws);
   // Weight and attention gradients reduce over nodes and are row-order
   // independent; only the feature gradient is per-node and must return to

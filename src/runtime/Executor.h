@@ -29,8 +29,13 @@
 #include "hw/HardwareModel.h"
 #include "runtime/BufferPlan.h"
 #include "support/FunctionRef.h"
+#include "tensor/CscMatrix.h"
 #include "tensor/CsrMatrix.h"
 #include "tensor/DenseMatrix.h"
+#include "tensor/EllMatrix.h"
+#include "tensor/HybMatrix.h"
+#include "tensor/SellMatrix.h"
+#include "tensor/SparseFormat.h"
 
 #include <map>
 #include <optional>
@@ -116,6 +121,26 @@ struct ReorderState {
   GraphStats PermStats;     ///< its statistics (locality features differ)
   DenseMatrix PermFeatures; ///< features gathered into permuted row order
   DenseMatrix PermOutput;   ///< inverse-permutation staging buffer
+};
+
+/// Cached sparse-format state of a workspace: the structure conversion for
+/// the forward format plus the lazily built CSC transpose the backward pass
+/// walks instead of re-materializing S^T every step. Structures hold column
+/// layout only; edge values stay in the operands' CSR-ordered arrays, so
+/// one conversion per (format, graph) covers weighted and unweighted steps.
+struct FormatState {
+  SparseFormat Format = SparseFormat::Csr;
+  const CsrMatrix *SourceAdj = nullptr; ///< graph the cache was built for
+  int64_t SourceNnz = 0;                ///< guards against pointer reuse
+  EllMatrix Ell;
+  SellMatrix Sell;
+  HybMatrix Hyb;
+  /// Backward transpose cache, keyed separately: the transposed operand is
+  /// a derived sparse value (attention weights share the adjacency
+  /// pattern), not necessarily the adjacency itself.
+  CscMatrix Csc;
+  const CsrMatrix *CscSource = nullptr;
+  int64_t CscSourceNnz = 0;
 };
 
 } // namespace detail
@@ -211,6 +236,9 @@ public:
   /// The workspace's cached reordering state (empty until an executor run
   /// with a non-None policy populates it).
   detail::ReorderState &reorderState() { return Reorder; }
+  /// The workspace's cached sparse-format state (structure conversions +
+  /// the backward CSC transpose; empty until an executor run needs them).
+  detail::FormatState &formatState() { return Format; }
   /// Records a growth of a workspace-managed buffer that lives outside the
   /// slot arrays (the reorder staging buffers).
   void countAllocation() { ++Allocations; }
@@ -227,6 +255,7 @@ private:
   std::vector<PrimitiveDesc> Descs;
   std::vector<detail::RtValue> Scratch;
   detail::ReorderState Reorder;
+  detail::FormatState Format;
   size_t Allocations = 0;
 };
 
@@ -271,9 +300,18 @@ public:
   /// (each row's neighbors accumulate in a different sequence), which is
   /// why the differential tests compare it with a tolerance rather than
   /// bitwise. Steady-state runs still allocate nothing.
+  ///
+  /// A non-CSR \p Format runs every sparse aggregation over the workspace's
+  /// cached structure conversion of the bound adjacency (built on first use
+  /// and charged as setup). Per-format traversal preserves CSR neighbor
+  /// order and routes through the same dispatched inner loops, so outputs
+  /// stay bitwise identical to the CSR run at any thread count within one
+  /// ISA level. Auto must be resolved by the caller (the optimizer's
+  /// selection); Csc is backward-only — both abort here.
   void run(const CompositionPlan &Plan, const LayerInputs &Inputs,
            const GraphStats &Stats, PlanWorkspace &Ws, ExecResult &Result,
-           ReorderPolicy Policy = ReorderPolicy::None) const;
+           ReorderPolicy Policy = ReorderPolicy::None,
+           SparseFormat Format = SparseFormat::Csr) const;
 
   /// Arena-path forward + backward. The forward activations live in \p Ws
   /// (fully pinned in training mode); gradient accumulators and exported
@@ -283,7 +321,8 @@ public:
   void runTraining(const CompositionPlan &Plan, const LayerInputs &Inputs,
                    const GraphStats &Stats, PlanWorkspace &Ws,
                    ExecResult &Result,
-                   ReorderPolicy Policy = ReorderPolicy::None) const;
+                   ReorderPolicy Policy = ReorderPolicy::None,
+                   SparseFormat Format = SparseFormat::Csr) const;
 
   /// Measures/estimates one primitive invocation: executes \p Body and
   /// returns the seconds to charge for it on this platform. On measured
@@ -300,6 +339,11 @@ private:
   /// seconds to charge (0 when the cache was already valid).
   double reorderSetup(detail::ReorderState &RS, const CsrMatrix &Adj,
                       const GraphStats &Stats, ReorderPolicy Policy) const;
+
+  /// Rebuilds \p FS's forward structure for (Format, Adj) if it is stale;
+  /// returns the setup seconds to charge (0 when already valid).
+  double formatSetup(detail::FormatState &FS, const CsrMatrix &Adj,
+                     const GraphStats &Stats, SparseFormat Format) const;
 
   /// Gathers the caller's features into permuted order and returns inputs
   /// rebound to the cached reordered graph; \p PermSeconds receives the

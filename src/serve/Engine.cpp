@@ -59,8 +59,25 @@ std::string sessionKeyFor(const JobRequest &Req) {
   Key += kernels::isaLevelName(kernels::activeIsaLevel());
   Key += "/r" + Req.Reorder;
   Key += "/s" + std::to_string(Req.Seed);
+  Key += "/f" + (Req.Format.empty() ? std::string("csr") : Req.Format);
   Key += Req.Training ? "/train" : "/infer";
   return Key;
+}
+
+/// Parses and validates a request's format field. CSC is rejected here:
+/// the executor always uses it internally for the backward transposed
+/// SpMM, but it is not a selectable forward aggregation layout.
+std::optional<SparseFormat> requestFormat(const JobRequest &Req,
+                                          std::string *Error) {
+  std::optional<SparseFormat> Format =
+      parseSparseFormat(Req.Format.empty() ? "csr" : Req.Format);
+  if (!Format || *Format == SparseFormat::Csc) {
+    if (Error)
+      *Error = "unknown or unsupported sparse format '" + Req.Format +
+               "' (try csr, ell, sell, hyb, auto)";
+    return std::nullopt;
+  }
+  return Format;
 }
 
 /// loadGraphSpec formats its message as a ready-to-print CLI diagnostic
@@ -112,9 +129,10 @@ RunResponse Session::run(bool WantOutput) {
   Ws.resetAllocationCount();
   ExecResult R;
   if (Training)
-    Exec->runTraining(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder);
+    Exec->runTraining(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder,
+                      Sel.Format);
   else
-    Exec->run(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder);
+    Exec->run(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder, Sel.Format);
   ++Runs;
 
   Resp.Rows = R.Output.rows();
@@ -157,6 +175,7 @@ PlanCache::Plans Engine::resolvePlans(const GnnModel &Model, const Graph &G,
   Key.KOut = Req.KOut;
   Key.Threads = ThreadPool::get().numThreads();
   Key.Isa = kernels::isaLevelName(kernels::activeIsaLevel());
+  Key.Format = Req.Format.empty() ? "csr" : Req.Format;
   Resp.CacheKey = Key.canonical();
 
   bool DiskHit = false;
@@ -175,6 +194,8 @@ PlanCache::Plans Engine::resolvePlans(const GnnModel &Model, const Graph &G,
   OptOpts.Hw = Opts.Hw;
   OptOpts.Iterations = Opts.Iterations;
   OptOpts.Verify = Opts.Verify;
+  if (std::optional<SparseFormat> Format = requestFormat(Req, nullptr))
+    OptOpts.Format = *Format;
   Optimizer Compiled(Model, OptOpts, &CompileCost);
   auto Value = std::make_shared<const std::vector<CompositionPlan>>(
       Compiled.promoted());
@@ -194,6 +215,12 @@ CompileResponse Engine::compile(const JobRequest &Req) {
   if (Req.KIn < 1 || Req.KOut < 1) {
     Resp.Status.Ok = false;
     Resp.Status.Error = "embedding sizes must be >= 1";
+    return Resp;
+  }
+  std::string FormatError;
+  if (!requestFormat(Req, &FormatError)) {
+    Resp.Status.Ok = false;
+    Resp.Status.Error = FormatError;
     return Resp;
   }
   std::string ParseError;
@@ -253,6 +280,9 @@ std::shared_ptr<Session> Engine::session(const JobRequest &Req,
             "' (try none, rcm, degree)";
     return nullptr;
   }
+  std::optional<SparseFormat> Format = requestFormat(Req, &Error);
+  if (!Format)
+    return nullptr;
   std::string ParseError;
   std::optional<ParsedModel> Parsed =
       parseModelDsl(Req.ModelText, &ParseError);
@@ -273,6 +303,7 @@ std::shared_ptr<Session> Engine::session(const JobRequest &Req,
   S->Options.Hw = Opts.Hw;
   S->Options.Iterations = Opts.Iterations;
   S->Options.Reorder = *Reorder;
+  S->Options.Format = *Format;
   S->Options.Verify = Opts.Verify;
   S->Training = Req.Training;
   S->Cost = AnalyticCostModel(Opts.Hw);

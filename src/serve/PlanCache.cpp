@@ -39,6 +39,8 @@ std::string PlanCacheKey::canonical() const {
   S += std::to_string(Threads);
   S += "/";
   S += Isa.empty() ? "scalar" : Isa;
+  S += "/";
+  S += Format.empty() ? "csr" : Format;
   return S;
 }
 

@@ -47,8 +47,12 @@ struct PlanCacheKey {
   int64_t KOut = 0;
   int Threads = 0;  ///< kernel pool size
   std::string Isa;  ///< active SIMD dispatch level name
+  /// Requested sparse storage format name ("csr", ..., or "auto"). Part of
+  /// the key: a pinned --format=ell compile must never be served a set
+  /// compiled (and stamped) for CSR, and vice versa.
+  std::string Format = "csr";
 
-  /// Canonical printable form, e.g. "m0123abcd.../g.../k32x64/t4/avx2".
+  /// Canonical printable form, e.g. "m0123abcd.../g.../k32x64/t4/avx2/csr".
   /// Total order on keys; embedded verbatim in spill files.
   std::string canonical() const;
 

@@ -91,6 +91,7 @@ std::vector<uint8_t> granii::serve::encodeJobRequest(const JobRequest &Req) {
   W.putString(Req.Reorder);
   W.putU64(Req.Seed);
   W.putU8(Req.WantOutput ? 1 : 0);
+  W.putString(Req.Format);
   return W.take();
 }
 
@@ -105,6 +106,7 @@ bool granii::serve::decodeJobRequest(std::span<const uint8_t> Payload,
   Out.Reorder = R.getString();
   Out.Seed = R.getU64();
   Out.WantOutput = R.getU8() != 0;
+  Out.Format = R.getString();
   if (R.ok() && (Out.KIn < 1 || Out.KOut < 1))
     R.fail("embedding sizes must be >= 1 (got " + std::to_string(Out.KIn) +
            "x" + std::to_string(Out.KOut) + ")");

@@ -59,6 +59,8 @@ struct JobRequest {
   std::string Reorder = "none"; ///< ReorderPolicy name
   uint64_t Seed = 1;            ///< makeLayerParams parameter seed
   bool WantOutput = false;      ///< run only: return the output matrix
+  /// Sparse storage format name ("csr", "ell", "sell", "hyb", or "auto").
+  std::string Format = "csr";
 };
 
 std::vector<uint8_t> encodeJobRequest(const JobRequest &Req);

@@ -1,0 +1,66 @@
+//===- CscMatrix.h - Compressed sparse column structure ---------*- C++ -*-===//
+///
+/// \file
+/// CSC view of a CSR matrix, built once and reused by the backward pass:
+/// dX += S^T dY walks column c of S (= row c of S^T) directly instead of
+/// materializing a transposed CSR every step. Each CSC entry carries the
+/// CSR nnz index it came from (csrIndices()), so edge values — which stay
+/// in the operand's CSR-ordered value array — are gathered without ever
+/// reshuffling them.
+///
+/// Entries within a column appear in ascending row order (the counting
+/// sort scans CSR rows in order), which is exactly the entry order of
+/// CsrMatrix::transposed()'s rows — the backward results stay bitwise
+/// identical to the transpose-and-SpMM path they replace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_TENSOR_CSCMATRIX_H
+#define GRANII_TENSOR_CSCMATRIX_H
+
+#include "support/Aligned.h"
+#include "tensor/CsrMatrix.h"
+
+#include <cstdint>
+#include <span>
+
+namespace granii {
+
+class CscMatrix {
+public:
+  CscMatrix() = default;
+
+  static CscMatrix fromCsr(const CsrMatrix &A);
+
+  /// Dimensions of the *source* matrix (not the transpose).
+  int64_t rows() const { return NumRows; }
+  int64_t cols() const { return NumCols; }
+  int64_t nnz() const { return Nnz; }
+
+  /// cols()+1 offsets into rowIndices()/csrIndices(), one per source column.
+  const AlignedVector<int64_t> &colOffsets() const { return ColOffsets; }
+  /// Source row id of each entry, ascending within a column.
+  const AlignedVector<int32_t> &rowIndices() const { return RowIdx; }
+  /// CSR nnz index of each entry (the value gather map).
+  const AlignedVector<int64_t> &csrIndices() const { return CsrIdx; }
+  /// Copy of the source CSR row offsets (round-trip + legality checks).
+  const AlignedVector<int64_t> &rowOffsets() const { return RowOffsets; }
+  int64_t colNnz(int64_t C) const { return ColOffsets[C + 1] - ColOffsets[C]; }
+
+  CsrMatrix toCsr(std::span<const float> Vals = {}) const;
+
+  void verify() const;
+
+private:
+  int64_t NumRows = 0;
+  int64_t NumCols = 0;
+  int64_t Nnz = 0;
+  AlignedVector<int64_t> ColOffsets = AlignedVector<int64_t>(1, 0);
+  AlignedVector<int32_t> RowIdx;
+  AlignedVector<int64_t> CsrIdx;
+  AlignedVector<int64_t> RowOffsets = AlignedVector<int64_t>(1, 0);
+};
+
+} // namespace granii
+
+#endif // GRANII_TENSOR_CSCMATRIX_H

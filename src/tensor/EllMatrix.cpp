@@ -1,0 +1,67 @@
+//===- EllMatrix.cpp - ELLPACK sparse structure ----------------------------===//
+
+#include "tensor/EllMatrix.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace granii;
+
+EllMatrix EllMatrix::fromCsr(const CsrMatrix &A) {
+  EllMatrix E;
+  E.NumRows = A.rows();
+  E.NumCols = A.cols();
+  E.Nnz = A.nnz();
+  const auto &Offsets = A.rowOffsets();
+  E.RowOffsets.assign(Offsets.begin(), Offsets.end());
+  int64_t Width = 0;
+  for (int64_t R = 0; R < E.NumRows; ++R)
+    Width = std::max(Width, Offsets[R + 1] - Offsets[R]);
+  E.Width = Width;
+  E.Cols.assign(static_cast<size_t>(E.NumRows * Width), -1);
+  const auto &SrcCols = A.colIndices();
+  for (int64_t R = 0; R < E.NumRows; ++R) {
+    const int64_t Begin = Offsets[R], End = Offsets[R + 1];
+    std::copy(SrcCols.begin() + Begin, SrcCols.begin() + End,
+              E.Cols.begin() + R * Width);
+  }
+  return E;
+}
+
+CsrMatrix EllMatrix::toCsr(std::span<const float> Vals) const {
+  GRANII_CHECK(Vals.empty() || static_cast<int64_t>(Vals.size()) == Nnz,
+               "ell->csr value count mismatch");
+  std::vector<int64_t> Offsets(RowOffsets.begin(), RowOffsets.end());
+  std::vector<int32_t> OutCols(static_cast<size_t>(Nnz));
+  for (int64_t R = 0; R < NumRows; ++R) {
+    const int64_t Len = rowNnz(R);
+    const int32_t *Src = rowColsPtr(R);
+    std::copy(Src, Src + Len, OutCols.begin() + RowOffsets[R]);
+  }
+  return CsrMatrix(NumRows, NumCols, std::move(Offsets), std::move(OutCols),
+                   std::vector<float>(Vals.begin(), Vals.end()));
+}
+
+void EllMatrix::verify() const {
+  GRANII_CHECK(NumRows >= 0 && NumCols >= 0 && Width >= 0,
+               "ell negative dimension");
+  GRANII_CHECK(static_cast<int64_t>(RowOffsets.size()) == NumRows + 1,
+               "ell row offset count mismatch");
+  GRANII_CHECK(RowOffsets[0] == 0 && RowOffsets[NumRows] == Nnz,
+               "ell row offsets do not span nnz");
+  GRANII_CHECK(static_cast<int64_t>(Cols.size()) == NumRows * Width,
+               "ell column array size mismatch");
+  for (int64_t R = 0; R < NumRows; ++R) {
+    const int64_t Len = RowOffsets[R + 1] - RowOffsets[R];
+    GRANII_CHECK(Len >= 0 && Len <= Width, "ell row length out of range");
+    const int32_t *Row = rowColsPtr(R);
+    for (int64_t K = 0; K < Width; ++K) {
+      if (K < Len)
+        GRANII_CHECK(Row[K] >= 0 && Row[K] < NumCols,
+                     "ell column id out of range");
+      else
+        GRANII_CHECK(Row[K] == -1, "ell padding slot not -1");
+    }
+  }
+}

@@ -1,0 +1,70 @@
+//===- EllMatrix.h - ELLPACK sparse structure -------------------*- C++ -*-===//
+///
+/// \file
+/// ELLPACK storage: every row padded to the maximum row length, columns in
+/// row-major order, padding slots marked -1. Regular per-row extents make
+/// the gather pattern branch-free, which is why meshes (near-uniform
+/// degree) favor it; the padding ratio N*maxdeg/nnz is what the cost layer
+/// penalizes on skewed graphs.
+///
+/// Format classes store *structure only* plus a copy of the source CSR row
+/// offsets: runtime edge values stay in the operand's CSR-ordered value
+/// array and are indexed as Vals[CsrOffsets[r] + k]. One structure
+/// conversion per adjacency therefore serves both the weighted and the
+/// unweighted steps, and per-format SDDMM keeps writing CSR edge order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_TENSOR_ELLMATRIX_H
+#define GRANII_TENSOR_ELLMATRIX_H
+
+#include "support/Aligned.h"
+#include "tensor/CsrMatrix.h"
+
+#include <cstdint>
+#include <span>
+
+namespace granii {
+
+class EllMatrix {
+public:
+  EllMatrix() = default;
+
+  /// Converts a CSR matrix; within each row the ELL columns are the CSR
+  /// columns in their original order, so traversal order — and therefore
+  /// float accumulation order — matches CSR exactly.
+  static EllMatrix fromCsr(const CsrMatrix &A);
+
+  int64_t rows() const { return NumRows; }
+  int64_t cols() const { return NumCols; }
+  int64_t nnz() const { return Nnz; }
+  /// The shared padded row length (the source's maximum row length).
+  int64_t width() const { return Width; }
+
+  /// Copy of the source CSR row offsets (row lengths + value indexing).
+  const AlignedVector<int64_t> &rowOffsets() const { return RowOffsets; }
+  /// Rows*Width column ids, row-major; padding slots hold -1.
+  const AlignedVector<int32_t> &colIndices() const { return Cols; }
+  /// First rowNnz(R) entries are row R's CSR columns in order.
+  const int32_t *rowColsPtr(int64_t R) const { return Cols.data() + R * Width; }
+  int64_t rowNnz(int64_t R) const { return RowOffsets[R + 1] - RowOffsets[R]; }
+
+  /// Round-trip back to CSR; \p Vals (CSR edge order) may be empty for an
+  /// unweighted result, else must have exactly nnz() entries.
+  CsrMatrix toCsr(std::span<const float> Vals = {}) const;
+
+  /// Checks structural invariants; aborts (GRANII_CHECK) on violation.
+  void verify() const;
+
+private:
+  int64_t NumRows = 0;
+  int64_t NumCols = 0;
+  int64_t Nnz = 0;
+  int64_t Width = 0;
+  AlignedVector<int64_t> RowOffsets = AlignedVector<int64_t>(1, 0);
+  AlignedVector<int32_t> Cols;
+};
+
+} // namespace granii
+
+#endif // GRANII_TENSOR_ELLMATRIX_H

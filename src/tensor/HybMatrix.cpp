@@ -1,0 +1,96 @@
+//===- HybMatrix.cpp - Hybrid ELL+COO sparse structure ---------------------===//
+
+#include "tensor/HybMatrix.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace granii;
+
+HybMatrix HybMatrix::fromCsr(const CsrMatrix &A) {
+  const int64_t Rows = A.rows();
+  const int64_t Width = Rows > 0 ? (A.nnz() + Rows - 1) / Rows : 0;
+  return fromCsr(A, Width);
+}
+
+HybMatrix HybMatrix::fromCsr(const CsrMatrix &A, int64_t EllWidth) {
+  GRANII_CHECK(EllWidth >= 0, "hyb ELL width must be non-negative");
+  HybMatrix H;
+  H.NumRows = A.rows();
+  H.NumCols = A.cols();
+  H.Nnz = A.nnz();
+  H.EllWidth = EllWidth;
+  const auto &Offsets = A.rowOffsets();
+  const auto &SrcCols = A.colIndices();
+  H.RowOffsets.assign(Offsets.begin(), Offsets.end());
+  H.EllColIds.assign(static_cast<size_t>(H.NumRows * EllWidth), -1);
+  H.CooRowOffsets.assign(static_cast<size_t>(H.NumRows) + 1, 0);
+  for (int64_t R = 0; R < H.NumRows; ++R) {
+    const int64_t Len = Offsets[R + 1] - Offsets[R];
+    H.CooRowOffsets[R + 1] =
+        H.CooRowOffsets[R] + std::max<int64_t>(0, Len - EllWidth);
+  }
+  H.CooCols.resize(static_cast<size_t>(H.CooRowOffsets[H.NumRows]));
+  for (int64_t R = 0; R < H.NumRows; ++R) {
+    const int64_t Begin = Offsets[R], End = Offsets[R + 1];
+    const int64_t EllLen = std::min(End - Begin, EllWidth);
+    std::copy(SrcCols.begin() + Begin, SrcCols.begin() + Begin + EllLen,
+              H.EllColIds.begin() + R * EllWidth);
+    std::copy(SrcCols.begin() + Begin + EllLen, SrcCols.begin() + End,
+              H.CooCols.begin() + H.CooRowOffsets[R]);
+  }
+  return H;
+}
+
+CsrMatrix HybMatrix::toCsr(std::span<const float> Vals) const {
+  GRANII_CHECK(Vals.empty() || static_cast<int64_t>(Vals.size()) == Nnz,
+               "hyb->csr value count mismatch");
+  std::vector<int64_t> Offsets(RowOffsets.begin(), RowOffsets.end());
+  std::vector<int32_t> OutCols(static_cast<size_t>(Nnz));
+  for (int64_t R = 0; R < NumRows; ++R) {
+    const int64_t Len = rowNnz(R);
+    const int64_t EllLen = std::min(Len, EllWidth);
+    const int32_t *Ell = ellRowColsPtr(R);
+    std::copy(Ell, Ell + EllLen, OutCols.begin() + RowOffsets[R]);
+    std::copy(CooCols.begin() + CooRowOffsets[R],
+              CooCols.begin() + CooRowOffsets[R + 1],
+              OutCols.begin() + RowOffsets[R] + EllLen);
+  }
+  return CsrMatrix(NumRows, NumCols, std::move(Offsets), std::move(OutCols),
+                   std::vector<float>(Vals.begin(), Vals.end()));
+}
+
+void HybMatrix::verify() const {
+  GRANII_CHECK(NumRows >= 0 && NumCols >= 0 && EllWidth >= 0,
+               "hyb negative dimension");
+  GRANII_CHECK(static_cast<int64_t>(RowOffsets.size()) == NumRows + 1,
+               "hyb row offset count mismatch");
+  GRANII_CHECK(RowOffsets[0] == 0 && RowOffsets[NumRows] == Nnz,
+               "hyb row offsets do not span nnz");
+  GRANII_CHECK(static_cast<int64_t>(EllColIds.size()) == NumRows * EllWidth,
+               "hyb ELL column array size mismatch");
+  GRANII_CHECK(static_cast<int64_t>(CooRowOffsets.size()) == NumRows + 1,
+               "hyb COO row offset count mismatch");
+  GRANII_CHECK(CooRowOffsets[0] == 0 &&
+                   CooRowOffsets[NumRows] ==
+                       static_cast<int64_t>(CooCols.size()),
+               "hyb COO row offsets do not span the overflow");
+  for (int64_t R = 0; R < NumRows; ++R) {
+    const int64_t Len = RowOffsets[R + 1] - RowOffsets[R];
+    const int64_t EllLen = std::min(Len, EllWidth);
+    GRANII_CHECK(CooRowOffsets[R + 1] - CooRowOffsets[R] == Len - EllLen,
+                 "hyb overflow length mismatch");
+    const int32_t *Ell = ellRowColsPtr(R);
+    for (int64_t K = 0; K < EllWidth; ++K) {
+      if (K < EllLen)
+        GRANII_CHECK(Ell[K] >= 0 && Ell[K] < NumCols,
+                     "hyb ELL column id out of range");
+      else
+        GRANII_CHECK(Ell[K] == -1, "hyb ELL padding slot not -1");
+    }
+    for (int64_t K = CooRowOffsets[R]; K < CooRowOffsets[R + 1]; ++K)
+      GRANII_CHECK(CooCols[K] >= 0 && CooCols[K] < NumCols,
+                   "hyb COO column id out of range");
+  }
+}

@@ -1,0 +1,76 @@
+//===- HybMatrix.h - Hybrid ELL+COO sparse structure ------------*- C++ -*-===//
+///
+/// \file
+/// Hybrid storage: an ELL part holding each row's first min(len, EllWidth)
+/// entries plus a COO overflow holding the rest, grouped per row
+/// (CooRowOffsets). Skewed degree distributions (R-MAT-class graphs) favor
+/// it: the bulk of rows fits the narrow ELL part, and only the heavy tail
+/// pays the irregular path. Because the overflow is grouped per row and
+/// follows the ELL part, per-row traversal (ELL slots then overflow) visits
+/// entries in exact CSR order, so accumulation stays bitwise CSR-equal.
+///
+/// Overflow entries of row r map to CSR value indices
+/// rowOffsets()[r] + EllWidth + j by construction — no per-entry index map
+/// is stored.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_TENSOR_HYBMATRIX_H
+#define GRANII_TENSOR_HYBMATRIX_H
+
+#include "support/Aligned.h"
+#include "tensor/CsrMatrix.h"
+
+#include <cstdint>
+#include <span>
+
+namespace granii {
+
+class HybMatrix {
+public:
+  HybMatrix() = default;
+
+  /// Converts with the default width heuristic: the mean row length rounded
+  /// up (the classic HYB threshold — covers every row of a regular graph,
+  /// spills only the heavy tail of a skewed one).
+  static HybMatrix fromCsr(const CsrMatrix &A);
+  /// Converts with an explicit ELL width threshold. \p EllWidth >= the
+  /// maximum row length yields a pure-ELL hybrid (empty overflow);
+  /// \p EllWidth == 0 yields a pure-COO hybrid.
+  static HybMatrix fromCsr(const CsrMatrix &A, int64_t EllWidth);
+
+  int64_t rows() const { return NumRows; }
+  int64_t cols() const { return NumCols; }
+  int64_t nnz() const { return Nnz; }
+  int64_t ellWidth() const { return EllWidth; }
+  int64_t cooNnz() const { return static_cast<int64_t>(CooCols.size()); }
+
+  const AlignedVector<int64_t> &rowOffsets() const { return RowOffsets; }
+  /// Rows*ellWidth() column ids, row-major; padding slots hold -1.
+  const AlignedVector<int32_t> &ellCols() const { return EllColIds; }
+  const int32_t *ellRowColsPtr(int64_t R) const {
+    return EllColIds.data() + R * EllWidth;
+  }
+  /// Overflow extent of row \p R inside cooCols().
+  const AlignedVector<int64_t> &cooRowOffsets() const { return CooRowOffsets; }
+  const AlignedVector<int32_t> &cooCols() const { return CooCols; }
+  int64_t rowNnz(int64_t R) const { return RowOffsets[R + 1] - RowOffsets[R]; }
+
+  CsrMatrix toCsr(std::span<const float> Vals = {}) const;
+
+  void verify() const;
+
+private:
+  int64_t NumRows = 0;
+  int64_t NumCols = 0;
+  int64_t Nnz = 0;
+  int64_t EllWidth = 0;
+  AlignedVector<int64_t> RowOffsets = AlignedVector<int64_t>(1, 0);
+  AlignedVector<int32_t> EllColIds;
+  AlignedVector<int64_t> CooRowOffsets = AlignedVector<int64_t>(1, 0);
+  AlignedVector<int32_t> CooCols;
+};
+
+} // namespace granii
+
+#endif // GRANII_TENSOR_HYBMATRIX_H

@@ -1,0 +1,46 @@
+//===- SparseFormat.h - Sparse storage format tags --------------*- C++ -*-===//
+///
+/// \file
+/// The sparse storage format vocabulary. GRANII inspects the input to pick
+/// a primitive *ordering*; Qiu et al. show the same inspection should also
+/// pick the *storage format* (CSR vs ELL vs sliced-ELL vs hybrid, and CSC
+/// for the transpose-heavy backward pass). Every layer that carries a
+/// format choice — optimizer options, selections, plan files, the serve
+/// cache key, the CLI — speaks this tag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_TENSOR_SPARSEFORMAT_H
+#define GRANII_TENSOR_SPARSEFORMAT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace granii {
+
+/// Storage format for a sparse adjacency/attention matrix.
+enum class SparseFormat : uint8_t {
+  Csr,  ///< compressed sparse row (the baseline format)
+  Ell,  ///< ELLPACK: row-major, padded to the maximum row length
+  Sell, ///< sliced ELL: padded to the per-slice maximum (slice height 32)
+  Hyb,  ///< hybrid: ELL up to a width threshold + COO overflow
+  Csc,  ///< compressed sparse column (transposed traversal; backward pass)
+  Auto, ///< let the cost model pick jointly with the plan ordering
+};
+
+/// Stable lowercase name ("csr", "ell", "sell", "hyb", "csc", "auto") used
+/// by the CLI flag, plan files, cache keys and bench records.
+const char *sparseFormatName(SparseFormat F);
+
+/// Parses a format name; nullopt for unknown strings.
+std::optional<SparseFormat> parseSparseFormat(const std::string &Name);
+
+/// The formats a forward-pass g-SpMM/g-SDDMM executor can run under (CSC is
+/// backward-only, Auto is a selection directive, so neither is listed).
+const std::vector<SparseFormat> &forwardSparseFormats();
+
+} // namespace granii
+
+#endif // GRANII_TENSOR_SPARSEFORMAT_H

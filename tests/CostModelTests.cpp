@@ -1,8 +1,10 @@
 //===- CostModelTests.cpp - Tests for featurizer, cost models, trainer ------===//
 
 #include "cost/CostModel.h"
+#include "cost/Gbt.h"
 #include "cost/Trainer.h"
 #include "graph/Generators.h"
+#include "support/Rng.h"
 #include "models/Models.h"
 #include "assoc/Enumerate.h"
 
@@ -170,5 +172,108 @@ TEST(LearnedCostModel, LoadOrTrainUsesCache) {
   PrimitiveDesc Desc{PrimitiveKind::RowBroadcast, 123, 16, 0, 0};
   EXPECT_DOUBLE_EQ(First.primitiveSeconds(Desc, Stats),
                    Second.primitiveSeconds(Desc, Stats));
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Per-format cost features (golden values on hand-computed fixtures)
+//===----------------------------------------------------------------------===//
+
+// A ring is perfectly regular: every row has exactly 2 entries, so the ELL
+// layout has no padding (fill ratio 1) and the row-length variance is 0.
+TEST(Featurizer, FormatFeaturesOnRegularRing) {
+  GraphStats Stats = makeRing(8).stats();
+  ASSERT_DOUBLE_EQ(Stats.MaxDegree, 2.0);
+  ASSERT_EQ(Stats.NumEdges, 16);
+  PrimitiveDesc Desc{PrimitiveKind::SpMMWeighted, 8, 4, 0, 16};
+  FeatureVector F = featurize(Desc, Stats);
+  EXPECT_DOUBLE_EQ(F[16], 1.0); // nnz / (nodes * maxdeg) = 16 / (8*2)
+  EXPECT_DOUBLE_EQ(F[17], 0.0); // log1p(variance of constant degrees)
+  EXPECT_DOUBLE_EQ(F[18], 0.0); // Desc.Format defaults to CSR (= 0)
+}
+
+// star(5): degrees are [4, 1, 1, 1, 1] -> 8 directed edges, max degree 4.
+// ELL fill = 8 / (5*4) = 0.4; mean degree 1.6, variance
+// ((4-1.6)^2 + 4*(1-1.6)^2)/5 = 1.44.
+TEST(Featurizer, FormatFeaturesOnSkewedStar) {
+  GraphStats Stats = makeStar(5).stats();
+  ASSERT_DOUBLE_EQ(Stats.MaxDegree, 4.0);
+  ASSERT_EQ(Stats.NumEdges, 8);
+  PrimitiveDesc Desc{PrimitiveKind::SpMMWeighted, 5, 4, 0, 8};
+  Desc.Format = SparseFormat::Hyb;
+  FeatureVector F = featurize(Desc, Stats);
+  EXPECT_NEAR(F[16], 0.4, 1e-12);
+  EXPECT_NEAR(F[17], std::log1p(1.44), 1e-9);
+  EXPECT_DOUBLE_EQ(F[18], static_cast<double>(SparseFormat::Hyb));
+}
+
+TEST(Featurizer, FormatChangesTheVector) {
+  GraphStats Stats = makeStar(50).stats();
+  PrimitiveDesc Csr{PrimitiveKind::SpMMWeighted, 50, 16, 0, 98};
+  PrimitiveDesc Ell = Csr;
+  Ell.Format = SparseFormat::Ell;
+  EXPECT_NE(featurize(Csr, Stats), featurize(Ell, Stats));
+}
+
+// The analytic per-format factor must penalize ELL on skewed inputs (heavy
+// padding) while leaving regular inputs close to parity, and must keep the
+// baseline formats at exactly 1.
+TEST(HardwareModel, FormatCostFactorTracksPadding) {
+  GraphStats Ring = makeRing(64).stats();
+  GraphStats Star = makeStar(64).stats();
+  EXPECT_DOUBLE_EQ(sparseFormatCostFactor(SparseFormat::Csr, Star), 1.0);
+  EXPECT_DOUBLE_EQ(sparseFormatCostFactor(SparseFormat::Csc, Star), 1.0);
+  // Regular ring: padding ratio 1, ELL is allowed to win slightly.
+  EXPECT_LT(sparseFormatCostFactor(SparseFormat::Ell, Ring), 1.0);
+  // Skewed star: ELL pays the full padded width, SELL only per slice.
+  EXPECT_GT(sparseFormatCostFactor(SparseFormat::Ell, Star), 1.5);
+  EXPECT_LT(sparseFormatCostFactor(SparseFormat::Sell, Star),
+            sparseFormatCostFactor(SparseFormat::Ell, Star));
+  // And the estimate itself applies the factor for sparse primitives.
+  HardwareModel Hw = HardwareModel::byName("cpu");
+  PrimitiveDesc Desc{PrimitiveKind::SpMMWeighted, 64, 32, 0,
+                     Star.NumEdges};
+  PrimitiveDesc DescEll = Desc;
+  DescEll.Format = SparseFormat::Ell;
+  EXPECT_GT(Hw.estimateSeconds(DescEll, &Star),
+            Hw.estimateSeconds(Desc, &Star));
+}
+
+// A cost-model cache written before the featurizer grew to NumCostFeatures
+// carries ensembles trained on the old width; loadOrTrainCostModel must
+// reject it and retrain rather than feed the trees misaligned vectors.
+TEST(Trainer, StaleFeatureWidthCacheIsRejected) {
+  HardwareModel Hw = HardwareModel::byName("h100");
+  std::string Path = ::testing::TempDir() + "/granii_stale_cache.txt";
+  std::remove(Path.c_str());
+
+  // Simulate the pre-format era: a valid cache whose models were trained
+  // on 16-wide feature vectors.
+  GbtDataset Old;
+  Old.NumFeatures = NumCostFeatures - 3;
+  Rng R(9);
+  std::vector<double> Row(Old.NumFeatures);
+  for (int I = 0; I < 64; ++I) {
+    for (double &V : Row)
+      V = R.nextDouble();
+    Old.add(Row.data(), Row[0] + 0.5 * Row[1]);
+  }
+  GbtModel Stale = GbtModel::fit(Old, GbtParams());
+  ASSERT_EQ(Stale.numFeatures(), NumCostFeatures - 3);
+  LearnedCostModel Seeded(Hw);
+  Seeded.setModel(PrimitiveKind::SpMMWeighted, Stale);
+  ASSERT_TRUE(Seeded.saveToFile(Path));
+
+  // Enough graphs that SpMMWeighted clears the trainer's 8-sample floor
+  // (one sample per graph per width) and gets an ensemble again.
+  std::vector<Graph> Suite;
+  for (int64_t I = 0; I < 12; ++I)
+    Suite.push_back(makeErdosRenyi(100 + 10 * I, 400 + 40 * I,
+                                   static_cast<uint64_t>(I + 1)));
+  LearnedCostModel Fresh = loadOrTrainCostModel(Path, Hw, Suite, {8});
+  ASSERT_TRUE(Fresh.hasModel(PrimitiveKind::SpMMWeighted));
+  EXPECT_EQ(Fresh.model(PrimitiveKind::SpMMWeighted)->numFeatures(),
+            NumCostFeatures)
+      << "stale cache was served instead of being retrained";
   std::remove(Path.c_str());
 }

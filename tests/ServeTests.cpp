@@ -191,6 +191,7 @@ TEST(Protocol, JobRequestRoundTrip) {
   Req.Reorder = "degree";
   Req.Seed = 7;
   Req.WantOutput = true;
+  Req.Format = "hyb";
 
   JobRequest Out;
   std::string Err;
@@ -203,6 +204,7 @@ TEST(Protocol, JobRequestRoundTrip) {
   EXPECT_EQ(Out.Reorder, Req.Reorder);
   EXPECT_EQ(Out.Seed, Req.Seed);
   EXPECT_EQ(Out.WantOutput, Req.WantOutput);
+  EXPECT_EQ(Out.Format, Req.Format);
 }
 
 TEST(Protocol, JobRequestRejectsTruncationAndTrailingGarbage) {
@@ -392,6 +394,71 @@ TEST(Engine, CompileVerbPopulatesPlanCacheForLaterRuns) {
   RunResponse Run = Eng.run(Req);
   ASSERT_TRUE(Run.Status.Ok) << Run.Status.Error;
   EXPECT_TRUE(Run.PlanCacheHit);
+}
+
+// Regression: the plan-cache key must carry the requested format, so a
+// `--format=ell` compile after a CSR compile of the same job is a cache
+// miss with its own key — not a silently served CSR plan set.
+TEST(Engine, CompileWithFormatIsNotServedTheCsrCacheEntry) {
+  Engine Eng(testEngineOptions());
+  JobRequest Req = smallRequest(false);
+
+  CompileResponse Csr = Eng.compile(Req);
+  ASSERT_TRUE(Csr.Status.Ok) << Csr.Status.Error;
+  EXPECT_FALSE(Csr.PlanCacheHit);
+
+  JobRequest EllReq = Req;
+  EllReq.Format = "ell";
+  CompileResponse Ell = Eng.compile(EllReq);
+  ASSERT_TRUE(Ell.Status.Ok) << Ell.Status.Error;
+  EXPECT_FALSE(Ell.PlanCacheHit) << "ell compile rode the CSR cache entry";
+  EXPECT_NE(Ell.CacheKey, Csr.CacheKey);
+
+  // Each population hits only itself on the second round.
+  EXPECT_TRUE(Eng.compile(Req).PlanCacheHit);
+  EXPECT_TRUE(Eng.compile(EllReq).PlanCacheHit);
+}
+
+// Distinct formats get distinct sessions, and every format's warm output
+// matches the CSR session bitwise (the format kernels preserve CSR
+// accumulation order).
+TEST(Engine, FormatSessionsAreDistinctAndAgreeBitwise) {
+  Engine Eng(testEngineOptions());
+  JobRequest Req = smallRequest();
+  RunResponse Base = Eng.run(Req);
+  ASSERT_TRUE(Base.Status.Ok) << Base.Status.Error;
+
+  for (const char *Format : {"ell", "sell", "hyb", "auto"}) {
+    SCOPED_TRACE(Format);
+    JobRequest FReq = Req;
+    FReq.Format = Format;
+    RunResponse First = Eng.run(FReq);
+    ASSERT_TRUE(First.Status.Ok) << First.Status.Error;
+    EXPECT_FALSE(First.SessionCacheHit) << "format reused the CSR session";
+    ASSERT_EQ(First.Output.size(), Base.Output.size());
+    EXPECT_EQ(std::memcmp(First.Output.data(), Base.Output.data(),
+                          Base.Output.size() * sizeof(float)),
+              0);
+    RunResponse Warm = Eng.run(FReq);
+    ASSERT_TRUE(Warm.Status.Ok);
+    EXPECT_TRUE(Warm.SessionCacheHit);
+    EXPECT_EQ(Warm.SteadyAllocations, 0u);
+  }
+}
+
+TEST(Engine, UnknownOrBackwardOnlyFormatIsARequestError) {
+  Engine Eng(testEngineOptions());
+  for (const char *Format : {"csc", "coo", "banana"}) {
+    SCOPED_TRACE(Format);
+    JobRequest Req = smallRequest();
+    Req.Format = Format;
+    RunResponse R = Eng.run(Req);
+    EXPECT_FALSE(R.Status.Ok);
+    EXPECT_NE(R.Status.Error.find("format"), std::string::npos);
+    JobRequest CReq = smallRequest(false);
+    CReq.Format = Format;
+    EXPECT_FALSE(Eng.compile(CReq).Status.Ok);
+  }
 }
 
 TEST(Engine, SessionLruEvictsButEvictedConfigStillRuns) {

@@ -280,8 +280,8 @@ int cmdVerify(const ArgParser &Args, std::string &Out, std::string &Err) {
 /// checked. Nonzero steady-state allocations are a planning bug, reported
 /// via the exit code so CI can assert the zero-allocation property.
 int profileRun(const CompositionPlan &Plan, const LayerParams &Params,
-               const OptimizerOptions &Options, bool Training,
-               std::string &Out, std::string &Err) {
+               const OptimizerOptions &Options, SparseFormat Format,
+               bool Training, std::string &Out, std::string &Err) {
   Executor Exec(Options.Hw);
   Exec.setStepProfiling(true);
   PlanWorkspace Ws;
@@ -290,9 +290,10 @@ int profileRun(const CompositionPlan &Plan, const LayerParams &Params,
 
   auto RunOnce = [&] {
     if (Training)
-      Exec.runTraining(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder);
+      Exec.runTraining(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder,
+                       Format);
     else
-      Exec.run(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder);
+      Exec.run(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder, Format);
   };
   RunOnce(); // warm-up: plans the arena, allocates every slot
   Ws.resetAllocationCount();
@@ -338,15 +339,15 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
   if (int Code = rejectUnknownFlags(
           Args, "run",
           {"graph", "kin", "kout", "hw", "iters", "train", "profile",
-           "reorder", "verify", "out", "threads", "isa", "trace"},
+           "reorder", "format", "verify", "out", "threads", "isa", "trace"},
           Err))
     return Code;
   if (Args.Positional.size() < 2) {
     Err += "usage: granii-cli run <model.gnn> [--graph <mtx|synth:name>] "
            "--kin N --kout N [--hw cpu|a100|h100] [--iters N] [--train] "
            "[--threads N] [--isa scalar|avx2|avx512] [--profile] "
-           "[--reorder none|rcm|degree] [--out <file>] "
-           "[--verify off|fast|full] [--trace <out.json>]\n";
+           "[--reorder none|rcm|degree] [--format auto|csr|ell|sell|hyb] "
+           "[--out <file>] [--verify off|fast|full] [--trace <out.json>]\n";
     return 2;
   }
   std::optional<std::string> ModelText =
@@ -382,6 +383,13 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
            "' (try none, rcm, degree)\n";
     return 2;
   }
+  std::string FormatName = Args.value("format", "csr");
+  std::optional<SparseFormat> Format = parseSparseFormat(FormatName);
+  if (!Format || *Format == SparseFormat::Csc) {
+    Err += "error: unknown or unsupported sparse format '" + FormatName +
+           "' (try auto, csr, ell, sell, hyb)\n";
+    return 2;
+  }
   std::optional<VerifyLevel> Verify = verifyFlag(Args, Err);
   if (!Verify)
     return 2;
@@ -390,6 +398,7 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
   Options.Hw = HardwareModel::byName(Hw);
   Options.Iterations = static_cast<int>(Args.intValue("iters", 100));
   Options.Reorder = *Reorder;
+  Options.Format = *Format;
   Options.Verify = *Verify;
 
   // One-shot runs go through the same Engine/Session layer the daemon
@@ -410,6 +419,7 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
   Req.KOut = KOut;
   Req.Training = Training;
   Req.Reorder = Args.value("reorder", "none");
+  Req.Format = FormatName;
   Req.WantOutput = Args.hasFlag("out");
 
   std::string SessionError;
@@ -443,8 +453,9 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
   const Selection &Sel = S->selection();
   Out += "online: candidate #" + std::to_string(Sel.PlanIndex) + " (" +
          (Sel.UsedCostModels ? "cost models" : "embedding-size condition") +
-         "), predicted " + formatDouble(Sel.PredictedSeconds * 1e3, 3) +
-         " ms for " + std::to_string(Options.Iterations) + " iterations\n";
+         "), format " + sparseFormatName(Sel.Format) + ", predicted " +
+         formatDouble(Sel.PredictedSeconds * 1e3, 3) + " ms for " +
+         std::to_string(Options.Iterations) + " iterations\n";
   Out += "selected composition:\n" +
          S->optimizer().promoted()[Sel.PlanIndex].toString();
 
@@ -473,7 +484,7 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
 
   if (Args.hasFlag("profile"))
     return profileRun(S->optimizer().promoted()[Sel.PlanIndex], S->params(),
-                      Options, Training, Out, Err);
+                      Options, Sel.Format, Training, Out, Err);
   return 0;
 }
 
@@ -529,16 +540,17 @@ int cmdServe(const ArgParser &Args, std::string &Out, std::string &Err) {
 int cmdCall(const ArgParser &Args, std::string &Out, std::string &Err) {
   if (int Code = rejectUnknownFlags(
           Args, "call",
-          {"socket", "graph", "kin", "kout", "train", "reorder", "seed",
-           "out", "compile-only", "stats", "shutdown", "threads", "isa",
-           "trace"},
+          {"socket", "graph", "kin", "kout", "train", "reorder", "format",
+           "seed", "out", "compile-only", "stats", "shutdown", "threads",
+           "isa", "trace"},
           Err))
     return Code;
   std::string Socket = Args.value("socket");
   if (Socket.empty()) {
     Err += "usage: granii-cli call --socket <path> <model.gnn> "
            "[--graph <mtx|synth:name>] [--kin N] [--kout N] [--train] "
-           "[--reorder none|rcm|degree] [--seed N] [--out <file>] "
+           "[--reorder none|rcm|degree] [--format auto|csr|ell|sell|hyb] "
+           "[--seed N] [--out <file>] "
            "[--compile-only] | --stats | --shutdown\n";
     return 2;
   }
@@ -607,6 +619,7 @@ int cmdCall(const ArgParser &Args, std::string &Out, std::string &Err) {
   Req.KOut = Args.intValue("kout", 32);
   Req.Training = Args.hasFlag("train");
   Req.Reorder = Args.value("reorder", "none");
+  Req.Format = Args.value("format", "csr");
   Req.Seed = static_cast<uint64_t>(Args.intValue("seed", 1));
   Req.WantOutput = Args.hasFlag("out");
 
