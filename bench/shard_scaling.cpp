@@ -1,0 +1,156 @@
+//===- shard_scaling.cpp - Sharded execution scaling sweep --------------------===//
+//
+// Sweeps the sharded executor over synthetic R-MAT graphs on the measured
+// CPU platform: nodes x shards x threads, reporting the one-time
+// partition/build cost and the per-iteration forward time, with every
+// sharded output checked bitwise against the whole-graph run before it is
+// reported (a scaling number for a wrong answer is worthless).
+//
+// All records here are wall-clock measurements, so their baseline entries
+// carry gate:false — granii-bench-diff reports them without failing CI on
+// machine-dependent noise. --smoke shrinks the sweep for the CI job;
+// --json=<file> writes granii-bench-v1 records.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "assoc/Enumerate.h"
+#include "assoc/Prune.h"
+#include "graph/Generators.h"
+#include "models/Models.h"
+#include "runtime/Executor.h"
+#include "support/Str.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace granii;
+using namespace granii::bench;
+
+namespace {
+
+bool bitwiseEqual(const DenseMatrix &A, const DenseMatrix &B) {
+  return A.rows() == B.rows() && A.cols() == B.cols() &&
+         std::memcmp(A.data(), B.data(),
+                     static_cast<size_t>(A.size()) * sizeof(float)) == 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath = consumeValueFlag(argc, argv, "json");
+  bool Smoke = consumeBoolFlag(argc, argv, "smoke");
+  const int Reps = 3;
+  BenchReport Report;
+
+  std::vector<int64_t> NodeCounts = Smoke
+                                        ? std::vector<int64_t>{1 << 12}
+                                        : std::vector<int64_t>{1 << 14,
+                                                               1 << 16,
+                                                               1 << 18};
+  std::vector<int> ShardCounts = {1, 2, 4, 8};
+  std::vector<int> ThreadCounts = Smoke ? std::vector<int>{4}
+                                        : std::vector<int>{1, 4};
+  const int64_t K = Smoke ? 16 : 32;
+
+  std::printf("Sharded scaling: GCN forward per-iteration time (ms) on the "
+              "measured CPU platform, R-MAT graphs (avg degree 16)\n\n");
+
+  GnnModel Model = makeModel(ModelKind::GCN);
+  std::vector<CompositionPlan> Plans =
+      pruneCompositions(enumerateCompositions(Model.Root));
+  if (Plans.empty()) {
+    std::fprintf(stderr, "error: no surviving GCN plans\n");
+    return 1;
+  }
+  const CompositionPlan &Plan = Plans[0];
+
+  std::vector<std::string> Header = {"nodes", "edges",    "shards",
+                                     "cut%",  "threads",  "setup ms",
+                                     "ms/iter", "vs whole"};
+  std::vector<std::vector<std::string>> Table;
+  int Failures = 0;
+
+  for (int64_t N : NodeCounts) {
+    Graph G = makeRmat(N, N * 16, 0.57, 0.19, 0.19,
+                       /*Seed=*/90 + static_cast<uint64_t>(N),
+                       "rmat-" + std::to_string(N));
+    LayerParams Params = makeLayerParams(Model, G, K, K, 11);
+    DimBinding Binding = Params.inputs().binding(&Plan);
+
+    for (int Threads : ThreadCounts) {
+      Executor Exec(HardwareModel::byName("cpu"), Threads);
+
+      // Whole-graph reference for this thread count: correctness anchor
+      // and the denominator of the "vs whole" column.
+      PlanWorkspace WsWhole;
+      WsWhole.configure(Plan, Binding, /*Training=*/false);
+      ExecResult Whole;
+      Exec.run(Plan, Params.inputs(), Params.Stats, WsWhole, Whole);
+      Exec.run(Plan, Params.inputs(), Params.Stats, WsWhole, Whole);
+
+      for (int Shards : ShardCounts) {
+        ShardSpec Sharding{Shards, ""};
+        PlanWorkspace Ws;
+        Ws.configure(Plan, Binding, /*Training=*/false);
+        ExecResult First;
+        Exec.run(Plan, Params.inputs(), Params.Stats, Ws, First,
+                 ReorderPolicy::None, SparseFormat::Csr, Sharding);
+        if (!bitwiseEqual(First.Output, Whole.Output)) {
+          std::fprintf(stderr,
+                       "error: sharded output differs from whole-graph "
+                       "(n=%lld shards=%d threads=%d)\n",
+                       static_cast<long long>(N), Shards, Threads);
+          ++Failures;
+          continue;
+        }
+        std::vector<double> Samples;
+        ExecResult R;
+        for (int Rep = 0; Rep < Reps; ++Rep) {
+          Exec.run(Plan, Params.inputs(), Params.Stats, Ws, R,
+                   ReorderPolicy::None, SparseFormat::Csr, Sharding);
+          Samples.push_back(R.ForwardSeconds);
+        }
+        double CutPct = 0.0;
+        if (Shards > 1) {
+          // Re-derive the partition the executor used for the cut column
+          // (the partitioner is deterministic in its inputs).
+          Graph WithSelf = G.withSelfLoops();
+          shard::GraphPartition Part =
+              shard::partitionGraph(WithSelf.adjacency(), Shards);
+          CutPct = Part.cutFraction() * 100.0;
+        }
+        double MedianMs = Samples[Samples.size() / 2] * 1e3;
+        Table.push_back(
+            {std::to_string(N), std::to_string(G.numEdges()),
+             std::to_string(Shards), formatDouble(CutPct, 1),
+             std::to_string(Threads),
+             formatDouble(First.SetupSeconds * 1e3, 3),
+             formatDouble(MedianMs, 3),
+             formatSpeedup(Whole.ForwardSeconds / Samples[0])});
+        if (!JsonPath.empty())
+          Report.add(BenchReport::makeRecord(
+              "shard_scaling/n" + std::to_string(N) + "/s" +
+                  std::to_string(Shards) + "/t" + std::to_string(Threads),
+              G.name(), K, K, "none", Samples, /*Bytes=*/0.0));
+      }
+    }
+  }
+
+  std::printf("%s\n", renderTable(Header, Table).c_str());
+  std::printf("Every sharded row was checked bitwise against its "
+              "whole-graph reference before being reported.\n");
+
+  if (!JsonPath.empty()) {
+    std::string WriteError;
+    if (!Report.write(JsonPath, &WriteError)) {
+      std::fprintf(stderr, "error: %s\n", WriteError.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[shard_scaling] wrote machine-readable report "
+                 "to %s\n",
+                 JsonPath.c_str());
+  }
+  return Failures == 0 ? 0 : 1;
+}

@@ -86,6 +86,8 @@ Optimizer::Optimizer(GnnModel ModelIn, OptimizerOptions OptsIn,
   assert(!Promoted.empty() && "pruning removed every candidate");
   GRANII_CHECK(Opts.Format != SparseFormat::Csc,
                "csc is backward-only, not a selectable forward format");
+  GRANII_CHECK(Opts.Shards <= 1 || Opts.Format == SparseFormat::Csr,
+               "sharded execution requires the csr forward format");
   // A pinned non-CSR format stamps the compiled set so saveCompiled()
   // round-trips the choice; Auto leaves plans at the CSR default and
   // resolves per selection.
@@ -117,6 +119,8 @@ Optimizer::Optimizer(GnnModel ModelIn, OptimizerOptions OptsIn,
   assert(!Promoted.empty() && "compiled plan set is empty");
   GRANII_CHECK(Opts.Format != SparseFormat::Csc,
                "csc is backward-only, not a selectable forward format");
+  GRANII_CHECK(Opts.Shards <= 1 || Opts.Format == SparseFormat::Csr,
+               "sharded execution requires the csr forward format");
   Stats.Enumerated = Stats.Promoted = Promoted.size();
   // A deserialized plan set gets the same scrutiny as a freshly compiled
   // one: the file may be stale or hand-edited.
@@ -238,6 +242,10 @@ Selection Optimizer::select(const Graph &G, int64_t KIn, int64_t KOut) const {
   Timer FeaturizeTimer;
   Graph WithSelf = G.withSelfLoops();
   GraphStats Stats = WithSelf.stats();
+  // Sharded runs pay halo traffic the cost featurizer must see; the
+  // annotation pass is O(E), the same order as the statistics above.
+  if (Opts.Shards > 1)
+    shard::annotateShardStats(Stats, WithSelf.adjacency(), Opts.Shards);
   double MeasuredFeaturize = FeaturizeTimer.seconds();
   FeaturizeSpan.setArg("nodes", static_cast<double>(WithSelf.numNodes()));
   FeaturizeSpan.setArg("edges", static_cast<double>(WithSelf.numEdges()));
@@ -286,13 +294,15 @@ ExecResult Optimizer::execute(const Selection &Sel, const LayerParams &Params,
   // same selection reuse the planned arena instead of reallocating every
   // intermediate (training pins all activations, so the two modes cannot
   // share a workspace).
-  PlanWorkspace &Ws = Workspaces[{Sel.PlanIndex, Training, Sel.Format}];
+  PlanWorkspace &Ws =
+      Workspaces[{Sel.PlanIndex, Training, Sel.Format, Opts.Shards}];
+  ShardSpec Sharding{Opts.Shards, Opts.ShardStoreDir};
   ExecResult Result;
   if (Training)
     Exec.runTraining(Plan, Inputs, Params.Stats, Ws, Result, Opts.Reorder,
-                     Sel.Format);
+                     Sel.Format, Sharding);
   else
     Exec.run(Plan, Inputs, Params.Stats, Ws, Result, Opts.Reorder,
-             Sel.Format);
+             Sel.Format, Sharding);
   return Result;
 }

@@ -51,6 +51,14 @@ struct OptimizerOptions {
   /// cost features (docs/FORMATS.md). Csc is backward-only (the executor
   /// always uses it for transposed SpMM) and is not a valid choice here.
   SparseFormat Format = SparseFormat::Csr;
+  /// Sharded execution (docs/SHARDING.md): > 1 partitions the input graph
+  /// into that many shards and runs every sparse aggregation through the
+  /// sharded gather → compute pipeline, bitwise identical to whole-graph
+  /// execution. Requires Format == Csr. <= 1 executes whole-graph.
+  int Shards = 0;
+  /// Non-empty: directory for the mmap-backed shard-block store (blocks
+  /// page in on demand instead of living in anonymous memory).
+  std::string ShardStoreDir;
   /// Static verification level (docs/VERIFICATION.md). Off: nothing. Fast
   /// (default; overridable via GRANII_VERIFY): the IR verifier runs after
   /// parsing and every rewrite pass, and the promoted plan set is checked
@@ -163,12 +171,13 @@ private:
   std::vector<CompositionPlan> Promoted;
   PruneStats Stats;
   Executor Exec;
-  /// Per-(plan index, training mode, format) execution workspaces, created
-  /// lazily by execute(). Format is part of the key so an Auto selector
-  /// alternating formats does not thrash one workspace's cached structure.
-  /// Mutable: caching buffers does not change observable optimizer state
-  /// (outputs are bitwise identical either way).
-  mutable std::map<std::tuple<size_t, bool, SparseFormat>, PlanWorkspace>
+  /// Per-(plan index, training mode, format, shard count) execution
+  /// workspaces, created lazily by execute(). Format is part of the key so
+  /// an Auto selector alternating formats does not thrash one workspace's
+  /// cached structure; shard count likewise isolates the cached partition
+  /// blocks. Mutable: caching buffers does not change observable optimizer
+  /// state (outputs are bitwise identical either way).
+  mutable std::map<std::tuple<size_t, bool, SparseFormat, int>, PlanWorkspace>
       Workspaces;
 };
 

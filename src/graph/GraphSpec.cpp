@@ -13,6 +13,30 @@ std::optional<Graph> granii::loadGraphSpec(const std::string &Spec,
                                            std::string *Err) {
   if (startsWith(Spec, "synth:")) {
     std::string Name = Spec.substr(6);
+    // Parameterized R-MAT: "synth:rmat:<nodes>:<edges>[:<seed>]". Lets CI
+    // and the daemon materialize arbitrarily large power-law graphs (the
+    // sharded scaling gate runs multi-million-node instances) without
+    // shipping a file.
+    if (startsWith(Name, "rmat:")) {
+      std::vector<std::string> Parts = splitString(Name, ':');
+      int64_t Nodes = 0, Edges = 0, Seed = 42;
+      bool Valid = Parts.size() == 3 || Parts.size() == 4;
+      if (Valid)
+        Valid = parseInt64(Parts[1], Nodes) && parseInt64(Parts[2], Edges) &&
+                Nodes > 0 && Edges > 0;
+      if (Valid && Parts.size() == 4)
+        Valid = parseInt64(Parts[3], Seed) && Seed >= 0;
+      if (!Valid) {
+        if (Err)
+          *Err += "error: malformed rmat spec '" + Name +
+                  "' (want rmat:<nodes>:<edges>[:<seed>])\n";
+        return std::nullopt;
+      }
+      return makeRmat(Nodes, Edges, 0.57, 0.19, 0.19,
+                      static_cast<uint64_t>(Seed),
+                      "rmat-" + Parts[1] + "-" + Parts[2] + "-" +
+                          std::to_string(Seed));
+    }
     for (const char *Known : {"reddit", "com-amazon", "mycielskian",
                               "belgium-osm", "coauthors", "ogbn-products"})
       if (Name == Known)
@@ -20,7 +44,7 @@ std::optional<Graph> granii::loadGraphSpec(const std::string &Spec,
     if (Err)
       *Err += "error: unknown synthetic graph '" + Name +
               "' (try reddit, com-amazon, mycielskian, belgium-osm, "
-              "coauthors, ogbn-products)\n";
+              "coauthors, ogbn-products, rmat:<nodes>:<edges>[:<seed>])\n";
     return std::nullopt;
   }
   std::string ReadError;

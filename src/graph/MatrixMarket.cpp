@@ -26,6 +26,12 @@ std::optional<Graph> granii::parseMatrixMarket(const std::string &Text,
                                                const std::string &Name,
                                                std::string *ErrorMessage) {
   std::istringstream Stream(Text);
+  return parseMatrixMarket(Stream, Name, ErrorMessage);
+}
+
+std::optional<Graph> granii::parseMatrixMarket(std::istream &Stream,
+                                               const std::string &Name,
+                                               std::string *ErrorMessage) {
   std::string Line;
   if (!std::getline(Stream, Line))
     return fail(ErrorMessage, "empty matrix market input");
@@ -98,15 +104,14 @@ std::optional<Graph> granii::readMatrixMarket(const std::string &Path,
   std::ifstream In(Path);
   if (!In)
     return fail(ErrorMessage, "cannot open file: " + Path);
-  std::ostringstream Contents;
-  Contents << In.rdbuf();
   // Derive the graph name from the file name without extension.
   std::string Name = Path;
   if (size_t Slash = Name.find_last_of('/'); Slash != std::string::npos)
     Name = Name.substr(Slash + 1);
   if (size_t Dot = Name.find_last_of('.'); Dot != std::string::npos)
     Name = Name.substr(0, Dot);
-  return parseMatrixMarket(Contents.str(), Name, ErrorMessage);
+  // Stream straight from the file: no whole-file copy in memory.
+  return parseMatrixMarket(In, Name, ErrorMessage);
 }
 
 bool granii::writeMatrixMarket(const Graph &G, const std::string &Path,

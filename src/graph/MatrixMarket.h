@@ -13,17 +13,27 @@
 
 #include "graph/Graph.h"
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 
 namespace granii {
 
-/// Parses a Matrix Market file at \p Path into a graph. On failure returns
-/// std::nullopt and stores a message in \p ErrorMessage if non-null.
+/// Parses a Matrix Market file at \p Path into a graph. Streams the file
+/// line by line — peak transient memory is one line plus the COO triples,
+/// never a second whole-file copy (SuiteSparse .mtx files reach tens of
+/// GB). On failure returns std::nullopt and stores a message in
+/// \p ErrorMessage if non-null.
 std::optional<Graph> readMatrixMarket(const std::string &Path,
                                       std::string *ErrorMessage = nullptr);
 
-/// Parses Matrix Market text directly (used by tests).
+/// Parses Matrix Market data from an already-open stream (the streaming
+/// core readMatrixMarket wraps around an ifstream).
+std::optional<Graph> parseMatrixMarket(std::istream &Stream,
+                                       const std::string &Name,
+                                       std::string *ErrorMessage = nullptr);
+
+/// Parses Matrix Market text held in memory (used by tests).
 std::optional<Graph> parseMatrixMarket(const std::string &Text,
                                        const std::string &Name,
                                        std::string *ErrorMessage = nullptr);

@@ -149,6 +149,12 @@ double HardwareModel::estimateSeconds(const PrimitiveDesc &Desc,
   if (Sparse && Stats) {
     Time *= 1.0 + Params.IrregularityCoef * Stats->DegreeCv;
     Time *= sparseFormatCostFactor(Desc.Format, *Stats);
+    // Sharded aggregation re-reads every cut edge's halo row once per
+    // shard boundary it crosses; the analytic model prices that extra
+    // memory traffic proportionally to the partition's edge-cut fraction
+    // (whole-graph stats keep the defaults, leaving this factor at 1).
+    if (Stats->ShardCount > 1.0)
+      Time *= 1.0 + 0.25 * Stats->ShardEdgeCutFraction;
   }
 
   if (Desc.Kind == PrimitiveKind::DegreeBinning && Stats)

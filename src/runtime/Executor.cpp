@@ -10,6 +10,8 @@
 #include "support/Trace.h"
 
 #include <cassert>
+#include <cstdio>
+#include <fstream>
 
 using namespace granii;
 
@@ -195,9 +197,10 @@ public:
   PlanInterpreter(const Executor &Exec, const CompositionPlan &Plan,
                   const LayerInputs &Inputs, const GraphStats &Stats,
                   PlanWorkspace *Ws,
-                  SparseFormat Format = SparseFormat::Csr)
+                  SparseFormat Format = SparseFormat::Csr,
+                  detail::ShardState *ShardSt = nullptr)
       : Exec(Exec), Plan(Plan), Inputs(Inputs), Stats(Stats), Ws(Ws),
-        Format(Format), FS(Ws ? &Ws->formatState() : nullptr) {
+        Format(Format), FS(Ws ? &Ws->formatState() : nullptr), SS(ShardSt) {
     if (Ws) {
       DescsPtr = &Ws->descs();
       ValuesPtr = &Ws->scratch();
@@ -328,6 +331,29 @@ private:
     }
   }
 
+  /// True when sharded execution is active and the cached blocks cover
+  /// \p A. Size equality suffices as the pattern guard for the same reason
+  /// as formatCovers: every sparse value a plan produces carries the bound
+  /// adjacency's pattern (attention weights share it), which is exactly
+  /// what shardSetup partitioned — the blocks hold structure only and edge
+  /// values gather through the operand's own CSR-ordered array.
+  bool shardCovers(const CsrMatrix &A) const {
+    return SS && SS->Shards > 1 && SS->Set.numNodes() == A.rows() &&
+           SS->Set.nnz() == A.nnz() && A.rows() == A.cols();
+  }
+
+  /// Runs one forward aggregation through the shard pipeline, counting any
+  /// cold-start staging growth against the workspace's allocation counter;
+  /// shardCovers(A) must hold.
+  void shardSpmmInto(const CsrMatrix &A, const DenseMatrix &B,
+                     const Semiring &S, DenseMatrix &Dst) const {
+    size_t Grown = SS->Staging.ensureForward(SS->Set, B.cols());
+    if (Ws)
+      for (; Grown > 0; --Grown)
+        Ws->countAllocation();
+    shard::shardedSpmmInto(SS->Set, SS->Staging, A.values(), B, S, Dst);
+  }
+
   const Executor &Exec;
   const CompositionPlan &Plan;
   const LayerInputs &Inputs;
@@ -339,6 +365,7 @@ private:
   std::vector<RtValue> *ValuesPtr = nullptr;
   SparseFormat Format = SparseFormat::Csr;
   detail::FormatState *FS = nullptr;
+  detail::ShardState *SS = nullptr;
 };
 
 void PlanInterpreter::bindInput(size_t Id, const PlanValue &Def) {
@@ -401,8 +428,13 @@ void PlanInterpreter::execStep(size_t StepIdx, ExecResult &Result) {
       const CsrMatrix &A = Op(0).sparse();
       const DenseMatrix &B = Op(1).dense();
       DenseMatrix &Dst = dstDense(Step.Result, A.rows(), B.cols());
-      // Per-format aggregation preserves CSR neighbor order and shares the
-      // dispatched inner loops, so every branch here is bitwise identical.
+      // Per-format and sharded aggregation both preserve CSR neighbor
+      // order and share the dispatched inner loops, so every branch here
+      // is bitwise identical.
+      if (shardCovers(A)) {
+        shardSpmmInto(A, B, Semiring::plusTimes(), Dst);
+        return;
+      }
       if (formatCovers(A)) {
         formatSpmmInto(A, B, Semiring::plusTimes(), Dst);
         return;
@@ -420,6 +452,10 @@ void PlanInterpreter::execStep(size_t StepIdx, ExecResult &Result) {
       const CsrMatrix &A = Op(0).sparse();
       const DenseMatrix &B = Op(1).dense();
       DenseMatrix &Dst = dstDense(Step.Result, A.rows(), B.cols());
+      if (shardCovers(A)) {
+        shardSpmmInto(A, B, Semiring::plusCopy(), Dst);
+        return;
+      }
       if (formatCovers(A)) {
         formatSpmmInto(A, B, Semiring::plusCopy(), Dst);
         return;
@@ -704,7 +740,28 @@ void PlanInterpreter::backward(ExecResult &Result) {
     case StepOp::SpmmUnweighted: {
       const CsrMatrix &S = OpVal(0).sparse();
       const DenseMatrix &X = OpVal(1).dense();
-      if (NeedOp(1)) {
+      if (NeedOp(1) && shardCovers(S)) {
+        // Sharded dX = S^T dY over the blocks' CSC slices: each slice
+        // keeps its owned columns' entries in ascending global-row order
+        // — the whole-graph CSC's entry order — so this is bitwise equal
+        // to the spmmCscTransposedInto branch below without ever
+        // materializing the global transpose.
+        PrimitiveDesc D{Step.Op == StepOp::SpmmWeighted
+                            ? PrimitiveKind::SpMMWeighted
+                            : PrimitiveKind::SpMMUnweighted,
+                        S.cols(), X.cols(), 0, S.nnz()};
+        D.Format = SparseFormat::Csc;
+        Backward += chargeDesc(D, [&] {
+          SS->Staging.ensureBackward(SS->Set, OutG.Dense.cols());
+          DenseMatrix DX(S.cols(), OutG.Dense.cols());
+          shard::shardedSpmmCscTransposedInto(
+              SS->Set, SS->Staging, S.values(), OutG.Dense,
+              Step.Op == StepOp::SpmmWeighted ? Semiring::plusTimes()
+                                              : Semiring::plusCopy(),
+              DX);
+          kernels::axpyInto(1.0f, DX, EnsureDense(OpId(1)));
+        });
+      } else if (NeedOp(1)) {
         // dX += S^T dY, walked through a CSC view of S instead of
         // re-materializing a transposed CSR every step. The CSC holds the
         // structure only (values gather through its CSR index map), so a
@@ -1030,6 +1087,75 @@ double Executor::formatSetup(detail::FormatState &FS, const CsrMatrix &Adj,
   });
 }
 
+namespace {
+
+/// Content hash of a CSR structure, naming the on-disk shard store so a
+/// store built for one graph is never adopted for another. O(E), paid only
+/// on the store path where the block build itself is O(E log E).
+uint64_t csrStructureHash(const CsrMatrix &Adj) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  Mix(static_cast<uint64_t>(Adj.rows()));
+  Mix(static_cast<uint64_t>(Adj.nnz()));
+  for (int64_t Off : Adj.rowOffsets())
+    Mix(static_cast<uint64_t>(Off));
+  for (int32_t Col : Adj.colIndices())
+    Mix(static_cast<uint64_t>(static_cast<uint32_t>(Col)));
+  return H;
+}
+
+} // namespace
+
+double Executor::shardSetup(detail::ShardState &SS, const CsrMatrix &Adj,
+                            const GraphStats &Stats,
+                            const ShardSpec &Spec) const {
+  if (SS.Shards == Spec.Shards && SS.SourceAdj == &Adj &&
+      SS.SourceNnz == Adj.nnz() && SS.StoreDir == Spec.StoreDir &&
+      SS.Set.numNodes() == Adj.rows())
+    return 0.0;
+  // Per-(shard count, graph) preprocessing, hoisted like the reorder and
+  // format conversions: the partition and the block build are both
+  // O(E)-dominated passes over the structure.
+  TraceSpan Span("shard-setup", "executor");
+  PrimitiveDesc Desc{PrimitiveKind::EdgeElementwise, Adj.rows(), 0, 0,
+                     Adj.nnz()};
+  return timeKernel(Desc, Stats, [&] {
+    SS.Shards = Spec.Shards;
+    SS.SourceAdj = &Adj;
+    SS.SourceNnz = Adj.nnz();
+    SS.StoreDir = Spec.StoreDir;
+    SS.Part = shard::partitionGraph(Adj, Spec.Shards);
+    if (Spec.StoreDir.empty()) {
+      SS.Set = shard::ShardSet::build(Adj, SS.Part);
+    } else {
+      // mmap-backed store: build once per (graph structure, shard count),
+      // then adopt the read-only mapping so block structure pages in on
+      // demand. Keyed by content hash — a stale or foreign file never
+      // matches, and a damaged one aborts in load()'s validation.
+      char Name[64];
+      std::snprintf(Name, sizeof(Name), "/granii-g%016llx-s%d.grshard",
+                    static_cast<unsigned long long>(csrStructureHash(Adj)),
+                    Spec.Shards);
+      const std::string Path = Spec.StoreDir + Name;
+      std::ifstream Probe(Path, std::ios::binary);
+      const bool Exists = Probe.good();
+      Probe.close();
+      if (!Exists) {
+        std::string Err;
+        GRANII_CHECK(shard::ShardSet::build(Adj, SS.Part).save(Path, &Err),
+                     "cannot write shard store: " + Err);
+      }
+      SS.Set = shard::ShardSet::load(Path);
+    }
+    // Fresh blocks invalidate any staged halo capacities sized for the
+    // previous graph.
+    SS.Staging = shard::ShardStaging();
+  });
+}
+
 LayerInputs Executor::permuteInputs(detail::ReorderState &RS,
                                     const LayerInputs &Inputs,
                                     PlanWorkspace &Ws,
@@ -1072,9 +1198,11 @@ double Executor::unpermuteRows(detail::ReorderState &RS, DenseMatrix &M,
 void Executor::run(const CompositionPlan &Plan, const LayerInputs &Inputs,
                    const GraphStats &Stats, PlanWorkspace &Ws,
                    ExecResult &Result, ReorderPolicy Policy,
-                   SparseFormat Format) const {
+                   SparseFormat Format, const ShardSpec &Sharding) const {
   GRANII_CHECK(Format != SparseFormat::Auto && Format != SparseFormat::Csc,
                "Executor::run: format must be a concrete forward format");
+  GRANII_CHECK(!Sharding.active() || Format == SparseFormat::Csr,
+               "sharded execution supports the CSR forward format only");
   const LayerInputs *Bound = &Inputs;
   const GraphStats *BoundStats = &Stats;
   detail::ReorderState &RS = Ws.reorderState();
@@ -1090,8 +1218,15 @@ void Executor::run(const CompositionPlan &Plan, const LayerInputs &Inputs,
   if (Format != SparseFormat::Csr)
     SetupSeconds +=
         formatSetup(Ws.formatState(), *Bound->Adjacency, *BoundStats, Format);
+  detail::ShardState *ShardSt = nullptr;
+  if (Sharding.active()) {
+    SetupSeconds +=
+        shardSetup(Ws.shardState(), *Bound->Adjacency, *BoundStats, Sharding);
+    ShardSt = &Ws.shardState();
+  }
   Ws.configure(Plan, Bound->binding(&Plan), /*Training=*/false);
-  PlanInterpreter Interp(*this, Plan, *Bound, *BoundStats, &Ws, Format);
+  PlanInterpreter Interp(*this, Plan, *Bound, *BoundStats, &Ws, Format,
+                         ShardSt);
   Interp.forward(Result);
   if (Policy != ReorderPolicy::None)
     PermSeconds += unpermuteRows(RS, Result.Output, RS.PermOutput, Ws);
@@ -1102,10 +1237,13 @@ void Executor::run(const CompositionPlan &Plan, const LayerInputs &Inputs,
 void Executor::runTraining(const CompositionPlan &Plan,
                            const LayerInputs &Inputs, const GraphStats &Stats,
                            PlanWorkspace &Ws, ExecResult &Result,
-                           ReorderPolicy Policy, SparseFormat Format) const {
+                           ReorderPolicy Policy, SparseFormat Format,
+                           const ShardSpec &Sharding) const {
   GRANII_CHECK(Format != SparseFormat::Auto && Format != SparseFormat::Csc,
                "Executor::runTraining: format must be a concrete forward "
                "format");
+  GRANII_CHECK(!Sharding.active() || Format == SparseFormat::Csr,
+               "sharded execution supports the CSR forward format only");
   const LayerInputs *Bound = &Inputs;
   const GraphStats *BoundStats = &Stats;
   detail::ReorderState &RS = Ws.reorderState();
@@ -1121,8 +1259,15 @@ void Executor::runTraining(const CompositionPlan &Plan,
   if (Format != SparseFormat::Csr)
     SetupSeconds +=
         formatSetup(Ws.formatState(), *Bound->Adjacency, *BoundStats, Format);
+  detail::ShardState *ShardSt = nullptr;
+  if (Sharding.active()) {
+    SetupSeconds +=
+        shardSetup(Ws.shardState(), *Bound->Adjacency, *BoundStats, Sharding);
+    ShardSt = &Ws.shardState();
+  }
   Ws.configure(Plan, Bound->binding(&Plan), /*Training=*/true);
-  PlanInterpreter Interp(*this, Plan, *Bound, *BoundStats, &Ws, Format);
+  PlanInterpreter Interp(*this, Plan, *Bound, *BoundStats, &Ws, Format,
+                         ShardSt);
   Interp.forward(Result);
   Interp.backward(Result);
   if (Policy == ReorderPolicy::None) {

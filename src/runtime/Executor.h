@@ -28,6 +28,8 @@
 #include "graph/Reorder.h"
 #include "hw/HardwareModel.h"
 #include "runtime/BufferPlan.h"
+#include "shard/Shard.h"
+#include "shard/ShardExec.h"
 #include "support/FunctionRef.h"
 #include "tensor/CscMatrix.h"
 #include "tensor/CsrMatrix.h"
@@ -65,6 +67,20 @@ struct LayerInputs {
   /// scenario dispatch).
   DimBinding binding(const CompositionPlan *Plan) const;
   DimBinding binding() const { return binding(nullptr); }
+};
+
+/// Sharded-execution request for an arena run (docs/SHARDING.md). Shards
+/// <= 1 executes whole-graph; > 1 partitions the bound adjacency and runs
+/// every matching sparse aggregation through the shard pipeline —
+/// bitwise identical to the whole-graph run. A non-empty StoreDir keeps
+/// the shard blocks in an mmap-backed file under that directory (built on
+/// first use, reused by content), so block structure pages in on demand
+/// instead of occupying anonymous memory.
+struct ShardSpec {
+  int Shards = 0;
+  std::string StoreDir;
+
+  bool active() const { return Shards > 1; }
 };
 
 namespace detail {
@@ -141,6 +157,21 @@ struct FormatState {
   CscMatrix Csc;
   const CsrMatrix *CscSource = nullptr;
   int64_t CscSourceNnz = 0;
+};
+
+/// Cached sharding state of a workspace: the partition and shard blocks of
+/// one (shard count, graph) pair plus the persistent halo staging buffers.
+/// Building (or mapping) the blocks is setup, charged once like the reorder
+/// and format conversions; steady-state sharded runs only gather halos into
+/// the staging high-water buffers and allocate nothing.
+struct ShardState {
+  int Shards = 0;                       ///< 0 = no cached partition
+  const CsrMatrix *SourceAdj = nullptr; ///< graph the cache was built for
+  int64_t SourceNnz = 0;                ///< guards against pointer reuse
+  std::string StoreDir;                 ///< "" = heap-resident blocks
+  shard::GraphPartition Part;
+  shard::ShardSet Set;
+  shard::ShardStaging Staging;
 };
 
 } // namespace detail
@@ -239,6 +270,9 @@ public:
   /// The workspace's cached sparse-format state (structure conversions +
   /// the backward CSC transpose; empty until an executor run needs them).
   detail::FormatState &formatState() { return Format; }
+  /// The workspace's cached sharding state (partition + blocks + halo
+  /// staging; empty until an executor run with an active ShardSpec).
+  detail::ShardState &shardState() { return Shard; }
   /// Records a growth of a workspace-managed buffer that lives outside the
   /// slot arrays (the reorder staging buffers).
   void countAllocation() { ++Allocations; }
@@ -256,6 +290,7 @@ private:
   std::vector<detail::RtValue> Scratch;
   detail::ReorderState Reorder;
   detail::FormatState Format;
+  detail::ShardState Shard;
   size_t Allocations = 0;
 };
 
@@ -308,10 +343,20 @@ public:
   /// stay bitwise identical to the CSR run at any thread count within one
   /// ISA level. Auto must be resolved by the caller (the optimizer's
   /// selection); Csc is backward-only — both abort here.
+  ///
+  /// An active \p Sharding partitions the bound adjacency into
+  /// Sharding.Shards parts (cached per (count, graph); building or mapping
+  /// the blocks is charged as setup) and runs every sparse aggregation that
+  /// matches the bound adjacency's pattern through the sharded gather →
+  /// compute pipeline. The shard blocks preserve each row's original CSR
+  /// entry order, so sharded outputs are bitwise identical to the
+  /// whole-graph run at any shard and thread count within one ISA level.
+  /// Sharding requires the CSR forward format (it aborts with any other).
   void run(const CompositionPlan &Plan, const LayerInputs &Inputs,
            const GraphStats &Stats, PlanWorkspace &Ws, ExecResult &Result,
            ReorderPolicy Policy = ReorderPolicy::None,
-           SparseFormat Format = SparseFormat::Csr) const;
+           SparseFormat Format = SparseFormat::Csr,
+           const ShardSpec &Sharding = ShardSpec()) const;
 
   /// Arena-path forward + backward. The forward activations live in \p Ws
   /// (fully pinned in training mode); gradient accumulators and exported
@@ -322,7 +367,8 @@ public:
                    const GraphStats &Stats, PlanWorkspace &Ws,
                    ExecResult &Result,
                    ReorderPolicy Policy = ReorderPolicy::None,
-                   SparseFormat Format = SparseFormat::Csr) const;
+                   SparseFormat Format = SparseFormat::Csr,
+                   const ShardSpec &Sharding = ShardSpec()) const;
 
   /// Measures/estimates one primitive invocation: executes \p Body and
   /// returns the seconds to charge for it on this platform. On measured
@@ -344,6 +390,12 @@ private:
   /// returns the setup seconds to charge (0 when already valid).
   double formatSetup(detail::FormatState &FS, const CsrMatrix &Adj,
                      const GraphStats &Stats, SparseFormat Format) const;
+
+  /// Rebuilds (or maps from \p Spec's store) \p SS's partition and blocks
+  /// for (Spec.Shards, Adj) if they are stale; returns the setup seconds to
+  /// charge (0 when already valid).
+  double shardSetup(detail::ShardState &SS, const CsrMatrix &Adj,
+                    const GraphStats &Stats, const ShardSpec &Spec) const;
 
   /// Gathers the caller's features into permuted order and returns inputs
   /// rebound to the cached reordered graph; \p PermSeconds receives the

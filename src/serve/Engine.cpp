@@ -7,6 +7,7 @@
 #include "graph/Reorder.h"
 #include "ir/Dsl.h"
 #include "kernels/Dispatch.h"
+#include "shard/Shard.h"
 #include "support/Diag.h"
 #include "support/Error.h"
 #include "support/Hash.h"
@@ -60,8 +61,35 @@ std::string sessionKeyFor(const JobRequest &Req) {
   Key += "/r" + Req.Reorder;
   Key += "/s" + std::to_string(Req.Seed);
   Key += "/f" + (Req.Format.empty() ? std::string("csr") : Req.Format);
+  // Raw request value on purpose (-1 stays -1): auto resolution needs the
+  // graph's edge count, and the warm session path must never load the
+  // graph. The plan cache underneath keys on the resolved count.
+  Key += "/sh" + std::to_string(Req.Shards);
   Key += Req.Training ? "/train" : "/infer";
   return Key;
+}
+
+/// Resolves the request's shard field against the loaded graph: -1 (auto)
+/// becomes an edge-count-derived count (possibly 0 for small graphs),
+/// 0 stays whole-graph, and explicit counts >= 2 pass through.
+int resolvedShardCount(const JobRequest &Req, const Graph &G) {
+  if (Req.Shards < 0)
+    return shard::autoShardCount(G.numEdges());
+  return Req.Shards > 1 ? static_cast<int>(Req.Shards) : 0;
+}
+
+/// Sharded execution only runs over the CSR forward aggregation format
+/// (docs/SHARDING.md); reject the combination before any compilation work.
+bool validShardRequest(const JobRequest &Req, std::string *Error) {
+  if (Req.Shards == 0)
+    return true;
+  std::string Format = Req.Format.empty() ? "csr" : Req.Format;
+  if (Format == "csr")
+    return true;
+  if (Error)
+    *Error = "sharded execution requires the csr format (got '" + Format +
+             "')";
+  return false;
 }
 
 /// Parses and validates a request's format field. CSC is rejected here:
@@ -128,11 +156,13 @@ RunResponse Session::run(bool WantOutput) {
   // builds the arena (nonzero), every later run must report zero.
   Ws.resetAllocationCount();
   ExecResult R;
+  ShardSpec Sharding{Options.Shards, Options.ShardStoreDir};
   if (Training)
     Exec->runTraining(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder,
-                      Sel.Format);
+                      Sel.Format, Sharding);
   else
-    Exec->run(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder, Sel.Format);
+    Exec->run(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder, Sel.Format,
+              Sharding);
   ++Runs;
 
   Resp.Rows = R.Output.rows();
@@ -176,6 +206,7 @@ PlanCache::Plans Engine::resolvePlans(const GnnModel &Model, const Graph &G,
   Key.Threads = ThreadPool::get().numThreads();
   Key.Isa = kernels::isaLevelName(kernels::activeIsaLevel());
   Key.Format = Req.Format.empty() ? "csr" : Req.Format;
+  Key.Shards = resolvedShardCount(Req, G);
   Resp.CacheKey = Key.canonical();
 
   bool DiskHit = false;
@@ -196,6 +227,7 @@ PlanCache::Plans Engine::resolvePlans(const GnnModel &Model, const Graph &G,
   OptOpts.Verify = Opts.Verify;
   if (std::optional<SparseFormat> Format = requestFormat(Req, nullptr))
     OptOpts.Format = *Format;
+  OptOpts.Shards = Key.Shards;
   Optimizer Compiled(Model, OptOpts, &CompileCost);
   auto Value = std::make_shared<const std::vector<CompositionPlan>>(
       Compiled.promoted());
@@ -219,6 +251,11 @@ CompileResponse Engine::compile(const JobRequest &Req) {
   }
   std::string FormatError;
   if (!requestFormat(Req, &FormatError)) {
+    Resp.Status.Ok = false;
+    Resp.Status.Error = FormatError;
+    return Resp;
+  }
+  if (!validShardRequest(Req, &FormatError)) {
     Resp.Status.Ok = false;
     Resp.Status.Error = FormatError;
     return Resp;
@@ -283,6 +320,8 @@ std::shared_ptr<Session> Engine::session(const JobRequest &Req,
   std::optional<SparseFormat> Format = requestFormat(Req, &Error);
   if (!Format)
     return nullptr;
+  if (!validShardRequest(Req, &Error))
+    return nullptr;
   std::string ParseError;
   std::optional<ParsedModel> Parsed =
       parseModelDsl(Req.ModelText, &ParseError);
@@ -305,6 +344,10 @@ std::shared_ptr<Session> Engine::session(const JobRequest &Req,
   S->Options.Reorder = *Reorder;
   S->Options.Format = *Format;
   S->Options.Verify = Opts.Verify;
+  // Resolved against the loaded graph (auto may legitimately come out 0);
+  // set before Optimizer construction so select() prices shard features.
+  S->Options.Shards = resolvedShardCount(Req, *G);
+  S->Options.ShardStoreDir = Opts.ShardStoreDir;
   S->Training = Req.Training;
   S->Cost = AnalyticCostModel(Opts.Hw);
 

@@ -55,6 +55,10 @@ struct EngineOptions {
   /// cost-model cache directory). Set DiskSpill = false to disable.
   std::string SpillDir;
   bool DiskSpill = true;
+  /// Directory for mmap-backed shard images of sharded sessions; "" keeps
+  /// shard blocks in memory (docs/SHARDING.md). The shard count itself is
+  /// per request (JobRequest::Shards), not an engine property.
+  std::string ShardStoreDir;
 };
 
 /// Aggregate counters for the stats verb (engine part only; the server

@@ -41,6 +41,8 @@ std::string PlanCacheKey::canonical() const {
   S += Isa.empty() ? "scalar" : Isa;
   S += "/";
   S += Format.empty() ? "csr" : Format;
+  S += "/sh";
+  S += std::to_string(Shards);
   return S;
 }
 

@@ -51,9 +51,14 @@ struct PlanCacheKey {
   /// the key: a pinned --format=ell compile must never be served a set
   /// compiled (and stamped) for CSR, and vice versa.
   std::string Format = "csr";
+  /// Resolved shard count (0 = whole-graph). Part of the key: a sharded
+  /// configuration selects under shard-annotated cost features, so its
+  /// compiled set must not be shared with the whole-graph one.
+  int Shards = 0;
 
-  /// Canonical printable form, e.g. "m0123abcd.../g.../k32x64/t4/avx2/csr".
-  /// Total order on keys; embedded verbatim in spill files.
+  /// Canonical printable form, e.g.
+  /// "m0123abcd.../g.../k32x64/t4/avx2/csr/sh0". Total order on keys;
+  /// embedded verbatim in spill files.
   std::string canonical() const;
 
   /// 64-bit hash of canonical(), used to name the spill file.

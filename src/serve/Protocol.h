@@ -61,6 +61,10 @@ struct JobRequest {
   bool WantOutput = false;      ///< run only: return the output matrix
   /// Sparse storage format name ("csr", "ell", "sell", "hyb", or "auto").
   std::string Format = "csr";
+  /// Sharded execution: 0 = whole-graph, > 1 = that many shards, -1 = auto
+  /// (the engine resolves a count from the loaded graph's edge count).
+  /// Requires the csr format. Bitwise identical to whole-graph output.
+  int64_t Shards = 0;
 };
 
 std::vector<uint8_t> encodeJobRequest(const JobRequest &Req);

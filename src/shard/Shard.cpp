@@ -1,0 +1,607 @@
+//===- Shard.cpp - Graph partitioning and per-shard CSR blocks -------------===//
+
+#include "shard/Shard.h"
+
+#include "support/Error.h"
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace granii;
+using namespace granii::shard;
+
+//===----------------------------------------------------------------------===//
+// Partitioner
+//===----------------------------------------------------------------------===//
+
+GraphPartition granii::shard::partitionGraph(const CsrMatrix &Adj,
+                                             int NumShards) {
+  const int64_t N = Adj.rows();
+  const auto &Offsets = Adj.rowOffsets();
+  const auto &Cols = Adj.colIndices();
+
+  GraphPartition P;
+  P.NumShards = std::max(1, NumShards);
+  if (N > 0)
+    P.NumShards = static_cast<int>(
+        std::min<int64_t>(static_cast<int64_t>(P.NumShards), N));
+  else
+    P.NumShards = 1;
+  const int S = P.NumShards;
+  P.Owned.resize(static_cast<size_t>(S));
+  P.TotalEdges = Adj.nnz();
+  if (N == 0)
+    return P;
+
+  P.ShardOf.assign(static_cast<size_t>(N), 0);
+  const int64_t Target = (N + S - 1) / S;
+
+  // Greedy BFS region growing. Seeds come from a degree-descending order
+  // (hubs anchor regions so their fat neighborhoods stay internal); the
+  // frontier carries over between shards, so consecutive shards grow out
+  // of adjacent regions instead of restarting across the graph.
+  std::vector<int32_t> DegreeOrder(static_cast<size_t>(N));
+  for (int64_t V = 0; V < N; ++V)
+    DegreeOrder[static_cast<size_t>(V)] = static_cast<int32_t>(V);
+  std::sort(DegreeOrder.begin(), DegreeOrder.end(),
+            [&](int32_t A, int32_t B) {
+              int64_t Da = Offsets[static_cast<size_t>(A) + 1] -
+                           Offsets[static_cast<size_t>(A)];
+              int64_t Db = Offsets[static_cast<size_t>(B) + 1] -
+                           Offsets[static_cast<size_t>(B)];
+              return Da != Db ? Da > Db : A < B;
+            });
+
+  std::vector<char> Assigned(static_cast<size_t>(N), 0);
+  std::vector<int32_t> Queue;
+  Queue.reserve(static_cast<size_t>(N));
+  size_t QueueHead = 0;
+  size_t SeedPtr = 0;
+  int64_t AssignedTotal = 0;
+  std::vector<int64_t> Sizes(static_cast<size_t>(S), 0);
+  for (int Shard = 0; Shard < S && AssignedTotal < N; ++Shard) {
+    const int64_t Cap = Shard == S - 1 ? N - AssignedTotal : Target;
+    int64_t Size = 0;
+    while (Size < Cap && AssignedTotal < N) {
+      if (QueueHead == Queue.size()) {
+        while (SeedPtr < DegreeOrder.size() &&
+               Assigned[static_cast<size_t>(DegreeOrder[SeedPtr])])
+          ++SeedPtr;
+        GRANII_CHECK(SeedPtr < DegreeOrder.size(),
+                     "shard partitioner ran out of seeds");
+        Queue.push_back(DegreeOrder[SeedPtr]);
+      }
+      int32_t V = Queue[QueueHead++];
+      if (Assigned[static_cast<size_t>(V)])
+        continue;
+      Assigned[static_cast<size_t>(V)] = 1;
+      P.ShardOf[static_cast<size_t>(V)] = static_cast<int32_t>(Shard);
+      ++Size;
+      ++AssignedTotal;
+      for (int64_t K = Offsets[static_cast<size_t>(V)];
+           K < Offsets[static_cast<size_t>(V) + 1]; ++K) {
+        int32_t W = Cols[static_cast<size_t>(K)];
+        if (!Assigned[static_cast<size_t>(W)])
+          Queue.push_back(W);
+      }
+    }
+    Sizes[static_cast<size_t>(Shard)] = Size;
+  }
+
+  // Bounded label propagation: move a vertex to its neighbor-majority
+  // shard when that strictly reduces the cut and keeps sizes within
+  // +-12.5% of the target. Sequential fixed-order passes keep the result
+  // deterministic.
+  const int64_t MaxSize = Target + Target / 8 + 1;
+  const int64_t MinSize = std::max<int64_t>(0, Target - Target / 8 - 1);
+  std::vector<int64_t> Count(static_cast<size_t>(S), 0);
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    bool Moved = false;
+    for (int64_t V = 0; V < N; ++V) {
+      const int64_t Begin = Offsets[static_cast<size_t>(V)];
+      const int64_t End = Offsets[static_cast<size_t>(V) + 1];
+      if (Begin == End)
+        continue;
+      for (int64_t K = Begin; K < End; ++K)
+        ++Count[static_cast<size_t>(
+            P.ShardOf[static_cast<size_t>(Cols[static_cast<size_t>(K)])])];
+      int32_t Cur = P.ShardOf[static_cast<size_t>(V)];
+      int32_t Best = Cur;
+      for (int Shard = 0; Shard < S; ++Shard)
+        if (Count[static_cast<size_t>(Shard)] >
+            Count[static_cast<size_t>(Best)])
+          Best = static_cast<int32_t>(Shard);
+      if (Best != Cur &&
+          Count[static_cast<size_t>(Best)] >
+              Count[static_cast<size_t>(Cur)] &&
+          Sizes[static_cast<size_t>(Best)] + 1 <= MaxSize &&
+          Sizes[static_cast<size_t>(Cur)] - 1 >= MinSize) {
+        P.ShardOf[static_cast<size_t>(V)] = Best;
+        ++Sizes[static_cast<size_t>(Best)];
+        --Sizes[static_cast<size_t>(Cur)];
+        Moved = true;
+      }
+      for (int64_t K = Begin; K < End; ++K)
+        Count[static_cast<size_t>(
+            P.ShardOf[static_cast<size_t>(Cols[static_cast<size_t>(K)])])] = 0;
+      Count[static_cast<size_t>(Cur)] = 0;
+      Count[static_cast<size_t>(Best)] = 0;
+    }
+    if (!Moved)
+      break;
+  }
+
+  for (int64_t V = 0; V < N; ++V)
+    P.Owned[static_cast<size_t>(P.ShardOf[static_cast<size_t>(V)])].push_back(
+        static_cast<int32_t>(V));
+  for (int64_t V = 0; V < N; ++V)
+    for (int64_t K = Offsets[static_cast<size_t>(V)];
+         K < Offsets[static_cast<size_t>(V) + 1]; ++K)
+      if (P.ShardOf[static_cast<size_t>(Cols[static_cast<size_t>(K)])] !=
+          P.ShardOf[static_cast<size_t>(V)])
+        ++P.CutEdges;
+  return P;
+}
+
+Permutation granii::shard::shardPermutation(const GraphPartition &P) {
+  std::vector<int32_t> NewToOld;
+  NewToOld.reserve(P.ShardOf.size());
+  for (const std::vector<int32_t> &Owned : P.Owned)
+    NewToOld.insert(NewToOld.end(), Owned.begin(), Owned.end());
+  GRANII_CHECK(NewToOld.size() == P.ShardOf.size(),
+               "shard ownership does not cover the vertex set");
+  return Permutation(std::move(NewToOld));
+}
+
+int granii::shard::autoShardCount(int64_t Nnz) {
+  constexpr int64_t MinShardedNnz = 1ll << 21; // 2M edges: below, stay whole
+  constexpr int64_t EdgesPerShard = 16ll << 20;
+  if (Nnz < MinShardedNnz)
+    return 0;
+  int64_t Shards = (Nnz + EdgesPerShard - 1) / EdgesPerShard;
+  return static_cast<int>(std::clamp<int64_t>(Shards, 2, 16));
+}
+
+void granii::shard::annotateShardStats(GraphStats &Stats, const CsrMatrix &Adj,
+                                       int NumShards) {
+  if (NumShards <= 1) {
+    Stats.ShardCount = 1.0;
+    Stats.ShardEdgeCutFraction = 0.0;
+    return;
+  }
+  GraphPartition P = partitionGraph(Adj, NumShards);
+  Stats.ShardCount = static_cast<double>(P.NumShards);
+  Stats.ShardEdgeCutFraction = P.cutFraction();
+}
+
+//===----------------------------------------------------------------------===//
+// Serialized image layout
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// "GRSHARD1" as a little-endian u64.
+constexpr uint64_t ImageMagic = 0x3144524148535247ull;
+constexpr uint32_t ImageVersion = 1;
+constexpr size_t ArraysPerShard = 10;
+constexpr size_t FixedHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8;
+
+size_t alignUp64(size_t X) { return (X + 63) & ~static_cast<size_t>(63); }
+
+template <typename T> void appendPod(std::vector<uint8_t> &Out, T Value) {
+  size_t At = Out.size();
+  Out.resize(At + sizeof(T));
+  std::memcpy(Out.data() + At, &Value, sizeof(T));
+}
+
+template <typename T> T readPod(const uint8_t *Base, size_t Offset) {
+  T Value;
+  std::memcpy(&Value, Base + Offset, sizeof(T));
+  return Value;
+}
+
+/// Mutable staging form of one shard's arrays, serialized by buildImage.
+struct BlockArrays {
+  std::vector<int32_t> OwnedRows;
+  std::vector<int64_t> RowOffsets{0};
+  std::vector<int32_t> LocalCols;
+  std::vector<int64_t> ValBase;
+  std::vector<int32_t> Referenced;
+  std::vector<int32_t> OwnedCols;
+  std::vector<int64_t> ColOffsets{0};
+  std::vector<int32_t> RowSlots;
+  std::vector<int64_t> CsrIdx;
+  std::vector<int32_t> GradReferenced;
+};
+
+size_t arrayBytes(const BlockArrays &B, size_t Index) {
+  switch (Index) {
+  case 0: return B.OwnedRows.size() * sizeof(int32_t);
+  case 1: return B.RowOffsets.size() * sizeof(int64_t);
+  case 2: return B.LocalCols.size() * sizeof(int32_t);
+  case 3: return B.ValBase.size() * sizeof(int64_t);
+  case 4: return B.Referenced.size() * sizeof(int32_t);
+  case 5: return B.OwnedCols.size() * sizeof(int32_t);
+  case 6: return B.ColOffsets.size() * sizeof(int64_t);
+  case 7: return B.RowSlots.size() * sizeof(int32_t);
+  case 8: return B.CsrIdx.size() * sizeof(int64_t);
+  case 9: return B.GradReferenced.size() * sizeof(int32_t);
+  }
+  return 0;
+}
+
+const void *arrayData(const BlockArrays &B, size_t Index) {
+  switch (Index) {
+  case 0: return B.OwnedRows.data();
+  case 1: return B.RowOffsets.data();
+  case 2: return B.LocalCols.data();
+  case 3: return B.ValBase.data();
+  case 4: return B.Referenced.data();
+  case 5: return B.OwnedCols.data();
+  case 6: return B.ColOffsets.data();
+  case 7: return B.RowSlots.data();
+  case 8: return B.CsrIdx.data();
+  case 9: return B.GradReferenced.data();
+  }
+  return nullptr;
+}
+
+AlignedVector<uint8_t> buildImage(int64_t Nodes, int64_t Nnz,
+                                  const std::vector<BlockArrays> &Blocks) {
+  const size_t ArrayCount = Blocks.size() * ArraysPerShard;
+  std::vector<uint8_t> Header;
+  appendPod<uint64_t>(Header, ImageMagic);
+  appendPod<uint32_t>(Header, ImageVersion);
+  appendPod<uint32_t>(Header, static_cast<uint32_t>(Blocks.size()));
+  appendPod<int64_t>(Header, Nodes);
+  appendPod<int64_t>(Header, Nnz);
+  appendPod<uint64_t>(Header, static_cast<uint64_t>(ArrayCount));
+  for (const BlockArrays &B : Blocks)
+    for (size_t A = 0; A < ArraysPerShard; ++A)
+      appendPod<uint64_t>(Header, static_cast<uint64_t>(arrayBytes(B, A)));
+  appendPod<uint64_t>(Header, fnv1a64(Header.data(), Header.size()));
+
+  size_t Total = alignUp64(Header.size());
+  for (const BlockArrays &B : Blocks)
+    for (size_t A = 0; A < ArraysPerShard; ++A)
+      Total = alignUp64(Total + arrayBytes(B, A));
+
+  AlignedVector<uint8_t> Image(Total, 0);
+  std::memcpy(Image.data(), Header.data(), Header.size());
+  size_t At = alignUp64(Header.size());
+  for (const BlockArrays &B : Blocks)
+    for (size_t A = 0; A < ArraysPerShard; ++A) {
+      size_t Bytes = arrayBytes(B, A);
+      if (Bytes)
+        std::memcpy(Image.data() + At, arrayData(B, A), Bytes);
+      At = alignUp64(At + Bytes);
+    }
+  return Image;
+}
+
+template <typename T>
+void checkAscendingIds(std::span<const T> Ids, int64_t Limit,
+                       const std::string &Origin, const char *What) {
+  int64_t Prev = -1;
+  for (T Id : Ids) {
+    GRANII_CHECK(static_cast<int64_t>(Id) > Prev &&
+                     static_cast<int64_t>(Id) < Limit,
+                 "sharded store " + Origin + ": " + What +
+                     " ids not ascending in range");
+    Prev = static_cast<int64_t>(Id);
+  }
+}
+
+void checkOffsets(std::span<const int64_t> Offsets, size_t OwnedCount,
+                  size_t EntryCount, const std::string &Origin,
+                  const char *What) {
+  GRANII_CHECK(Offsets.size() == OwnedCount + 1 && Offsets.front() == 0 &&
+                   Offsets.back() == static_cast<int64_t>(EntryCount),
+               "sharded store " + Origin + ": " + What +
+                   " offsets inconsistent with entry arrays");
+  for (size_t I = 1; I < Offsets.size(); ++I)
+    GRANII_CHECK(Offsets[I] >= Offsets[I - 1],
+                 "sharded store " + Origin + ": " + What +
+                     " offsets not monotonic");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ShardSet
+//===----------------------------------------------------------------------===//
+
+struct ShardSet::Mapping {
+  int Fd = -1;
+  void *Base = MAP_FAILED;
+  size_t Size = 0;
+  ~Mapping() {
+    if (Base != MAP_FAILED)
+      ::munmap(Base, Size);
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+};
+
+ShardSet::ShardSet() = default;
+ShardSet::~ShardSet() = default;
+ShardSet::ShardSet(ShardSet &&) noexcept = default;
+ShardSet &ShardSet::operator=(ShardSet &&) noexcept = default;
+
+bool ShardSet::mapped() const { return Mapped != nullptr; }
+
+void ShardSet::adoptImage(const uint8_t *Base, size_t Size,
+                          const std::string &Origin) {
+  auto Fail = [&](const std::string &Msg) {
+    GRANII_FATAL("sharded store " + Origin + ": " + Msg);
+  };
+  if (Size < FixedHeaderBytes + 8)
+    Fail("truncated header");
+  if (readPod<uint64_t>(Base, 0) != ImageMagic)
+    Fail("bad magic (not a shard store)");
+  if (readPod<uint32_t>(Base, 8) != ImageVersion)
+    Fail("unsupported version");
+  const uint32_t NumShards = readPod<uint32_t>(Base, 12);
+  Nodes = readPod<int64_t>(Base, 16);
+  Nnz = readPod<int64_t>(Base, 24);
+  const uint64_t ArrayCount = readPod<uint64_t>(Base, 32);
+  if (Nodes < 0 || Nnz < 0 || NumShards < 1 ||
+      ArrayCount != static_cast<uint64_t>(NumShards) * ArraysPerShard)
+    Fail("corrupt header fields");
+  const size_t TableEnd = FixedHeaderBytes + ArrayCount * 8;
+  if (Size < TableEnd + 8)
+    Fail("truncated section table");
+  if (readPod<uint64_t>(Base, TableEnd) != fnv1a64(Base, TableEnd))
+    Fail("header checksum mismatch");
+
+  // Walk the section table, bounds-checking every span against the file.
+  std::vector<std::span<const uint8_t>> Sections;
+  Sections.reserve(ArrayCount);
+  size_t At = alignUp64(TableEnd + 8);
+  for (uint64_t A = 0; A < ArrayCount; ++A) {
+    const uint64_t Bytes = readPod<uint64_t>(Base, FixedHeaderBytes + A * 8);
+    if (Bytes > Size || At > Size - Bytes)
+      Fail("section exceeds file size (truncated payload)");
+    Sections.emplace_back(Base + At, Bytes);
+    At = alignUp64(At + Bytes);
+  }
+  if (At != Size)
+    Fail("file size does not match section table");
+
+  auto SpanI32 = [&](size_t Index) {
+    if (Sections[Index].size() % sizeof(int32_t))
+      Fail("section length not a multiple of the element size");
+    return std::span<const int32_t>(
+        reinterpret_cast<const int32_t *>(Sections[Index].data()),
+        Sections[Index].size() / sizeof(int32_t));
+  };
+  auto SpanI64 = [&](size_t Index) {
+    if (Sections[Index].size() % sizeof(int64_t))
+      Fail("section length not a multiple of the element size");
+    return std::span<const int64_t>(
+        reinterpret_cast<const int64_t *>(Sections[Index].data()),
+        Sections[Index].size() / sizeof(int64_t));
+  };
+
+  Views.clear();
+  Views.reserve(NumShards);
+  int64_t OwnedTotal = 0, FwdEntries = 0, BwdEntries = 0;
+  for (uint32_t Shard = 0; Shard < NumShards; ++Shard) {
+    const size_t B = static_cast<size_t>(Shard) * ArraysPerShard;
+    ShardBlockView V;
+    V.OwnedRows = SpanI32(B + 0);
+    V.RowOffsets = SpanI64(B + 1);
+    V.LocalCols = SpanI32(B + 2);
+    V.ValBase = SpanI64(B + 3);
+    V.Referenced = SpanI32(B + 4);
+    V.OwnedCols = SpanI32(B + 5);
+    V.ColOffsets = SpanI64(B + 6);
+    V.RowSlots = SpanI32(B + 7);
+    V.CsrIdx = SpanI64(B + 8);
+    V.GradReferenced = SpanI32(B + 9);
+
+    checkAscendingIds(V.OwnedRows, Nodes, Origin, "owned-row");
+    checkAscendingIds(V.Referenced, Nodes, Origin, "referenced");
+    checkAscendingIds(V.OwnedCols, Nodes, Origin, "owned-col");
+    checkAscendingIds(V.GradReferenced, Nodes, Origin, "grad-referenced");
+    checkOffsets(V.RowOffsets, V.OwnedRows.size(), V.LocalCols.size(), Origin,
+                 "row");
+    checkOffsets(V.ColOffsets, V.OwnedCols.size(), V.RowSlots.size(), Origin,
+                 "col");
+    if (V.ValBase.size() != V.OwnedRows.size())
+      Fail("value-base array size mismatch");
+    if (V.CsrIdx.size() != V.RowSlots.size())
+      Fail("csr-index array size mismatch");
+    for (size_t R = 0; R < V.OwnedRows.size(); ++R) {
+      int64_t Len = V.RowOffsets[R + 1] - V.RowOffsets[R];
+      if (V.ValBase[R] < 0 || V.ValBase[R] + Len > Nnz)
+        Fail("value-base range exceeds nnz");
+    }
+    for (int32_t Slot : V.LocalCols)
+      if (Slot < 0 || static_cast<size_t>(Slot) >= V.Referenced.size())
+        Fail("halo slot out of range");
+    for (int32_t Slot : V.RowSlots)
+      if (Slot < 0 || static_cast<size_t>(Slot) >= V.GradReferenced.size())
+        Fail("gradient halo slot out of range");
+    for (int64_t Idx : V.CsrIdx)
+      if (Idx < 0 || Idx >= Nnz)
+        Fail("value gather index out of range");
+    OwnedTotal += static_cast<int64_t>(V.OwnedRows.size());
+    FwdEntries += static_cast<int64_t>(V.LocalCols.size());
+    BwdEntries += static_cast<int64_t>(V.RowSlots.size());
+    Views.push_back(V);
+  }
+  if (OwnedTotal != Nodes || FwdEntries != Nnz || BwdEntries != Nnz)
+    Fail("shard coverage does not add up to the whole graph");
+}
+
+ShardSet ShardSet::build(const CsrMatrix &Adj, const GraphPartition &P) {
+  const int64_t N = Adj.rows();
+  const auto &Offsets = Adj.rowOffsets();
+  const auto &Cols = Adj.colIndices();
+  const int S = P.NumShards;
+  GRANII_CHECK(static_cast<int64_t>(P.ShardOf.size()) == N,
+               "partition does not match the graph");
+
+  std::vector<BlockArrays> Blocks(static_cast<size_t>(S));
+
+  // Forward blocks. Each owned row keeps its neighbors in original CSR
+  // entry order; columns are remapped to slots of the ascending Referenced
+  // list (the halo gather order).
+  std::vector<int32_t> SlotOf(static_cast<size_t>(N), -1);
+  for (int Shard = 0; Shard < S; ++Shard) {
+    BlockArrays &B = Blocks[static_cast<size_t>(Shard)];
+    B.OwnedRows = P.Owned[static_cast<size_t>(Shard)];
+    for (int32_t G : B.OwnedRows)
+      for (int64_t K = Offsets[static_cast<size_t>(G)];
+           K < Offsets[static_cast<size_t>(G) + 1]; ++K) {
+        int32_t C = Cols[static_cast<size_t>(K)];
+        if (SlotOf[static_cast<size_t>(C)] < 0) {
+          SlotOf[static_cast<size_t>(C)] = 0;
+          B.Referenced.push_back(C);
+        }
+      }
+    std::sort(B.Referenced.begin(), B.Referenced.end());
+    for (size_t I = 0; I < B.Referenced.size(); ++I)
+      SlotOf[static_cast<size_t>(B.Referenced[I])] = static_cast<int32_t>(I);
+    for (int32_t G : B.OwnedRows) {
+      B.ValBase.push_back(Offsets[static_cast<size_t>(G)]);
+      for (int64_t K = Offsets[static_cast<size_t>(G)];
+           K < Offsets[static_cast<size_t>(G) + 1]; ++K)
+        B.LocalCols.push_back(
+            SlotOf[static_cast<size_t>(Cols[static_cast<size_t>(K)])]);
+      B.RowOffsets.push_back(static_cast<int64_t>(B.LocalCols.size()));
+    }
+    for (int32_t C : B.Referenced)
+      SlotOf[static_cast<size_t>(C)] = -1;
+  }
+
+  // Backward blocks: the shard's slice of the global CSC transpose. One
+  // global scan in ascending row order fills every shard's columns with
+  // entries already in ascending source-row order — exactly the entry
+  // order CscMatrix::fromCsr produces, which is the bitwise contract of
+  // the backward kernel.
+  std::vector<int64_t> ColNnz(static_cast<size_t>(N), 0);
+  for (int64_t K = 0; K < Adj.nnz(); ++K)
+    ++ColNnz[static_cast<size_t>(Cols[static_cast<size_t>(K)])];
+  std::vector<int64_t> Cursor(static_cast<size_t>(N), 0);
+  for (int Shard = 0; Shard < S; ++Shard) {
+    BlockArrays &B = Blocks[static_cast<size_t>(Shard)];
+    B.OwnedCols = B.OwnedRows;
+    int64_t Entries = 0;
+    for (int32_t C : B.OwnedCols) {
+      Cursor[static_cast<size_t>(C)] = Entries;
+      Entries += ColNnz[static_cast<size_t>(C)];
+      B.ColOffsets.push_back(Entries);
+    }
+    B.RowSlots.assign(static_cast<size_t>(Entries), 0);
+    B.CsrIdx.assign(static_cast<size_t>(Entries), 0);
+  }
+  for (int64_t R = 0; R < N; ++R)
+    for (int64_t K = Offsets[static_cast<size_t>(R)];
+         K < Offsets[static_cast<size_t>(R) + 1]; ++K) {
+      int32_t C = Cols[static_cast<size_t>(K)];
+      BlockArrays &B =
+          Blocks[static_cast<size_t>(P.ShardOf[static_cast<size_t>(C)])];
+      int64_t At = Cursor[static_cast<size_t>(C)]++;
+      B.RowSlots[static_cast<size_t>(At)] = static_cast<int32_t>(R);
+      B.CsrIdx[static_cast<size_t>(At)] = K;
+    }
+  // RowSlots currently hold global row ids; compress each shard's
+  // referenced-row set (ascending) and remap to slots.
+  for (int Shard = 0; Shard < S; ++Shard) {
+    BlockArrays &B = Blocks[static_cast<size_t>(Shard)];
+    for (int32_t R : B.RowSlots)
+      if (SlotOf[static_cast<size_t>(R)] < 0) {
+        SlotOf[static_cast<size_t>(R)] = 0;
+        B.GradReferenced.push_back(R);
+      }
+    std::sort(B.GradReferenced.begin(), B.GradReferenced.end());
+    for (size_t I = 0; I < B.GradReferenced.size(); ++I)
+      SlotOf[static_cast<size_t>(B.GradReferenced[I])] =
+          static_cast<int32_t>(I);
+    for (int32_t &R : B.RowSlots)
+      R = SlotOf[static_cast<size_t>(R)];
+    for (int32_t R : B.GradReferenced)
+      SlotOf[static_cast<size_t>(R)] = -1;
+  }
+
+  ShardSet Set;
+  Set.Blob = buildImage(N, Adj.nnz(), Blocks);
+  // Re-parsing the freshly built image runs the full validator over it:
+  // the builder is checked by the same invariants load() enforces.
+  Set.adoptImage(Set.Blob.data(), Set.Blob.size(), "build");
+  return Set;
+}
+
+bool ShardSet::save(const std::string &Path, std::string *Err) const {
+  const uint8_t *Base =
+      Mapped ? static_cast<const uint8_t *>(Mapped->Base) : Blob.data();
+  const size_t Size = Mapped ? Mapped->Size : Blob.size();
+  // Create the store directory on first use; a configured-but-absent
+  // directory should not be fatal for a cache write.
+  std::error_code DirEc;
+  std::filesystem::path Parent = std::filesystem::path(Path).parent_path();
+  if (!Parent.empty())
+    std::filesystem::create_directories(Parent, DirEc);
+  const std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out ||
+        !Out.write(reinterpret_cast<const char *>(Base),
+                   static_cast<std::streamsize>(Size))) {
+      if (Err)
+        *Err = "cannot write shard store: " + Tmp;
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    if (Err)
+      *Err = "cannot rename shard store into place: " + Path;
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+ShardSet ShardSet::load(const std::string &Path) {
+  auto Map = std::make_unique<Mapping>();
+  Map->Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Map->Fd < 0)
+    GRANII_FATAL("sharded store " + Path + ": cannot open");
+  struct stat St;
+  if (::fstat(Map->Fd, &St) != 0 || St.st_size <= 0)
+    GRANII_FATAL("sharded store " + Path + ": cannot stat (or empty)");
+  Map->Size = static_cast<size_t>(St.st_size);
+  Map->Base = ::mmap(nullptr, Map->Size, PROT_READ, MAP_PRIVATE, Map->Fd, 0);
+  if (Map->Base == MAP_FAILED)
+    GRANII_FATAL("sharded store " + Path + ": mmap failed");
+  ShardSet Set;
+  Set.adoptImage(static_cast<const uint8_t *>(Map->Base), Map->Size, Path);
+  Set.Mapped = std::move(Map);
+  return Set;
+}
+
+int64_t ShardSet::maxReferenced() const {
+  int64_t Max = 0;
+  for (const ShardBlockView &V : Views)
+    Max = std::max(Max, static_cast<int64_t>(V.Referenced.size()));
+  return Max;
+}
+
+int64_t ShardSet::maxGradReferenced() const {
+  int64_t Max = 0;
+  for (const ShardBlockView &V : Views)
+    Max = std::max(Max, static_cast<int64_t>(V.GradReferenced.size()));
+  return Max;
+}

@@ -1,0 +1,162 @@
+//===- Shard.h - Graph partitioning and per-shard CSR blocks ----*- C++ -*-===//
+///
+/// \file
+/// The sharded-execution subsystem (docs/SHARDING.md): an edge-cut
+/// partitioner over the CSR, per-shard aggregation blocks with
+/// halo-exchange gather maps, and a single serialized block layout that is
+/// either heap-resident or mmap-backed — which is what makes the paper's
+/// real target sizes (Reddit 114M nnz, ogbn-products 126M) runnable on
+/// machines whose caches (or RAM) the whole graph does not fit.
+///
+/// Determinism contract: shards own disjoint vertex sets in the ORIGINAL
+/// vertex space, and every block keeps each owned row's neighbors in the
+/// row's original CSR entry order (column ids remapped to slots of the
+/// gathered halo operand). A sharded aggregation therefore performs, per
+/// output element, exactly the serial reduction sequence of the
+/// whole-graph kernel — outputs are bitwise identical to the unsharded
+/// path at any shard count and any thread count within one ISA level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_SHARD_SHARD_H
+#define GRANII_SHARD_SHARD_H
+
+#include "graph/Graph.h"
+#include "graph/Reorder.h"
+#include "support/Aligned.h"
+#include "tensor/CsrMatrix.h"
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace granii {
+namespace shard {
+
+/// A disjoint assignment of vertices to shards.
+struct GraphPartition {
+  int NumShards = 1;
+  /// Shard id per vertex (size = graph nodes).
+  std::vector<int32_t> ShardOf;
+  /// Owned vertex ids per shard, ascending. A shard may legitimately end
+  /// up empty (more shards than reachable vertices); blocks built from an
+  /// empty shard are empty and execute as no-ops.
+  std::vector<std::vector<int32_t>> Owned;
+  /// Directed stored edges whose endpoints live in different shards.
+  int64_t CutEdges = 0;
+  int64_t TotalEdges = 0;
+
+  /// CutEdges / TotalEdges (0 for edgeless graphs).
+  double cutFraction() const {
+    return TotalEdges > 0
+               ? static_cast<double>(CutEdges) / static_cast<double>(TotalEdges)
+               : 0.0;
+  }
+};
+
+/// Partitions \p Adj's vertices into \p NumShards balanced parts with a
+/// small edge cut: greedy BFS region growing from high-degree seeds,
+/// followed by two bounded label-propagation refinement passes. Fully
+/// deterministic (fixed visit order, lowest-shard tie break); \p NumShards
+/// is clamped to [1, max(nodes, 1)].
+GraphPartition partitionGraph(const CsrMatrix &Adj, int NumShards);
+
+/// The vertex relabeling that makes each shard's owned set contiguous
+/// (shard 0 first, original order preserved inside a shard). Built on the
+/// Reorder machinery so the usual permutation algebra (inverse, row
+/// gather/scatter) applies to shard-major layouts.
+Permutation shardPermutation(const GraphPartition &P);
+
+/// Shard count for "--sharded" without an explicit "--shards=N": 0 (off)
+/// for graphs comfortably in-core, else ~one shard per 16M stored edges,
+/// clamped to [2, 16].
+int autoShardCount(int64_t Nnz);
+
+/// Stamps the partition-derived execution features (shard count, edge-cut
+/// fraction) onto \p Stats so the cost featurizer — and through it the
+/// learned models — can price the halo traffic sharding adds. Computes a
+/// partition of \p Adj; annotation is therefore O(E).
+void annotateShardStats(GraphStats &Stats, const CsrMatrix &Adj,
+                        int NumShards);
+
+/// Read-only view of one shard's aggregation block. Forward arrays drive
+/// owned-row SpMM over a gathered halo operand; backward arrays are the
+/// shard's slice of the global CSC transpose (owned columns, entries in
+/// ascending global-row order, values gathered through global nnz ids).
+struct ShardBlockView {
+  // Forward (owned rows of the CSR).
+  std::span<const int32_t> OwnedRows; ///< global row ids, ascending
+  std::span<const int64_t> RowOffsets; ///< local offsets, size owned+1
+  std::span<const int32_t> LocalCols; ///< per entry: slot into Referenced
+  std::span<const int64_t> ValBase; ///< per owned row: global nnz of entry 0
+  std::span<const int32_t> Referenced; ///< gathered global ids, ascending
+
+  // Backward (owned columns of the CSC transpose).
+  std::span<const int32_t> OwnedCols;  ///< global col ids, ascending
+  std::span<const int64_t> ColOffsets; ///< local offsets, size owned+1
+  std::span<const int32_t> RowSlots; ///< per entry: slot into GradReferenced
+  std::span<const int64_t> CsrIdx;   ///< per entry: global nnz (value gather)
+  std::span<const int32_t> GradReferenced; ///< gathered global row ids
+};
+
+/// The blocks of every shard over one graph, in one serialized buffer.
+/// build() materializes the buffer on the heap; save()/load() move the
+/// identical layout through a versioned file, and a loaded set is an
+/// mmap-backed read-only view — block structure pages in on demand and
+/// never duplicates into anonymous memory. load() validates the header,
+/// section table, and per-shard structural invariants, and aborts
+/// (GRANII_FATAL) on truncation or corruption: a damaged store is never
+/// trusted or partially used.
+class ShardSet {
+public:
+  ShardSet();
+  ~ShardSet();
+  ShardSet(ShardSet &&) noexcept;
+  ShardSet &operator=(ShardSet &&) noexcept;
+  ShardSet(const ShardSet &) = delete;
+  ShardSet &operator=(const ShardSet &) = delete;
+
+  /// Builds the blocks for \p P over \p Adj (heap-resident).
+  static ShardSet build(const CsrMatrix &Adj, const GraphPartition &P);
+
+  /// Maps a saved set read-only; aborts on any validation failure.
+  static ShardSet load(const std::string &Path);
+
+  /// Serializes to \p Path (atomic rename). \returns false with \p Err set
+  /// on I/O failure.
+  bool save(const std::string &Path, std::string *Err = nullptr) const;
+
+  int numShards() const { return static_cast<int>(Views.size()); }
+  int64_t numNodes() const { return Nodes; }
+  int64_t nnz() const { return Nnz; }
+  bool empty() const { return Views.empty(); }
+  /// True when backed by a mapped file instead of heap storage.
+  bool mapped() const;
+
+  const std::vector<ShardBlockView> &blocks() const { return Views; }
+
+  /// Largest forward/backward halo across shards (staging sizing).
+  int64_t maxReferenced() const;
+  int64_t maxGradReferenced() const;
+
+private:
+  struct Mapping;
+
+  /// Parses + validates the serialized image at [Base, Base+Size) and
+  /// fills Views/Nodes/Nnz; aborts with \p Origin in the message on any
+  /// violation.
+  void adoptImage(const uint8_t *Base, size_t Size, const std::string &Origin);
+
+  int64_t Nodes = 0;
+  int64_t Nnz = 0;
+  AlignedVector<uint8_t> Blob;      ///< heap-resident image (build path)
+  std::unique_ptr<Mapping> Mapped;  ///< mmap image (load path)
+  std::vector<ShardBlockView> Views;
+};
+
+} // namespace shard
+} // namespace granii
+
+#endif // GRANII_SHARD_SHARD_H

@@ -3,6 +3,7 @@
 #include "support/Str.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 
 using namespace granii;
@@ -35,6 +36,16 @@ std::string_view granii::trimString(std::string_view Text) {
 bool granii::startsWith(std::string_view Text, std::string_view Prefix) {
   return Text.size() >= Prefix.size() &&
          Text.substr(0, Prefix.size()) == Prefix;
+}
+
+bool granii::parseInt64(std::string_view Text, int64_t &Out) {
+  int64_t Value = 0;
+  const char *First = Text.data(), *Last = Text.data() + Text.size();
+  auto [Ptr, Ec] = std::from_chars(First, Last, Value, 10);
+  if (Ec != std::errc() || Ptr != Last)
+    return false;
+  Out = Value;
+  return true;
 }
 
 std::string granii::joinStrings(const std::vector<std::string> &Parts,

@@ -24,6 +24,11 @@ std::string_view trimString(std::string_view Text);
 /// \returns true if \p Text starts with \p Prefix.
 bool startsWith(std::string_view Text, std::string_view Prefix);
 
+/// Parses a base-10 signed integer occupying all of \p Text into \p Out.
+/// \returns false (leaving \p Out untouched) on empty input, trailing
+/// garbage, or overflow.
+bool parseInt64(std::string_view Text, int64_t &Out);
+
 /// Joins \p Parts with \p Sep between consecutive elements.
 std::string joinStrings(const std::vector<std::string> &Parts,
                         std::string_view Sep);

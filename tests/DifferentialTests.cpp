@@ -33,6 +33,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <vector>
@@ -618,4 +619,134 @@ TEST(Differential, OptimizerReorderOptionMatchesBaseline) {
     EXPECT_TRUE(OutR.approxEquals(OutP, 1e-5f, 1e-5f))
         << "differs by " << OutR.maxAbsDiff(OutP);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded execution: bitwise identical to the whole-graph CSR path
+//===----------------------------------------------------------------------===//
+//
+// The sharding contract (docs/SHARDING.md) is stronger than the reorder
+// one: partitioning must not change a single bit of the output or the
+// gradients, at any shard count and any thread count, because every owned
+// row's neighbor reduction replays the whole-graph kernel's operation
+// order exactly. These sweeps drive the full Executor path (setup, halo
+// staging, forward, backward) rather than the shard kernels in isolation.
+
+namespace {
+
+bool bitwiseEqualDense(const DenseMatrix &A, const DenseMatrix &B) {
+  return A.rows() == B.rows() && A.cols() == B.cols() &&
+         std::memcmp(A.data(), B.data(),
+                     static_cast<size_t>(A.size()) * sizeof(float)) == 0;
+}
+
+} // namespace
+
+TEST(Differential, ShardedForwardIsBitwiseWholeGraph) {
+  for (uint64_t I = 0; I < 6; ++I) {
+    Instance Inst = makeInstance(8000 + I);
+    SCOPED_TRACE(Inst.Desc);
+    GnnModel M = makeModel(Inst.Kind);
+    LayerParams Params =
+        makeLayerParams(M, Inst.G, Inst.KIn, Inst.KOut, Inst.Seed);
+    std::vector<CompositionPlan> Plans = survivingPlans(M);
+    ASSERT_FALSE(Plans.empty());
+    const CompositionPlan &Plan = Plans[I % Plans.size()];
+    DimBinding Binding = Params.inputs().binding(&Plan);
+
+    Executor E1(HardwareModel::byName("cpu"), /*NumThreads=*/1);
+    PlanWorkspace WsBase;
+    WsBase.configure(Plan, Binding, /*Training=*/false);
+    ExecResult Base;
+    E1.run(Plan, Params.inputs(), Params.Stats, WsBase, Base);
+
+    for (int Shards : {2, 4}) {
+      for (int Threads : {1, 4}) {
+        SCOPED_TRACE("shards=" + std::to_string(Shards) +
+                     " threads=" + std::to_string(Threads));
+        Executor E(HardwareModel::byName("cpu"), Threads);
+        PlanWorkspace Ws;
+        Ws.configure(Plan, Binding, /*Training=*/false);
+        ExecResult R;
+        E.run(Plan, Params.inputs(), Params.Stats, Ws, R,
+              ReorderPolicy::None, SparseFormat::Csr,
+              ShardSpec{Shards, ""});
+        EXPECT_TRUE(bitwiseEqualDense(R.Output, Base.Output))
+            << "sharded forward differs from whole-graph by "
+            << R.Output.maxAbsDiff(Base.Output);
+      }
+    }
+  }
+}
+
+TEST(Differential, ShardedTrainingGradientsAreBitwise) {
+  for (uint64_t I = 0; I < 4; ++I) {
+    Instance Inst = makeInstance(8100 + I);
+    SCOPED_TRACE(Inst.Desc);
+    GnnModel M = makeModel(Inst.Kind);
+    LayerParams Params =
+        makeLayerParams(M, Inst.G, Inst.KIn, Inst.KOut, Inst.Seed);
+    std::vector<CompositionPlan> Plans = survivingPlans(M);
+    ASSERT_FALSE(Plans.empty());
+    const CompositionPlan &Plan = Plans[I % Plans.size()];
+    DimBinding Binding = Params.inputs().binding(&Plan);
+
+    Executor E1(HardwareModel::byName("cpu"), /*NumThreads=*/1);
+    PlanWorkspace WsBase;
+    WsBase.configure(Plan, Binding, /*Training=*/true);
+    ExecResult Base;
+    E1.runTraining(Plan, Params.inputs(), Params.Stats, WsBase, Base);
+
+    for (int Shards : {2, 4}) {
+      for (int Threads : {1, 4}) {
+        SCOPED_TRACE("shards=" + std::to_string(Shards) +
+                     " threads=" + std::to_string(Threads));
+        Executor E(HardwareModel::byName("cpu"), Threads);
+        PlanWorkspace Ws;
+        Ws.configure(Plan, Binding, /*Training=*/true);
+        ExecResult R;
+        E.runTraining(Plan, Params.inputs(), Params.Stats, Ws, R,
+                      ReorderPolicy::None, SparseFormat::Csr,
+                      ShardSpec{Shards, ""});
+        EXPECT_TRUE(bitwiseEqualDense(R.Output, Base.Output))
+            << "sharded training output differs from whole-graph";
+        for (const auto &[Name, DW] : Base.WeightGrads) {
+          ASSERT_TRUE(R.WeightGrads.count(Name));
+          EXPECT_TRUE(bitwiseEqualDense(R.WeightGrads.at(Name), DW))
+              << "grad " << Name << " differs by "
+              << R.WeightGrads.at(Name).maxAbsDiff(DW);
+        }
+        if (!Base.FeatureGrad.empty())
+          EXPECT_TRUE(bitwiseEqualDense(R.FeatureGrad, Base.FeatureGrad))
+              << "feature grad differs by "
+              << R.FeatureGrad.maxAbsDiff(Base.FeatureGrad);
+      }
+    }
+  }
+}
+
+// Warm-workspace contract under sharding: the second run of a sharded
+// workspace performs zero allocations (halo staging reaches its
+// high-water marks on run one) and stays bitwise stable.
+TEST(Differential, ShardedSteadyStateAllocatesNothing) {
+  Instance Inst = makeInstance(8200);
+  GnnModel M = makeModel(Inst.Kind);
+  LayerParams Params =
+      makeLayerParams(M, Inst.G, Inst.KIn, Inst.KOut, Inst.Seed);
+  std::vector<CompositionPlan> Plans = survivingPlans(M);
+  ASSERT_FALSE(Plans.empty());
+  DimBinding Binding = Params.inputs().binding(&Plans[0]);
+  Executor Exec(HardwareModel::byName("cpu"), /*NumThreads=*/2);
+  PlanWorkspace Ws;
+  Ws.configure(Plans[0], Binding, /*Training=*/true);
+  ExecResult First, Second;
+  ShardSpec Sharding{3, ""};
+  Exec.runTraining(Plans[0], Params.inputs(), Params.Stats, Ws, First,
+                   ReorderPolicy::None, SparseFormat::Csr, Sharding);
+  Ws.resetAllocationCount();
+  Exec.runTraining(Plans[0], Params.inputs(), Params.Stats, Ws, Second,
+                   ReorderPolicy::None, SparseFormat::Csr, Sharding);
+  EXPECT_EQ(Ws.allocationCount(), 0u)
+      << "sharded steady state still allocates";
+  EXPECT_TRUE(bitwiseEqualDense(First.Output, Second.Output));
 }

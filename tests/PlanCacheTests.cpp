@@ -57,7 +57,8 @@ TEST(PlanCacheKey, CanonicalEncodesEveryField) {
                       +[](PlanCacheKey &K) { K.KOut = 65; },
                       +[](PlanCacheKey &K) { K.Threads = 5; },
                       +[](PlanCacheKey &K) { K.Isa = "scalar"; },
-                      +[](PlanCacheKey &K) { K.Format = "ell"; }}) {
+                      +[](PlanCacheKey &K) { K.Format = "ell"; },
+                      +[](PlanCacheKey &K) { K.Shards = 4; }}) {
     PlanCacheKey Other = keyNumbered(1);
     Mutate(Other);
     EXPECT_NE(Other.canonical(), C);
@@ -75,8 +76,8 @@ TEST(PlanCacheKey, FormatIsPartOfTheKey) {
   PlanCacheKey Csr = keyNumbered(1); // Format defaults to "csr"
   PlanCacheKey Ell = keyNumbered(1);
   Ell.Format = "ell";
-  EXPECT_TRUE(Csr.canonical().ends_with("/csr"));
-  EXPECT_TRUE(Ell.canonical().ends_with("/ell"));
+  EXPECT_TRUE(Csr.canonical().ends_with("/csr/sh0"));
+  EXPECT_TRUE(Ell.canonical().ends_with("/ell/sh0"));
   EXPECT_NE(Csr.canonical(), Ell.canonical());
   // An empty format (a request from an older client) aliases to csr rather
   // than minting a third population.
@@ -94,6 +95,22 @@ TEST(PlanCacheKey, FormatIsPartOfTheKey) {
   ASSERT_NE(Cache.get(Csr), nullptr);
   ASSERT_NE(Cache.get(Ell), nullptr);
   EXPECT_NE(Cache.get(Csr)->size(), Cache.get(Ell)->size());
+}
+
+// A sharded configuration selects under shard-annotated cost features, so
+// its compiled set must never be served to (or from) the whole-graph
+// population of the same tuple.
+TEST(PlanCacheKey, ShardCountIsPartOfTheKey) {
+  PlanCacheKey Whole = keyNumbered(1); // Shards defaults to 0
+  PlanCacheKey Sharded = keyNumbered(1);
+  Sharded.Shards = 4;
+  EXPECT_TRUE(Sharded.canonical().ends_with("/sh4"));
+  EXPECT_NE(Whole.canonical(), Sharded.canonical());
+
+  PlanCache Cache(4);
+  Cache.put(Whole, somePlans());
+  EXPECT_EQ(Cache.get(Sharded), nullptr)
+      << "sharded request served the whole-graph entry";
 }
 
 TEST(PlanCache, MissThenHitAndCounters) {

@@ -14,6 +14,7 @@
 #include "serve/Client.h"
 #include "serve/Engine.h"
 #include "serve/Server.h"
+#include "shard/Shard.h"
 #include "support/Diag.h"
 #include "support/Str.h"
 #include "support/ThreadPool.h"
@@ -201,6 +202,21 @@ std::optional<VerifyLevel> verifyFlag(const ArgParser &Args,
   return Level;
 }
 
+/// Parses the shared --sharded / --shards=N pair into the protocol
+/// encoding: 0 = whole-graph, -1 = auto (bare --sharded), >= 2 = explicit
+/// count. --shards implies --sharded; nullopt (with Err set) on a bad count.
+std::optional<int64_t> shardsFlag(const ArgParser &Args, std::string &Err) {
+  int64_t Shards = Args.intValue("shards", 0);
+  if (Shards == 0 && Args.hasFlag("sharded"))
+    Shards = -1;
+  if (Shards < -1 || Shards == 1) {
+    Err += "error: --shards expects a count >= 2 (or bare --sharded for "
+           "auto)\n";
+    return std::nullopt;
+  }
+  return Shards;
+}
+
 int cmdCompile(const ArgParser &Args, std::string &Out, std::string &Err) {
   if (int Code = rejectUnknownFlags(
           Args, "compile",
@@ -288,12 +304,14 @@ int profileRun(const CompositionPlan &Plan, const LayerParams &Params,
   ExecResult R;
   LayerInputs Inputs = Params.inputs();
 
+  ShardSpec Sharding{Options.Shards, Options.ShardStoreDir};
   auto RunOnce = [&] {
     if (Training)
       Exec.runTraining(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder,
-                       Format);
+                       Format, Sharding);
     else
-      Exec.run(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder, Format);
+      Exec.run(Plan, Inputs, Params.Stats, Ws, R, Options.Reorder, Format,
+               Sharding);
   };
   RunOnce(); // warm-up: plans the arena, allocates every slot
   Ws.resetAllocationCount();
@@ -339,7 +357,8 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
   if (int Code = rejectUnknownFlags(
           Args, "run",
           {"graph", "kin", "kout", "hw", "iters", "train", "profile",
-           "reorder", "format", "verify", "out", "threads", "isa", "trace"},
+           "reorder", "format", "sharded", "shards", "shard-store", "verify",
+           "out", "threads", "isa", "trace"},
           Err))
     return Code;
   if (Args.Positional.size() < 2) {
@@ -347,6 +366,7 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
            "--kin N --kout N [--hw cpu|a100|h100] [--iters N] [--train] "
            "[--threads N] [--isa scalar|avx2|avx512] [--profile] "
            "[--reorder none|rcm|degree] [--format auto|csr|ell|sell|hyb] "
+           "[--sharded | --shards N] [--shard-store <dir>] "
            "[--out <file>] [--verify off|fast|full] [--trace <out.json>]\n";
     return 2;
   }
@@ -393,6 +413,9 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
   std::optional<VerifyLevel> Verify = verifyFlag(Args, Err);
   if (!Verify)
     return 2;
+  std::optional<int64_t> Shards = shardsFlag(Args, Err);
+  if (!Shards)
+    return 2;
 
   OptimizerOptions Options;
   Options.Hw = HardwareModel::byName(Hw);
@@ -400,6 +423,15 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
   Options.Reorder = *Reorder;
   Options.Format = *Format;
   Options.Verify = *Verify;
+  // Resolve auto locally the same way the engine will, so the banner and
+  // the --profile path agree with the served execution.
+  Options.Shards = *Shards < 0 ? shard::autoShardCount(G->numEdges())
+                               : static_cast<int>(*Shards);
+  Options.ShardStoreDir = Args.value("shard-store", "");
+  if (Options.Shards > 1 && *Format != SparseFormat::Csr) {
+    Err += "error: sharded execution requires --format=csr\n";
+    return 2;
+  }
 
   // One-shot runs go through the same Engine/Session layer the daemon
   // serves from — one code path, bitwise-identical answers. Disk spill is
@@ -410,6 +442,7 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
   EngOpts.Iterations = Options.Iterations;
   EngOpts.Verify = Options.Verify;
   EngOpts.DiskSpill = false;
+  EngOpts.ShardStoreDir = Args.value("shard-store", "");
   serve::Engine Engine(EngOpts);
 
   serve::JobRequest Req;
@@ -420,6 +453,7 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
   Req.Training = Training;
   Req.Reorder = Args.value("reorder", "none");
   Req.Format = FormatName;
+  Req.Shards = *Shards;
   Req.WantOutput = Args.hasFlag("out");
 
   std::string SessionError;
@@ -438,6 +472,14 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
   Out += "offline: " + std::to_string(Compile.Enumerated) +
          " enumerated -> " + std::to_string(Compile.Promoted) +
          " promoted\n";
+  if (*Shards != 0) {
+    if (Options.Shards > 1)
+      Out += "sharded: " + std::to_string(Options.Shards) +
+             " shard(s), bitwise identical to whole-graph execution\n";
+    else
+      Out += "sharded: auto resolved to whole-graph (graph below the "
+             "sharding threshold)\n";
+  }
   if (Options.Reorder != ReorderPolicy::None) {
     // Report the locality change the executor's cached permutation will
     // realize (the executor itself permutes the self-loop adjacency).
@@ -493,15 +535,15 @@ int cmdRun(const ArgParser &Args, std::string &Out, std::string &Err) {
 int cmdServe(const ArgParser &Args, std::string &Out, std::string &Err) {
   if (int Code = rejectUnknownFlags(Args, "serve",
                                     {"socket", "workers", "plan-cache",
-                                     "sessions", "iters", "verify", "threads",
-                                     "isa", "trace"},
+                                     "sessions", "iters", "shard-store",
+                                     "verify", "threads", "isa", "trace"},
                                     Err))
     return Code;
   std::string Socket = Args.value("socket");
   if (Socket.empty()) {
     Err += "usage: granii-cli serve --socket <path> [--workers N] "
            "[--plan-cache N] [--sessions N] [--iters N] "
-           "[--verify off|fast|full] [--threads N] "
+           "[--shard-store <dir>] [--verify off|fast|full] [--threads N] "
            "[--isa scalar|avx2|avx512]\n";
     return 2;
   }
@@ -519,6 +561,7 @@ int cmdServe(const ArgParser &Args, std::string &Out, std::string &Err) {
       std::max<int64_t>(1, Args.intValue("plan-cache", 16)));
   Options.Engine.SessionCapacity =
       static_cast<size_t>(std::max<int64_t>(1, Args.intValue("sessions", 8)));
+  Options.Engine.ShardStoreDir = Args.value("shard-store", "");
 
   serve::Server Server(Options);
   std::string ServeError;
@@ -541,8 +584,8 @@ int cmdCall(const ArgParser &Args, std::string &Out, std::string &Err) {
   if (int Code = rejectUnknownFlags(
           Args, "call",
           {"socket", "graph", "kin", "kout", "train", "reorder", "format",
-           "seed", "out", "compile-only", "stats", "shutdown", "threads",
-           "isa", "trace"},
+           "sharded", "shards", "seed", "out", "compile-only", "stats",
+           "shutdown", "threads", "isa", "trace"},
           Err))
     return Code;
   std::string Socket = Args.value("socket");
@@ -550,7 +593,7 @@ int cmdCall(const ArgParser &Args, std::string &Out, std::string &Err) {
     Err += "usage: granii-cli call --socket <path> <model.gnn> "
            "[--graph <mtx|synth:name>] [--kin N] [--kout N] [--train] "
            "[--reorder none|rcm|degree] [--format auto|csr|ell|sell|hyb] "
-           "[--seed N] [--out <file>] "
+           "[--sharded | --shards N] [--seed N] [--out <file>] "
            "[--compile-only] | --stats | --shutdown\n";
     return 2;
   }
@@ -620,6 +663,10 @@ int cmdCall(const ArgParser &Args, std::string &Out, std::string &Err) {
   Req.Training = Args.hasFlag("train");
   Req.Reorder = Args.value("reorder", "none");
   Req.Format = Args.value("format", "csr");
+  std::optional<int64_t> Shards = shardsFlag(Args, Err);
+  if (!Shards)
+    return 2;
+  Req.Shards = *Shards;
   Req.Seed = static_cast<uint64_t>(Args.intValue("seed", 1));
   Req.WantOutput = Args.hasFlag("out");
 
