@@ -317,6 +317,7 @@ bool BenchReport::write(const std::string &Path,
 }
 
 std::string granii::bench::benchGitSha() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup
   if (const char *Sha = std::getenv("GRANII_GIT_SHA"))
     if (*Sha)
       return Sha;

@@ -17,6 +17,7 @@
 
 #include "serve/Client.h"
 #include "serve/Server.h"
+#include "support/Str.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -95,11 +96,22 @@ int main(int argc, char **argv) {
   std::string ThreadsFlag = consumeValueFlag(argc, argv, "threads");
   std::string ClientsFlag = consumeValueFlag(argc, argv, "clients");
   std::string RequestsFlag = consumeValueFlag(argc, argv, "requests");
+  auto ParseCount = [](const std::string &Flag, const char *Name,
+                       int Default) {
+    if (Flag.empty())
+      return Default;
+    int64_t Value = 0;
+    if (!granii::parseInt64(Flag, Value) || Value < 1 || Value > 1 << 20) {
+      std::fprintf(stderr, "invalid --%s value: %s\n", Name, Flag.c_str());
+      std::exit(2);
+    }
+    return static_cast<int>(Value);
+  };
   if (!ThreadsFlag.empty())
-    BenchContext::get().setThreads(std::atoi(ThreadsFlag.c_str()));
+    BenchContext::get().setThreads(ParseCount(ThreadsFlag, "threads", 1));
 
-  int Clients = ClientsFlag.empty() ? 8 : std::atoi(ClientsFlag.c_str());
-  int PerClient = RequestsFlag.empty() ? 32 : std::atoi(RequestsFlag.c_str());
+  int Clients = ParseCount(ClientsFlag, "clients", 8);
+  int PerClient = ParseCount(RequestsFlag, "requests", 32);
   if (Smoke) {
     Clients = 8;
     PerClient = 4;

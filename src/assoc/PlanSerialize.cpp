@@ -250,7 +250,7 @@ granii::deserializePlans(const std::string &Text, std::string *ErrorMessage,
         return failParse(ErrorMessage, Cursor,
                          "bad step result id: " + Fields[2]);
       Step.Result = *Result;
-      if (std::sscanf(Fields[3].c_str(), "%la", &Step.Param) != 1)
+      if (!parseDouble(Fields[3], Step.Param))
         return failParse(ErrorMessage, Cursor,
                          "bad step parameter: " + Fields[3]);
       Step.Setup = Fields[4] == "1";

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <climits>
 #include <cmath>
 #include <cstdio>
 #include <numeric>
@@ -220,33 +221,63 @@ std::string GbtModel::serialize() const {
 std::optional<GbtModel> GbtModel::deserialize(const std::string &Text) {
   std::vector<std::string> Lines = splitString(Text, '\n');
   size_t Pos = 0;
-  auto NextLine = [&]() -> const char * {
+  // Checked replacements for the old sscanf scanning: every field must
+  // parse cleanly and occupy the whole token, so a truncated or corrupted
+  // cache file is rejected instead of yielding half-initialized nodes.
+  auto NextFields = [&](const char *Tag,
+                        size_t Count) -> std::optional<std::vector<std::string_view>> {
     while (Pos < Lines.size() && trimString(Lines[Pos]).empty())
       ++Pos;
-    return Pos < Lines.size() ? Lines[Pos++].c_str() : nullptr;
+    if (Pos >= Lines.size())
+      return std::nullopt;
+    std::vector<std::string_view> Fields = splitFields(Lines[Pos++]);
+    if (Fields.size() != Count + 1 || Fields[0] != Tag)
+      return std::nullopt;
+    Fields.erase(Fields.begin());
+    return Fields;
+  };
+  auto ParseSize = [](std::string_view Field, size_t &Out) {
+    int64_t V = 0;
+    if (!parseInt64(Field, V) || V < 0)
+      return false;
+    Out = static_cast<size_t>(V);
+    return true;
+  };
+  auto ParseInt = [](std::string_view Field, int &Out) {
+    int64_t V = 0;
+    if (!parseInt64(Field, V) || V < INT_MIN || V > INT_MAX)
+      return false;
+    Out = static_cast<int>(V);
+    return true;
   };
 
-  const char *Header = NextLine();
+  std::optional<std::vector<std::string_view>> Header = NextFields("gbt", 4);
   if (!Header)
     return std::nullopt;
   GbtModel Model;
   size_t NumTrees = 0;
-  if (std::sscanf(Header, "gbt %zu %la %la %zu", &Model.NumFeatures,
-                  &Model.LearningRate, &Model.BaseScore, &NumTrees) != 4)
+  if (!ParseSize((*Header)[0], Model.NumFeatures) ||
+      !parseDouble((*Header)[1], Model.LearningRate) ||
+      !parseDouble((*Header)[2], Model.BaseScore) ||
+      !ParseSize((*Header)[3], NumTrees))
     return std::nullopt;
   for (size_t T = 0; T < NumTrees; ++T) {
-    const char *TreeLine = NextLine();
+    std::optional<std::vector<std::string_view>> TreeLine =
+        NextFields("tree", 1);
     size_t NumNodes = 0;
-    if (!TreeLine || std::sscanf(TreeLine, "tree %zu", &NumNodes) != 1)
+    if (!TreeLine || !ParseSize((*TreeLine)[0], NumNodes))
       return std::nullopt;
     Tree NewTree;
     NewTree.Nodes.resize(NumNodes);
     for (size_t N = 0; N < NumNodes; ++N) {
-      const char *NodeLine = NextLine();
+      std::optional<std::vector<std::string_view>> NodeLine =
+          NextFields("node", 5);
       Node &Dst = NewTree.Nodes[N];
-      if (!NodeLine ||
-          std::sscanf(NodeLine, "node %d %la %d %d %la", &Dst.Feature,
-                      &Dst.Threshold, &Dst.Left, &Dst.Right, &Dst.Value) != 5)
+      if (!NodeLine || !ParseInt((*NodeLine)[0], Dst.Feature) ||
+          !parseDouble((*NodeLine)[1], Dst.Threshold) ||
+          !ParseInt((*NodeLine)[2], Dst.Left) ||
+          !ParseInt((*NodeLine)[3], Dst.Right) ||
+          !parseDouble((*NodeLine)[4], Dst.Value))
         return std::nullopt;
     }
     Model.Trees.push_back(std::move(NewTree));

@@ -15,6 +15,7 @@
 using namespace granii;
 
 std::string granii::costModelCacheDir() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup
   const char *Env = std::getenv("GRANII_CACHE_DIR");
   std::string Dir = Env && *Env ? Env : "./.granii-cache";
   while (Dir.size() > 1 && Dir.back() == '/')

@@ -5,7 +5,6 @@
 #include "support/Str.h"
 #include "tensor/CooMatrix.h"
 
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -61,10 +60,9 @@ std::optional<Graph> granii::parseMatrixMarket(std::istream &Stream,
     std::string_view Trimmed = trimString(Line);
     if (Trimmed.empty() || Trimmed.front() == '%')
       continue;
-    if (std::sscanf(std::string(Trimmed).c_str(), "%lld %lld %lld",
-                    reinterpret_cast<long long *>(&Rows),
-                    reinterpret_cast<long long *>(&Cols),
-                    reinterpret_cast<long long *>(&Entries)) != 3)
+    std::vector<std::string_view> Fields = splitFields(Trimmed);
+    if (Fields.size() != 3 || !parseInt64(Fields[0], Rows) ||
+        !parseInt64(Fields[1], Cols) || !parseInt64(Fields[2], Entries))
       return fail(ErrorMessage, "malformed matrix market size line");
     break;
   }
@@ -77,16 +75,19 @@ std::optional<Graph> granii::parseMatrixMarket(std::istream &Stream,
     std::string_view Trimmed = trimString(Line);
     if (Trimmed.empty() || Trimmed.front() == '%')
       continue;
-    long long R = 0, C = 0;
+    int64_t R = 0, C = 0;
     double V = 1.0;
-    std::string Entry(Trimmed);
-    int Fields = HasValues
-                     ? std::sscanf(Entry.c_str(), "%lld %lld %lf", &R, &C, &V)
-                     : std::sscanf(Entry.c_str(), "%lld %lld", &R, &C);
-    if (Fields < 2)
-      return fail(ErrorMessage, "malformed matrix market entry: " + Entry);
+    std::vector<std::string_view> Fields = splitFields(Trimmed);
+    bool Ok = Fields.size() >= 2 && parseInt64(Fields[0], R) &&
+              parseInt64(Fields[1], C);
+    if (Ok && HasValues && Fields.size() >= 3)
+      Ok = parseDouble(Fields[2], V);
+    if (!Ok)
+      return fail(ErrorMessage,
+                  "malformed matrix market entry: " + std::string(Trimmed));
     if (R < 1 || R > Rows || C < 1 || C > Cols)
-      return fail(ErrorMessage, "matrix market entry out of bounds: " + Entry);
+      return fail(ErrorMessage,
+                  "matrix market entry out of bounds: " + std::string(Trimmed));
     // Matrix Market is 1-based.
     if (Symmetric)
       Coo.addSymmetric(R - 1, C - 1, static_cast<float>(V));

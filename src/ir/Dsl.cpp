@@ -66,7 +66,16 @@ std::vector<Token> granii::lexModelDsl(const std::string &Source,
       }
       Tok.Kind = TokenKind::Number;
       Tok.Text = Source.substr(Begin, I - Begin);
-      Tok.NumberValue = std::stod(Tok.Text);
+      // Checked parse: the lexed shape ("." or "1e" slip through the scan
+      // above) is not guaranteed to be a number, and std::stod would throw
+      // out of the lexer on such input.
+      if (!parseDouble(Tok.Text, Tok.NumberValue)) {
+        if (ErrorMessage)
+          *ErrorMessage = "line " + std::to_string(Line) +
+                          ": malformed number '" + Tok.Text + "'";
+        Tokens.push_back({TokenKind::EndOfFile, "", 0.0, Line});
+        return Tokens;
+      }
       Tokens.push_back(std::move(Tok));
       continue;
     }

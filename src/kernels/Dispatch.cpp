@@ -55,6 +55,7 @@ void warnDispatch(std::string Message, std::string Hint) {
 /// to the detected level.
 IsaLevel resolveStartupLevel() {
   IsaLevel Detected = detectedIsaLevel();
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup
   const char *Env = std::getenv("GRANII_ISA");
   if (!Env || !*Env)
     return Detected;

@@ -84,6 +84,8 @@ bool isPlusTimes(const Semiring &S) {
 
 } // namespace
 
+// granii-noalloc-begin: gemmInto is the densest inner loop in the library;
+// it writes only into the caller-provided destination.
 void kernels::gemmInto(const DenseMatrix &A, const DenseMatrix &B,
                        DenseMatrix &Dst) {
   GRANII_CHECK(A.cols() == B.rows(), "gemm inner dimension mismatch");
@@ -99,6 +101,7 @@ void kernels::gemmInto(const DenseMatrix &A, const DenseMatrix &B,
                      RowEnd, /*Accumulate=*/false);
   });
 }
+// granii-noalloc-end
 
 DenseMatrix kernels::gemm(const DenseMatrix &A, const DenseMatrix &B) {
   GRANII_CHECK(A.cols() == B.rows(), "gemm inner dimension mismatch");
@@ -339,6 +342,8 @@ DenseMatrix kernels::reluBackward(const DenseMatrix &Pre,
   return Out;
 }
 
+// granii-noalloc-begin: the SpMM aggregation loops dominate steady-state
+// GNN inference; both reduction paths must stay allocation-free.
 void kernels::spmmInto(const CsrMatrix &A, const DenseMatrix &B,
                        const Semiring &S, DenseMatrix &Dst) {
   GRANII_CHECK(A.cols() == B.rows(), "spmm dimension mismatch");
@@ -385,6 +390,7 @@ void kernels::spmmInto(const CsrMatrix &A, const DenseMatrix &B,
     }
   });
 }
+// granii-noalloc-end
 
 void kernels::spmmTiledInto(const CsrMatrix &A, const DenseMatrix &B,
                             const Semiring &S, int64_t TileCols,
@@ -432,6 +438,8 @@ DenseMatrix kernels::spmm(const CsrMatrix &A, const DenseMatrix &B,
   return Out;
 }
 
+// granii-noalloc-begin: SDDMM scores every masked edge each layer; the dot
+// loops write straight into the caller's value span.
 void kernels::sddmmInto(const CsrMatrix &Mask, const DenseMatrix &U,
                         const DenseMatrix &V, const Semiring &S,
                         std::span<float> Out) {
@@ -465,6 +473,7 @@ void kernels::sddmmInto(const CsrMatrix &Mask, const DenseMatrix &U,
     }
   });
 }
+// granii-noalloc-end
 
 void kernels::sddmmTiledInto(const CsrMatrix &Mask, const DenseMatrix &U,
                              const DenseMatrix &V, const Semiring &S,

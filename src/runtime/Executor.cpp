@@ -415,6 +415,9 @@ void PlanInterpreter::execStep(size_t StepIdx, ExecResult &Result) {
   auto Op = [&](int I) -> RtValue & { return val(Step.Operands[I]); };
 
   double Seconds = 0.0;
+  // granii-noalloc-begin: the step dispatch is the steady-state hot path;
+  // destination buffers come pre-planned from the workspace (dstDense /
+  // dstSparse / dstVec), so nothing here may allocate.
   switch (Step.Op) {
   case StepOp::Gemm:
     Seconds = charge(StepIdx, [&] {
@@ -591,6 +594,7 @@ void PlanInterpreter::execStep(size_t StepIdx, ExecResult &Result) {
     });
     break;
   }
+  // granii-noalloc-end
 
   Result.StepSeconds[StepIdx] = Seconds;
   if (Step.Setup)

@@ -35,11 +35,13 @@ bool Client::connect(const std::string &SocketPath, std::string *Err) {
   Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Fd < 0) {
     if (Err)
+      // NOLINTNEXTLINE(concurrency-mt-unsafe): errno text, error path
       *Err = std::string("socket failed: ") + std::strerror(errno);
     return false;
   }
   if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
     if (Err)
+      // NOLINTNEXTLINE(concurrency-mt-unsafe): errno text, error path
       *Err = "cannot connect to '" + SocketPath +
              "': " + std::strerror(errno) +
              " (is the daemon running? start it with 'granii-cli serve')";

@@ -126,7 +126,7 @@ std::string stripDiagDecoration(std::string Msg) {
 
 RunResponse Session::run(bool WantOutput) {
   RunResponse Resp;
-  std::lock_guard<std::mutex> Lock(RunMutex);
+  MutexLock Lock(RunMutex);
   TraceSpan Span("session-run", "serve");
   Span.setArg("run_index", static_cast<double>(Runs + 1));
 
@@ -276,7 +276,7 @@ CompileResponse Engine::compile(const JobRequest &Req) {
     return Resp;
   }
   GnnModel Model = wrapParsedModel(*Parsed);
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   resolvePlans(Model, *G, Req, Resp);
   return Resp;
 }
@@ -288,7 +288,7 @@ std::shared_ptr<Session> Engine::session(const JobRequest &Req,
   if (SessionHit)
     *SessionHit = false;
   std::string Key = sessionKeyFor(Req);
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   auto It = SessionIndex.find(Key);
   if (It != SessionIndex.end()) {
     SessionLru.splice(SessionLru.begin(), SessionLru, It->second);
@@ -362,7 +362,14 @@ std::shared_ptr<Session> Engine::session(const JobRequest &Req,
                                          *Compiled));
   S->Params = makeLayerParams(S->Model, *G, Req.KIn, Req.KOut, Req.Seed);
   S->Sel = S->Opt->select(*G, Req.KIn, Req.KOut);
-  S->Exec.emplace(Opts.Hw);
+  {
+    // The executor lives behind Session::RunMutex; hold it for the
+    // creation write so the lock covers the member's whole lifetime (no
+    // other thread can reach S yet, but the annotation contract is
+    // uniform: Exec is only ever touched under RunMutex).
+    MutexLock InitLock(S->RunMutex);
+    S->Exec.emplace(Opts.Hw);
+  }
 
   SessionLru.push_front(S);
   SessionIndex[Key] = SessionLru.begin();
@@ -395,7 +402,7 @@ RunResponse Engine::run(const JobRequest &Req) {
 EngineStats Engine::stats() const {
   EngineStats Out;
   {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     Out.SessionHits = SessionHits;
     Out.SessionMisses = SessionMisses;
     Out.SessionEvictions = SessionEvictions;

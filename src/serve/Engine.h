@@ -26,12 +26,12 @@
 #include "granii/Granii.h"
 #include "serve/PlanCache.h"
 #include "serve/Protocol.h"
+#include "support/ThreadSafety.h"
 
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
@@ -97,6 +97,8 @@ private:
   friend class Engine;
   Session() = default;
 
+  // Immutable after Engine::session() publishes the session: safe to read
+  // from any thread without RunMutex.
   std::string Key;
   GnnModel Model;
   OptimizerOptions Options;
@@ -107,14 +109,20 @@ private:
   std::optional<Optimizer> Opt;
   LayerParams Params;
   Selection Sel;
-  /// Executor + workspace owned here (not Optimizer::execute) so run()
-  /// can read the workspace allocation counter after every pass.
-  std::optional<Executor> Exec;
-  PlanWorkspace Ws;
   bool PlanCacheHit = false;
-  bool ScheduleVerified = false;
-  std::mutex RunMutex;
-  uint64_t Runs = 0;
+
+  /// Serializes run() on this session; also held by Engine::session()
+  /// while it creates Exec, so the annotations below cover the executor
+  /// and its workspace caches for their whole lifetime.
+  Mutex RunMutex{"Session::RunMutex"};
+  /// Executor + workspace owned here (not Optimizer::execute) so run()
+  /// can read the workspace allocation counter after every pass. The
+  /// workspace's reorder/format/shard caches carry no locks of their own —
+  /// RunMutex is their synchronization.
+  std::optional<Executor> Exec GRANII_GUARDED_BY(RunMutex);
+  PlanWorkspace Ws GRANII_GUARDED_BY(RunMutex);
+  bool ScheduleVerified GRANII_GUARDED_BY(RunMutex) = false;
+  uint64_t Runs GRANII_GUARDED_BY(RunMutex) = 0;
 };
 
 /// Session factory + plan cache. One Engine per daemon (or per test).
@@ -151,24 +159,26 @@ public:
 
 private:
   /// Resolves the promoted plan set for a parsed request: plan cache get,
-  /// else run the offline stage and put. Fills the compile-side fields of
-  /// \p Resp (counts, hit flags, key, seconds).
+  /// else run the offline stage and put. M serializes the offline stage
+  /// (enumeration is deliberately not concurrent) and guards CompileCost.
   PlanCache::Plans resolvePlans(const GnnModel &Model, const Graph &G,
-                                const JobRequest &Req, CompileResponse &Resp);
+                                const JobRequest &Req, CompileResponse &Resp)
+      GRANII_REQUIRES(M);
 
   EngineOptions Opts;
   PlanCache Plans;
   /// Cost model handed to throwaway compile-verb Optimizers (sessions own
   /// their own instance).
-  AnalyticCostModel CompileCost;
+  AnalyticCostModel CompileCost GRANII_GUARDED_BY(M);
 
-  mutable std::mutex M;
-  std::list<std::shared_ptr<Session>> SessionLru; ///< front = most recent
+  mutable Mutex M{"Engine::M"};
+  /// front = most recent
+  std::list<std::shared_ptr<Session>> SessionLru GRANII_GUARDED_BY(M);
   std::map<std::string, std::list<std::shared_ptr<Session>>::iterator>
-      SessionIndex;
-  uint64_t SessionHits = 0;
-  uint64_t SessionMisses = 0;
-  uint64_t SessionEvictions = 0;
+      SessionIndex GRANII_GUARDED_BY(M);
+  uint64_t SessionHits GRANII_GUARDED_BY(M) = 0;
+  uint64_t SessionMisses GRANII_GUARDED_BY(M) = 0;
+  uint64_t SessionEvictions GRANII_GUARDED_BY(M) = 0;
 };
 
 } // namespace serve

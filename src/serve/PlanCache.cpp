@@ -65,7 +65,7 @@ std::string PlanCache::spillPathFor(const PlanCacheKey &Key) const {
 }
 
 PlanCache::Plans PlanCache::get(const PlanCacheKey &Key, bool *DiskHit) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   if (DiskHit)
     *DiskHit = false;
   std::string Canonical = Key.canonical();
@@ -93,7 +93,7 @@ PlanCache::Plans PlanCache::get(const PlanCacheKey &Key, bool *DiskHit) {
 }
 
 void PlanCache::put(const PlanCacheKey &Key, Plans Value) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   std::string Canonical = Key.canonical();
   auto It = Index.find(Canonical);
   if (It != Index.end()) {
@@ -112,7 +112,7 @@ void PlanCache::put(const PlanCacheKey &Key, Plans Value) {
 }
 
 std::vector<std::string> PlanCache::keysMruToLru() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   std::vector<std::string> Keys;
   Keys.reserve(Lru.size());
   for (const Entry &E : Lru)
@@ -121,12 +121,12 @@ std::vector<std::string> PlanCache::keysMruToLru() const {
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Counters;
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Lru.size();
 }
 

@@ -27,12 +27,12 @@
 #define GRANII_SERVE_PLANCACHE_H
 
 #include "assoc/Composition.h"
+#include "support/ThreadSafety.h"
 
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -119,17 +119,18 @@ private:
   };
 
   /// Loads and validates \p Key's spill file; nullptr on absence, key
-  /// mismatch (collision), or corruption. Requires M held (only for the
-  /// stats counters).
-  Plans loadSpill(const PlanCacheKey &Key);
-  void writeSpill(const PlanCacheKey &Key, const Plans &Value);
+  /// mismatch (collision), or corruption. M is required only for the stats
+  /// counters it bumps.
+  Plans loadSpill(const PlanCacheKey &Key) GRANII_REQUIRES(M);
+  void writeSpill(const PlanCacheKey &Key, const Plans &Value)
+      GRANII_REQUIRES(M);
 
-  mutable std::mutex M;
+  mutable Mutex M{"PlanCache::M"};
   size_t Capacity;
   std::string SpillDir;
-  std::list<Entry> Lru; ///< front = most recently used
-  std::map<std::string, std::list<Entry>::iterator> Index;
-  PlanCacheStats Counters;
+  std::list<Entry> Lru GRANII_GUARDED_BY(M); ///< front = most recently used
+  std::map<std::string, std::list<Entry>::iterator> Index GRANII_GUARDED_BY(M);
+  PlanCacheStats Counters GRANII_GUARDED_BY(M);
 };
 
 } // namespace serve

@@ -70,12 +70,14 @@ bool Server::start(std::string *Err) {
 
   if (::pipe(StopPipe) != 0) {
     if (Err)
+      // NOLINTNEXTLINE(concurrency-mt-unsafe): errno text, error path
       *Err = std::string("pipe failed: ") + std::strerror(errno);
     return false;
   }
   ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (ListenFd < 0) {
     if (Err)
+      // NOLINTNEXTLINE(concurrency-mt-unsafe): errno text, error path
       *Err = std::string("socket failed: ") + std::strerror(errno);
     closeFd(StopPipe[0]);
     closeFd(StopPipe[1]);
@@ -87,6 +89,7 @@ bool Server::start(std::string *Err) {
           0 ||
       ::listen(ListenFd, 64) != 0) {
     if (Err)
+      // NOLINTNEXTLINE(concurrency-mt-unsafe): errno text, error path
       *Err = "cannot listen on '" + Opts.SocketPath +
              "': " + std::strerror(errno);
     closeFd(ListenFd);
@@ -129,25 +132,25 @@ void Server::acceptLoop() {
     if (Conn < 0)
       continue;
     {
-      std::lock_guard<std::mutex> Lock(QueueMutex);
+      MutexLock Lock(QueueMutex);
       PendingConns.push_back(Conn);
     }
-    QueueCv.notify_one();
+    QueueCv.notifyOne();
   }
   // Drain trigger: stop admitting connections, then wake every worker so
   // they can observe Stopping once their current request finishes.
   Stopping.store(true);
   closeFd(ListenFd);
-  QueueCv.notify_all();
+  QueueCv.notifyAll();
 }
 
 void Server::workerLoop() {
   for (;;) {
     int Conn = -1;
     {
-      std::unique_lock<std::mutex> Lock(QueueMutex);
-      QueueCv.wait(Lock,
-                   [this] { return Stopping.load() || !PendingConns.empty(); });
+      MutexLock Lock(QueueMutex);
+      while (!Stopping.load() && PendingConns.empty())
+        QueueCv.wait(Lock);
       if (PendingConns.empty())
         return; // draining and nothing queued
       Conn = PendingConns.front();
@@ -181,7 +184,7 @@ void Server::handleConnection(int Fd) {
       std::vector<uint8_t> Payload = encodeErrorResponse(
           Verb::Shutdown, "protocol error: " + FrameErr);
       writeFrame(Fd, 0, Payload);
-      std::lock_guard<std::mutex> Lock(CountersMutex);
+      MutexLock Lock(CountersMutex);
       ++Counters.ErrorResponses;
       break;
     }
@@ -197,11 +200,11 @@ void Server::handleConnection(int Fd) {
 
 std::vector<uint8_t> Server::dispatch(const Frame &In, uint16_t &RespVerb) {
   auto CountError = [this] {
-    std::lock_guard<std::mutex> Lock(CountersMutex);
+    MutexLock Lock(CountersMutex);
     ++Counters.ErrorResponses;
   };
   {
-    std::lock_guard<std::mutex> Lock(CountersMutex);
+    MutexLock Lock(CountersMutex);
     ++Counters.RequestsServed;
   }
 
@@ -213,7 +216,7 @@ std::vector<uint8_t> Server::dispatch(const Frame &In, uint16_t &RespVerb) {
   switch (V) {
   case Verb::Compile: {
     {
-      std::lock_guard<std::mutex> Lock(CountersMutex);
+      MutexLock Lock(CountersMutex);
       ++Counters.CompileRequests;
     }
     JobRequest Req;
@@ -229,7 +232,7 @@ std::vector<uint8_t> Server::dispatch(const Frame &In, uint16_t &RespVerb) {
   }
   case Verb::Run: {
     {
-      std::lock_guard<std::mutex> Lock(CountersMutex);
+      MutexLock Lock(CountersMutex);
       ++Counters.RunRequests;
     }
     JobRequest Req;
@@ -246,7 +249,7 @@ std::vector<uint8_t> Server::dispatch(const Frame &In, uint16_t &RespVerb) {
   case Verb::Stats: {
     StatsResponse Resp;
     {
-      std::lock_guard<std::mutex> Lock(CountersMutex);
+      MutexLock Lock(CountersMutex);
       Resp.RequestsServed = Counters.RequestsServed;
       Resp.RunRequests = Counters.RunRequests;
       Resp.CompileRequests = Counters.CompileRequests;
@@ -277,10 +280,15 @@ void Server::wait() {
     if (W.joinable())
       W.join();
   Workers.clear();
-  // Close any connections that were accepted but never claimed.
-  for (int Fd : PendingConns)
-    ::close(Fd);
-  PendingConns.clear();
+  // Close any connections that were accepted but never claimed. Workers
+  // are joined, but the lock is still taken — the annotation contract on
+  // PendingConns is unconditional, and the uncontended acquisition is free.
+  {
+    MutexLock Lock(QueueMutex);
+    for (int Fd : PendingConns)
+      ::close(Fd);
+    PendingConns.clear();
+  }
   closeFd(StopPipe[0]);
   closeFd(StopPipe[1]);
   ::unlink(Opts.SocketPath.c_str());
@@ -307,6 +315,6 @@ bool Server::serveForever(std::string *Err) {
 }
 
 ServerCounters Server::counters() const {
-  std::lock_guard<std::mutex> Lock(CountersMutex);
+  MutexLock Lock(CountersMutex);
   return Counters;
 }

@@ -23,13 +23,12 @@
 #define GRANII_SERVE_SERVER_H
 
 #include "serve/Engine.h"
+#include "support/ThreadSafety.h"
 #include "support/Timer.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -109,12 +108,12 @@ private:
   std::vector<std::thread> Workers;
 
   /// Accepted connections awaiting a worker.
-  std::mutex QueueMutex;
-  std::condition_variable QueueCv;
-  std::deque<int> PendingConns;
+  Mutex QueueMutex{"Server::QueueMutex"};
+  CondVar QueueCv;
+  std::deque<int> PendingConns GRANII_GUARDED_BY(QueueMutex);
 
-  mutable std::mutex CountersMutex;
-  ServerCounters Counters;
+  mutable Mutex CountersMutex{"Server::CountersMutex"};
+  ServerCounters Counters GRANII_GUARDED_BY(CountersMutex);
 };
 
 } // namespace serve

@@ -112,6 +112,7 @@ bool writeAll(int Fd, const uint8_t *Data, size_t Size, std::string *Err) {
       if (errno == EINTR)
         continue;
       if (Err)
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): errno text, error path
         *Err = std::string("write failed: ") + std::strerror(errno);
       return false;
     }
@@ -130,6 +131,7 @@ ReadStatus readAll(int Fd, uint8_t *Data, size_t Size, std::string *Err) {
       if (errno == EINTR)
         continue;
       if (Err)
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): errno text, error path
         *Err = std::string("read failed: ") + std::strerror(errno);
       return ReadStatus::Error;
     }

@@ -29,6 +29,7 @@ std::string granii::verifyLevelName(VerifyLevel Level) {
 }
 
 VerifyLevel granii::defaultVerifyLevel() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup
   if (const char *Env = std::getenv("GRANII_VERIFY"))
     if (std::optional<VerifyLevel> Level = parseVerifyLevel(Env))
       return *Level;

@@ -2,9 +2,10 @@
 
 #include "support/Json.h"
 
+#include "support/Str.h"
+
 #include <cctype>
 #include <cstdio>
-#include <cstdlib>
 
 using namespace granii;
 
@@ -165,9 +166,8 @@ private:
       return std::nullopt;
     }
     std::string Token = Text.substr(Start, Pos - Start);
-    char *End = nullptr;
-    double Value = std::strtod(Token.c_str(), &End);
-    if (End != Token.c_str() + Token.size()) {
+    double Value = 0.0;
+    if (!parseDouble(Token, Value)) {
       Pos = Start;
       fail("malformed number '" + Token + "'");
       return std::nullopt;

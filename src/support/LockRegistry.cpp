@@ -1,0 +1,144 @@
+//===- LockRegistry.cpp - Debug lock-order cycle detector -------------------===//
+
+#include "support/LockRegistry.h"
+
+#ifdef GRANII_LOCK_ORDER_CHECKS
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace {
+
+/// Global acquired-before graph. Guarded by its own raw std::mutex — it
+/// must not be a granii::Mutex, or every registry operation would recurse
+/// into itself.
+struct Registry {
+  std::mutex M;
+  /// Edges[A] holds every lock acquired at least once while A was held.
+  std::unordered_map<const void *, std::unordered_set<const void *>> Edges;
+  std::unordered_map<const void *, std::string> Names;
+};
+
+/// Leaky singleton: ThreadPool's destructor locks during static
+/// destruction, so the registry must outlive every static granii::Mutex.
+Registry &registry() {
+  static Registry *R = new Registry;
+  return *R;
+}
+
+/// Locks this thread currently holds, in acquisition order. A POD array
+/// rather than a vector: the main thread's thread_local destructors run
+/// before static destructors, and ThreadPool's static instance locks in
+/// its destructor — pushing into a destroyed vector corrupts the heap.
+constexpr size_t MaxHeldLocks = 64;
+thread_local const void *HeldLocks[MaxHeldLocks];
+thread_local size_t HeldCount = 0;
+
+/// True when \p To is reachable from \p From in the acquired-before graph.
+/// Requires R.M held. If \p Path is non-null, fills it with the node
+/// sequence From..To.
+bool findPath(const Registry &R, const void *From, const void *To,
+              std::vector<const void *> *Path) {
+  std::unordered_map<const void *, const void *> Parent;
+  std::vector<const void *> Queue{From};
+  Parent[From] = nullptr;
+  for (size_t I = 0; I < Queue.size(); ++I) {
+    const void *Node = Queue[I];
+    if (Node == To) {
+      if (Path) {
+        for (const void *P = To; P; P = Parent.at(P))
+          Path->insert(Path->begin(), P);
+      }
+      return true;
+    }
+    auto It = R.Edges.find(Node);
+    if (It == R.Edges.end())
+      continue;
+    for (const void *Next : It->second)
+      if (Parent.emplace(Next, Node).second)
+        Queue.push_back(Next);
+  }
+  return false;
+}
+
+const char *lockName(const Registry &R, const void *Lock) {
+  auto It = R.Names.find(Lock);
+  return It == R.Names.end() ? "<unknown>" : It->second.c_str();
+}
+
+[[noreturn]] void reportCycle(const Registry &R, const void *Acquiring,
+                              const void *Held,
+                              const std::vector<const void *> &Path) {
+  std::fprintf(stderr,
+               "granii: LOCK ORDER CYCLE: acquiring '%s' while holding "
+               "'%s', but some thread previously acquired them in the "
+               "opposite order.\n",
+               lockName(R, Acquiring), lockName(R, Held));
+  std::fprintf(stderr, "granii: established acquired-before path:");
+  for (const void *Node : Path)
+    std::fprintf(stderr, " '%s'", lockName(R, Node));
+  std::fprintf(stderr, "\n");
+  std::abort();
+}
+
+} // namespace
+
+void granii::detail::lockRegistryAcquire(const void *Lock, const char *Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Guard(R.M);
+  R.Names.emplace(Lock, Name ? Name : "<unnamed>");
+  for (size_t I = 0; I < HeldCount; ++I)
+    if (HeldLocks[I] == Lock) {
+      std::fprintf(stderr,
+                   "granii: RECURSIVE LOCK: thread already holds '%s' and "
+                   "is acquiring it again (self-deadlock).\n",
+                   lockName(R, Lock));
+      std::abort();
+    }
+  for (size_t I = 0; I < HeldCount; ++I) {
+    const void *Held = HeldLocks[I];
+    std::unordered_set<const void *> &Out = R.Edges[Held];
+    if (Out.count(Lock))
+      continue; // Edge already established and therefore already acyclic.
+    std::vector<const void *> Path;
+    if (findPath(R, Lock, Held, &Path))
+      reportCycle(R, Lock, Held, Path);
+    Out.insert(Lock);
+  }
+  if (HeldCount == MaxHeldLocks) {
+    std::fprintf(stderr,
+                 "granii: lock registry overflow: one thread holds %zu "
+                 "locks at once (acquiring '%s').\n",
+                 MaxHeldLocks, lockName(R, Lock));
+    std::abort();
+  }
+  HeldLocks[HeldCount++] = Lock;
+}
+
+void granii::detail::lockRegistryRelease(const void *Lock) {
+  // Locks release in any order (unique_lock::unlock mid-scope), so remove
+  // the most recent matching entry rather than popping blindly.
+  for (size_t I = HeldCount; I > 0; --I)
+    if (HeldLocks[I - 1] == Lock) {
+      for (size_t J = I - 1; J + 1 < HeldCount; ++J)
+        HeldLocks[J] = HeldLocks[J + 1];
+      --HeldCount;
+      return;
+    }
+}
+
+void granii::detail::lockRegistryDestroy(const void *Lock) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Guard(R.M);
+  R.Edges.erase(Lock);
+  for (auto &[Node, Out] : R.Edges)
+    Out.erase(Lock);
+  R.Names.erase(Lock);
+}
+
+#endif // GRANII_LOCK_ORDER_CHECKS

@@ -1,0 +1,54 @@
+//===- LockRegistry.h - Debug lock-order cycle detector ---------*- C++ -*-===//
+///
+/// \file
+/// A process-wide acquired-before graph over every granii::Mutex, compiled
+/// in only when GRANII_LOCK_ORDER_CHECKS is defined (all non-Release build
+/// types; see the top-level CMakeLists.txt). Each acquisition records an
+/// edge from every lock the thread already holds to the lock being taken;
+/// the first acquisition whose edge would close a cycle — i.e. some thread
+/// previously took these locks in the opposite order — aborts immediately
+/// with both lock names and the offending path, instead of leaving a
+/// deadlock to strike only under the right interleaving.
+///
+/// Release builds compile the hooks to empty inlines: no registry, no
+/// atomics, no per-acquisition cost (verified by the bench-smoke and
+/// zero-steady-state-allocation gates).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_SUPPORT_LOCKREGISTRY_H
+#define GRANII_SUPPORT_LOCKREGISTRY_H
+
+namespace granii {
+
+/// True when this build records lock acquisitions and aborts on ordering
+/// cycles. Always compiled so tests can skip themselves in Release.
+inline bool lockOrderChecksEnabled() {
+#ifdef GRANII_LOCK_ORDER_CHECKS
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace detail {
+
+#ifdef GRANII_LOCK_ORDER_CHECKS
+/// Called by Mutex/MutexLock immediately *before* blocking on the native
+/// mutex, so a cycle reports even when the interleaving would deadlock.
+void lockRegistryAcquire(const void *Lock, const char *Name);
+/// Called after the native mutex is released.
+void lockRegistryRelease(const void *Lock);
+/// Called from ~Mutex: forgets the lock's edges so a later allocation at
+/// the same address (session churn) cannot inherit phantom ordering.
+void lockRegistryDestroy(const void *Lock);
+#else
+inline void lockRegistryAcquire(const void *, const char *) {}
+inline void lockRegistryRelease(const void *) {}
+inline void lockRegistryDestroy(const void *) {}
+#endif
+
+} // namespace detail
+} // namespace granii
+
+#endif // GRANII_SUPPORT_LOCKREGISTRY_H

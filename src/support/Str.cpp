@@ -48,6 +48,54 @@ bool granii::parseInt64(std::string_view Text, int64_t &Out) {
   return true;
 }
 
+bool granii::parseDouble(std::string_view Text, double &Out) {
+  if (Text.empty())
+    return false;
+  const char *First = Text.data(), *Last = Text.data() + Text.size();
+  bool Negative = false;
+  if (*First == '+' || *First == '-') {
+    Negative = *First == '-';
+    ++First;
+    // from_chars itself accepts a leading '-', so "--1" would otherwise
+    // slip through as minus-minus-one.
+    if (First != Last && (*First == '+' || *First == '-'))
+      return false;
+  }
+  // from_chars's hex format omits the "0x" prefix strtod (and printf %a)
+  // uses, so strip it here and select the format explicitly.
+  std::chars_format Format = std::chars_format::general;
+  if (Last - First > 2 && First[0] == '0' &&
+      (First[1] == 'x' || First[1] == 'X')) {
+    Format = std::chars_format::hex;
+    First += 2;
+  }
+  double Value = 0.0;
+  auto [Ptr, Ec] = std::from_chars(First, Last, Value, Format);
+  if (Ec != std::errc() || Ptr != Last)
+    return false;
+  Out = Negative ? -Value : Value;
+  return true;
+}
+
+std::vector<std::string_view> granii::splitFields(std::string_view Text) {
+  std::vector<std::string_view> Fields;
+  auto IsSpace = [](char C) {
+    return C == ' ' || C == '\t' || C == '\r' || C == '\n' || C == '\v' ||
+           C == '\f';
+  };
+  size_t I = 0;
+  while (I < Text.size()) {
+    while (I < Text.size() && IsSpace(Text[I]))
+      ++I;
+    size_t Begin = I;
+    while (I < Text.size() && !IsSpace(Text[I]))
+      ++I;
+    if (I > Begin)
+      Fields.push_back(Text.substr(Begin, I - Begin));
+  }
+  return Fields;
+}
+
 std::string granii::joinStrings(const std::vector<std::string> &Parts,
                                 std::string_view Sep) {
   std::string Result;

@@ -29,6 +29,21 @@ bool startsWith(std::string_view Text, std::string_view Prefix);
 /// garbage, or overflow.
 bool parseInt64(std::string_view Text, int64_t &Out);
 
+/// Parses a floating-point number occupying all of \p Text into \p Out.
+/// Accepts the strtod surface the repo's file formats use — fixed,
+/// scientific, and C hex-float ("0x1.8p+3", the printf %a round-trip form
+/// of the plan and cost-model caches) with an optional sign — but, unlike
+/// strtod, rejects trailing garbage and never consults errno. \returns
+/// false (leaving \p Out untouched) on empty input, trailing garbage, or a
+/// value outside double range.
+bool parseDouble(std::string_view Text, double &Out);
+
+/// Splits \p Text at runs of ASCII whitespace, dropping empty fields. The
+/// returned views alias \p Text. This is the checked replacement for the
+/// sscanf-based field scanning the loaders used to do: split, then parse
+/// each field with parseInt64/parseDouble.
+std::vector<std::string_view> splitFields(std::string_view Text);
+
 /// Joins \p Parts with \p Sep between consecutive elements.
 std::string joinStrings(const std::vector<std::string> &Parts,
                         std::string_view Sep);

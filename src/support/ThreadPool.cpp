@@ -24,6 +24,7 @@ int hardwareThreadCount() {
 }
 
 int defaultThreadCount() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup
   if (const char *Env = std::getenv("GRANII_NUM_THREADS")) {
     std::string Warning;
     int Parsed = parseThreadCount(Env, hardwareThreadCount(), &Warning);
@@ -105,7 +106,7 @@ ThreadPool::~ThreadPool() {
   // destruction cannot overlap an in-flight job or an ensureWorkers() that
   // is concurrently growing the worker vector (a shutdown race TSan flags
   // when a detached thread is still submitting at process exit).
-  std::lock_guard<std::mutex> Submit(SubmitMutex);
+  MutexLock Submit(SubmitMutex);
   stopWorkers();
 }
 
@@ -113,7 +114,7 @@ void ThreadPool::quiesce() {
   // A submitter holds SubmitMutex for its job's entire duration, so once we
   // own it there is no job in flight and no worker can be handed a new one;
   // stragglers from the previous job drain inside stopWorkers()'s joins.
-  std::lock_guard<std::mutex> Submit(SubmitMutex);
+  MutexLock Submit(SubmitMutex);
   stopWorkers();
 }
 
@@ -123,14 +124,14 @@ int ThreadPool::numThreads() {
   int Current = ConfiguredThreads.load(std::memory_order_acquire);
   if (Current > 0)
     return Current;
-  std::lock_guard<std::mutex> Submit(SubmitMutex);
+  MutexLock Submit(SubmitMutex);
   if (ConfiguredThreads.load(std::memory_order_relaxed) == 0)
     ConfiguredThreads.store(defaultThreadCount(), std::memory_order_release);
   return ConfiguredThreads.load(std::memory_order_relaxed);
 }
 
 void ThreadPool::setNumThreads(int NumThreads) {
-  std::lock_guard<std::mutex> Submit(SubmitMutex);
+  MutexLock Submit(SubmitMutex);
   int Want = NumThreads > 0 ? NumThreads : defaultThreadCount();
   if (Want == ConfiguredThreads)
     return;
@@ -155,68 +156,69 @@ void ThreadPool::stopWorkers() {
   if (Workers.empty())
     return;
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    MutexLock Lock(JobMutex);
     Stopping = true;
   }
-  WorkCv.notify_all();
+  WorkCv.notifyAll();
   for (std::thread &Worker : Workers)
     Worker.join();
   Workers.clear();
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(JobMutex);
   Stopping = false;
 }
 
 void ThreadPool::recordError() {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(JobMutex);
   if (!JobError)
     JobError = std::current_exception();
 }
 
-void ThreadPool::runChunks(const std::function<void(int64_t)> *ChunkBody) {
+void ThreadPool::runChunks(const std::function<void(int64_t)> *ChunkBody,
+                           int64_t NumChunks) {
   while (true) {
     int64_t Chunk = NextChunk.fetch_add(1, std::memory_order_relaxed);
-    if (Chunk >= JobNumChunks)
+    if (Chunk >= NumChunks)
       return;
     try {
       (*ChunkBody)(Chunk);
     } catch (...) {
       recordError();
     }
-    finishChunk();
+    finishChunk(NumChunks);
   }
 }
 
-void ThreadPool::finishChunk() {
-  if (ChunksDone.fetch_add(1, std::memory_order_acq_rel) + 1 != JobNumChunks)
+void ThreadPool::finishChunk(int64_t NumChunks) {
+  if (ChunksDone.fetch_add(1, std::memory_order_acq_rel) + 1 != NumChunks)
     return;
   // Take (and drop) the mutex before notifying so the submitter cannot
   // miss the wakeup between its predicate check and going to sleep.
-  { std::lock_guard<std::mutex> Lock(Mutex); }
-  DoneCv.notify_all();
+  { MutexLock Lock(JobMutex); }
+  DoneCv.notifyAll();
 }
 
 void ThreadPool::workerLoop() {
   InParallelRegion = true;
-  std::unique_lock<std::mutex> Lock(Mutex);
+  MutexLock Lock(JobMutex);
   // Start one generation behind so a job published before this thread got
   // scheduled is still picked up. If that generation is already drained
   // (or none ever ran), runChunks finds no chunk to claim and returns
   // without touching the (possibly dangling) body pointer.
   uint64_t SeenGeneration = JobGeneration - 1;
   while (true) {
-    WorkCv.wait(Lock, [&] {
-      return Stopping || JobGeneration != SeenGeneration;
-    });
+    while (!Stopping && JobGeneration == SeenGeneration)
+      WorkCv.wait(Lock);
     if (Stopping)
       return;
     SeenGeneration = JobGeneration;
     const std::function<void(int64_t)> *Body = JobBody;
+    int64_t NumChunks = JobNumChunks;
     ++ActiveParticipants;
     Lock.unlock();
-    runChunks(Body);
+    runChunks(Body, NumChunks);
     Lock.lock();
     if (--ActiveParticipants == 0)
-      DoneCv.notify_all();
+      DoneCv.notifyAll();
   }
 }
 
@@ -230,7 +232,7 @@ void ThreadPool::parallelForChunks(
     return;
   }
 
-  std::unique_lock<std::mutex> Submit(SubmitMutex);
+  MutexLock Submit(SubmitMutex);
   ensureWorkers();
   if (Workers.empty()) {
     // Single-thread configuration: run inline, same chunk order.
@@ -241,11 +243,12 @@ void ThreadPool::parallelForChunks(
   }
 
   {
-    std::unique_lock<std::mutex> Lock(Mutex);
+    MutexLock Lock(JobMutex);
     // Stragglers from the previous job may still hold its body pointer;
     // resetting the chunk counters out from under them would let a claim
     // succeed against a dead body. Wait until they are back in WorkCv.
-    DoneCv.wait(Lock, [&] { return ActiveParticipants == 0; });
+    while (ActiveParticipants != 0)
+      DoneCv.wait(Lock);
     JobBody = &ChunkBody;
     JobNumChunks = NumChunks;
     NextChunk.store(0, std::memory_order_relaxed);
@@ -253,19 +256,20 @@ void ThreadPool::parallelForChunks(
     JobError = nullptr;
     ++JobGeneration;
   }
-  WorkCv.notify_all();
+  WorkCv.notifyAll();
 
   InParallelRegion = true;
-  runChunks(&ChunkBody);
+  runChunks(&ChunkBody, NumChunks);
   InParallelRegion = false;
 
-  std::unique_lock<std::mutex> Lock(Mutex);
-  DoneCv.wait(Lock, [&] {
-    return ChunksDone.load(std::memory_order_acquire) == JobNumChunks;
-  });
-  std::exception_ptr Error = JobError;
-  JobError = nullptr;
-  Lock.unlock();
+  std::exception_ptr Error;
+  {
+    MutexLock Lock(JobMutex);
+    while (ChunksDone.load(std::memory_order_acquire) != NumChunks)
+      DoneCv.wait(Lock);
+    Error = JobError;
+    JobError = nullptr;
+  }
   Submit.unlock();
   if (Error)
     std::rethrow_exception(Error);

@@ -22,11 +22,11 @@
 #ifndef GRANII_SUPPORT_THREADPOOL_H
 #define GRANII_SUPPORT_THREADPOOL_H
 
+#include "support/ThreadSafety.h"
+
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -79,39 +79,46 @@ public:
 private:
   ThreadPool() = default;
 
-  /// Requires SubmitMutex. Resolves the thread count and (re)starts the
-  /// worker threads if the configuration changed.
-  void ensureWorkers();
-  void stopWorkers();
+  /// Resolves the thread count and (re)starts the worker threads if the
+  /// configuration changed.
+  void ensureWorkers() GRANII_REQUIRES(SubmitMutex);
+  void stopWorkers() GRANII_REQUIRES(SubmitMutex);
   void workerLoop();
-  void runChunks(const std::function<void(int64_t)> *ChunkBody);
-  void finishChunk();
+  /// Claims and runs chunks until none remain. \p NumChunks is passed by
+  /// value (snapshotted under JobMutex by the caller) so the hot claim loop
+  /// never touches guarded members lock-free.
+  void runChunks(const std::function<void(int64_t)> *ChunkBody,
+                 int64_t NumChunks);
+  void finishChunk(int64_t NumChunks);
   void recordError();
 
-  /// Serializes submitters and configuration changes.
-  std::mutex SubmitMutex;
+  /// Serializes submitters and configuration changes. Always acquired
+  /// before JobMutex (submission publishes the job under both).
+  Mutex SubmitMutex GRANII_ACQUIRED_BEFORE(JobMutex){
+      "ThreadPool::SubmitMutex"};
   /// Guards job hand-off state below.
-  std::mutex Mutex;
-  std::condition_variable WorkCv; ///< workers wait for a new generation
-  std::condition_variable DoneCv; ///< submitter waits for workers to drain
-  std::vector<std::thread> Workers;
+  Mutex JobMutex{"ThreadPool::JobMutex"};
+  CondVar WorkCv; ///< workers wait for a new generation
+  CondVar DoneCv; ///< submitter waits for workers to drain
+  std::vector<std::thread> Workers GRANII_GUARDED_BY(SubmitMutex);
   std::atomic<int> ConfiguredThreads{0}; ///< 0 = not yet resolved
-  bool Stopping = false;
+  bool Stopping GRANII_GUARDED_BY(JobMutex) = false;
 
   // In-flight job; valid between submission and DoneCv signal. Completion
   // is tracked per chunk, not per worker: the submitter always claims
   // chunks itself, so the job finishes even if workers start too late to
   // observe the generation bump (they simply find no chunks left).
-  uint64_t JobGeneration = 0;
-  const std::function<void(int64_t)> *JobBody = nullptr;
-  int64_t JobNumChunks = 0;
+  uint64_t JobGeneration GRANII_GUARDED_BY(JobMutex) = 0;
+  const std::function<void(int64_t)> *JobBody GRANII_GUARDED_BY(JobMutex) =
+      nullptr;
+  int64_t JobNumChunks GRANII_GUARDED_BY(JobMutex) = 0;
   std::atomic<int64_t> NextChunk{0};
   std::atomic<int64_t> ChunksDone{0};
-  /// Workers currently between waking for a job and returning to wait
-  /// (guarded by Mutex). Publishing a new job waits for this to reach 0 so
-  /// a straggler can never claim fresh chunks against a stale body.
-  int ActiveParticipants = 0;
-  std::exception_ptr JobError;
+  /// Workers currently between waking for a job and returning to wait.
+  /// Publishing a new job waits for this to reach 0 so a straggler can
+  /// never claim fresh chunks against a stale body.
+  int ActiveParticipants GRANII_GUARDED_BY(JobMutex) = 0;
+  std::exception_ptr JobError GRANII_GUARDED_BY(JobMutex);
 };
 
 /// Convenience wrapper over ThreadPool::get().parallelFor().

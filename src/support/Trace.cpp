@@ -68,42 +68,49 @@ int Trace::currentThreadId() {
 }
 
 void Trace::start() {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(M);
   Events.clear();
-  Epoch = std::chrono::steady_clock::now();
-  EpochValid = true;
+  EpochNanos.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count(),
+                   std::memory_order_release);
   Enabled.store(true, std::memory_order_relaxed);
 }
 
 void Trace::stop() { Enabled.store(false, std::memory_order_relaxed); }
 
 double Trace::nowMicros() const {
-  if (!EpochValid)
+  // Lock-free: this runs in every TraceSpan open/close. The epoch is a
+  // single atomic, so a concurrent start() yields either the old or the
+  // new epoch, never a torn value.
+  int64_t Epoch = EpochNanos.load(std::memory_order_acquire);
+  if (Epoch == EpochUnset)
     return 0.0;
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - Epoch)
-      .count();
+  int64_t Now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+  return static_cast<double>(Now - Epoch) * 1e-3;
 }
 
 void Trace::record(Event E) {
   if (!enabled())
     return;
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(M);
   Events.push_back(std::move(E));
 }
 
 size_t Trace::eventCount() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(M);
   return Events.size();
 }
 
 void Trace::clear() {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(M);
   Events.clear();
 }
 
 std::string Trace::toJson() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(M);
   std::ostringstream Out;
   Out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool First = true;

@@ -20,10 +20,11 @@
 #ifndef GRANII_SUPPORT_TRACE_H
 #define GRANII_SUPPORT_TRACE_H
 
+#include "support/ThreadSafety.h"
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -84,10 +85,14 @@ private:
   Trace() = default;
 
   std::atomic<bool> Enabled{false};
-  mutable std::mutex Mutex;
-  std::vector<Event> Events;
-  std::chrono::steady_clock::time_point Epoch{};
-  bool EpochValid = false;
+  mutable Mutex M{"Trace::M"};
+  std::vector<Event> Events GRANII_GUARDED_BY(M);
+  /// Nanoseconds-since-steady-epoch of the last start(), or EpochUnset.
+  /// Atomic — nowMicros() runs on the span hot path, where taking M would
+  /// serialize every traced worker (and the old unguarded read raced with
+  /// start()).
+  static constexpr int64_t EpochUnset = INT64_MIN;
+  std::atomic<int64_t> EpochNanos{EpochUnset};
 };
 
 /// RAII span: opens at construction, records one complete event at

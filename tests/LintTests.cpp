@@ -1,0 +1,216 @@
+//===- LintTests.cpp - granii-lint rule fixtures ------------------------------===//
+//
+// Each test plants a violation in an in-memory fixture and asserts the rule
+// id and line granii-lint reports, plus the negative cases (exempt paths,
+// suppression directives, literals) that keep the lint quiet on valid code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Lint.h"
+
+#include <gtest/gtest.h>
+
+using granii::lint::Finding;
+using granii::lint::lintContent;
+using granii::lint::runLint;
+
+namespace {
+
+// Lines are 1-based; fixtures below start with a \n so the first code line
+// is line 2 and the planted line numbers stay readable.
+
+TEST(LintNoalloc, FlagsAllocationInsideRegion) {
+  const std::string Src = R"(
+void hot(std::vector<float> &V, int N) {
+  // granii-noalloc-begin
+  V.push_back(1.0f);
+  float *P = new float[N];
+  (void)P;
+  // granii-noalloc-end
+  V.resize(0);
+}
+)";
+  std::vector<Finding> F = lintContent("src/runtime/Hot.cpp", Src);
+  ASSERT_EQ(F.size(), 2u);
+  EXPECT_EQ(F[0].Rule, "noalloc");
+  EXPECT_EQ(F[0].Line, 4);
+  EXPECT_NE(F[0].Message.find("push_back"), std::string::npos);
+  EXPECT_EQ(F[1].Rule, "noalloc");
+  EXPECT_EQ(F[1].Line, 5);
+  EXPECT_NE(F[1].Message.find("new"), std::string::npos);
+}
+
+TEST(LintNoalloc, UnterminatedRegionIsItselfAFinding) {
+  const std::string Src = R"(
+// granii-noalloc-begin
+void f() {}
+)";
+  std::vector<Finding> F = lintContent("src/runtime/Hot.cpp", Src);
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0].Rule, "noalloc");
+  EXPECT_EQ(F[0].Line, 2);
+  EXPECT_NE(F[0].Message.find("unterminated"), std::string::npos);
+}
+
+TEST(LintNoalloc, DeletedFunctionsAndRegionFreeCodePass) {
+  const std::string Src = R"(
+struct S {
+  S(const S &) = delete;
+};
+void cold(std::vector<float> &V) { V.push_back(1.0f); }
+)";
+  EXPECT_TRUE(lintContent("src/runtime/Cold.cpp", Src).empty());
+  const std::string Deleted = R"(
+// granii-noalloc-begin
+struct S {
+  S(const S &) = delete;
+};
+// granii-noalloc-end
+)";
+  EXPECT_TRUE(lintContent("src/runtime/Cold.cpp", Deleted).empty());
+}
+
+TEST(LintCheckedParse, FlagsUncheckedParseOutsideStr) {
+  const std::string Src = R"(
+int parse(const char *S) {
+  return atoi(S);
+}
+)";
+  std::vector<Finding> F = lintContent("src/graph/Load.cpp", Src);
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0].Rule, "checked-parse");
+  EXPECT_EQ(F[0].Line, 3);
+  // The home of the checked helpers is exempt.
+  EXPECT_TRUE(lintContent("src/support/Str.cpp", Src).empty());
+}
+
+TEST(LintCheckedParse, LiteralsAndCommentsNeverTokenize) {
+  const std::string Src = R"(
+// atoi(x) in a comment is fine
+const char *Doc = "call atoi(x) for fun";
+const char *Raw = R"doc(strtol(p, q, 10))doc";
+)";
+  EXPECT_TRUE(lintContent("src/graph/Load.cpp", Src).empty());
+}
+
+TEST(LintKernelAssert, RawAssertOnlyFlaggedUnderKernels) {
+  const std::string Src = R"(
+void k(int N) {
+  assert(N > 0);
+  static_assert(sizeof(int) == 4, "abi");
+}
+)";
+  std::vector<Finding> F = lintContent("src/kernels/K.cpp", Src);
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0].Rule, "kernel-assert");
+  EXPECT_EQ(F[0].Line, 3);
+  EXPECT_TRUE(lintContent("src/graph/K.cpp", Src).empty());
+}
+
+TEST(LintUnorderedIter, FlagsRangeForAndBeginInScopedDirs) {
+  const std::string Src = R"(
+double total(const std::unordered_map<std::string, double> &In) {
+  std::unordered_map<std::string, double> Cost = In;
+  double T = 0;
+  for (const auto &KV : Cost)
+    T += KV.second;
+  auto It = Cost.begin();
+  return T + It->second;
+}
+)";
+  std::vector<Finding> F = lintContent("src/cost/Model.cpp", Src);
+  ASSERT_EQ(F.size(), 2u);
+  EXPECT_EQ(F[0].Rule, "unordered-iter");
+  EXPECT_EQ(F[0].Line, 5);
+  EXPECT_EQ(F[1].Rule, "unordered-iter");
+  EXPECT_EQ(F[1].Line, 7);
+  // Outside the determinism-scoped directories the same code passes.
+  EXPECT_TRUE(lintContent("src/serve/Model.cpp", Src).empty());
+}
+
+TEST(LintUnorderedIter, MembershipOnlyUsePasses) {
+  const std::string Src = R"(
+bool seen(const std::string &K) {
+  std::unordered_set<std::string> Seen;
+  Seen.insert(K);
+  return Seen.count(K) != 0;
+}
+)";
+  EXPECT_TRUE(lintContent("src/assoc/Enum.cpp", Src).empty());
+}
+
+TEST(LintIntoDstCheck, FlagsUncheckedKernelDefinition) {
+  const std::string Src = R"(
+void fooInto(float *Dst, int N) {
+  for (int I = 0; I < N; ++I)
+    Dst[I] = 0.0f;
+}
+)";
+  std::vector<Finding> F = lintContent("src/kernels/K.cpp", Src);
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0].Rule, "into-dst-check");
+  EXPECT_EQ(F[0].Line, 2);
+  EXPECT_NE(F[0].Message.find("fooInto"), std::string::npos);
+}
+
+TEST(LintIntoDstCheck, CheckedDelegatingAndDeclaredKernelsPass) {
+  const std::string Src = R"(
+void aInto(float *Dst, int N);
+void bInto(float *Dst, int N) {
+  GRANII_CHECK(N >= 0, "n");
+  Dst[0] = 0.0f;
+}
+void cInto(float *Dst, int N) {
+  checkVecDst(Dst, N, "c");
+  Dst[0] = 0.0f;
+}
+void dInto(float *Dst, int N) {
+  bInto(Dst, N);
+}
+)";
+  EXPECT_TRUE(lintContent("src/kernels/K.cpp", Src).empty());
+}
+
+TEST(LintSuppression, AllowDirectiveOnSameOrPreviousLine) {
+  const std::string SameLine = R"(
+int parse(const char *S) {
+  return atoi(S); // granii-lint-allow(checked-parse)
+}
+)";
+  EXPECT_TRUE(lintContent("src/graph/Load.cpp", SameLine).empty());
+  const std::string PrevLine = R"(
+int parse(const char *S) {
+  // granii-lint-allow(checked-parse)
+  return atoi(S);
+}
+)";
+  EXPECT_TRUE(lintContent("src/graph/Load.cpp", PrevLine).empty());
+  // The directive only disarms the named rule.
+  const std::string WrongRule = R"(
+int parse(const char *S) {
+  return atoi(S); // granii-lint-allow(noalloc)
+}
+)";
+  EXPECT_EQ(lintContent("src/graph/Load.cpp", WrongRule).size(), 1u);
+}
+
+TEST(LintDriver, RenderAndExitCodes) {
+  Finding F{"src/a.cpp", 7, "noalloc", "boom"};
+  EXPECT_EQ(F.render(), "src/a.cpp:7: error: [noalloc] boom");
+
+  std::string Out, Err;
+  EXPECT_EQ(runLint({}, Out, Err), 2);
+  EXPECT_NE(Err.find("usage:"), std::string::npos);
+
+  Out.clear();
+  Err.clear();
+  EXPECT_EQ(runLint({"--list-rules"}, Out, Err), 0);
+  EXPECT_NE(Out.find("into-dst-check"), std::string::npos);
+
+  Out.clear();
+  Err.clear();
+  EXPECT_EQ(runLint({"/nonexistent/granii"}, Out, Err), 2);
+  EXPECT_NE(Err.find("no such file"), std::string::npos);
+}
+
+} // namespace

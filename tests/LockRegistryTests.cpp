@@ -1,0 +1,96 @@
+//===- LockRegistryTests.cpp - lock-order cycle detector ---------------------===//
+//
+// Death tests for the debug lock registry: an inconsistent acquisition
+// order must abort naming both locks, and a recursive acquisition must
+// abort naming the lock. Skipped in Release builds, where the registry is
+// compiled out.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LockRegistry.h"
+#include "support/ThreadSafety.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using granii::Mutex;
+using granii::MutexLock;
+
+namespace {
+
+/// Acquires A then B, releasing in reverse, recording A-before-B.
+void lockInOrder(Mutex &A, Mutex &B) {
+  MutexLock LockA(A);
+  MutexLock LockB(B);
+}
+
+TEST(LockRegistry, ConsistentOrderDoesNotAbort) {
+  Mutex A("OrderedA");
+  Mutex B("OrderedB");
+  lockInOrder(A, B);
+  lockInOrder(A, B); // Re-walking an established edge is fine.
+}
+
+TEST(LockRegistry, CycleAbortsNamingBothLocks) {
+  if (!granii::lockOrderChecksEnabled())
+    GTEST_SKIP() << "lock registry compiled out in Release";
+  // The child re-executes single-threaded, which keeps the fork safe under
+  // ASan and TSan.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex A("LockA");
+        Mutex B("LockB");
+        lockInOrder(A, B);
+        lockInOrder(B, A);
+      },
+      "LOCK ORDER CYCLE.*'LockA'.*'LockB'");
+}
+
+TEST(LockRegistry, RecursiveAcquisitionAborts) {
+  if (!granii::lockOrderChecksEnabled())
+    GTEST_SKIP() << "lock registry compiled out in Release";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex R("LockR");
+        MutexLock First(R);
+        MutexLock Second(R);
+      },
+      "RECURSIVE LOCK.*'LockR'");
+}
+
+TEST(LockRegistry, MidScopeUnlockClearsHeldSet) {
+  // MutexLock::unlock releases the registry entry too, so acquiring in the
+  // "wrong" order with no overlap records no edge and must not abort.
+  Mutex A("StaggeredA");
+  Mutex B("StaggeredB");
+  {
+    MutexLock LockA(A);
+    LockA.unlock();
+    MutexLock LockB(B);
+    LockB.unlock();
+    LockA.lock();
+  }
+  {
+    MutexLock LockB(B);
+    LockB.unlock();
+    MutexLock LockA(A);
+  }
+}
+
+TEST(LockRegistry, DestroyedLockLeavesNoPhantomEdges) {
+  // A destroyed mutex must be unregistered: a new mutex reusing its address
+  // would otherwise inherit its edges and report false cycles.
+  auto A = std::make_unique<Mutex>("PhantomA");
+  auto B = std::make_unique<Mutex>("PhantomB");
+  lockInOrder(*A, *B);
+  A.reset();
+  B.reset();
+  Mutex C("PhantomC");
+  Mutex D("PhantomD");
+  lockInOrder(D, C); // Opposite order; any stale edge could false-positive.
+}
+
+} // namespace

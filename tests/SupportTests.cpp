@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <set>
 
 using namespace granii;
@@ -135,6 +136,51 @@ TEST(Str, Join) {
 }
 
 TEST(Str, FormatDouble) { EXPECT_EQ(formatDouble(1.23456, 2), "1.23"); }
+
+TEST(Str, ParseDoubleDecimal) {
+  double V = 0.0;
+  EXPECT_TRUE(parseDouble("1.5", V));
+  EXPECT_EQ(V, 1.5);
+  EXPECT_TRUE(parseDouble("-2.25e2", V));
+  EXPECT_EQ(V, -225.0);
+  EXPECT_TRUE(parseDouble("+3", V));
+  EXPECT_EQ(V, 3.0);
+}
+
+TEST(Str, ParseDoubleHexFloatRoundTrip) {
+  // Deserializers rely on parsing the printf %a form back exactly.
+  double Cases[] = {0.0, 1.0, -0.3333333333333333, 12.75, 1e-300};
+  for (double Expected : Cases) {
+    char Buffer[64];
+    std::snprintf(Buffer, sizeof(Buffer), "%a", Expected);
+    double Actual = 42.0;
+    EXPECT_TRUE(parseDouble(Buffer, Actual)) << Buffer;
+    EXPECT_EQ(Actual, Expected) << Buffer;
+  }
+  double V = 0.0;
+  EXPECT_TRUE(parseDouble("-0x1.8p+3", V));
+  EXPECT_EQ(V, -12.0);
+}
+
+TEST(Str, ParseDoubleRejectsMalformed) {
+  double V = 0.0;
+  EXPECT_FALSE(parseDouble("", V));
+  EXPECT_FALSE(parseDouble(".", V));
+  EXPECT_FALSE(parseDouble("1.5x", V));
+  EXPECT_FALSE(parseDouble("0x", V));
+  EXPECT_FALSE(parseDouble("--1", V));
+  EXPECT_FALSE(parseDouble("1 ", V));
+}
+
+TEST(Str, SplitFieldsCollapsesRuns) {
+  auto Fields = splitFields("  a\t\tbb  \n ccc ");
+  ASSERT_EQ(Fields.size(), 3u);
+  EXPECT_EQ(Fields[0], "a");
+  EXPECT_EQ(Fields[1], "bb");
+  EXPECT_EQ(Fields[2], "ccc");
+  EXPECT_TRUE(splitFields("   ").empty());
+  EXPECT_TRUE(splitFields("").empty());
+}
 
 TEST(Str, RenderTableAligns) {
   std::string T = renderTable({"name", "x"}, {{"long-name", "1"}, {"b", "22"}});

@@ -151,9 +151,15 @@ int granii::benchdiff::runBenchDiff(const std::vector<std::string> &Args,
   for (size_t I = 0; I < Args.size(); ++I) {
     const std::string &Arg = Args[I];
     if (Arg.rfind("--threshold=", 0) == 0) {
-      GlobalThreshold = std::atof(Arg.c_str() + 12);
+      if (!parseDouble(Arg.substr(12), GlobalThreshold)) {
+        Err += "error: malformed --threshold value '" + Arg.substr(12) + "'\n";
+        return 2;
+      }
     } else if (Arg == "--threshold" && I + 1 < Args.size()) {
-      GlobalThreshold = std::atof(Args[++I].c_str());
+      if (!parseDouble(Args[++I], GlobalThreshold)) {
+        Err += "error: malformed --threshold value '" + Args[I] + "'\n";
+        return 2;
+      }
     } else if (Arg.rfind("--", 0) == 0) {
       Err += "error: unknown option '" + Arg + "'\n";
       return 2;

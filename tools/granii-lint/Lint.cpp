@@ -1,0 +1,502 @@
+//===- Lint.cpp - Project-specific hot-path and safety lint ------------------===//
+
+#include "Lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <climits>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+using namespace granii::lint;
+
+namespace {
+
+/// One lexical unit. The scanner only distinguishes identifiers (which
+/// includes keywords) from punctuation; literals and comments are consumed
+/// without producing tokens, so rule matching never fires on the contents
+/// of a string.
+struct Token {
+  bool IsIdent = false;
+  std::string Text;
+  int Line = 0;
+};
+
+struct ScanState {
+  std::vector<Token> Tokens;
+  /// Rules suppressed per line via the allow directive.
+  std::map<int, std::set<std::string>> Allows;
+  /// Lines carrying the region begin / end markers, in source order.
+  std::vector<int> RegionBegins;
+  std::vector<int> RegionEnds;
+};
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) != 0 || C == '_';
+}
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) != 0 || C == '_';
+}
+
+bool startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+bool endsWith(std::string_view S, std::string_view Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.substr(S.size() - Suffix.size()) == Suffix;
+}
+
+/// Extracts directives from one comment's text. Matching is by substring so
+/// every comment style works; \p Line is the line the comment starts on.
+void parseDirectives(std::string_view Comment, int Line, ScanState &S) {
+  if (Comment.find("granii-noalloc-begin") != std::string_view::npos)
+    S.RegionBegins.push_back(Line);
+  if (Comment.find("granii-noalloc-end") != std::string_view::npos)
+    S.RegionEnds.push_back(Line);
+  constexpr std::string_view AllowKey = "granii-lint-allow(";
+  size_t Pos = 0;
+  while ((Pos = Comment.find(AllowKey, Pos)) != std::string_view::npos) {
+    Pos += AllowKey.size();
+    size_t End = Comment.find(')', Pos);
+    if (End == std::string_view::npos)
+      break;
+    S.Allows[Line].insert(std::string(Comment.substr(Pos, End - Pos)));
+    Pos = End + 1;
+  }
+}
+
+ScanState scanTokens(const std::string &Src) {
+  ScanState S;
+  std::string_view V(Src);
+  size_t I = 0;
+  const size_t N = V.size();
+  int Line = 1;
+  while (I < N) {
+    char C = V[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && V[I + 1] == '/') {
+      size_t End = V.find('\n', I);
+      if (End == std::string_view::npos)
+        End = N;
+      parseDirectives(V.substr(I, End - I), Line, S);
+      I = End;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && V[I + 1] == '*') {
+      size_t End = V.find("*/", I + 2);
+      End = End == std::string_view::npos ? N : End + 2;
+      std::string_view Body = V.substr(I, End - I);
+      parseDirectives(Body, Line, S);
+      Line += static_cast<int>(std::count(Body.begin(), Body.end(), '\n'));
+      I = End;
+      continue;
+    }
+    if (C == '"' || C == '\'') {
+      char Quote = C;
+      ++I;
+      while (I < N) {
+        if (V[I] == '\\') {
+          I += 2;
+          continue;
+        }
+        if (V[I] == '\n')
+          ++Line; // Ill-formed without a continuation, but keep lines honest.
+        if (V[I] == Quote) {
+          ++I;
+          break;
+        }
+        ++I;
+      }
+      continue;
+    }
+    if (isIdentStart(C)) {
+      size_t Start = I;
+      while (I < N && isIdentChar(V[I]))
+        ++I;
+      std::string Ident(V.substr(Start, I - Start));
+      // Raw string literal: an encoding prefix ending in R with an opening
+      // quote directly after. The body is skipped verbatim up to the
+      // matching )delim" so nothing inside ever tokenizes.
+      if (I < N && V[I] == '"' && endsWith(Ident, "R") &&
+          (Ident == "R" || Ident == "LR" || Ident == "uR" || Ident == "UR" ||
+           Ident == "u8R")) {
+        size_t DelimEnd = V.find('(', I + 1);
+        if (DelimEnd == std::string_view::npos)
+          break;
+        std::string Close =
+            ")" + std::string(V.substr(I + 1, DelimEnd - I - 1)) + "\"";
+        size_t End = V.find(Close, DelimEnd + 1);
+        End = End == std::string_view::npos ? N : End + Close.size();
+        std::string_view Body = V.substr(I, End - I);
+        Line += static_cast<int>(std::count(Body.begin(), Body.end(), '\n'));
+        I = End;
+        continue;
+      }
+      S.Tokens.push_back({true, std::move(Ident), Line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) != 0) {
+      // One numeric literal, exponent signs included, so 1e+9 and 0x1.8p+3
+      // do not shed '+' punctuation tokens.
+      ++I;
+      while (I < N) {
+        char D = V[I];
+        if (isIdentChar(D) || D == '.' || D == '\'') {
+          ++I;
+          continue;
+        }
+        char Prev = V[I - 1];
+        if ((D == '+' || D == '-') &&
+            (Prev == 'e' || Prev == 'E' || Prev == 'p' || Prev == 'P')) {
+          ++I;
+          continue;
+        }
+        break;
+      }
+      continue;
+    }
+    if (C == ':' && I + 1 < N && V[I + 1] == ':') {
+      // Kept as one token so a scope operator can never pass for the colon
+      // of a range-for.
+      S.Tokens.push_back({false, "::", Line});
+      I += 2;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C)) == 0)
+      S.Tokens.push_back({false, std::string(1, C), Line});
+    ++I;
+  }
+  return S;
+}
+
+struct Region {
+  int Begin = 0;
+  int End = 0;
+};
+
+/// Pairs up region markers; malformed marker structure is itself a finding
+/// so a dropped end marker cannot silently disable the rule.
+std::vector<Region> buildRegions(const ScanState &S, const std::string &Path,
+                                 std::vector<Finding> &Out) {
+  std::vector<std::pair<int, bool>> Events; // (line, isBegin)
+  for (int L : S.RegionBegins)
+    Events.emplace_back(L, true);
+  for (int L : S.RegionEnds)
+    Events.emplace_back(L, false);
+  std::sort(Events.begin(), Events.end());
+  std::vector<Region> Regions;
+  int Open = -1;
+  for (const auto &[L, IsBegin] : Events) {
+    if (IsBegin) {
+      if (Open >= 0)
+        Out.push_back({Path, L, "noalloc",
+                       "nested noalloc begin marker (region already open "
+                       "since line " +
+                           std::to_string(Open) + ")"});
+      else
+        Open = L;
+    } else if (Open < 0) {
+      Out.push_back(
+          {Path, L, "noalloc", "noalloc end marker with no open region"});
+    } else {
+      Regions.push_back({Open, L});
+      Open = -1;
+    }
+  }
+  if (Open >= 0) {
+    Out.push_back({Path, Open, "noalloc", "unterminated noalloc begin marker"});
+    Regions.push_back({Open, INT_MAX});
+  }
+  return Regions;
+}
+
+bool inAnyRegion(int Line, const std::vector<Region> &Regions) {
+  for (const Region &R : Regions)
+    if (Line >= R.Begin && Line <= R.End)
+      return true;
+  return false;
+}
+
+const std::set<std::string> &allocCallNames() {
+  static const std::set<std::string> Names = {
+      "malloc",       "calloc",      "realloc",     "aligned_alloc",
+      "posix_memalign", "strdup",    "free",        "resize",
+      "reserve",      "push_back",   "push_front",  "emplace",
+      "emplace_back", "emplace_front", "insert",    "append",
+      "assign",       "make_unique", "make_shared", "shrink_to_fit"};
+  return Names;
+}
+
+const std::set<std::string> &uncheckedParseNames() {
+  static const std::set<std::string> Names = {
+      "atoi",    "atol",   "atoll", "atof",    "strtol",  "strtoll",
+      "strtoul", "strtoull", "strtof", "strtod", "strtold", "sscanf",
+      "fscanf",  "scanf",  "vsscanf", "stoi",   "stol",    "stoll",
+      "stoul",   "stoull", "stof",   "stod",    "stold"};
+  return Names;
+}
+
+/// Index of the punctuation token matching the opener at \p OpenIdx, or
+/// Tokens.size() when unbalanced.
+size_t matchForward(const std::vector<Token> &T, size_t OpenIdx,
+                    std::string_view Open, std::string_view Close) {
+  int Depth = 0;
+  for (size_t I = OpenIdx; I < T.size(); ++I) {
+    if (T[I].IsIdent)
+      continue;
+    if (T[I].Text == Open)
+      ++Depth;
+    else if (T[I].Text == Close && --Depth == 0)
+      return I;
+  }
+  return T.size();
+}
+
+} // namespace
+
+std::string Finding::render() const {
+  return File + ":" + std::to_string(Line) + ": error: [" + Rule + "] " +
+         Message;
+}
+
+std::vector<Finding> granii::lint::lintContent(const std::string &Path,
+                                               const std::string &Content) {
+  ScanState S = scanTokens(Content);
+  const std::vector<Token> &T = S.Tokens;
+  std::vector<Finding> Raw;
+  std::vector<Region> Regions = buildRegions(S, Path, Raw);
+
+  auto PathHas = [&](std::string_view Needle) {
+    return Path.find(Needle) != std::string::npos;
+  };
+  const bool InKernels = PathHas("src/kernels/");
+  const bool InStrHome = PathHas("src/support/Str");
+  const bool InDeterminismScope =
+      PathHas("src/assoc/") || PathHas("src/cost/") ||
+      PathHas("src/granii/") || PathHas("src/ir/") || PathHas("src/verify/");
+
+  auto IsCall = [&](size_t I) {
+    return T[I].IsIdent && I + 1 < T.size() && !T[I + 1].IsIdent &&
+           T[I + 1].Text == "(";
+  };
+
+  // -- noalloc + checked-parse + kernel-assert: one pass over call sites.
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (!T[I].IsIdent)
+      continue;
+    const std::string &Text = T[I].Text;
+    if (inAnyRegion(T[I].Line, Regions)) {
+      bool PrevIsEq = I > 0 && !T[I - 1].IsIdent && T[I - 1].Text == "=";
+      if (Text == "new")
+        Raw.push_back({Path, T[I].Line, "noalloc",
+                       "'new' inside a noalloc region"});
+      else if (Text == "delete" && !PrevIsEq) // "= delete" declarations pass
+        Raw.push_back({Path, T[I].Line, "noalloc",
+                       "'delete' inside a noalloc region"});
+      else if (IsCall(I) && allocCallNames().count(Text) != 0)
+        Raw.push_back({Path, T[I].Line, "noalloc",
+                       "allocation-family call '" + Text +
+                           "' inside a noalloc region"});
+    }
+    if (!InStrHome && IsCall(I) && uncheckedParseNames().count(Text) != 0)
+      Raw.push_back({Path, T[I].Line, "checked-parse",
+                     "unchecked numeric parse '" + Text +
+                         "'; use granii::parseInt64/parseDouble "
+                         "(support/Str.h)"});
+    if (InKernels && Text == "assert" && IsCall(I))
+      Raw.push_back({Path, T[I].Line, "kernel-assert",
+                     "raw assert in kernel code; use GRANII_CHECK, which "
+                     "stays on in Release"});
+  }
+
+  // -- unordered-iter: declaration tracking, then range-for and .begin().
+  if (InDeterminismScope) {
+    std::set<std::string> UnorderedVars;
+    static const std::set<std::string> UnorderedTypes = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    for (size_t I = 0; I + 1 < T.size(); ++I) {
+      if (!T[I].IsIdent || UnorderedTypes.count(T[I].Text) == 0 ||
+          T[I + 1].IsIdent || T[I + 1].Text != "<")
+        continue;
+      size_t CloseAngle = matchForward(T, I + 1, "<", ">");
+      size_t K = CloseAngle + 1;
+      while (K < T.size() &&
+             (T[K].Text == "&" || T[K].Text == "*" || T[K].Text == "const"))
+        ++K;
+      // The identifier after the type is the variable; a '(' after it means
+      // this was a function return type instead.
+      if (K < T.size() && T[K].IsIdent &&
+          (K + 1 >= T.size() || T[K + 1].Text != "("))
+        UnorderedVars.insert(T[K].Text);
+    }
+    for (size_t I = 0; I + 1 < T.size(); ++I) {
+      if (T[I].IsIdent && T[I].Text == "for" && !T[I + 1].IsIdent &&
+          T[I + 1].Text == "(") {
+        size_t CloseParen = matchForward(T, I + 1, "(", ")");
+        // Find the range-for colon at top paren depth.
+        int Depth = 0;
+        size_t Colon = T.size();
+        for (size_t J = I + 1; J < CloseParen; ++J) {
+          if (T[J].IsIdent)
+            continue;
+          if (T[J].Text == "(")
+            ++Depth;
+          else if (T[J].Text == ")")
+            --Depth;
+          else if (T[J].Text == ":" && Depth == 1) {
+            Colon = J;
+            break;
+          }
+        }
+        for (size_t J = Colon + 1; J < CloseParen && J < T.size(); ++J)
+          if (T[J].IsIdent && UnorderedVars.count(T[J].Text) != 0) {
+            Raw.push_back({Path, T[I].Line, "unordered-iter",
+                           "iteration over unordered container '" + T[J].Text +
+                               "' in plan/cost-affecting code is "
+                               "nondeterministic; iterate a sorted copy of "
+                               "the keys instead"});
+            break;
+          }
+      }
+      static const std::set<std::string> BeginNames = {"begin", "cbegin",
+                                                       "rbegin", "crbegin"};
+      if (T[I].IsIdent && UnorderedVars.count(T[I].Text) != 0 &&
+          I + 3 < T.size() && T[I + 1].Text == "." && T[I + 2].IsIdent &&
+          BeginNames.count(T[I + 2].Text) != 0 && T[I + 3].Text == "(")
+        Raw.push_back({Path, T[I].Line, "unordered-iter",
+                       "iterator over unordered container '" + T[I].Text +
+                           "' in plan/cost-affecting code is nondeterministic;"
+                           " iterate a sorted copy of the keys instead"});
+    }
+  }
+
+  // -- into-dst-check: every *Into definition must validate its destination.
+  if (InKernels) {
+    for (size_t I = 0; I + 1 < T.size(); ++I) {
+      if (!T[I].IsIdent || !endsWith(T[I].Text, "Into") ||
+          T[I].Text.size() <= 4 || T[I + 1].IsIdent || T[I + 1].Text != "(")
+        continue;
+      size_t CloseParen = matchForward(T, I + 1, "(", ")");
+      size_t K = CloseParen + 1;
+      while (K < T.size() && T[K].IsIdent &&
+             (T[K].Text == "noexcept" || T[K].Text == "const"))
+        ++K;
+      if (K >= T.size() || T[K].IsIdent || T[K].Text != "{")
+        continue; // declaration or call site, not a definition
+      size_t CloseBrace = matchForward(T, K, "{", "}");
+      bool Checked = false;
+      for (size_t M = K + 1; M < CloseBrace && !Checked; ++M)
+        if (T[M].IsIdent &&
+            (T[M].Text == "GRANII_CHECK" || startsWith(T[M].Text, "check") ||
+             startsWith(T[M].Text, "Check") || endsWith(T[M].Text, "Into")))
+          Checked = true;
+      if (!Checked)
+        Raw.push_back({Path, T[I].Line, "into-dst-check",
+                       "kernel '" + T[I].Text +
+                           "' never validates its destination: add a "
+                           "GRANII_CHECK / check* precondition or delegate "
+                           "to a checked *Into kernel"});
+      I = CloseBrace < T.size() ? CloseBrace : I;
+    }
+  }
+
+  // -- suppression: an allow directive on the finding's line or the line
+  //    above disarms that rule.
+  std::vector<Finding> Result;
+  for (Finding &F : Raw) {
+    bool Allowed = false;
+    for (int L : {F.Line, F.Line - 1}) {
+      auto It = S.Allows.find(L);
+      if (It != S.Allows.end() &&
+          (It->second.count(F.Rule) != 0 || It->second.count("all") != 0))
+        Allowed = true;
+    }
+    if (!Allowed)
+      Result.push_back(std::move(F));
+  }
+  std::stable_sort(Result.begin(), Result.end(),
+                   [](const Finding &A, const Finding &B) {
+                     return std::tie(A.File, A.Line) < std::tie(B.File, B.Line);
+                   });
+  return Result;
+}
+
+int granii::lint::runLint(const std::vector<std::string> &Args,
+                          std::string &Out, std::string &Err) {
+  const std::string Usage =
+      "usage: granii-lint <file-or-directory>... [--list-rules]\n";
+  std::vector<std::string> Paths;
+  for (const std::string &Arg : Args) {
+    if (Arg == "--list-rules") {
+      Out += "noalloc checked-parse kernel-assert unordered-iter "
+             "into-dst-check\n";
+      return 0;
+    }
+    if (!Arg.empty() && Arg[0] == '-') {
+      Err += "error: unknown flag '" + Arg + "'\n" + Usage;
+      return 2;
+    }
+    Paths.push_back(Arg);
+  }
+  if (Paths.empty()) {
+    Err += Usage;
+    return 2;
+  }
+
+  namespace fs = std::filesystem;
+  std::vector<std::string> Files;
+  for (const std::string &P : Paths) {
+    std::error_code Ec;
+    if (fs::is_directory(P, Ec)) {
+      for (fs::recursive_directory_iterator It(P, Ec), End; It != End;
+           It.increment(Ec)) {
+        if (Ec) {
+          Err += "error: cannot walk '" + P + "': " + Ec.message() + "\n";
+          return 2;
+        }
+        if (!It->is_regular_file(Ec))
+          continue;
+        std::string Ext = It->path().extension().string();
+        if (Ext == ".cpp" || Ext == ".h")
+          Files.push_back(It->path().generic_string());
+      }
+    } else if (fs::is_regular_file(P, Ec)) {
+      Files.push_back(P);
+    } else {
+      Err += "error: no such file or directory: '" + P + "'\n";
+      return 2;
+    }
+  }
+  std::sort(Files.begin(), Files.end());
+  Files.erase(std::unique(Files.begin(), Files.end()), Files.end());
+
+  size_t Count = 0;
+  for (const std::string &File : Files) {
+    std::ifstream In(File, std::ios::binary);
+    if (!In) {
+      Err += "error: cannot read '" + File + "'\n";
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    for (const Finding &F : lintContent(File, Buf.str())) {
+      Out += F.render() + "\n";
+      ++Count;
+    }
+  }
+  if (Count != 0) {
+    Out += "granii-lint: " + std::to_string(Count) + " finding(s)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===- Lint.h - Project-specific hot-path and safety lint -------*- C++ -*-===//
+///
+/// \file
+/// The granii-lint driver, factored as a library so every rule is
+/// unit-testable against planted fixtures:
+///
+///   granii-lint <file-or-directory>... [--list-rules]
+///
+/// A self-contained token scanner (no compiler dependency — it must run in
+/// CI and as a ctest on any build machine) enforcing repository contracts
+/// the compiler cannot see:
+///
+///   noalloc         No allocation-family call (malloc/new/resize/
+///                   push_back/...) between `// granii-noalloc-begin` and
+///                   `// granii-noalloc-end`. Applied to executor and
+///                   kernel hot paths that back the zero-steady-state-
+///                   allocation guarantee.
+///   checked-parse   No unchecked number parsing (atoi, strtol, sscanf,
+///                   std::stoi, ...) anywhere except support/Str, the home
+///                   of the checked parseInt64/parseDouble helpers.
+///   kernel-assert   No raw `assert(` under src/kernels — kernel
+///                   preconditions use GRANII_CHECK, which stays on in
+///                   Release (static_assert is fine).
+///   unordered-iter  No iteration over std::unordered_{map,set} in
+///                   plan/cost-affecting code (src/assoc, src/cost,
+///                   src/granii, src/ir, src/verify): hash-table iteration
+///                   order is implementation-defined and would silently
+///                   break the bitwise-determinism contract.
+///   into-dst-check  Every `...Into` kernel definition under src/kernels
+///                   validates its destination: the body must contain a
+///                   GRANII_CHECK, call a shared `check...` precondition
+///                   helper, or delegate to another `...Into` kernel.
+///
+/// Findings print as `file:line: error: [rule] message`. A finding is
+/// suppressed by `// granii-lint-allow(rule)` on the same or the previous
+/// line. Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANII_TOOLS_LINT_H
+#define GRANII_TOOLS_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace granii {
+namespace lint {
+
+struct Finding {
+  std::string File;
+  int Line = 0;
+  std::string Rule;
+  std::string Message;
+
+  /// The printed `file:line: error: [rule] message` form.
+  std::string render() const;
+};
+
+/// Lints one file's \p Content. \p Path selects which rules apply (see the
+/// file comment) and is echoed into findings; it should be repo-relative.
+std::vector<Finding> lintContent(const std::string &Path,
+                                 const std::string &Content);
+
+/// Executes the driver on \p Args (excluding argv[0]). Directories are
+/// walked recursively for .h/.cpp files. Findings are rendered to \p Out,
+/// usage/IO errors to \p Err.
+int runLint(const std::vector<std::string> &Args, std::string &Out,
+            std::string &Err);
+
+} // namespace lint
+} // namespace granii
+
+#endif // GRANII_TOOLS_LINT_H

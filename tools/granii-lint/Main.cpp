@@ -1,0 +1,18 @@
+//===- Main.cpp - granii-lint entry point -------------------------------------===//
+
+#include "Lint.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  std::string Out, Err;
+  int Code = granii::lint::runLint(Args, Out, Err);
+  if (!Out.empty())
+    std::fputs(Out.c_str(), stdout);
+  if (!Err.empty())
+    std::fputs(Err.c_str(), stderr);
+  return Code;
+}
